@@ -1,0 +1,54 @@
+"""Fig. 4 — normalized power and area of the approximate MAC array.
+
+Regenerates the two series of Fig. 4: for every array size N in {16, 32, 48,
+64} and perforation value m in {1, 2, 3}, the power (a) and area (b) of the
+control-variate array normalized to the accurate array of the same size.
+
+Paper reference points: power reduction 22.8-24.2 % (m=1), 34.5-35.7 % (m=2),
+54.1-54.8 % (m=3); area roughly unchanged at m=1 and up to 29 % smaller at
+m=3; both nearly independent of N.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.reporting import Table
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.hardware.area_power import normalized_array_area, normalized_array_power
+
+ARRAY_SIZES = (16, 32, 48, 64)
+PERFORATIONS = (1, 2, 3)
+
+
+def _build_table() -> Table:
+    table = Table(
+        title="Fig. 4: normalized power (a) and area (b) of the approximate MAC array",
+        columns=["m", "N", "norm. power", "power reduction %", "norm. area", "area reduction %"],
+    )
+    for m in PERFORATIONS:
+        for n in ARRAY_SIZES:
+            config = AcceleratorConfig.make(n, m, use_control_variate=True)
+            power = normalized_array_power(config)
+            area = normalized_array_area(config)
+            table.add_row(m, n, power, 100 * (1 - power), area, 100 * (1 - area))
+    return table
+
+
+def test_fig4_area_power(benchmark, results_dir):
+    """Regenerate the Fig. 4 series and benchmark the area/power model."""
+    table = benchmark(_build_table)
+    rendered = table.render(float_format="{:.3f}")
+    path = write_result(results_dir, "fig4_area_power.txt", rendered)
+    print("\n" + rendered)
+    print(f"\n[written to {path}]")
+
+    by_key = {(row[0], row[1]): row for row in table.rows}
+    # Shape checks mirroring the paper's observations.
+    for n in ARRAY_SIZES:
+        assert by_key[(1, n)][2] > by_key[(2, n)][2] > by_key[(3, n)][2]
+        assert by_key[(1, n)][4] > by_key[(3, n)][4]
+    # Power reduction is set by m, nearly independent of N.
+    for m in PERFORATIONS:
+        powers = [by_key[(m, n)][2] for n in ARRAY_SIZES]
+        assert max(powers) - min(powers) < 0.02

@@ -1,0 +1,44 @@
+"""Table I — theoretical full-adder reduction of the approximate MAC array.
+
+Regenerates every cell of Table I (m = 1, 2; N = 16..64): the full-adder
+decrease contributed by the MAC* units, the increase contributed by the MAC+
+column, and the net decrease.  The reproduction is exact (see the unit tests
+in ``tests/test_hardware.py`` for the cell-by-cell assertions against the
+paper's numbers).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.reporting import Table
+from repro.hardware.full_adders import table_i
+
+
+def _build_table() -> Table:
+    table = Table(
+        title="Table I: theoretical evaluation of full adders (FA) reduction",
+        columns=["m", "N", "FA decrease (MAC*)", "FA increase (MAC+)", "Total FA decrease"],
+    )
+    for row in table_i():
+        table.add_row(
+            row.m,
+            row.array_size,
+            int(row.mac_star_decrease),
+            int(row.mac_plus_increase),
+            int(row.total_decrease),
+        )
+    return table
+
+
+def test_table1_full_adders(benchmark, results_dir):
+    """Regenerate Table I and benchmark the closed-form model."""
+    table = benchmark(_build_table)
+    rendered = table.render()
+    path = write_result(results_dir, "table1_full_adders.txt", rendered)
+    print("\n" + rendered)
+    print(f"\n[written to {path}]")
+    # Spot-check the headline cells against the paper.
+    rows = {(r[0], r[1]): r for r in table.rows}
+    assert rows[(1, 64)][4] == 10272
+    assert rows[(2, 64)][4] == 38048

@@ -1,0 +1,53 @@
+"""Table II — area and power overhead of the MAC+ column.
+
+Regenerates Table II: the percentage of the approximate array's total area
+and total power occupied/consumed by the N MAC+ units, for m in {1, 2, 3} and
+N in {16, 32, 48, 64}.  Paper reference: at most 1.49 % of the area and
+1.87 % of the power (smallest array, most aggressive perforation), shrinking
+as the array grows.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.reporting import Table
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.hardware.area_power import macplus_area_share, macplus_power_share
+
+ARRAY_SIZES = (16, 32, 48, 64)
+PERFORATIONS = (1, 2, 3)
+
+
+def _build_table() -> Table:
+    table = Table(
+        title="Table II: area and power overhead of the MAC+ column (% of the whole array)",
+        columns=["m", "N", "area share %", "power share %"],
+    )
+    for m in PERFORATIONS:
+        for n in ARRAY_SIZES:
+            config = AcceleratorConfig.make(n, m, use_control_variate=True)
+            table.add_row(
+                m, n, 100 * macplus_area_share(config), 100 * macplus_power_share(config)
+            )
+    return table
+
+
+def test_table2_macplus_overhead(benchmark, results_dir):
+    """Regenerate Table II and benchmark the overhead model."""
+    table = benchmark(_build_table)
+    rendered = table.render(float_format="{:.2f}")
+    path = write_result(results_dir, "table2_macplus_overhead.txt", rendered)
+    print("\n" + rendered)
+    print(f"\n[written to {path}]")
+
+    by_key = {(row[0], row[1]): row for row in table.rows}
+    for m in PERFORATIONS:
+        # Overhead shrinks monotonically with the array size (O(N) vs O(N^2)).
+        area_shares = [by_key[(m, n)][2] for n in ARRAY_SIZES]
+        power_shares = [by_key[(m, n)][3] for n in ARRAY_SIZES]
+        assert area_shares == sorted(area_shares, reverse=True)
+        assert power_shares == sorted(power_shares, reverse=True)
+    # Worst case stays small (paper: 1.49 % area, 1.87 % power at N=16, m=3).
+    assert by_key[(3, 16)][2] < 2.5
+    assert by_key[(3, 16)][3] < 2.5

@@ -1,0 +1,88 @@
+"""Table III — accuracy loss of the six networks with and without the control variate.
+
+Regenerates the structure of Table III: for every network of the paper's
+six-network suite, trained on the 10-class and 100-class CIFAR-like datasets,
+the accuracy loss (percentage points versus the accurate quantized design) at
+perforation m = 1, 2, 3, both with the control variate ("Ours") and without
+it ("w/o V"), plus the per-dataset averages.
+
+Expected shape (per the paper): "Ours" stays within a few points of the
+accurate design and degrades slowly with m; "w/o V" degrades dramatically;
+the 100-class dataset is harder than the 10-class one.  Absolute numbers
+differ from the paper because the networks and datasets are scaled down (see
+DESIGN.md / EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_epochs, write_result
+
+from repro.analysis.reporting import Table
+from repro.models.zoo import MODEL_NAMES
+from repro.simulation.campaign import (
+    TrainedModelCache,
+    TrainingSettings,
+    accuracy_sweep,
+    experiment_dataset,
+)
+
+PERFORATIONS = (1, 2, 3)
+
+
+def _run_sweep():
+    cache = TrainedModelCache()
+    settings = TrainingSettings(epochs=bench_epochs())
+    datasets = {}
+    trained = []
+    for num_classes in (10, 100):
+        dataset = experiment_dataset(num_classes=num_classes)
+        datasets[dataset.name] = dataset
+        for name in MODEL_NAMES:
+            trained.append(cache.load_or_train(name, dataset, settings))
+    return accuracy_sweep(trained, datasets, perforations=PERFORATIONS), datasets
+
+
+def _build_table(sweep, datasets) -> Table:
+    table = Table(
+        title="Table III: accuracy loss (%) over the six networks "
+        "(Ours = perforation + control variate, w/o V = perforation only)",
+        columns=["dataset", "network", "float/quant acc"]
+        + [f"m={m} {label}" for m in PERFORATIONS for label in ("Ours", "w/o V")],
+    )
+    for dataset_name in sorted(datasets):
+        for name in MODEL_NAMES:
+            baseline = sweep.baselines[(name, dataset_name)]
+            cells = []
+            for m in PERFORATIONS:
+                cells.append(sweep.lookup(name, dataset_name, m, True).accuracy_loss)
+                cells.append(sweep.lookup(name, dataset_name, m, False).accuracy_loss)
+            table.add_row(dataset_name, name, baseline, *cells)
+        averages = []
+        for m in PERFORATIONS:
+            averages.append(sweep.average_loss(dataset_name, m, True))
+            averages.append(sweep.average_loss(dataset_name, m, False))
+        table.add_row(dataset_name, "AVERAGE", float("nan"), *averages)
+    return table
+
+
+def test_table3_accuracy(benchmark, results_dir):
+    """Regenerate Table III (trains or loads 12 reference models)."""
+    sweep, datasets = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    table = _build_table(sweep, datasets)
+    rendered = table.render(float_format="{:.2f}")
+    path = write_result(results_dir, "table3_accuracy.txt", rendered)
+    csv_path = write_result(results_dir, "table3_accuracy.csv", table.to_csv())
+    print("\n" + rendered)
+    print(f"\n[written to {path} and {csv_path}]")
+
+    for dataset_name in datasets:
+        # The control variate never hurts on average and the damage of the
+        # uncorrected approximation grows with m.
+        for m in PERFORATIONS:
+            ours = sweep.average_loss(dataset_name, m, True)
+            without = sweep.average_loss(dataset_name, m, False)
+            assert ours <= without + 1e-9
+        without_losses = [sweep.average_loss(dataset_name, m, False) for m in PERFORATIONS]
+        assert without_losses[0] <= without_losses[-1] + 1e-9
+        # "Ours" stays usable even at the most aggressive perforation.
+        assert sweep.average_loss(dataset_name, 3, True) < 25.0

@@ -1,0 +1,51 @@
+"""Shared infrastructure of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The heavy
+artifacts (trained reference models) are cached on disk by
+:class:`repro.simulation.campaign.TrainedModelCache`, so the first run of the
+accuracy benches trains the networks with the numpy engine and later runs
+reuse them.  Each bench writes its regenerated table to ``results/`` next to
+this directory and prints it to the terminal section of the pytest output.
+
+Environment knobs:
+
+* ``REPRO_BENCH_EPOCHS`` — training epochs of the reference models (default 6);
+* ``REPRO_BENCH_FULL`` — set to ``1`` to run the Fig. 5 comparison on all six
+  networks and both datasets (default: a representative subset, because the
+  ALWANN baseline's library search is expensive in pure numpy);
+* ``REPRO_CACHE_DIR`` — where trained models are cached.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def bench_epochs() -> int:
+    """Training epochs used by the accuracy benches."""
+    return int(os.environ.get("REPRO_BENCH_EPOCHS", "6"))
+
+
+def full_scale() -> bool:
+    """Whether to run the expensive benches at the paper's full scale."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory receiving the regenerated tables (created on demand)."""
+    path = os.path.abspath(RESULTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_result(results_dir: str, name: str, content: str) -> str:
+    """Write one regenerated table to ``results/<name>`` and return its path."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content + "\n")
+    return path

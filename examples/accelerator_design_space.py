@@ -1,0 +1,61 @@
+"""Design-space exploration of the approximate MAC array.
+
+Sweeps the array size ``N`` and the perforation parameter ``m`` and reports,
+for each configuration, the hardware model's normalized power and area, the
+MAC+ column overhead, and the theoretical full-adder savings — i.e. the
+hardware half of the paper (Table I, Fig. 4, Table II) exposed as a library
+API the user can query for their own design points.
+
+Run with ``python examples/accelerator_design_space.py``.
+"""
+
+from repro.analysis import Table
+from repro.core import AcceleratorConfig
+from repro.hardware import (
+    macplus_area_share,
+    macplus_power_share,
+    normalized_array_area,
+    normalized_array_power,
+    total_fa_decrease,
+)
+
+
+def main() -> None:
+    table = Table(
+        title="Approximate MAC-array design space (normalized to the accurate array)",
+        columns=[
+            "N",
+            "m",
+            "power",
+            "area",
+            "power_saving_%",
+            "MAC+_power_%",
+            "MAC+_area_%",
+            "FA_decrease",
+        ],
+    )
+    for n in (16, 32, 48, 64, 128):
+        for m in (1, 2, 3):
+            config = AcceleratorConfig.make(n, m, use_control_variate=True)
+            power = normalized_array_power(config)
+            area = normalized_array_area(config)
+            table.add_row(
+                n,
+                m,
+                power,
+                area,
+                100.0 * (1.0 - power),
+                100.0 * macplus_power_share(config),
+                100.0 * macplus_area_share(config),
+                int(total_fa_decrease(n, m)),
+            )
+    print(table.render())
+    print()
+    print("Observations (matching Section V-A of the paper):")
+    print(" * the power saving is set by m and is nearly independent of N;")
+    print(" * the MAC+ column overhead shrinks as the array grows (O(N) vs O(N^2));")
+    print(" * m = 1 keeps the area essentially unchanged, m = 3 yields the largest savings.")
+
+
+if __name__ == "__main__":
+    main()

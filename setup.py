@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment ships setuptools 65 without the ``wheel`` package, so PEP 517
+editable installs (which require ``bdist_wheel``) fail.  Providing a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``develop``-style editable install, which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

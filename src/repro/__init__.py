@@ -1,0 +1,22 @@
+"""Reproduction of *Control Variate Approximation for DNN Accelerators* (DAC 2021).
+
+The package is organized in layers (see DESIGN.md for the full inventory):
+
+* substrates: :mod:`repro.nn` (numpy DNN engine), :mod:`repro.quantization`,
+  :mod:`repro.multipliers`, :mod:`repro.datasets`, :mod:`repro.models`,
+  :mod:`repro.accelerator`, :mod:`repro.hardware`;
+* the paper's contribution: :mod:`repro.core`;
+* experiment machinery: :mod:`repro.simulation`, :mod:`repro.baselines`,
+  :mod:`repro.analysis`.
+
+Quick start::
+
+    from repro.core import ControlVariate, perforated_product_sums
+    from repro.simulation import ApproximateExecutor
+
+see ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,47 @@
+"""TPU-like systolic MAC-array substrate.
+
+Section IV of the paper implements the control-variate correction on a
+weight-stationary ``N x N`` systolic array (Fig. 2/3): the first ``N``
+columns hold MAC* units (perforated multiplier, narrowed accumulator and a
+small ``sumX`` accumulator for the perforated bits) and an extra column of
+MAC+ units applies the correction ``V = C * sumX``.
+
+This package provides:
+
+* :mod:`~repro.accelerator.mac_unit` — bit-accurate behavioural models of
+  the accurate MAC, MAC* and MAC+ units (eqs. (13)–(15));
+* :mod:`~repro.accelerator.systolic` — a functional array simulation that
+  tiles an arbitrary ``(taps x filters)`` workload onto the array and is
+  cross-checked against the numpy matrix product;
+* :mod:`~repro.accelerator.scheduling` — a SCALE-Sim-style weight-stationary
+  cycle model used for the energy numbers of Fig. 5;
+* :mod:`~repro.accelerator.energy` — ``energy = cycles x power x delay``.
+"""
+
+from repro.accelerator.mac_unit import MacUnit, MacStarUnit, MacPlusUnit, adder_bits
+from repro.accelerator.systolic import SystolicArray, TileResult
+from repro.accelerator.scheduling import (
+    LayerShape,
+    layer_shapes_of_model,
+    tile_count,
+    layer_cycles,
+    network_cycles,
+)
+from repro.accelerator.energy import EnergyReport, layer_energy, network_energy
+
+__all__ = [
+    "MacUnit",
+    "MacStarUnit",
+    "MacPlusUnit",
+    "adder_bits",
+    "SystolicArray",
+    "TileResult",
+    "LayerShape",
+    "layer_shapes_of_model",
+    "tile_count",
+    "layer_cycles",
+    "network_cycles",
+    "EnergyReport",
+    "layer_energy",
+    "network_energy",
+]

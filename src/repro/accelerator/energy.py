@@ -1,0 +1,66 @@
+"""Energy accounting: ``energy = cycles x power x delay`` (Section V-C).
+
+The power of the array comes from :mod:`repro.hardware.area_power` (or any
+other source); this module only multiplies it with the cycle counts of the
+scheduling model and the clock period, exactly as the paper does for the
+Fig. 5 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.scheduling import LayerShape, layer_cycles
+from repro.core.accelerator_model import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of a network executed on one array configuration."""
+
+    config: AcceleratorConfig
+    power_mw: float
+    clock_ns: float
+    total_cycles: int
+    layer_cycles: dict[str, int]
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Total energy in nanojoules (mW x ns = pJ; divided by 1000)."""
+        return self.power_mw * self.clock_ns * self.total_cycles / 1e3
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end latency in microseconds."""
+        return self.total_cycles * self.clock_ns / 1e3
+
+
+def layer_energy(
+    shape: LayerShape, config: AcceleratorConfig, power_mw: float, clock_ns: float | None = None
+) -> float:
+    """Energy (nJ) of a single layer on the configured array."""
+    if power_mw < 0:
+        raise ValueError("power_mw must be non-negative")
+    clock = config.clock_ns if clock_ns is None else clock_ns
+    return layer_cycles(shape, config) * power_mw * clock / 1e3
+
+
+def network_energy(
+    shapes: list[LayerShape],
+    config: AcceleratorConfig,
+    power_mw: float,
+    clock_ns: float | None = None,
+) -> EnergyReport:
+    """Energy report for a whole network (list of conv/dense layer shapes)."""
+    if power_mw < 0:
+        raise ValueError("power_mw must be non-negative")
+    clock = config.clock_ns if clock_ns is None else clock_ns
+    per_layer = {shape.name: layer_cycles(shape, config) for shape in shapes}
+    total = int(sum(per_layer.values()))
+    return EnergyReport(
+        config=config,
+        power_mw=power_mw,
+        clock_ns=clock,
+        total_cycles=total,
+        layer_cycles=per_layer,
+    )

@@ -1,0 +1,139 @@
+"""Bit-accurate behavioural models of the MAC, MAC* and MAC+ units.
+
+These classes mirror the datapaths of Fig. 2b and Fig. 3b/3c of the paper.
+They are intentionally scalar and cycle-by-cycle — the vectorized inference
+paths never use them — and exist so the array-level simulation and the
+hardware cost models can be validated against an explicit register-transfer
+level description of what each unit computes (eqs. (13)–(15)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def adder_bits(array_size: int, operand_bits: int = 16) -> int:
+    """Accumulator width avoiding overflow: ``ceil(log2(N * (2^bits - 1)))``.
+
+    For a 64x64 array accumulating 16-bit products this is the 22-bit adder
+    quoted in Section IV.
+    """
+    if array_size < 1:
+        raise ValueError(f"array_size must be positive, got {array_size}")
+    return int(np.ceil(np.log2(array_size * ((1 << operand_bits) - 1))))
+
+
+def sumx_adder_bits(array_size: int, m: int) -> int:
+    """Width of the perforated-bits accumulator: ``ceil(log2(N * (2^m - 1)))``."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1 for a sumX accumulator, got {m}")
+    return int(np.ceil(np.log2(array_size * ((1 << m) - 1))))
+
+
+@dataclass
+class MacUnit:
+    """Accurate MAC unit: ``sum_out = sum_in + W * A`` (Fig. 2b)."""
+
+    array_size: int = 64
+
+    @property
+    def accumulator_bits(self) -> int:
+        return adder_bits(self.array_size)
+
+    def step(self, weight: int, activation: int, sum_in: int) -> int:
+        """One MAC operation."""
+        _check_operand(weight, "weight")
+        _check_operand(activation, "activation")
+        return sum_in + weight * activation
+
+
+@dataclass
+class MacStarUnit:
+    """MAC* unit of Fig. 3b: perforated product plus the ``sumX`` side channel.
+
+    The unit computes (eq. (13)):
+
+        P*      = W * A[7:m]               (product of the truncated activation)
+        sum_out = sum_in + P*              (accumulation, m bits narrower)
+        sumX_out = sumX_in + A[m-1:0]      (running sum of the perforated bits)
+    """
+
+    m: int
+    array_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.m < 8:
+            raise ValueError(f"m must be within [1, 7], got {self.m}")
+
+    @property
+    def accumulator_bits(self) -> int:
+        """The MAC* accumulator is ``m`` bits narrower than the accurate one."""
+        return adder_bits(self.array_size) - self.m
+
+    @property
+    def sumx_bits(self) -> int:
+        return sumx_adder_bits(self.array_size, self.m)
+
+    def step(
+        self, weight: int, activation: int, sum_in: int, sumx_in: int
+    ) -> tuple[int, int]:
+        """One MAC* operation; returns ``(sum_out, sumX_out)``.
+
+        ``sum_in``/``sum_out`` are kept in the shifted domain of the paper:
+        the accumulated quantity is ``(W * A_truncated) >> m``, which is an
+        integer because the truncated activation is a multiple of ``2^m``.
+        """
+        _check_operand(weight, "weight")
+        _check_operand(activation, "activation")
+        x = activation & ((1 << self.m) - 1)
+        truncated = activation - x
+        product_shifted = (weight * truncated) >> self.m
+        return sum_in + product_shifted, sumx_in + x
+
+
+@dataclass
+class MacPlusUnit:
+    """MAC+ unit of Fig. 3c: applies the control variate to the partial sum.
+
+    The unit computes (eqs. (14)–(15)):
+
+        V  = C * sumX_N
+        G* = {sum_N, B[m-1:0]} + V
+
+    where ``{sum_N, B[m-1:0]}`` shifts the narrowed partial sum back to full
+    precision and re-inserts the ``m`` low bits of the bias that the first
+    column could not absorb.
+    """
+
+    m: int
+    array_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.m < 8:
+            raise ValueError(f"m must be within [1, 7], got {self.m}")
+
+    @property
+    def multiplier_bits(self) -> tuple[int, int]:
+        """Operand widths of the accurate multiplier computing ``C * sumX``."""
+        return (sumx_adder_bits(self.array_size, self.m), 8)
+
+    @property
+    def adder_bits(self) -> int:
+        """Final adder width — same as the accurate MAC accumulator."""
+        return adder_bits(self.array_size)
+
+    def step(self, control_constant: int, sumx: int, sum_in: int, bias_low: int = 0) -> int:
+        """Produce the corrected output ``G*`` for one output element."""
+        if not 0 <= control_constant <= 255:
+            raise ValueError("control_constant must be an 8-bit value")
+        if not 0 <= bias_low < (1 << self.m):
+            raise ValueError(f"bias_low must fit in {self.m} bits")
+        correction = control_constant * sumx
+        return ((sum_in << self.m) | bias_low) + correction
+
+
+def _check_operand(value: int, name: str) -> None:
+    if not 0 <= int(value) <= 255:
+        raise ValueError(f"{name} must be an unsigned 8-bit value, got {value}")

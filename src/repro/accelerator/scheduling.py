@@ -1,0 +1,108 @@
+"""Weight-stationary scheduling and cycle model (SCALE-Sim substitute).
+
+The paper obtains layer cycle counts from ARM's SCALE-Sim cycle-accurate
+simulator to compute ``energy = cycles x power x delay`` for the Fig. 5
+comparison.  This module implements the standard weight-stationary systolic
+timing model that SCALE-Sim uses:
+
+* a convolution layer is lowered to a ``(patches x taps) @ (taps x filters)``
+  matrix multiplication (same lowering as :mod:`repro.nn.im2col`);
+* weights are mapped in ``ceil(taps / N) * ceil(filters / N)`` stationary
+  tiles;
+* each tile costs ``(N - 1)`` cycles to fill, ``patches`` cycles to stream,
+  and ``(N - 1)`` cycles to drain the partial sums;
+* the MAC+ column of the approximate array adds one pipeline cycle per
+  layer (Section V-A measured l = 1 for all evaluated sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.nn.graph import Graph
+from repro.nn.layers import Conv2D, Dense
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """MAC-level shape of one convolution or dense layer."""
+
+    name: str
+    patches: int
+    taps: int
+    filters: int
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.patches, self.taps, self.filters, self.groups) < 1:
+            raise ValueError("all LayerShape dimensions must be positive")
+
+    @property
+    def macs(self) -> int:
+        """Number of multiply-accumulate operations of the layer."""
+        return self.patches * self.taps * self.filters * self.groups
+
+
+def layer_shapes_of_model(
+    model: Graph, input_shape: tuple[int, int, int], batch: int = 1
+) -> list[LayerShape]:
+    """Extract the MAC-level shapes of every conv / dense layer of a model.
+
+    A dummy forward pass with a single batch determines the spatial sizes at
+    each node, from which the im2col dimensions follow.
+    """
+    dummy = np.zeros((batch,) + tuple(input_shape), dtype=np.float64)
+    _, activations = model.forward(dummy, training=False, return_activations=True)
+    shapes: list[LayerShape] = []
+    for node in model.conv_dense_nodes():
+        layer = node.layer
+        parent = node.inputs[0]
+        in_act = activations[parent]
+        out_act = activations[node.name]
+        if isinstance(layer, Conv2D):
+            patches = int(np.prod(out_act.shape[:3]))
+            taps = layer.kernel_size * layer.kernel_size * (layer.in_channels // layer.groups)
+            filters = layer.out_channels // layer.groups
+            shapes.append(
+                LayerShape(node.name, patches, taps, filters, groups=layer.groups)
+            )
+        elif isinstance(layer, Dense):
+            patches = int(in_act.shape[0])
+            shapes.append(
+                LayerShape(node.name, patches, layer.in_features, layer.out_features)
+            )
+    return shapes
+
+
+def tile_count(shape: LayerShape, array_size: int) -> int:
+    """Number of stationary weight tiles needed for one layer."""
+    rows = int(np.ceil(shape.taps / array_size))
+    cols = int(np.ceil(shape.filters / array_size))
+    return rows * cols * shape.groups
+
+
+def layer_cycles(shape: LayerShape, config: AcceleratorConfig) -> int:
+    """Cycle count of one layer on the configured array."""
+    n = config.array_size
+    tiles = tile_count(shape, n)
+    per_tile = (n - 1) + shape.patches + (n - 1)
+    cycles = tiles * per_tile
+    if config.is_approximate and config.use_control_variate:
+        # One extra pipeline cycle per layer for the MAC+ column (Section V-A).
+        cycles += 1
+    return cycles
+
+
+def network_cycles(
+    shapes: list[LayerShape] | Graph,
+    config: AcceleratorConfig,
+    input_shape: tuple[int, int, int] = (16, 16, 3),
+    batch: int = 1,
+) -> int:
+    """Total cycle count of a network (list of shapes or a model graph)."""
+    if isinstance(shapes, Graph):
+        shapes = layer_shapes_of_model(shapes, input_shape, batch=batch)
+    return int(sum(layer_cycles(shape, config) for shape in shapes))

@@ -1,0 +1,123 @@
+"""Functional simulation of the (approximate) weight-stationary systolic array.
+
+The simulation reproduces, tile by tile, what the hardware of Section IV
+computes: weights are loaded as ``N x N`` stationary tiles, activation
+patches stream through the rows, every column accumulates its partial sum
+(and, in the approximate array, the ``sumX`` sum of perforated activation
+bits), and the MAC+ column finally applies ``V = C * sumX`` and re-aligns
+the bias.  The result is bit-identical to the vectorized fast paths in
+:mod:`repro.core.approx_conv`, which the test-suite asserts — this is the
+cross-check that the "mathematical" view of the control variate and its
+hardware implementation agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator_model import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class TileResult:
+    """Bookkeeping for one (row-tile, column-tile) mapping step."""
+
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+    streamed_patches: int
+
+
+class SystolicArray:
+    """Functional model of the ``N x N`` (+ MAC+ column) systolic array."""
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def matmul(
+        self,
+        act_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        bias_codes: np.ndarray | None = None,
+        control_constants: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, list[TileResult]]:
+        """Run a quantized ``(patches x taps) @ (taps x filters)`` workload.
+
+        Parameters
+        ----------
+        act_codes:
+            ``(patches, taps)`` unsigned 8-bit activation codes.
+        weight_codes:
+            ``(taps, filters)`` unsigned 8-bit weight codes.
+        bias_codes:
+            Optional integer bias per filter added to the accumulation
+            (the ``B`` of eq. (1); already in the integer domain).
+        control_constants:
+            Optional per-filter 8-bit control constants ``C``.  Required when
+            the configuration uses the control variate.
+
+        Returns
+        -------
+        (outputs, tiles):
+            ``outputs`` is the ``(patches, filters)`` integer result;
+            ``tiles`` records the mapping steps (used by the cycle model
+            tests).
+        """
+        act = np.asarray(act_codes, dtype=np.int64)
+        weights = np.asarray(weight_codes, dtype=np.int64)
+        if act.ndim != 2 or weights.ndim != 2 or act.shape[1] != weights.shape[0]:
+            raise ValueError("incompatible activation / weight shapes")
+        taps, filters = weights.shape
+        patches = act.shape[0]
+        if bias_codes is None:
+            bias_codes = np.zeros(filters, dtype=np.int64)
+        bias_codes = np.asarray(bias_codes, dtype=np.int64)
+        if bias_codes.shape != (filters,):
+            raise ValueError(f"bias_codes must have shape ({filters},)")
+
+        config = self.config
+        n = config.array_size
+        m = config.perforation
+        use_cv = config.is_approximate and config.use_control_variate
+        if use_cv:
+            if control_constants is None:
+                raise ValueError(
+                    "control_constants are required when the control variate is enabled"
+                )
+            control_constants = np.asarray(control_constants, dtype=np.int64)
+            if control_constants.shape != (filters,):
+                raise ValueError(f"control_constants must have shape ({filters},)")
+
+        outputs = np.zeros((patches, filters), dtype=np.int64)
+        tiles: list[TileResult] = []
+        mask = (1 << m) - 1 if m else 0
+
+        for col_start in range(0, filters, n):
+            col_stop = min(col_start + n, filters)
+            col_sum = np.zeros((patches, col_stop - col_start), dtype=np.int64)
+            col_sumx = np.zeros(patches, dtype=np.int64)
+            for row_start in range(0, taps, n):
+                row_stop = min(row_start + n, taps)
+                tiles.append(
+                    TileResult(row_start, row_stop, col_start, col_stop, patches)
+                )
+                w_tile = weights[row_start:row_stop, col_start:col_stop]
+                a_tile = act[:, row_start:row_stop]
+                if config.is_approximate:
+                    x_tile = a_tile & mask
+                    col_sum += (a_tile - x_tile) @ w_tile
+                    if use_cv:
+                        col_sumx += x_tile.sum(axis=1)
+                else:
+                    col_sum += a_tile @ w_tile
+            col_out = col_sum + bias_codes[None, col_start:col_stop]
+            if use_cv:
+                # The MAC+ column multiplies the streamed sumX by the per-filter
+                # constant and adds it to the partial sum (eqs. (14)-(15)).
+                col_out = col_out + col_sumx[:, None] * control_constants[None, col_start:col_stop]
+            outputs[:, col_start:col_stop] = col_out
+        return outputs, tiles

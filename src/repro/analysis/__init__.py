@@ -1,0 +1,18 @@
+"""Analysis helpers: weight statistics (Fig. 1) and report formatting."""
+
+from repro.analysis.statistics import (
+    WeightDistribution,
+    filter_weight_distribution,
+    model_weight_distributions,
+    model_variance_reduction,
+)
+from repro.analysis.reporting import format_table, Table
+
+__all__ = [
+    "WeightDistribution",
+    "filter_weight_distribution",
+    "model_weight_distributions",
+    "model_variance_reduction",
+    "format_table",
+    "Table",
+]

@@ -1,0 +1,69 @@
+"""Plain-text table formatting for the benchmark reports.
+
+The benches regenerate the paper's tables and figure series as text tables
+(and CSV strings) so they can be diffed against the paper and archived in
+EXPERIMENTS.md without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A small column-aligned text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; the number of values must match the columns."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(values)
+
+    def render(self, float_format: str = "{:.2f}") -> str:
+        """Render the table as aligned plain text."""
+        return format_table(self.title, self.columns, self.rows, float_format=float_format)
+
+    def to_csv(self, float_format: str = "{:.4f}") -> str:
+        """Render the table as CSV (header + rows)."""
+        lines = [",".join(str(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(_format_cell(v, float_format) for v in row))
+        return "\n".join(lines)
+
+
+def _format_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Format rows into an aligned text table with a title line."""
+    str_rows = [[_format_cell(v, float_format) for v in row] for row in rows]
+    widths = [len(str(col)) for col in columns]
+    for row in str_rows:
+        if len(row) != len(columns):
+            raise ValueError("row length does not match column count")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    lines = [title, header, separator]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

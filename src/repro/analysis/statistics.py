@@ -1,0 +1,122 @@
+"""Weight-distribution statistics (Fig. 1) and variance-reduction analysis.
+
+Fig. 1 of the paper shows that the 8-bit weight codes of trained filters are
+tightly concentrated around their mean, which is exactly the property that
+makes the control variate effective (eq. (10): the corrected variance is
+proportional to ``sum_j (W_j - E[W])^2``).  This module extracts those
+distributions from trained models and computes the implied variance-reduction
+factors per filter and per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.error_model import variance_reduction_factor
+from repro.nn.graph import Graph
+from repro.nn.layers import Conv2D, Dense
+from repro.quantization.quantize import calibrate_minmax, quantize
+
+
+@dataclass(frozen=True)
+class WeightDistribution:
+    """Summary of one filter's quantized-weight distribution (one Fig. 1 panel)."""
+
+    layer: str
+    filter_index: int
+    codes: np.ndarray
+    histogram: np.ndarray
+    bin_edges: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(self.codes.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.codes.std())
+
+    @property
+    def concentration(self) -> float:
+        """Fraction of weights within one standard deviation of the mean."""
+        lo, hi = self.mean - self.std, self.mean + self.std
+        return float(((self.codes >= lo) & (self.codes <= hi)).mean())
+
+    def pdf(self) -> np.ndarray:
+        """Normalized histogram (sums to one) — the PDF plotted in Fig. 1."""
+        total = self.histogram.sum()
+        if total == 0:
+            return self.histogram.astype(np.float64)
+        return self.histogram / total
+
+
+def _quantized_filter_codes(layer: Conv2D | Dense) -> np.ndarray:
+    """uint8 codes of all weights, shaped ``(taps, filters)``."""
+    if isinstance(layer, Conv2D):
+        matrices = [layer.weight_matrix(g) for g in range(layer.groups)]
+        weights = np.concatenate(matrices, axis=1)
+    else:
+        weights = layer.weight
+    params = calibrate_minmax(weights)
+    return quantize(weights, params)
+
+
+def filter_weight_distribution(
+    model: Graph, layer_name: str, filter_index: int, bins: int = 64
+) -> WeightDistribution:
+    """Quantized-weight distribution of one filter of one layer."""
+    layer = model.layers().get(layer_name)
+    if layer is None or not isinstance(layer, (Conv2D, Dense)):
+        raise KeyError(f"{layer_name!r} is not a convolution or dense layer of the model")
+    codes = _quantized_filter_codes(layer)
+    if not 0 <= filter_index < codes.shape[1]:
+        raise IndexError(
+            f"filter_index {filter_index} out of range for layer {layer_name!r} "
+            f"with {codes.shape[1]} filters"
+        )
+    column = codes[:, filter_index].astype(np.float64)
+    histogram, edges = np.histogram(column, bins=bins, range=(0, 255))
+    return WeightDistribution(
+        layer=layer_name,
+        filter_index=filter_index,
+        codes=column,
+        histogram=histogram,
+        bin_edges=edges,
+    )
+
+
+def model_weight_distributions(
+    model: Graph,
+    n_filters: int = 4,
+    rng: np.random.Generator | None = None,
+    bins: int = 64,
+) -> list[WeightDistribution]:
+    """Randomly sample filter weight distributions from a model (Fig. 1 style)."""
+    if rng is None:
+        rng = np.random.default_rng(1)
+    mac_nodes = model.conv_dense_nodes()
+    if not mac_nodes:
+        raise ValueError("model has no convolution or dense layers")
+    out = []
+    for _ in range(n_filters):
+        node = mac_nodes[int(rng.integers(len(mac_nodes)))]
+        codes = _quantized_filter_codes(node.layer)
+        filter_index = int(rng.integers(codes.shape[1]))
+        out.append(filter_weight_distribution(model, node.name, filter_index, bins=bins))
+    return out
+
+
+def model_variance_reduction(model: Graph, m: int = 2) -> dict[str, float]:
+    """Median per-filter variance-reduction factor of every MAC layer."""
+    out: dict[str, float] = {}
+    for node in model.conv_dense_nodes():
+        codes = _quantized_filter_codes(node.layer).astype(np.float64)
+        factors = []
+        for f in range(codes.shape[1]):
+            factor = variance_reduction_factor(codes[:, f], m)
+            if np.isfinite(factor):
+                factors.append(factor)
+        out[node.name] = float(np.median(factors)) if factors else float("inf")
+    return out

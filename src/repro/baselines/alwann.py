@@ -1,0 +1,159 @@
+"""ALWANN-style baseline: library multiplier selection plus weight tuning.
+
+ALWANN (Mrazek et al., ICCAD 2019) builds approximate accelerators without
+retraining by (a) choosing approximate multipliers from a characterized
+library and (b) *tuning* the stored weights: every weight value ``w`` is
+replaced by the nearby value ``w'`` whose approximate products best match
+the exact products of ``w`` under the expected activation distribution.
+The original work searches a per-layer (non-uniform) assignment with NSGA-II;
+the paper's comparison uses the *uniform* variant (one multiplier type for
+the whole network) for fairness, which is what this class implements: it
+scans the library's Pareto front from cheapest to most accurate and keeps the
+cheapest multiplier whose calibration-set accuracy stays within the allowed
+drop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import TechniqueResult, evaluate_plan_accuracy
+from repro.hardware.area_power import array_cost_from_multiplier
+from repro.hardware.technology import GENERIC_14NM, TechnologyModel
+from repro.multipliers.base import Multiplier, OPERAND_LEVELS
+from repro.multipliers.library import LibraryEntry, MultiplierLibrary
+from repro.simulation.inference import (
+    AccurateProduct,
+    ApproximateExecutor,
+    ExecutionPlan,
+    LUTProduct,
+)
+
+
+def tune_weights(
+    weight_codes: np.ndarray,
+    multiplier: Multiplier,
+    activation_codes: np.ndarray | None = None,
+    search_radius: int = 2,
+) -> np.ndarray:
+    """ALWANN weight tuning: map each weight to the code minimizing expected error.
+
+    For every weight value ``w`` the tuned value ``w'`` (within
+    ``search_radius`` codes of ``w``) minimizes
+
+        sum_a p(a) | approx(w', a) - w * a |
+
+    where ``p(a)`` is the empirical activation distribution (uniform when no
+    samples are given).  Only the value mapping depends on the multiplier, so
+    the mapping is computed once per weight value and applied via lookup.
+    """
+    codes = np.asarray(weight_codes, dtype=np.int64)
+    if codes.size and (codes.min() < 0 or codes.max() >= OPERAND_LEVELS):
+        raise ValueError("weight codes out of the uint8 range")
+    if activation_codes is None:
+        probabilities = np.full(OPERAND_LEVELS, 1.0 / OPERAND_LEVELS)
+    else:
+        acts = np.asarray(activation_codes, dtype=np.int64).reshape(-1)
+        counts = np.bincount(acts, minlength=OPERAND_LEVELS).astype(np.float64)
+        probabilities = counts / counts.sum()
+    lut = multiplier.build_lut().astype(np.float64)
+    a_values = np.arange(OPERAND_LEVELS, dtype=np.float64)
+    mapping = np.empty(OPERAND_LEVELS, dtype=np.int64)
+    for w in range(OPERAND_LEVELS):
+        lo = max(0, w - search_radius)
+        hi = min(OPERAND_LEVELS - 1, w + search_radius)
+        candidates = np.arange(lo, hi + 1)
+        exact = w * a_values
+        costs = np.abs(lut[candidates, :] - exact[None, :]) @ probabilities
+        mapping[w] = candidates[int(np.argmin(costs))]
+    return mapping[codes].astype(np.uint8)
+
+
+class AlwannBaseline:
+    """Uniform ALWANN: one library multiplier for the whole network."""
+
+    name = "alwann"
+
+    def __init__(
+        self,
+        library: MultiplierLibrary,
+        array_size: int = 64,
+        max_accuracy_drop: float = 0.01,
+        technology: TechnologyModel = GENERIC_14NM,
+        apply_weight_tuning: bool = True,
+    ):
+        self.library = library
+        self.array_size = int(array_size)
+        self.max_accuracy_drop = float(max_accuracy_drop)
+        self.technology = technology
+        self.apply_weight_tuning = bool(apply_weight_tuning)
+
+    # ------------------------------------------------------------------
+    def _candidates(self) -> list[LibraryEntry]:
+        """Fixed-function library entries, cheapest first."""
+        entries = [e for e in self.library.pareto_front() if not e.reconfigurable]
+        return sorted(entries, key=lambda e: e.relative_power)
+
+    def _apply_tuning(self, executor: ApproximateExecutor, multiplier: Multiplier) -> None:
+        if not self.apply_weight_tuning:
+            return
+        for layer_name in executor.mac_layer_names():
+            tuned = [
+                tune_weights(codes, multiplier)
+                for codes in executor.quantized_weights(layer_name)
+            ]
+            executor.set_weight_override(layer_name, tuned)
+
+    def apply(
+        self,
+        executor: ApproximateExecutor,
+        eval_images: np.ndarray,
+        eval_labels: np.ndarray,
+        calibration_images: np.ndarray | None = None,
+        calibration_labels: np.ndarray | None = None,
+    ) -> TechniqueResult:
+        """Select the cheapest feasible multiplier and evaluate the result."""
+        if calibration_images is None or calibration_labels is None:
+            calibration_images, calibration_labels = eval_images, eval_labels
+        baseline_plan = ExecutionPlan.uniform(AccurateProduct())
+        baseline_acc = evaluate_plan_accuracy(executor, baseline_plan, eval_images, eval_labels)
+        calib_baseline = evaluate_plan_accuracy(
+            executor, baseline_plan, calibration_images, calibration_labels
+        )
+
+        chosen: LibraryEntry | None = None
+        chosen_plan: ExecutionPlan | None = None
+        for entry in self._candidates():
+            plan = ExecutionPlan.uniform(LUTProduct(entry.multiplier))
+            self._apply_tuning(executor, entry.multiplier)
+            calib_acc = evaluate_plan_accuracy(
+                executor, plan, calibration_images, calibration_labels
+            )
+            executor.clear_weight_overrides()
+            if calib_baseline - calib_acc <= self.max_accuracy_drop:
+                chosen = entry
+                chosen_plan = plan
+                break
+        if chosen is None:
+            # No approximate entry satisfies the budget: fall back to accurate.
+            chosen = self.library.accurate_entry()
+            chosen_plan = ExecutionPlan.uniform(AccurateProduct())
+
+        self._apply_tuning(executor, chosen.multiplier)
+        final_acc = evaluate_plan_accuracy(executor, chosen_plan, eval_images, eval_labels)
+        executor.clear_weight_overrides()
+        power_mw = array_cost_from_multiplier(
+            chosen.relative_power,
+            chosen.relative_area,
+            self.array_size,
+            tech=self.technology,
+        ).power_mw
+        return TechniqueResult(
+            technique=self.name,
+            plan=chosen_plan,
+            array_power_mw=power_mw,
+            extra_cycles_per_layer=0,
+            accuracy=final_acc,
+            baseline_accuracy=baseline_acc,
+            details={"multiplier": chosen.name, "weight_tuning": self.apply_weight_tuning},
+        )

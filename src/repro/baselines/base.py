@@ -1,0 +1,60 @@
+"""Shared infrastructure of the Fig. 5 techniques."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.inference import ApproximateExecutor, ExecutionPlan
+from repro.simulation.metrics import accuracy
+
+
+@dataclass
+class TechniqueResult:
+    """Outcome of applying one technique to one trained network.
+
+    Attributes
+    ----------
+    technique:
+        Human-readable technique name ("ours", "alwann", ...).
+    plan:
+        The execution plan (per-layer product models) the technique chose.
+    array_power_mw:
+        Power of the MAC array the technique requires (its own multiplier
+        choice, including any reconfiguration overhead).
+    extra_cycles_per_layer:
+        Additional pipeline cycles per convolution layer (1 for the MAC+
+        column of our technique, 0 otherwise).
+    accuracy:
+        Top-1 accuracy measured under the plan.
+    baseline_accuracy:
+        Accuracy of the accurate (quantized) design on the same data.
+    details:
+        Free-form per-layer metadata (selected multipliers, modes, ...).
+    """
+
+    technique: str
+    plan: ExecutionPlan
+    array_power_mw: float
+    extra_cycles_per_layer: int
+    accuracy: float
+    baseline_accuracy: float
+    details: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def accuracy_loss_percent(self) -> float:
+        """Accuracy loss in percentage points versus the accurate design."""
+        return 100.0 * (self.baseline_accuracy - self.accuracy)
+
+
+def evaluate_plan_accuracy(
+    executor: ApproximateExecutor,
+    plan: ExecutionPlan,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy of ``executor`` under ``plan`` on a labelled set."""
+    predictions = executor.predict(images, plan, batch_size=batch_size)
+    return accuracy(predictions, np.asarray(labels))

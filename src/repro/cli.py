@@ -1,0 +1,146 @@
+"""Command-line interface for the most common reproduction workflows.
+
+The CLI wraps the library's experiment machinery so a downstream user can
+regenerate the paper's headline artifacts without writing Python:
+
+* ``python -m repro hardware`` — the hardware design-space table
+  (Fig. 4 + Table II + Table I in one sweep);
+* ``python -m repro accuracy --model vgg13 --classes 10`` — train (or load
+  from cache) one reference network and report its Table III row;
+* ``python -m repro error-model --m 2`` — the closed-form vs Monte-Carlo
+  convolution error statistics of Section III.
+
+Each sub-command prints an aligned text table to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.core.error_model import convolution_error_stats, simulate_convolution_error
+from repro.hardware.area_power import (
+    macplus_area_share,
+    macplus_power_share,
+    normalized_array_area,
+    normalized_array_power,
+)
+from repro.hardware.full_adders import total_fa_decrease
+from repro.models.zoo import MODEL_NAMES
+from repro.simulation.campaign import (
+    TrainedModelCache,
+    TrainingSettings,
+    accuracy_sweep,
+    experiment_dataset,
+)
+
+
+def _cmd_hardware(args: argparse.Namespace) -> int:
+    table = Table(
+        title="Approximate MAC-array design space",
+        columns=["N", "m", "norm. power", "norm. area", "MAC+ power %", "MAC+ area %", "FA decrease"],
+    )
+    for n in args.array_sizes:
+        for m in args.perforations:
+            config = AcceleratorConfig.make(n, m, use_control_variate=True)
+            table.add_row(
+                n,
+                m,
+                normalized_array_power(config),
+                normalized_array_area(config),
+                100 * macplus_power_share(config),
+                100 * macplus_area_share(config),
+                int(total_fa_decrease(n, m)),
+            )
+    print(table.render(float_format="{:.3f}"))
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    dataset = experiment_dataset(num_classes=args.classes)
+    cache = TrainedModelCache(cache_dir=args.cache_dir)
+    settings = TrainingSettings(epochs=args.epochs)
+    trained = cache.load_or_train(args.model, dataset, settings, verbose=args.verbose)
+    sweep = accuracy_sweep(
+        [trained],
+        {dataset.name: dataset},
+        perforations=tuple(args.perforations),
+        max_eval_images=args.max_eval_images,
+    )
+    table = Table(
+        title=f"{args.model} on {dataset.name} "
+        f"(float accuracy {trained.float_accuracy:.3f}, "
+        f"quantized baseline {sweep.baselines[(args.model, dataset.name)]:.3f})",
+        columns=["m", "ours loss %", "w/o V loss %"],
+    )
+    for m in args.perforations:
+        table.add_row(
+            m,
+            sweep.lookup(args.model, dataset.name, m, True).accuracy_loss,
+            sweep.lookup(args.model, dataset.name, m, False).accuracy_loss,
+        )
+    print(table.render(float_format="{:.2f}"))
+    return 0
+
+
+def _cmd_error_model(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    weights = np.clip(np.round(rng.normal(128, 20, size=args.taps)), 0, 255)
+    table = Table(
+        title=f"Convolution error, {args.taps} taps, perforation m={args.m}",
+        columns=["method", "model mean", "model std", "simulated mean", "simulated std"],
+    )
+    for use_cv, label in ((False, "w/o V"), (True, "ours (+V)")):
+        stats = convolution_error_stats(weights, args.m, use_control_variate=use_cv)
+        simulated = simulate_convolution_error(
+            weights, args.m, n_trials=args.trials, use_control_variate=use_cv, rng=rng
+        )
+        table.add_row(label, stats.mean, stats.std, float(simulated.mean()), float(simulated.std()))
+    print(table.render(float_format="{:.1f}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Control Variate Approximation for DNN Accelerators' (DAC 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    hardware = sub.add_parser("hardware", help="hardware design-space sweep (Fig. 4 / Tables I-II)")
+    hardware.add_argument("--array-sizes", type=int, nargs="+", default=[16, 32, 48, 64])
+    hardware.add_argument("--perforations", type=int, nargs="+", default=[1, 2, 3])
+    hardware.set_defaults(func=_cmd_hardware)
+
+    accuracy = sub.add_parser("accuracy", help="accuracy sweep of one network (one Table III row)")
+    accuracy.add_argument("--model", choices=MODEL_NAMES, default="vgg13")
+    accuracy.add_argument("--classes", type=int, choices=(10, 100), default=10)
+    accuracy.add_argument("--epochs", type=int, default=6)
+    accuracy.add_argument("--perforations", type=int, nargs="+", default=[1, 2, 3])
+    accuracy.add_argument("--max-eval-images", type=int, default=None)
+    accuracy.add_argument("--cache-dir", default=None)
+    accuracy.add_argument("--verbose", action="store_true")
+    accuracy.set_defaults(func=_cmd_accuracy)
+
+    error_model = sub.add_parser("error-model", help="closed-form vs Monte-Carlo error statistics")
+    error_model.add_argument("--m", type=int, default=2)
+    error_model.add_argument("--taps", type=int, default=576)
+    error_model.add_argument("--trials", type=int, default=10000)
+    error_model.add_argument("--seed", type=int, default=0)
+    error_model.set_defaults(func=_cmd_error_model)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

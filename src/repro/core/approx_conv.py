@@ -1,0 +1,156 @@
+"""Approximate product-sum computation for quantized linear operations.
+
+The quantized convolution / dense core
+(:class:`repro.quantization.qlayers.QuantizedLinearOp`) needs the raw sum
+``sum_j product(wq_j, aq_j)`` per (patch, filter) pair.  This module provides
+that sum for every approximation mode of the paper:
+
+* :data:`ApproximationMode.ACCURATE` — exact products (the baseline array);
+* :data:`ApproximationMode.PERFORATED` — perforated multiplier without any
+  correction (the "w/o V" columns of Table III);
+* :data:`ApproximationMode.PERFORATED_CV` — perforated multiplier plus the
+  control variate ``V = C sum_j x_j`` (the "Ours" columns);
+* arbitrary LUT multipliers via :func:`lut_product_sums` (used by the
+  state-of-the-art baselines of Fig. 5).
+
+All perforation paths exploit the functional form of the approximation:
+``sum_j wq_j * (aq_j - x_j)`` is a plain matrix product of the truncated
+activations, so no per-element lookup is ever needed — exactly the property
+([10] is "based on mathematical formulation") the paper requires of the
+multiplier.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.control_variate import ControlVariate
+from repro.multipliers.lut import apply_lut
+
+
+class ApproximationMode(enum.Enum):
+    """Product model used by the MAC array."""
+
+    ACCURATE = "accurate"
+    PERFORATED = "perforated"
+    PERFORATED_CV = "perforated_cv"
+
+    @property
+    def uses_control_variate(self) -> bool:
+        return self is ApproximationMode.PERFORATED_CV
+
+
+def _check_codes(act_codes: np.ndarray, weight_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    act = np.asarray(act_codes)
+    w = np.asarray(weight_codes)
+    if act.ndim != 2 or w.ndim != 2:
+        raise ValueError("act_codes and weight_codes must be 2-D")
+    if act.shape[1] != w.shape[0]:
+        raise ValueError(
+            f"taps mismatch: activations have {act.shape[1]}, weights have {w.shape[0]}"
+        )
+    return act.astype(np.int64), w.astype(np.int64)
+
+
+def accurate_product_sums(act_codes: np.ndarray, weight_codes: np.ndarray) -> np.ndarray:
+    """Exact ``sum_j wq_j aq_j`` — the accurate MAC array."""
+    act, w = _check_codes(act_codes, weight_codes)
+    return act @ w
+
+
+def perforated_product_sums(
+    act_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    m: int,
+    control_variate: ControlVariate | None = None,
+) -> np.ndarray:
+    """Product sums of the perforated MAC array, optionally CV-corrected.
+
+    Parameters
+    ----------
+    act_codes:
+        ``(patches, taps)`` uint8 activation codes.
+    weight_codes:
+        ``(taps, filters)`` uint8 weight codes.
+    m:
+        Perforation parameter (number of dropped partial products).
+    control_variate:
+        When given, the per-filter correction ``V = C_f * sum_j x_j`` is
+        added — this is the MAC+ column of the paper's architecture.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(patches, filters)`` product sums.  Integer when no control
+        variate is applied or the constants are quantized; float otherwise.
+    """
+    if not 0 <= int(m) < 8:
+        raise ValueError(f"m must be within [0, 7], got {m}")
+    act, w = _check_codes(act_codes, weight_codes)
+    mask = np.int64((1 << int(m)) - 1)
+    x = act & mask
+    truncated = act - x
+    sums = truncated @ w
+    if control_variate is None:
+        return sums
+    if control_variate.n_filters != w.shape[1]:
+        raise ValueError(
+            f"control variate has {control_variate.n_filters} filters, "
+            f"weights have {w.shape[1]}"
+        )
+    correction = control_variate.correction(x.sum(axis=1))
+    if control_variate.quantized:
+        return sums + correction.astype(np.int64)
+    return sums.astype(np.float64) + correction
+
+
+def lut_product_sums(
+    act_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    lut: np.ndarray,
+    chunk_patches: int = 512,
+) -> np.ndarray:
+    """Product sums through an arbitrary 256x256 multiplier LUT.
+
+    This is the generic (TFApprox-style) path used for multipliers whose
+    error has no exploitable closed form, e.g. the synthetic EvoApprox-like
+    library entries used by the Fig. 5 baselines.  Evaluation is chunked
+    over patches to bound peak memory at ``chunk_patches * taps * filters``
+    lookups.
+    """
+    act, w = _check_codes(act_codes, weight_codes)
+    patches, taps = act.shape
+    filters = w.shape[1]
+    out = np.empty((patches, filters), dtype=np.int64)
+    for start in range(0, patches, chunk_patches):
+        stop = min(start + chunk_patches, patches)
+        block = act[start:stop]  # (p, taps)
+        # products[p, j, f] = lut[w[j, f], a[p, j]]
+        products = apply_lut(
+            lut,
+            w[None, :, :],
+            block[:, :, None],
+        )
+        out[start:stop] = products.sum(axis=1)
+    return out
+
+
+def product_sums(
+    act_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    mode: ApproximationMode,
+    m: int = 0,
+    control_variate: ControlVariate | None = None,
+) -> np.ndarray:
+    """Dispatch to the product-sum implementation selected by ``mode``."""
+    if mode is ApproximationMode.ACCURATE:
+        return accurate_product_sums(act_codes, weight_codes)
+    if mode is ApproximationMode.PERFORATED:
+        return perforated_product_sums(act_codes, weight_codes, m)
+    if mode is ApproximationMode.PERFORATED_CV:
+        if control_variate is None:
+            control_variate = ControlVariate.from_weight_matrix(weight_codes)
+        return perforated_product_sums(act_codes, weight_codes, m, control_variate)
+    raise ValueError(f"unsupported mode: {mode}")

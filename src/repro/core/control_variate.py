@@ -1,0 +1,124 @@
+"""The control variate of Section III.
+
+With the perforated multiplier the error of each approximate product is
+``eps_j = W_j * x_j`` where ``x_j = A_j mod 2^m`` are the dropped activation
+bits.  The paper's control variate is the easily-computed quantity
+
+    V = C * sum_j x_j                                   (eq. (7))
+
+which is perfectly linearly correlated with every ``eps_j``.  Adding ``V``
+to the approximate accumulation gives the corrected convolution
+
+    G* = B + sum_j W_j A_j|approx + V                   (eq. (4))
+
+whose error ``sum_j x_j (W_j - C)`` is minimized in variance by
+
+    C = E[W_j] = (1/k) sum_j W_j                        (eq. (11))
+
+i.e. the mean of the filter's weights — a single 8-bit constant per filter
+in the hardware implementation of Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def optimal_control_constant(weights: np.ndarray) -> float:
+    """Variance-optimal control constant ``C = E[W_j]`` (eq. (11)).
+
+    Parameters
+    ----------
+    weights:
+        The (quantized) weights of one filter, any shape; the mean is taken
+        over all taps.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size == 0:
+        raise ValueError("weights must be non-empty")
+    return float(w.mean())
+
+
+def quantize_control_constant(c: float, bits: int = 8) -> int:
+    """Round ``C`` to the integer stored in the accelerator's weight memory.
+
+    Section IV states the memory overhead of the control constant is 8 bits
+    per filter, i.e. the constant is stored as an unsigned integer of the
+    same width as the weights.
+    """
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    upper = (1 << bits) - 1
+    return int(np.clip(round(float(c)), 0, upper))
+
+
+@dataclass(frozen=True)
+class ControlVariate:
+    """Per-filter control variate of one convolution / dense layer.
+
+    Attributes
+    ----------
+    constants:
+        Array of shape ``(filters,)`` holding the control constant of each
+        filter.  When ``quantized`` is true these are the 8-bit values the
+        accelerator would store; otherwise the exact real means.
+    quantized:
+        Whether :attr:`constants` were rounded to the 8-bit storage format.
+    """
+
+    constants: np.ndarray
+    quantized: bool = True
+
+    def __post_init__(self) -> None:
+        constants = np.asarray(self.constants, dtype=np.float64)
+        if constants.ndim != 1:
+            raise ValueError(f"constants must be 1-D, got shape {constants.shape}")
+        object.__setattr__(self, "constants", constants)
+
+    @classmethod
+    def from_weight_matrix(
+        cls, weight_codes: np.ndarray, quantize: bool = True, bits: int = 8
+    ) -> "ControlVariate":
+        """Derive the per-filter constants from a ``(taps, filters)`` weight matrix.
+
+        This is the layout used by the quantized executors and the MAC-array
+        simulator (one column per filter), so the constant of filter ``f`` is
+        the mean of column ``f``.
+        """
+        codes = np.asarray(weight_codes, dtype=np.float64)
+        if codes.ndim != 2:
+            raise ValueError(
+                f"weight_codes must be 2-D (taps, filters), got {codes.shape}"
+            )
+        means = codes.mean(axis=0)
+        if quantize:
+            upper = (1 << bits) - 1
+            means = np.clip(np.rint(means), 0, upper)
+        return cls(constants=means, quantized=quantize)
+
+    @property
+    def n_filters(self) -> int:
+        return int(self.constants.shape[0])
+
+    def correction(self, x_sums: np.ndarray) -> np.ndarray:
+        """The control variate ``V`` for given per-patch perforated-bit sums.
+
+        Parameters
+        ----------
+        x_sums:
+            Array of shape ``(patches,)`` (or ``(patches, 1)``) holding
+            ``sum_j x_j`` of each output patch.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(patches, filters)`` correction terms ``V = C_f * sum_j x_j``.
+        """
+        x = np.asarray(x_sums, dtype=np.float64).reshape(-1, 1)
+        return x * self.constants[None, :]
+
+    def memory_overhead_bits(self, bits: int = 8) -> int:
+        """Weight-memory overhead of storing the constants (8 bits per filter)."""
+        return self.n_filters * bits

@@ -1,0 +1,25 @@
+"""Datasets.
+
+The paper evaluates on CIFAR-10 and CIFAR-100.  Those datasets cannot be
+downloaded in this offline environment, so the default data source is a
+*procedural CIFAR-like* generator (:mod:`repro.datasets.synthetic`): small
+RGB images whose classes are defined by smooth random prototype patterns
+plus instance-level nuisance transformations.  The generator has a 10-class
+and a 100-class variant so the relative difficulty ordering of the paper
+(CIFAR-100 harder than CIFAR-10) is preserved.
+
+:mod:`repro.datasets.cifar` additionally provides a loader for the real
+CIFAR python batches when a local copy is available, falling back to the
+synthetic generator otherwise, so the same experiment scripts run in both
+environments.
+"""
+
+from repro.datasets.synthetic import Dataset, SyntheticCifarConfig, make_synthetic_cifar
+from repro.datasets.cifar import load_cifar_like
+
+__all__ = [
+    "Dataset",
+    "SyntheticCifarConfig",
+    "make_synthetic_cifar",
+    "load_cifar_like",
+]

@@ -1,0 +1,163 @@
+"""Procedural CIFAR-like image classification datasets.
+
+Each class is defined by a *prototype*: a smooth random RGB pattern obtained
+by low-pass filtering white noise drawn from a class-specific seed.  A sample
+of that class is the prototype warped by a small random translation, scaled
+in brightness/contrast, mixed with a small amount of a second prototype
+(to create class confusability) and corrupted by pixel noise.  The result is
+a dataset that
+
+* is learnable by small convolutional networks (so approximate-hardware
+  accuracy degradation can be measured meaningfully),
+* is not trivially separable (accuracy responds smoothly to perturbations),
+* becomes harder as the number of classes grows, matching the CIFAR-10 /
+  CIFAR-100 difficulty ordering used in Table III of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An image-classification dataset split into train and test parts."""
+
+    name: str
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if self.train_images.shape[0] != self.train_labels.shape[0]:
+            raise ValueError("train images / labels size mismatch")
+        if self.test_images.shape[0] != self.test_labels.shape[0]:
+            raise ValueError("test images / labels size mismatch")
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """Spatial shape ``(height, width, channels)`` of one image."""
+        return tuple(self.train_images.shape[1:])  # type: ignore[return-value]
+
+    @property
+    def n_train(self) -> int:
+        return int(self.train_images.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        return int(self.test_images.shape[0])
+
+
+@dataclass(frozen=True)
+class SyntheticCifarConfig:
+    """Parameters of the procedural dataset generator."""
+
+    num_classes: int = 10
+    image_size: int = 16
+    train_per_class: int = 160
+    test_per_class: int = 40
+    noise_std: float = 0.12
+    confusion: float = 0.25
+    max_shift: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        if self.image_size < 8:
+            raise ValueError("image_size must be at least 8")
+        if self.train_per_class < 1 or self.test_per_class < 1:
+            raise ValueError("per-class sample counts must be positive")
+        if not 0.0 <= self.confusion < 1.0:
+            raise ValueError("confusion must be in [0, 1)")
+
+
+def _smooth_noise(rng: np.random.Generator, size: int, channels: int = 3) -> np.ndarray:
+    """Low-pass filtered white noise in [0, 1] — one class prototype."""
+    coarse = rng.normal(size=(size // 4 + 1, size // 4 + 1, channels))
+    # Bilinear upsampling of the coarse grid to the full resolution.
+    grid = np.linspace(0, coarse.shape[0] - 1, size)
+    x0 = np.floor(grid).astype(int)
+    x1 = np.minimum(x0 + 1, coarse.shape[0] - 1)
+    frac = grid - x0
+    rows = (
+        coarse[x0, :, :] * (1 - frac)[:, None, None]
+        + coarse[x1, :, :] * frac[:, None, None]
+    )
+    full = (
+        rows[:, x0, :] * (1 - frac)[None, :, None]
+        + rows[:, x1, :] * frac[None, :, None]
+    )
+    full = full - full.min()
+    peak = full.max()
+    if peak > 0:
+        full = full / peak
+    return full
+
+
+def _shift_image(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Translate an image with zero fill (small jitter augmentation)."""
+    shifted = np.zeros_like(image)
+    h, w, _ = image.shape
+    src_y = slice(max(0, -dy), min(h, h - dy))
+    src_x = slice(max(0, -dx), min(w, w - dx))
+    dst_y = slice(max(0, dy), min(h, h + dy))
+    dst_x = slice(max(0, dx), min(w, w + dx))
+    shifted[dst_y, dst_x, :] = image[src_y, src_x, :]
+    return shifted
+
+
+def make_synthetic_cifar(config: SyntheticCifarConfig | None = None) -> Dataset:
+    """Generate a procedural CIFAR-like dataset according to ``config``."""
+    if config is None:
+        config = SyntheticCifarConfig()
+    rng = np.random.default_rng(config.seed)
+    prototypes = np.stack(
+        [_smooth_noise(rng, config.image_size) for _ in range(config.num_classes)]
+    )
+
+    def sample_class(label: int, count: int) -> np.ndarray:
+        images = np.empty(
+            (count, config.image_size, config.image_size, 3), dtype=np.float64
+        )
+        for i in range(count):
+            base = prototypes[label]
+            if config.confusion > 0:
+                other = int(rng.integers(config.num_classes))
+                alpha = rng.uniform(0, config.confusion)
+                base = (1 - alpha) * base + alpha * prototypes[other]
+            dy, dx = rng.integers(-config.max_shift, config.max_shift + 1, size=2)
+            image = _shift_image(base, int(dy), int(dx))
+            brightness = rng.uniform(0.8, 1.2)
+            offset = rng.uniform(-0.08, 0.08)
+            image = image * brightness + offset
+            image = image + rng.normal(0.0, config.noise_std, size=image.shape)
+            images[i] = np.clip(image, 0.0, 1.0)
+        return images
+
+    train_images, train_labels, test_images, test_labels = [], [], [], []
+    for label in range(config.num_classes):
+        train_images.append(sample_class(label, config.train_per_class))
+        train_labels.append(np.full(config.train_per_class, label, dtype=np.int64))
+        test_images.append(sample_class(label, config.test_per_class))
+        test_labels.append(np.full(config.test_per_class, label, dtype=np.int64))
+
+    train_x = np.concatenate(train_images)
+    train_y = np.concatenate(train_labels)
+    test_x = np.concatenate(test_images)
+    test_y = np.concatenate(test_labels)
+    # Shuffle the training split so mini-batches mix classes.
+    order = rng.permutation(train_x.shape[0])
+    name = f"synthetic-cifar{config.num_classes}"
+    return Dataset(
+        name=name,
+        train_images=train_x[order],
+        train_labels=train_y[order],
+        test_images=test_x,
+        test_labels=test_y,
+        num_classes=config.num_classes,
+    )

@@ -1,0 +1,88 @@
+"""Hardware cost models (the synthesis-flow substitute).
+
+The paper synthesizes its MAC arrays with Synopsys Design Compiler on a
+commercial 14 nm library and measures power with PrimeTime on post-synthesis
+switching activity.  Neither tool nor library is available here, so this
+package provides an analytical substitute (see DESIGN.md for the fidelity
+argument):
+
+* :mod:`~repro.hardware.components` — full-adder / register / gate counts of
+  multipliers, adders and the three MAC unit types, following the counting
+  rules of the paper's Section IV (and of [13]).
+* :mod:`~repro.hardware.full_adders` — the closed-form Table I model.
+* :mod:`~repro.hardware.technology` — a generic 14 nm-class characterization:
+  absolute per-cell figures plus the calibrated relative cost of perforated
+  multipliers (the calibration data standing in for the DesignWare mapping).
+* :mod:`~repro.hardware.area_power` — area/power of MAC, MAC*, MAC+ units and
+  of complete arrays (Fig. 4, Table II), plus arrays built from arbitrary
+  library multipliers (used by the Fig. 5 baselines).
+* :mod:`~repro.hardware.activity` — switching-activity estimation from
+  operand traffic, justifying the activity-weighted power of perforation.
+"""
+
+from repro.hardware.components import (
+    accumulator_bits,
+    sumx_accumulator_bits,
+    array_multiplier_full_adders,
+    perforated_multiplier_full_adders,
+    adder_full_adders,
+    mac_unit_full_adders,
+    mac_star_full_adders,
+    mac_plus_full_adders,
+)
+from repro.hardware.full_adders import (
+    FullAdderRow,
+    mac_star_fa_decrease,
+    mac_plus_fa_increase,
+    total_fa_decrease,
+    table_i,
+)
+from repro.hardware.technology import TechnologyModel, GENERIC_14NM
+from repro.hardware.area_power import (
+    ArrayCost,
+    mac_unit_cost,
+    mac_star_cost,
+    mac_plus_cost,
+    array_cost,
+    normalized_array_power,
+    normalized_array_area,
+    macplus_power_share,
+    macplus_area_share,
+    array_cost_from_multiplier,
+)
+from repro.hardware.activity import (
+    bit_toggle_rates,
+    partial_product_activity,
+    activity_weighted_multiplier_power,
+)
+
+__all__ = [
+    "accumulator_bits",
+    "sumx_accumulator_bits",
+    "array_multiplier_full_adders",
+    "perforated_multiplier_full_adders",
+    "adder_full_adders",
+    "mac_unit_full_adders",
+    "mac_star_full_adders",
+    "mac_plus_full_adders",
+    "FullAdderRow",
+    "mac_star_fa_decrease",
+    "mac_plus_fa_increase",
+    "total_fa_decrease",
+    "table_i",
+    "TechnologyModel",
+    "GENERIC_14NM",
+    "ArrayCost",
+    "mac_unit_cost",
+    "mac_star_cost",
+    "mac_plus_cost",
+    "array_cost",
+    "normalized_array_power",
+    "normalized_array_area",
+    "macplus_power_share",
+    "macplus_area_share",
+    "array_cost_from_multiplier",
+    "bit_toggle_rates",
+    "partial_product_activity",
+    "activity_weighted_multiplier_power",
+]

@@ -1,0 +1,93 @@
+"""Switching-activity estimation from operand traffic.
+
+The paper measures power with PrimeTime on switching activity recorded from
+10,000 post-synthesis inference cycles.  The analytical model here plays the
+same role at a coarser granularity: it estimates per-bit toggle rates of the
+operand streams and weights each partial-product column of the multiplier by
+the activity of the activation bit that drives it.  Two facts relevant to
+the paper fall out of this model and are asserted by the tests:
+
+* the low-significance activation bits toggle the most (they are nearly
+  uniform), so perforating the ``m`` least partial products removes *more*
+  switched capacitance than its share of gates — the reason the calibrated
+  power factors in :mod:`repro.hardware.technology` drop faster than the
+  gate counts;
+* the ``sumX`` stream feeding the MAC+ unit has a much lower toggle rate
+  than the activation stream, supporting the small measured MAC+ power share
+  of Table II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.components import OPERAND_BITS
+
+
+def bit_toggle_rates(codes: np.ndarray, bits: int = OPERAND_BITS) -> np.ndarray:
+    """Per-bit toggle probability of a stream of integer codes.
+
+    Parameters
+    ----------
+    codes:
+        1-D array representing the sequence of values observed on a bus.
+    bits:
+        Bus width.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(bits,)`` array; entry ``i`` is the probability that bit ``i``
+        differs between consecutive stream elements.
+    """
+    stream = np.asarray(codes, dtype=np.int64).reshape(-1)
+    if stream.size < 2:
+        raise ValueError("need at least two samples to estimate toggle rates")
+    transitions = stream[:-1] ^ stream[1:]
+    rates = np.empty(bits, dtype=np.float64)
+    for bit in range(bits):
+        rates[bit] = float(((transitions >> bit) & 1).mean())
+    return rates
+
+
+def partial_product_activity(
+    weight_codes: np.ndarray, activation_codes: np.ndarray, bits: int = OPERAND_BITS
+) -> np.ndarray:
+    """Average switched activity of each partial-product row.
+
+    Row ``j`` of the 8x8 array multiplier is driven by activation bit ``j``;
+    its switched capacitance is proportional to the toggle rate of that bit
+    times the average density of the weight operand (the AND plane only
+    switches where weight bits are one).
+    """
+    act_rates = bit_toggle_rates(activation_codes, bits)
+    weights = np.asarray(weight_codes, dtype=np.int64).reshape(-1)
+    weight_density = np.array(
+        [float(((weights >> bit) & 1).mean()) for bit in range(bits)]
+    ).mean()
+    return act_rates * weight_density
+
+
+def activity_weighted_multiplier_power(
+    weight_codes: np.ndarray,
+    activation_codes: np.ndarray,
+    m: int,
+    bits: int = OPERAND_BITS,
+) -> float:
+    """Relative multiplier power after perforating ``m`` rows, activity-weighted.
+
+    Returns the fraction of switched capacitance remaining when the ``m``
+    least-significant partial-product rows are removed, under the observed
+    operand traffic.  This is a lower-level cross-check of the calibrated
+    ``PERFORATED_MULTIPLIER_RELATIVE_POWER`` table (it captures the activity
+    part of the saving but not the iso-delay downsizing part, so it sits
+    between the gate-count share and the calibrated factor).
+    """
+    if not 0 <= m < bits:
+        raise ValueError(f"m must be within [0, {bits - 1}], got {m}")
+    row_activity = partial_product_activity(weight_codes, activation_codes, bits)
+    total = float(row_activity.sum())
+    if total == 0.0:
+        return 1.0
+    remaining = float(row_activity[m:].sum())
+    return remaining / total

@@ -1,0 +1,259 @@
+"""Area and power models of MAC units and MAC arrays (Fig. 4, Table II).
+
+The model combines
+
+* structural gate/register counts from :mod:`repro.hardware.components`
+  (these set the absolute scale and every width-dependent ratio), and
+* the calibrated relative cost of the perforated multiplier and the MAC
+  component decomposition from :mod:`repro.hardware.technology` (these stand
+  in for the commercial synthesis flow — see the module docstring there).
+
+Every reported figure of the paper's hardware evaluation is then *derived*:
+
+* ``normalized_array_power`` / ``normalized_array_area`` reproduce Fig. 4;
+* ``macplus_power_share`` / ``macplus_area_share`` reproduce Table II;
+* ``array_cost_from_multiplier`` prices arrays built from arbitrary library
+  multipliers and is used for the Fig. 5 energy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.hardware.components import (
+    OPERAND_BITS,
+    accumulator_bits,
+    array_multiplier_full_adders,
+    mac_plus_register_bits,
+    mac_register_bits,
+    mac_star_register_bits,
+    mac_unit_full_adders,
+    sumx_accumulator_bits,
+)
+from repro.hardware.technology import GENERIC_14NM, TechnologyModel
+
+
+@dataclass(frozen=True)
+class ArrayCost:
+    """Power / area / delay of one hardware block."""
+
+    power_uw: float
+    area_um2: float
+    delay_ns: float
+
+    @property
+    def power_mw(self) -> float:
+        return self.power_uw / 1e3
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    def scaled(self, count: float) -> "ArrayCost":
+        """Cost of ``count`` identical copies of this block."""
+        return ArrayCost(
+            power_uw=self.power_uw * count,
+            area_um2=self.area_um2 * count,
+            delay_ns=self.delay_ns,
+        )
+
+    def __add__(self, other: "ArrayCost") -> "ArrayCost":
+        return ArrayCost(
+            power_uw=self.power_uw + other.power_uw,
+            area_um2=self.area_um2 + other.area_um2,
+            delay_ns=max(self.delay_ns, other.delay_ns),
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-unit models
+# ----------------------------------------------------------------------
+def mac_unit_cost(array_size: int, tech: TechnologyModel = GENERIC_14NM) -> ArrayCost:
+    """Absolute cost of one accurate MAC unit (anchors the absolute scale)."""
+    fa = mac_unit_full_adders(array_size)
+    regs = mac_register_bits(array_size)
+    and_gates = OPERAND_BITS * OPERAND_BITS
+    power = (
+        fa * tech.full_adder_power_uw
+        + regs * tech.register_bit_power_uw
+        + and_gates * tech.and_gate_power_uw
+    )
+    area = (
+        fa * tech.full_adder_area_um2
+        + regs * tech.register_bit_area_um2
+        + and_gates * tech.and_gate_area_um2
+    )
+    # Critical path: the multiplier tree plus the accumulator — both scale
+    # with the full-adder delay; the constant 10 approximates the number of
+    # cascaded FA stages of an optimized 8x8 multiply-accumulate at 14 nm.
+    delay = 10.0 * tech.full_adder_delay_ps / 1e3
+    return ArrayCost(power_uw=power, area_um2=area, delay_ns=delay)
+
+
+def _mac_star_relative(array_size: int, m: int, tech: TechnologyModel) -> tuple[float, float]:
+    """Relative (power, area) of a MAC* unit versus the accurate MAC."""
+    s_mult_p, s_add_p, s_reg_p = tech.mac_power_shares
+    s_mult_a, s_add_a, s_reg_a = tech.mac_area_shares
+    acc_bits = accumulator_bits(array_size)
+    sumx_bits = sumx_accumulator_bits(array_size, m)
+    reg_ratio = mac_star_register_bits(array_size, m) / mac_register_bits(array_size)
+    adder_power_ratio = (acc_bits - m) / acc_bits + (
+        sumx_bits / acc_bits
+    ) * tech.ripple_adder_power_factor
+    adder_area_ratio = (acc_bits - m + sumx_bits) / acc_bits
+    rel_power = (
+        s_mult_p * tech.perforated_power_factor(m)
+        + s_add_p * adder_power_ratio
+        + s_reg_p * reg_ratio
+    )
+    rel_area = (
+        s_mult_a * tech.perforated_area_factor(m)
+        + s_add_a * adder_area_ratio
+        + s_reg_a * reg_ratio
+    )
+    return rel_power, rel_area
+
+
+def mac_star_cost(
+    array_size: int, m: int, tech: TechnologyModel = GENERIC_14NM
+) -> ArrayCost:
+    """Absolute cost of one MAC* unit (perforation ``m``)."""
+    if m < 1:
+        raise ValueError(f"MAC* requires m >= 1, got {m}")
+    base = mac_unit_cost(array_size, tech)
+    rel_power, rel_area = _mac_star_relative(array_size, m, tech)
+    # The MAC* datapath is shorter (fewer partial products, narrower adder);
+    # since the array is synthesized at the accurate clock, its delay slack
+    # is already folded into the calibrated power factor.
+    delay = base.delay_ns * tech.perforated_delay_factor(m)
+    return ArrayCost(
+        power_uw=base.power_uw * rel_power,
+        area_um2=base.area_um2 * rel_area,
+        delay_ns=delay,
+    )
+
+
+def mac_plus_cost(
+    array_size: int, m: int, tech: TechnologyModel = GENERIC_14NM
+) -> ArrayCost:
+    """Absolute cost of one MAC+ unit (the control-variate column)."""
+    if m < 1:
+        raise ValueError(f"MAC+ requires m >= 1, got {m}")
+    base = mac_unit_cost(array_size, tech)
+    s_mult_p, s_add_p, s_reg_p = tech.mac_power_shares
+    s_mult_a, s_add_a, s_reg_a = tech.mac_area_shares
+    p = sumx_accumulator_bits(array_size, m)
+    mult_ratio = array_multiplier_full_adders(p, OPERAND_BITS) / array_multiplier_full_adders(
+        OPERAND_BITS, OPERAND_BITS
+    )
+    reg_ratio = mac_plus_register_bits(array_size, m) / mac_register_bits(array_size)
+    rel = s_mult_p * mult_ratio + s_add_p + s_reg_p * reg_ratio
+    rel_area = s_mult_a * mult_ratio + s_add_a + s_reg_a * reg_ratio
+    power = base.power_uw * rel * tech.macplus_activity_factor
+    area = base.area_um2 * rel_area * tech.macplus_sizing_factor
+    # The MAC+ may be pipelined, so it never constrains the array clock.
+    return ArrayCost(power_uw=power, area_um2=area, delay_ns=base.delay_ns)
+
+
+# ----------------------------------------------------------------------
+# Array-level models
+# ----------------------------------------------------------------------
+def array_cost(
+    config: AcceleratorConfig, tech: TechnologyModel = GENERIC_14NM
+) -> ArrayCost:
+    """Cost of the full MAC array described by ``config``."""
+    n = config.array_size
+    if not config.is_approximate:
+        return mac_unit_cost(n, tech).scaled(n * n)
+    star = mac_star_cost(n, config.perforation, tech).scaled(n * n)
+    if not config.use_control_variate:
+        return star
+    plus = mac_plus_cost(n, config.perforation, tech).scaled(n)
+    return star + plus
+
+
+def normalized_array_power(
+    config: AcceleratorConfig, tech: TechnologyModel = GENERIC_14NM
+) -> float:
+    """Array power normalized to the accurate array of the same size (Fig. 4a)."""
+    accurate = AcceleratorConfig.accurate(config.array_size)
+    return array_cost(config, tech).power_uw / array_cost(accurate, tech).power_uw
+
+
+def normalized_array_area(
+    config: AcceleratorConfig, tech: TechnologyModel = GENERIC_14NM
+) -> float:
+    """Array area normalized to the accurate array of the same size (Fig. 4b)."""
+    accurate = AcceleratorConfig.accurate(config.array_size)
+    return array_cost(config, tech).area_um2 / array_cost(accurate, tech).area_um2
+
+
+def macplus_power_share(
+    config: AcceleratorConfig, tech: TechnologyModel = GENERIC_14NM
+) -> float:
+    """Fraction of the approximate array's power consumed by the MAC+ column."""
+    _require_cv(config)
+    n = config.array_size
+    plus = mac_plus_cost(n, config.perforation, tech).scaled(n)
+    total = array_cost(config, tech)
+    return plus.power_uw / total.power_uw
+
+
+def macplus_area_share(
+    config: AcceleratorConfig, tech: TechnologyModel = GENERIC_14NM
+) -> float:
+    """Fraction of the approximate array's area occupied by the MAC+ column."""
+    _require_cv(config)
+    n = config.array_size
+    plus = mac_plus_cost(n, config.perforation, tech).scaled(n)
+    total = array_cost(config, tech)
+    return plus.area_um2 / total.area_um2
+
+
+def array_cost_from_multiplier(
+    relative_power: float,
+    relative_area: float,
+    array_size: int,
+    tech: TechnologyModel = GENERIC_14NM,
+    multiplier_overhead: float = 1.0,
+    relative_delay: float = 1.0,
+) -> ArrayCost:
+    """Cost of an ``N x N`` array whose MACs use an arbitrary library multiplier.
+
+    Used by the Fig. 5 comparison: the state-of-the-art baselines build their
+    arrays from (possibly runtime-reconfigurable) approximate multipliers of
+    the shared library.  ``multiplier_overhead`` models the extra
+    configuration logic of reconfigurable designs ([6], [8]), applied to the
+    multiplier's contribution.
+
+    Parameters
+    ----------
+    relative_power / relative_area / relative_delay:
+        The library multiplier's cost relative to the accurate 8x8 one.
+    array_size:
+        ``N``.
+    multiplier_overhead:
+        Multiplicative penalty (>= 1) on the multiplier cost.
+    """
+    if multiplier_overhead < 1.0:
+        raise ValueError("multiplier_overhead must be >= 1")
+    base = mac_unit_cost(array_size, tech)
+    s_mult_p, s_add_p, s_reg_p = tech.mac_power_shares
+    s_mult_a, s_add_a, s_reg_a = tech.mac_area_shares
+    rel_power = s_mult_p * relative_power * multiplier_overhead + s_add_p + s_reg_p
+    rel_area = s_mult_a * relative_area * multiplier_overhead + s_add_a + s_reg_a
+    unit = ArrayCost(
+        power_uw=base.power_uw * rel_power,
+        area_um2=base.area_um2 * rel_area,
+        delay_ns=base.delay_ns * max(relative_delay, 1.0),
+    )
+    return unit.scaled(array_size * array_size)
+
+
+def _require_cv(config: AcceleratorConfig) -> None:
+    if not (config.is_approximate and config.use_control_variate):
+        raise ValueError(
+            "MAC+ shares are only defined for approximate configurations "
+            "with the control variate enabled"
+        )

@@ -1,0 +1,122 @@
+"""Gate-level component counts of the MAC datapaths.
+
+All counts follow the conventions of Section IV of the paper (which in turn
+follows the counting rules of Leon et al. [13]):
+
+* an unsigned ``rows x cols`` array multiplier needs ``rows * cols - rows``
+  full adders to reduce its partial products (56 for the 8x8 case);
+* perforating ``m`` partial products of the 8x8 multiplier removes
+  ``8 * m`` full adders;
+* a ``b``-bit carry-propagate adder costs ``b`` full adders; a ``b``-bit
+  ripple adder whose LSB stage is a half adder costs ``b - 1`` full adders
+  plus one half adder (counted as 0.5 full-adder equivalents).
+
+All functions therefore return *full-adder equivalents* as floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Operand width of the MAC multipliers.
+OPERAND_BITS = 8
+
+#: Width of the accurate product.
+PRODUCT_BITS = 16
+
+#: Full-adder equivalent weight of a half adder.
+HALF_ADDER_EQUIV = 0.5
+
+
+def accumulator_bits(array_size: int, product_bits: int = PRODUCT_BITS) -> int:
+    """Accumulator width avoiding overflow: ``ceil(log2(N * (2^bits - 1)))``."""
+    if array_size < 1:
+        raise ValueError(f"array_size must be positive, got {array_size}")
+    return int(np.ceil(np.log2(array_size * ((1 << product_bits) - 1))))
+
+
+def sumx_accumulator_bits(array_size: int, m: int) -> int:
+    """Width of the perforated-bit accumulator: ``ceil(log2(N * (2^m - 1)))``."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if array_size < 1:
+        raise ValueError(f"array_size must be positive, got {array_size}")
+    return int(np.ceil(np.log2(array_size * ((1 << m) - 1))))
+
+
+def array_multiplier_full_adders(rows_bits: int, cols_bits: int = OPERAND_BITS) -> float:
+    """Full adders of an unsigned ``rows x cols`` array multiplier."""
+    if rows_bits < 1 or cols_bits < 1:
+        raise ValueError("operand widths must be positive")
+    return float(rows_bits * cols_bits - rows_bits)
+
+
+def perforated_multiplier_full_adders(m: int) -> float:
+    """Full adders of the 8x8 multiplier with ``m`` perforated partial products."""
+    if not 0 <= m < OPERAND_BITS:
+        raise ValueError(f"m must be within [0, {OPERAND_BITS - 1}], got {m}")
+    return array_multiplier_full_adders(OPERAND_BITS, OPERAND_BITS) - OPERAND_BITS * m
+
+
+def adder_full_adders(bits: int, ripple_with_half_adder: bool = False) -> float:
+    """Full-adder equivalents of a ``bits``-wide adder."""
+    if bits < 1:
+        raise ValueError(f"bits must be positive, got {bits}")
+    if ripple_with_half_adder:
+        return (bits - 1) + HALF_ADDER_EQUIV
+    return float(bits)
+
+
+def mac_unit_full_adders(array_size: int) -> float:
+    """Full-adder equivalents of one accurate MAC unit (multiplier + accumulator)."""
+    return array_multiplier_full_adders(OPERAND_BITS, OPERAND_BITS) + adder_full_adders(
+        accumulator_bits(array_size)
+    )
+
+
+def mac_star_full_adders(array_size: int, m: int) -> float:
+    """Full-adder equivalents of one MAC* unit.
+
+    The MAC* contains the perforated multiplier, an accumulator that is ``m``
+    bits narrower than the accurate one, and the small ripple ``sumX``
+    accumulator for the perforated activation bits.
+    """
+    if m < 1:
+        raise ValueError(f"MAC* requires m >= 1, got {m}")
+    multiplier = perforated_multiplier_full_adders(m)
+    accumulator = adder_full_adders(accumulator_bits(array_size) - m)
+    sumx = adder_full_adders(sumx_accumulator_bits(array_size, m), ripple_with_half_adder=True)
+    return multiplier + accumulator + sumx
+
+
+def mac_plus_full_adders(array_size: int, m: int) -> float:
+    """Full-adder equivalents of one MAC+ unit.
+
+    The MAC+ contains an accurate ``p x 8`` multiplier (``p`` the sumX width)
+    computing ``C * sumX`` and a full-width final adder, whose LSB stage is a
+    half adder.
+    """
+    p = sumx_accumulator_bits(array_size, m)
+    multiplier = array_multiplier_full_adders(p, OPERAND_BITS)
+    final_adder = adder_full_adders(accumulator_bits(array_size), ripple_with_half_adder=True)
+    return multiplier + final_adder
+
+
+def mac_register_bits(array_size: int) -> int:
+    """Register bits of the accurate MAC: weight, activation and partial sum."""
+    return OPERAND_BITS + OPERAND_BITS + accumulator_bits(array_size)
+
+
+def mac_star_register_bits(array_size: int, m: int) -> int:
+    """Register bits of the MAC*: narrower partial sum plus the sumX register."""
+    return (
+        OPERAND_BITS
+        + OPERAND_BITS
+        + (accumulator_bits(array_size) - m)
+        + sumx_accumulator_bits(array_size, m)
+    )
+
+
+def mac_plus_register_bits(array_size: int, m: int) -> int:
+    """Register bits of the MAC+: constant, sumX input and full-width output."""
+    return OPERAND_BITS + sumx_accumulator_bits(array_size, m) + accumulator_bits(array_size)

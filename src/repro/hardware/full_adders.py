@@ -1,0 +1,77 @@
+"""Closed-form reproduction of Table I (theoretical full-adder reduction).
+
+The paper derives, for an ``N x N`` array with perforation ``m``:
+
+* every MAC* unit saves ``9 m - ceil(log2(N (2^m - 1))) + 0.5`` full adders
+  (``8 m`` from the multiplier, ``m`` from the narrower accumulator, minus
+  the small ``sumX`` ripple accumulator it gains);
+* every MAC+ unit costs its ``p x 8`` multiplier plus a full-width adder,
+  ``7 p + ceil(log2(N (2^16 - 1))) - 0.5`` full adders with
+  ``p = ceil(log2(N (2^m - 1)))``.
+
+These per-unit expressions are exactly the decomposition used in
+:mod:`repro.hardware.components`; Table I follows by multiplying by the
+``N^2`` MAC* and ``N`` MAC+ instances.  The unit tests check both the
+closed forms and the reproduction of every number in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.components import (
+    mac_plus_full_adders,
+    mac_star_full_adders,
+    mac_unit_full_adders,
+)
+
+#: The (N, m) grid reported in Table I of the paper.
+TABLE_I_ARRAY_SIZES = (16, 32, 48, 64)
+TABLE_I_PERFORATIONS = (1, 2)
+
+
+def mac_star_fa_decrease(array_size: int, m: int) -> float:
+    """Total full-adder decrease contributed by the ``N^2`` MAC* units."""
+    per_unit = mac_unit_full_adders(array_size) - mac_star_full_adders(array_size, m)
+    return array_size * array_size * per_unit
+
+
+def mac_plus_fa_increase(array_size: int, m: int) -> float:
+    """Total full-adder increase contributed by the ``N`` extra MAC+ units."""
+    return array_size * mac_plus_full_adders(array_size, m)
+
+
+def total_fa_decrease(array_size: int, m: int) -> float:
+    """Net full-adder decrease of the approximate array versus the accurate one."""
+    return mac_star_fa_decrease(array_size, m) - mac_plus_fa_increase(array_size, m)
+
+
+@dataclass(frozen=True)
+class FullAdderRow:
+    """One row of Table I."""
+
+    m: int
+    array_size: int
+    mac_star_decrease: float
+    mac_plus_increase: float
+    total_decrease: float
+
+
+def table_i(
+    array_sizes: tuple[int, ...] = TABLE_I_ARRAY_SIZES,
+    perforations: tuple[int, ...] = TABLE_I_PERFORATIONS,
+) -> list[FullAdderRow]:
+    """Regenerate Table I for the requested (m, N) grid."""
+    rows = []
+    for m in perforations:
+        for n in array_sizes:
+            rows.append(
+                FullAdderRow(
+                    m=m,
+                    array_size=n,
+                    mac_star_decrease=mac_star_fa_decrease(n, m),
+                    mac_plus_increase=mac_plus_fa_increase(n, m),
+                    total_decrease=total_fa_decrease(n, m),
+                )
+            )
+    return rows

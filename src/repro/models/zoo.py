@@ -1,0 +1,67 @@
+"""Registry of the six reproduced network families."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.models.googlenet import build_googlenet
+from repro.models.resnet import build_resnet
+from repro.models.shufflenet import build_shufflenet
+from repro.models.vgg import build_vgg
+from repro.nn.graph import Graph
+
+#: The network names exactly as they appear in Table III of the paper.
+MODEL_NAMES = ("googlenet", "resnet44", "resnet56", "shufflenet", "vgg13", "vgg16")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Description of one registered architecture."""
+
+    name: str
+    family: str
+    builder: Callable[..., Graph]
+    kwargs: dict
+
+    def build(
+        self, num_classes: int, rng: np.random.Generator | None = None, **overrides
+    ) -> Graph:
+        """Instantiate the architecture for ``num_classes`` outputs."""
+        kwargs = dict(self.kwargs)
+        kwargs.update(overrides)
+        return self.builder(num_classes=num_classes, rng=rng, **kwargs)
+
+
+_REGISTRY: dict[str, ModelSpec] = {
+    "googlenet": ModelSpec("googlenet", "inception", build_googlenet, {"base_width": 8}),
+    "resnet44": ModelSpec("resnet44", "resnet", build_resnet, {"depth": 44, "base_width": 8}),
+    "resnet56": ModelSpec("resnet56", "resnet", build_resnet, {"depth": 56, "base_width": 8}),
+    "shufflenet": ModelSpec(
+        "shufflenet", "shufflenet", build_shufflenet, {"base_width": 16, "groups": 2}
+    ),
+    "vgg13": ModelSpec("vgg13", "vgg", build_vgg, {"depth": 13, "base_width": 12}),
+    "vgg16": ModelSpec("vgg16", "vgg", build_vgg, {"depth": 16, "base_width": 12}),
+}
+
+
+def model_spec(name: str) -> ModelSpec:
+    """Look up the :class:`ModelSpec` registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}"
+        ) from None
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    rng: np.random.Generator | None = None,
+    **overrides,
+) -> Graph:
+    """Build one of the six registered architectures by name."""
+    return model_spec(name).build(num_classes=num_classes, rng=rng, **overrides)

@@ -1,0 +1,17 @@
+"""Exact unsigned 8x8 multiplier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multipliers.base import Multiplier, _validate_operands
+
+
+class AccurateMultiplier(Multiplier):
+    """The accurate multiplier used by the baseline MAC array."""
+
+    name = "accurate"
+
+    def multiply(self, w: np.ndarray, a: np.ndarray) -> np.ndarray:
+        w, a = _validate_operands(w, a)
+        return w * a

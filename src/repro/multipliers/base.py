@@ -1,0 +1,78 @@
+"""Behavioural interface of an unsigned 8x8 (approximate) multiplier."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+#: Operand width in bits of the MAC-array multipliers (Section IV).
+OPERAND_BITS = 8
+
+#: Number of representable operand values.
+OPERAND_LEVELS = 1 << OPERAND_BITS
+
+
+def _validate_operands(w: np.ndarray, a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce operands to int64 and check they fit in ``OPERAND_BITS`` bits."""
+    w = np.asarray(w, dtype=np.int64)
+    a = np.asarray(a, dtype=np.int64)
+    for name, arr in (("w", w), ("a", a)):
+        if arr.size and (arr.min() < 0 or arr.max() >= OPERAND_LEVELS):
+            raise ValueError(
+                f"operand '{name}' out of range [0, {OPERAND_LEVELS - 1}]"
+            )
+    return w, a
+
+
+class Multiplier(abc.ABC):
+    """An unsigned ``OPERAND_BITS x OPERAND_BITS`` behavioural multiplier.
+
+    Sub-classes implement :meth:`multiply`, a vectorized elementwise product
+    of uint8 operands.  Everything downstream (quantized layers, the MAC
+    array simulator, the hardware cost models, the baselines) talks to this
+    interface, so exchanging the accurate multiplier for an approximate one
+    is a one-line change for the user.
+    """
+
+    #: Short, unique identifier used in reports and library lookups.
+    name: str = "multiplier"
+
+    @abc.abstractmethod
+    def multiply(self, w: np.ndarray, a: np.ndarray) -> np.ndarray:
+        """Elementwise (possibly approximate) product of ``w`` and ``a``.
+
+        Parameters
+        ----------
+        w, a:
+            Arrays of unsigned 8-bit operand values (any integer dtype whose
+            values fit ``[0, 255]``).  Broadcasting follows numpy rules.
+
+        Returns
+        -------
+        numpy.ndarray
+            int64 array of products.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def error(self, w: np.ndarray, a: np.ndarray) -> np.ndarray:
+        """Multiplication error ``w*a - multiply(w, a)`` (paper's definition)."""
+        w, a = _validate_operands(w, a)
+        return w * a - self.multiply(w, a)
+
+    def build_lut(self) -> np.ndarray:
+        """Exhaustive 256x256 lookup table ``lut[w, a] = multiply(w, a)``."""
+        w = np.arange(OPERAND_LEVELS, dtype=np.int64)[:, None]
+        a = np.arange(OPERAND_LEVELS, dtype=np.int64)[None, :]
+        return np.asarray(self.multiply(w, a), dtype=np.int64)
+
+    def error_table(self) -> np.ndarray:
+        """Exhaustive error table ``err[w, a] = w*a - multiply(w, a)``."""
+        w = np.arange(OPERAND_LEVELS, dtype=np.int64)[:, None]
+        a = np.arange(OPERAND_LEVELS, dtype=np.int64)[None, :]
+        return w * a - self.build_lut()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

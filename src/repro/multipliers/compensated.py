@@ -1,0 +1,50 @@
+"""Mean-compensated approximate multipliers.
+
+Section III of the paper contrasts the control-variate correction with the
+simpler *constant correction* used by prior work ([6] and the minimally
+biased multipliers of [3]): add a constant equal to the negated mean error
+so the multiplier becomes unbiased, but leave its variance untouched.  The
+wrapper below implements that scheme for any base multiplier so the two
+correction styles can be compared head-to-head (tests and ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multipliers.base import Multiplier, OPERAND_LEVELS, _validate_operands
+
+
+class CompensatedMultiplier(Multiplier):
+    """Wrap a multiplier and add a constant offset cancelling its mean error.
+
+    Parameters
+    ----------
+    base:
+        The approximate multiplier to compensate.
+    offset:
+        Constant added to every product.  When ``None`` the offset is the
+        rounded mean error of ``base`` over uniformly distributed operands,
+        i.e. the scheme of the systematic-error multipliers used by [6].
+    """
+
+    def __init__(self, base: Multiplier, offset: int | None = None):
+        self.base = base
+        if offset is None:
+            offset = int(round(float(base.error_table().mean())))
+        self.offset = int(offset)
+        self.name = f"compensated[{base.name}]"
+
+    def multiply(self, w: np.ndarray, a: np.ndarray) -> np.ndarray:
+        w, a = _validate_operands(w, a)
+        return self.base.multiply(w, a) + np.int64(self.offset)
+
+    @property
+    def compensation(self) -> int:
+        """The constant added to every product."""
+        return self.offset
+
+    @staticmethod
+    def mean_error_of(base: Multiplier) -> float:
+        """Mean error of ``base`` over all ``256 x 256`` operand pairs."""
+        return float(base.error_table().sum()) / float(OPERAND_LEVELS * OPERAND_LEVELS)

@@ -1,0 +1,126 @@
+"""Empirical and analytical error statistics of approximate multipliers.
+
+The paper's analysis (Section III) treats the multiplication error as a
+random variable characterized by its mean ``mu_AM`` and variance
+``sigma2_AM``.  These statistics drive both the convolution error model
+(eq. (3)) and the multiplier-library metadata used by the Fig. 5 baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.multipliers.base import Multiplier, OPERAND_LEVELS
+from repro.multipliers.perforated import PerforatedMultiplier
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary statistics of a multiplier's error distribution.
+
+    Attributes
+    ----------
+    mean:
+        Mean error ``E[w*a - approx(w, a)]``.
+    variance:
+        Variance of the error.
+    mean_absolute:
+        Mean absolute error.
+    max_absolute:
+        Worst-case absolute error.
+    mean_relative:
+        Mean relative error ``E[|err| / max(1, w*a)]`` (the MRE figure
+        commonly reported for approximate multipliers).
+    """
+
+    mean: float
+    variance: float
+    mean_absolute: float
+    max_absolute: float
+    mean_relative: float
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the error."""
+        return float(np.sqrt(self.variance))
+
+
+def _stats_from_samples(errors: np.ndarray, exact: np.ndarray) -> ErrorStats:
+    errors = np.asarray(errors, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    abs_err = np.abs(errors)
+    rel = abs_err / np.maximum(exact, 1.0)
+    return ErrorStats(
+        mean=float(errors.mean()),
+        variance=float(errors.var()),
+        mean_absolute=float(abs_err.mean()),
+        max_absolute=float(abs_err.max()),
+        mean_relative=float(rel.mean()),
+    )
+
+
+def empirical_error_stats(
+    multiplier: Multiplier,
+    weights: np.ndarray | None = None,
+    activations: np.ndarray | None = None,
+) -> ErrorStats:
+    """Error statistics of ``multiplier`` over a given operand distribution.
+
+    When ``weights``/``activations`` are omitted, the statistics are taken
+    exhaustively over all ``256 x 256`` operand pairs (uniform operands),
+    which is how approximate-multiplier libraries characterize their
+    entries.  When provided, the statistics are computed over the empirical
+    joint distribution formed by all pairs of the two sample vectors —
+    this is the workload-aware characterization used by the baselines.
+    """
+    if (weights is None) != (activations is None):
+        raise ValueError("provide both weights and activations, or neither")
+    if weights is None:
+        w = np.arange(OPERAND_LEVELS, dtype=np.int64)[:, None]
+        a = np.arange(OPERAND_LEVELS, dtype=np.int64)[None, :]
+    else:
+        w = np.asarray(weights, dtype=np.int64).reshape(-1)[:, None]
+        a = np.asarray(activations, dtype=np.int64).reshape(-1)[None, :]
+    exact = w * a
+    errors = exact - multiplier.multiply(w, a)
+    return _stats_from_samples(errors, exact)
+
+
+def perforation_error_stats(m: int, weights: np.ndarray) -> ErrorStats:
+    """Closed-form error statistics of the perforated multiplier.
+
+    For perforation parameter ``m`` and a given empirical weight
+    distribution, with activation low bits ``x`` assumed uniform on
+    ``[0, 2^m - 1]`` and independent of the weights:
+
+    * ``E[eps] = E[W] * E[x]``
+    * ``Var(eps) = E[W^2] E[x^2] - (E[W] E[x])^2``
+
+    This is the analytical counterpart of :func:`empirical_error_stats`
+    for the paper's multiplier and is validated against it in the tests.
+    """
+    mult = PerforatedMultiplier(m)
+    w = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if w.size == 0:
+        raise ValueError("weights must be non-empty")
+    w_mean = float(w.mean())
+    w_second = float((w**2).mean())
+    x_mean = mult.x_mean
+    x_var = mult.x_variance
+    x_second = x_var + x_mean**2
+    mean = w_mean * x_mean
+    variance = w_second * x_second - (w_mean * x_mean) ** 2
+    # Exact enumerations over x for the absolute metrics (x is only 2^m wide).
+    x = np.arange(1 << m, dtype=np.float64)
+    abs_err = np.abs(np.outer(w, x))
+    max_abs = float(abs_err.max()) if abs_err.size else 0.0
+    mean_abs = float(abs_err.mean())
+    return ErrorStats(
+        mean=mean,
+        variance=variance,
+        mean_absolute=mean_abs,
+        max_absolute=max_abs,
+        mean_relative=float("nan"),
+    )

@@ -1,0 +1,265 @@
+"""A synthetic EvoApprox-like library of approximate 8x8 multipliers.
+
+The paper's Fig. 5 comparison builds every state-of-the-art technique
+(ALWANN [7], weight-oriented approximation [6], runtime-reconfigurable
+multipliers [8]) on top of the EvoApprox8b library, which ships, for each
+multiplier, its power / area / delay and error characterization.  EvoApprox
+itself is a set of synthesized netlists and cannot be redistributed here, so
+this module generates a *synthetic equivalent*: a graded family of
+behavioural multipliers spanning a similar error/power Pareto front, each
+annotated with relative power, area and delay derived from a partial-product
+gate-count model.  The selection logic of the baselines only needs such a
+graded front, so the comparison methodology is preserved (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.base import Multiplier, OPERAND_BITS
+from repro.multipliers.compensated import CompensatedMultiplier
+from repro.multipliers.error_stats import ErrorStats, empirical_error_stats
+from repro.multipliers.lut import LUTMultiplier
+from repro.multipliers.perforated import PerforatedMultiplier
+from repro.multipliers.truncated import TruncatedMultiplier
+
+
+def estimate_relative_cost(active_partial_product_bits: int) -> tuple[float, float, float]:
+    """Relative (power, area, delay) of a multiplier from its active PP bits.
+
+    An accurate unsigned 8x8 array multiplier generates ``8 * 8 = 64``
+    partial-product bits and reduces them with roughly one full adder per
+    bit beyond the first row.  Removing partial-product bits (perforation,
+    truncation) shrinks the AND-plane and the reduction tree roughly
+    proportionally, while the critical path shrinks with the logarithm of
+    the remaining rows.  These coefficients reproduce the relative cost
+    trends reported for perforation in TVLSI'16 and are cross-checked by
+    the MAC-array model in :mod:`repro.hardware`.
+    """
+    full_bits = OPERAND_BITS * OPERAND_BITS
+    bits = int(np.clip(active_partial_product_bits, 1, full_bits))
+    ratio = bits / full_bits
+    # Dynamic power tracks the switched capacitance of the AND-plane and the
+    # reduction tree; area tracks cell count; delay tracks tree depth.
+    relative_power = 0.15 + 0.85 * ratio
+    relative_area = 0.20 + 0.80 * ratio
+    rows = max(1, int(np.ceil(bits / OPERAND_BITS)))
+    relative_delay = (2.0 + np.log2(rows)) / (2.0 + np.log2(OPERAND_BITS))
+    return float(relative_power), float(relative_area), float(relative_delay)
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """A multiplier together with its hardware and error characterization.
+
+    Attributes
+    ----------
+    multiplier:
+        The behavioural model.
+    relative_power / relative_area / relative_delay:
+        Cost figures normalized to the accurate 8x8 multiplier.
+    stats:
+        Error statistics over uniformly distributed operands.
+    reconfigurable:
+        Whether the multiplier supports run-time accuracy reconfiguration
+        (used by the [8]-style baseline, which pays a power premium for it).
+    """
+
+    multiplier: Multiplier
+    relative_power: float
+    relative_area: float
+    relative_delay: float
+    stats: ErrorStats
+    reconfigurable: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.multiplier.name
+
+
+@dataclass
+class MultiplierLibrary:
+    """A named collection of characterized approximate multipliers."""
+
+    entries: dict[str, LibraryEntry] = field(default_factory=dict)
+
+    def add(self, entry: LibraryEntry) -> None:
+        """Insert an entry, rejecting duplicate names."""
+        if entry.name in self.entries:
+            raise ValueError(f"duplicate multiplier name: {entry.name}")
+        self.entries[entry.name] = entry
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __getitem__(self, name: str) -> LibraryEntry:
+        return self.entries[name]
+
+    def __iter__(self) -> Iterator[LibraryEntry]:
+        return iter(self.entries.values())
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.entries)
+
+    # ------------------------------------------------------------------
+    # Selection helpers used by the baselines
+    # ------------------------------------------------------------------
+    def sorted_by_power(self) -> list[LibraryEntry]:
+        """Entries from cheapest to most expensive."""
+        return sorted(self.entries.values(), key=lambda e: e.relative_power)
+
+    def approximate_entries(self) -> list[LibraryEntry]:
+        """All entries except exact ones (those with zero worst-case error)."""
+        return [e for e in self.entries.values() if e.stats.max_absolute > 0]
+
+    def accurate_entry(self) -> LibraryEntry:
+        """The (first) exact entry of the library."""
+        for entry in self.entries.values():
+            if entry.stats.max_absolute == 0:
+                return entry
+        raise LookupError("library has no accurate multiplier")
+
+    def pareto_front(self) -> list[LibraryEntry]:
+        """Entries not dominated in (relative_power, error std)."""
+        entries = list(self.entries.values())
+        front = []
+        for candidate in entries:
+            dominated = any(
+                other is not candidate
+                and other.relative_power <= candidate.relative_power
+                and other.stats.std <= candidate.stats.std
+                and (
+                    other.relative_power < candidate.relative_power
+                    or other.stats.std < candidate.stats.std
+                )
+                for other in entries
+            )
+            if not dominated:
+                front.append(candidate)
+        return sorted(front, key=lambda e: e.relative_power)
+
+    def cheapest_within_error(self, max_error_std: float) -> LibraryEntry:
+        """Cheapest entry whose error standard deviation is within a budget."""
+        feasible = [e for e in self.entries.values() if e.stats.std <= max_error_std]
+        if not feasible:
+            raise LookupError(
+                f"no library entry with error std <= {max_error_std:.3f}"
+            )
+        return min(feasible, key=lambda e: e.relative_power)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_multipliers(
+        cls,
+        multipliers: Iterable[Multiplier],
+        reconfigurable: frozenset[str] = frozenset(),
+    ) -> "MultiplierLibrary":
+        """Characterize an iterable of multipliers into a library."""
+        library = cls()
+        for mult in multipliers:
+            active_bits = _active_partial_product_bits(mult)
+            power, area, delay = estimate_relative_cost(active_bits)
+            entry = LibraryEntry(
+                multiplier=mult,
+                relative_power=power,
+                relative_area=area,
+                relative_delay=delay,
+                stats=empirical_error_stats(mult),
+                reconfigurable=mult.name in reconfigurable,
+            )
+            library.add(entry)
+        return library
+
+    @classmethod
+    def synthetic_evoapprox(cls, seed: int = 2021, n_evolved: int = 8) -> "MultiplierLibrary":
+        """Build the synthetic EvoApprox-like library used by the benches.
+
+        The library contains the accurate multiplier, the perforation family
+        (``m`` = 1..3), a truncation family, mean-compensated variants of the
+        truncation family (systematic-error multipliers in the spirit of the
+        low-variance designs used by [6]), and a set of pseudo-"evolved"
+        LUT multipliers obtained by randomly zeroing partial-product bits —
+        the same structural trick evolutionary approximation tends to find.
+        """
+        rng = np.random.default_rng(seed)
+        multipliers: list[Multiplier] = [AccurateMultiplier()]
+        multipliers.extend(PerforatedMultiplier(m) for m in (1, 2, 3))
+        truncated = [
+            TruncatedMultiplier(weight_bits=wb, activation_bits=ab)
+            for wb, ab in ((0, 1), (0, 2), (1, 1), (1, 2), (2, 2), (2, 3))
+        ]
+        multipliers.extend(truncated)
+        multipliers.extend(
+            CompensatedMultiplier(base) for base in truncated[:3]
+        )
+        for index in range(n_evolved):
+            multipliers.append(_evolved_multiplier(rng, index))
+        reconfigurable = frozenset(
+            mult.name for mult in multipliers if isinstance(mult, PerforatedMultiplier)
+        )
+        return cls.from_multipliers(multipliers, reconfigurable=reconfigurable)
+
+
+def _active_partial_product_bits(multiplier: Multiplier) -> int:
+    """Number of partial-product bits the multiplier still generates."""
+    full = OPERAND_BITS * OPERAND_BITS
+    if isinstance(multiplier, AccurateMultiplier):
+        return full
+    if isinstance(multiplier, PerforatedMultiplier):
+        return full - OPERAND_BITS * multiplier.m
+    if isinstance(multiplier, TruncatedMultiplier):
+        active_rows = OPERAND_BITS - multiplier.activation_bits
+        active_cols = OPERAND_BITS - multiplier.weight_bits
+        return active_rows * active_cols
+    if isinstance(multiplier, CompensatedMultiplier):
+        # The constant correction is wired into the reduction tree for free
+        # at this level of abstraction; cost follows the base multiplier.
+        return _active_partial_product_bits(multiplier.base)
+    if isinstance(multiplier, _EvolvedLUTMultiplier):
+        return multiplier.active_bits
+    # Unknown structure: assume a full-cost multiplier.
+    return full
+
+
+class _EvolvedLUTMultiplier(LUTMultiplier):
+    """A pseudo-evolved multiplier built by dropping random PP bit columns."""
+
+    def __init__(self, lut: np.ndarray, name: str, active_bits: int):
+        super().__init__(lut, name=name)
+        self.active_bits = int(active_bits)
+
+
+def _evolved_multiplier(rng: np.random.Generator, index: int) -> _EvolvedLUTMultiplier:
+    """Create one pseudo-evolved multiplier by masking random PP bits.
+
+    For operands ``w = sum_i w_i 2^i`` and ``a = sum_j a_j 2^j`` the exact
+    product is ``sum_{i,j} w_i a_j 2^{i+j}``.  Dropping a random subset of
+    the 64 ``(i, j)`` terms produces an irregular but purely functional
+    approximation similar in spirit to the evolved EvoApprox designs.
+    """
+    n_dropped = int(rng.integers(2, 14))
+    all_pairs = [(i, j) for i in range(OPERAND_BITS) for j in range(OPERAND_BITS)]
+    weights = np.array([1.0 / (1 + i + j) for i, j in all_pairs])
+    weights /= weights.sum()
+    dropped_idx = rng.choice(len(all_pairs), size=n_dropped, replace=False, p=weights)
+    dropped = [all_pairs[k] for k in dropped_idx]
+
+    w = np.arange(256, dtype=np.int64)[:, None]
+    a = np.arange(256, dtype=np.int64)[None, :]
+    lut = w * a
+    for i, j in dropped:
+        w_bit = (w >> i) & 1
+        a_bit = (a >> j) & 1
+        lut = lut - (w_bit * a_bit) * (1 << (i + j))
+    active_bits = OPERAND_BITS * OPERAND_BITS - n_dropped
+    return _EvolvedLUTMultiplier(lut, name=f"evolved_{index}", active_bits=active_bits)

@@ -1,0 +1,85 @@
+"""Partial product perforation multiplier (Zervakis et al., TVLSI 2016).
+
+Perforating the ``m`` least-significant partial products of an unsigned
+``W x A`` array multiplier removes the contribution of the ``m`` low bits of
+the second operand.  The approximate product is therefore
+
+    W * A|approx = W * (A - (A mod 2^m))
+
+and the multiplication error is *exactly*
+
+    eps = W * x    with   x = A mod 2^m = A & (2^m - 1)
+
+(eq. (5) of the DAC'21 paper).  This is a functional approximation: the
+error depends only on the operand values, never on carries, which is what
+makes the closed-form control-variate analysis possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multipliers.base import Multiplier, OPERAND_BITS, _validate_operands
+
+
+class PerforatedMultiplier(Multiplier):
+    """Unsigned 8x8 multiplier with the ``m`` least partial products perforated.
+
+    Parameters
+    ----------
+    m:
+        Number of perforated partial products, ``0 <= m < 8``.  ``m = 0``
+        degenerates to the accurate multiplier.
+    """
+
+    def __init__(self, m: int):
+        if not 0 <= int(m) < OPERAND_BITS:
+            raise ValueError(f"m must be within [0, {OPERAND_BITS - 1}], got {m}")
+        self.m = int(m)
+        self.name = f"perforated_m{self.m}"
+
+    @property
+    def perforation_mask(self) -> int:
+        """Bit mask selecting the perforated low bits of the activation."""
+        return (1 << self.m) - 1
+
+    def multiply(self, w: np.ndarray, a: np.ndarray) -> np.ndarray:
+        w, a = _validate_operands(w, a)
+        return w * (a & ~np.int64(self.perforation_mask))
+
+    def perforated_bits(self, a: np.ndarray) -> np.ndarray:
+        """The dropped low bits ``x = A mod 2^m`` (eq. (5))."""
+        a = np.asarray(a, dtype=np.int64)
+        return a & np.int64(self.perforation_mask)
+
+    # ------------------------------------------------------------------
+    # Analytical error model under uniformly distributed activations
+    # ------------------------------------------------------------------
+    @property
+    def x_mean(self) -> float:
+        """``E[x]`` for ``x`` uniform on ``[0, 2^m - 1]`` (used in eq. (12))."""
+        return ((1 << self.m) - 1) / 2.0
+
+    @property
+    def x_variance(self) -> float:
+        """``Var(x)`` for ``x`` uniform on ``[0, 2^m - 1]`` (used in eq. (10))."""
+        levels = 1 << self.m
+        return (levels - 1) * (levels + 1) / 12.0
+
+    def error_mean(self, w_mean: float) -> float:
+        """Mean multiplication error ``E[eps] = E[W] * E[x]``.
+
+        Valid when the activation low bits are independent of the weight,
+        which holds because the weights are constants of the filter.
+        """
+        return float(w_mean) * self.x_mean
+
+    def error_variance(self, w_second_moment: float, w_mean: float) -> float:
+        """Variance of ``eps = W * x`` for a random weight ``W`` independent of ``x``.
+
+        ``Var(W x) = E[W^2] E[x^2] - E[W]^2 E[x]^2``.
+        """
+        x_second_moment = self.x_variance + self.x_mean**2
+        return float(w_second_moment) * x_second_moment - (
+            float(w_mean) * self.x_mean
+        ) ** 2

@@ -1,0 +1,52 @@
+"""Operand-truncation approximate multipliers.
+
+Truncation multipliers zero the ``t`` least-significant bits of one or both
+operands before multiplying.  They are a classic low-power family and are
+used here (a) to populate the synthetic EvoApprox-like library for the
+Fig. 5 comparison and (b) as an alternative functional approximation whose
+error is also analytically tractable, which lets the control-variate
+technique be exercised beyond the paper's perforation multiplier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multipliers.base import Multiplier, OPERAND_BITS, _validate_operands
+
+
+class TruncatedMultiplier(Multiplier):
+    """Multiplier that truncates low bits of its operands before multiplying.
+
+    Parameters
+    ----------
+    weight_bits:
+        Number of low bits zeroed on the weight operand.
+    activation_bits:
+        Number of low bits zeroed on the activation operand.
+    """
+
+    def __init__(self, weight_bits: int = 0, activation_bits: int = 0):
+        for label, value in (
+            ("weight_bits", weight_bits),
+            ("activation_bits", activation_bits),
+        ):
+            if not 0 <= int(value) < OPERAND_BITS:
+                raise ValueError(
+                    f"{label} must be within [0, {OPERAND_BITS - 1}], got {value}"
+                )
+        self.weight_bits = int(weight_bits)
+        self.activation_bits = int(activation_bits)
+        self.name = f"truncated_w{self.weight_bits}a{self.activation_bits}"
+
+    @property
+    def weight_mask(self) -> int:
+        return ~((1 << self.weight_bits) - 1) & 0xFF
+
+    @property
+    def activation_mask(self) -> int:
+        return ~((1 << self.activation_bits) - 1) & 0xFF
+
+    def multiply(self, w: np.ndarray, a: np.ndarray) -> np.ndarray:
+        w, a = _validate_operands(w, a)
+        return (w & np.int64(self.weight_mask)) * (a & np.int64(self.activation_mask))

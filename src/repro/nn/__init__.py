@@ -1,0 +1,74 @@
+"""Pure-numpy deep-learning engine (training and inference).
+
+The paper evaluates six CIFAR networks through an approximate-hardware-aware
+TensorFlow flow (TFApprox).  No deep-learning framework is available in this
+environment, so this package provides the substrate from scratch:
+
+* tensor layout: ``NHWC`` float32/float64 arrays;
+* layers: convolution (incl. grouped / depthwise), dense, batch-norm, ReLU,
+  pooling, global average pooling, residual add, concatenation, channel
+  shuffle, flatten — each with forward *and* backward passes;
+* models: :class:`~repro.nn.graph.Graph` (arbitrary DAGs, needed for the
+  ResNet / GoogLeNet / ShuffleNet families) and
+  :class:`~repro.nn.graph.Sequential`;
+* training: softmax cross-entropy loss, SGD-with-momentum and Adam
+  optimizers, a mini-batch :class:`~repro.nn.training.Trainer`;
+* serialization of trained parameters to ``.npz``.
+
+The engine is intentionally small but complete: every layer used by the six
+reproduced architectures supports training, and the inference path is reused
+by the quantized / approximate executors in :mod:`repro.simulation`.
+"""
+
+from repro.nn.im2col import im2col_indices, im2col, col2im, conv_output_size
+from repro.nn.layers import (
+    Layer,
+    Conv2D,
+    Dense,
+    BatchNorm,
+    ReLU,
+    MaxPool2D,
+    AvgPool2D,
+    GlobalAvgPool,
+    Flatten,
+    Add,
+    Concat,
+    ChannelShuffle,
+    Pad,
+)
+from repro.nn.graph import Graph, Sequential
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.training import Trainer, TrainingResult, evaluate_accuracy
+from repro.nn.serialization import save_params, load_params
+
+__all__ = [
+    "im2col_indices",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "BatchNorm",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool",
+    "Flatten",
+    "Add",
+    "Concat",
+    "ChannelShuffle",
+    "Pad",
+    "Graph",
+    "Sequential",
+    "softmax",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainingResult",
+    "evaluate_accuracy",
+    "save_params",
+    "load_params",
+]

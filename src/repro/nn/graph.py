@@ -1,0 +1,202 @@
+"""Model containers: arbitrary DAGs (:class:`Graph`) and :class:`Sequential`.
+
+The six reproduced architectures need branching topologies (residual adds,
+Inception concatenations, ShuffleNet splits), so the primary container is a
+directed acyclic graph of named nodes.  The graph exposes its topology —
+``nodes`` in execution order — because the quantized / approximate executors
+in :mod:`repro.simulation` re-run the same topology while swapping the
+convolution and dense layers for integer (approximate) implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm, Conv2D, Dense, Layer
+
+#: Reserved node name denoting the model input.
+INPUT = "input"
+
+
+@dataclass
+class GraphNode:
+    """One node of the model graph."""
+
+    name: str
+    layer: Layer
+    inputs: list[str]
+
+
+@dataclass
+class Graph:
+    """A DAG of layers with a single input and a single output node."""
+
+    nodes: list[GraphNode] = field(default_factory=list)
+    output_name: str | None = None
+
+    def __post_init__(self) -> None:
+        self._by_name: dict[str, GraphNode] = {node.name: node for node in self.nodes}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, name: str, layer: Layer, inputs: str | list[str] = INPUT) -> str:
+        """Append a node; ``inputs`` may be a single node name or a list.
+
+        Returns the node name so construction code can chain naturally:
+        ``x = graph.add("conv1", Conv2D(...), x)``.
+        """
+        if name == INPUT or name in self._by_name:
+            raise ValueError(f"invalid or duplicate node name: {name!r}")
+        if isinstance(inputs, str):
+            inputs = [inputs]
+        for parent in inputs:
+            if parent != INPUT and parent not in self._by_name:
+                raise ValueError(f"unknown input node {parent!r} for node {name!r}")
+        if len(inputs) != layer.n_inputs:
+            raise ValueError(
+                f"layer {name!r} expects {layer.n_inputs} inputs, got {len(inputs)}"
+            )
+        layer.name = name
+        node = GraphNode(name=name, layer=layer, inputs=list(inputs))
+        self.nodes.append(node)
+        self._by_name[name] = node
+        self.output_name = name
+        return name
+
+    def node(self, name: str) -> GraphNode:
+        """Look up a node by name."""
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        return_activations: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Run the graph on ``x``.
+
+        With ``return_activations=True`` the full dictionary of node outputs
+        (keyed by node name, plus ``"input"``) is returned alongside the
+        output — used for calibration of the quantized executors.
+        """
+        if self.output_name is None:
+            raise RuntimeError("graph has no nodes")
+        activations: dict[str, np.ndarray] = {INPUT: x}
+        for node in self.nodes:
+            inputs = [activations[parent] for parent in node.inputs]
+            activations[node.name] = node.layer.forward(*inputs, training=training)
+        output = activations[self.output_name]
+        if return_activations:
+            return output, activations
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` through the graph.
+
+        Returns the gradient with respect to the model input (rarely needed,
+        but cheap to provide and useful for gradient checking).
+        """
+        grads: dict[str, np.ndarray] = {self.output_name: grad_output}
+        for node in reversed(self.nodes):
+            grad = grads.pop(node.name, None)
+            if grad is None:
+                # Node does not influence the output (should not happen in
+                # well-formed models) — skip it.
+                continue
+            input_grads = node.layer.backward(grad)
+            for parent, g in zip(node.inputs, input_grads):
+                if parent in grads:
+                    grads[parent] = grads[parent] + g
+                else:
+                    grads[parent] = g
+        return grads.get(INPUT, np.zeros(0))
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def layers(self) -> dict[str, Layer]:
+        """All layers keyed by node name, in execution order."""
+        return {node.name: node.layer for node in self.nodes}
+
+    def conv_dense_nodes(self) -> list[GraphNode]:
+        """The MAC-heavy nodes (convolutions and dense layers) in order."""
+        return [n for n in self.nodes if isinstance(n.layer, (Conv2D, Dense))]
+
+    def parameters(self) -> list[tuple[str, str, np.ndarray]]:
+        """Flat list of ``(node_name, param_name, array)`` for the optimizers."""
+        out = []
+        for node in self.nodes:
+            for key, value in node.layer.params().items():
+                out.append((node.name, key, value))
+        return out
+
+    def gradients(self) -> list[tuple[str, str, np.ndarray]]:
+        """Flat list of gradients aligned with :meth:`parameters`."""
+        out = []
+        for node in self.nodes:
+            for key, value in node.layer.grads().items():
+                out.append((node.name, key, value))
+        return out
+
+    def count_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return int(sum(arr.size for _, _, arr in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """All trainable parameters and batch-norm running statistics."""
+        state: dict[str, np.ndarray] = {}
+        for node in self.nodes:
+            for key, value in node.layer.params().items():
+                state[f"{node.name}.{key}"] = value
+            if isinstance(node.layer, BatchNorm):
+                for key, value in node.layer.state().items():
+                    state[f"{node.name}.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`state_dict`."""
+        for node in self.nodes:
+            for key in node.layer.params():
+                full = f"{node.name}.{key}"
+                if full not in state:
+                    raise KeyError(f"missing parameter {full!r} in state dict")
+                target = node.layer.params()[key]
+                value = np.asarray(state[full])
+                if value.shape != target.shape:
+                    raise ValueError(
+                        f"shape mismatch for {full!r}: {value.shape} vs {target.shape}"
+                    )
+                target[...] = value
+            if isinstance(node.layer, BatchNorm):
+                for key in ("running_mean", "running_var"):
+                    full = f"{node.name}.{key}"
+                    if full in state:
+                        getattr(node.layer, key)[...] = np.asarray(state[full])
+
+
+class Sequential(Graph):
+    """Convenience container for purely sequential models (VGG family)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = 0
+
+    def append(self, layer: Layer, name: str | None = None) -> str:
+        """Append a layer after the previously appended one."""
+        if name is None:
+            name = f"{type(layer).__name__.lower()}_{self._counter}"
+        self._counter += 1
+        parent = self.output_name if self.output_name is not None else INPUT
+        return self.add(name, layer, parent)

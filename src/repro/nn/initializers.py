@@ -1,0 +1,35 @@
+"""Parameter initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def default_rng(rng: np.random.Generator | None = None) -> np.random.Generator:
+    """Return ``rng`` or a default deterministic generator."""
+    return rng if rng is not None else np.random.default_rng(0)
+
+
+def he_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """He (Kaiming) normal initialization, appropriate for ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return default_rng(rng).normal(0.0, std, size=shape).astype(np.float64)
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Glorot (Xavier) uniform initialization."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return default_rng(rng).uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)

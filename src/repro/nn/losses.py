@@ -1,0 +1,49 @@
+"""Losses and output activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, classes)`` raw scores.
+    labels:
+        ``(batch,)`` integer class labels.
+
+    Returns
+    -------
+    (loss, grad):
+        Scalar mean loss and the ``(batch, classes)`` gradient.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels must have shape ({logits.shape[0]},), got {labels.shape}"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+        raise ValueError("labels out of range for the given logits")
+    probs = softmax(logits)
+    batch = logits.shape[0]
+    picked = probs[np.arange(batch), labels]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad /= batch
+    return loss, grad

@@ -1,0 +1,89 @@
+"""Gradient-descent optimizers operating on :class:`repro.nn.graph.Graph` models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Graph
+
+
+class Optimizer:
+    """Base class: updates model parameters in place from their gradients."""
+
+    def __init__(self, learning_rate: float, weight_decay: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+
+    def step(self, model: Graph) -> None:
+        params = model.parameters()
+        grads = model.gradients()
+        if len(params) != len(grads):
+            raise RuntimeError("parameter / gradient count mismatch")
+        for (node, key, param), (gnode, gkey, grad) in zip(params, grads):
+            if (node, key) != (gnode, gkey):
+                raise RuntimeError("parameter / gradient ordering mismatch")
+            if self.weight_decay and key == "weight":
+                grad = grad + self.weight_decay * param
+            self._update(f"{node}.{key}", param, grad)
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-4,
+    ):
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        velocity = self._velocity.get(key)
+        if velocity is None:
+            velocity = np.zeros_like(param)
+        velocity = self.momentum * velocity - self.learning_rate * grad
+        self._velocity[key] = velocity
+        param += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimizer."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(learning_rate, weight_decay)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t: dict[str, int] = {}
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.get(key, np.zeros_like(param))
+        v = self._v.get(key, np.zeros_like(param))
+        t = self._t.get(key, 0) + 1
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+        self._m[key], self._v[key], self._t[key] = m, v, t

@@ -1,0 +1,25 @@
+"""Save / load trained model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.graph import Graph
+
+
+def save_params(model: Graph, path: str | os.PathLike) -> None:
+    """Write all parameters and batch-norm statistics of ``model`` to ``path``."""
+    state = model.state_dict()
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(os.fspath(path), **state)
+
+
+def load_params(model: Graph, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_params` into ``model`` (in place)."""
+    with np.load(os.fspath(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)

@@ -1,0 +1,121 @@
+"""Mini-batch training loop and evaluation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optimizers import Optimizer, SGD
+
+
+@dataclass
+class TrainingResult:
+    """Per-epoch training history."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracies: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        """Validation accuracy after the last epoch (NaN if never evaluated)."""
+        return self.val_accuracies[-1] if self.val_accuracies else float("nan")
+
+
+def evaluate_accuracy(
+    model: Graph, images: np.ndarray, labels: np.ndarray, batch_size: int = 256
+) -> float:
+    """Top-1 accuracy of ``model`` on a labelled dataset."""
+    labels = np.asarray(labels, dtype=np.int64)
+    correct = 0
+    for start in range(0, images.shape[0], batch_size):
+        batch = images[start : start + batch_size]
+        logits = model.forward(batch, training=False)
+        correct += int((logits.argmax(axis=1) == labels[start : start + batch_size]).sum())
+    return correct / float(images.shape[0])
+
+
+class Trainer:
+    """Trains a :class:`Graph` classifier with softmax cross-entropy.
+
+    Parameters
+    ----------
+    model:
+        The graph to train (parameters are updated in place).
+    optimizer:
+        Any :class:`repro.nn.optimizers.Optimizer`; defaults to SGD with
+        momentum, which is what the reproduced CIFAR families normally use.
+    rng:
+        Random generator controlling the shuffling, for reproducibility.
+    """
+
+    def __init__(
+        self,
+        model: Graph,
+        optimizer: Optimizer | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer if optimizer is not None else SGD()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def fit(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 64,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        lr_decay: float = 1.0,
+        verbose: bool = False,
+    ) -> TrainingResult:
+        """Train for ``epochs`` passes over the data.
+
+        Parameters
+        ----------
+        images, labels:
+            Training data (NHWC images, integer labels).
+        validation:
+            Optional ``(images, labels)`` pair evaluated after every epoch.
+        lr_decay:
+            Multiplicative learning-rate decay applied after each epoch.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        n = images.shape[0]
+        if labels.shape != (n,):
+            raise ValueError(f"labels must have shape ({n},), got {labels.shape}")
+        result = TrainingResult()
+        for epoch in range(epochs):
+            order = self.rng.permutation(n)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                batch_x = images[idx]
+                batch_y = labels[idx]
+                logits = self.model.forward(batch_x, training=True)
+                loss, grad = softmax_cross_entropy(logits, batch_y)
+                self.model.backward(grad)
+                self.optimizer.step(self.model)
+                epoch_loss += loss * len(idx)
+                correct += int((logits.argmax(axis=1) == batch_y).sum())
+            result.losses.append(epoch_loss / n)
+            result.train_accuracies.append(correct / n)
+            if validation is not None:
+                val_acc = evaluate_accuracy(self.model, validation[0], validation[1])
+                result.val_accuracies.append(val_acc)
+            if verbose:  # pragma: no cover - logging only
+                val = (
+                    f" val_acc={result.val_accuracies[-1]:.3f}"
+                    if validation is not None
+                    else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{epochs}: loss={result.losses[-1]:.4f} "
+                    f"train_acc={result.train_accuracies[-1]:.3f}{val}"
+                )
+            self.optimizer.learning_rate *= lr_decay
+        return result

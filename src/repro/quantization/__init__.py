@@ -1,0 +1,39 @@
+"""8-bit quantization substrate.
+
+The paper's accelerator operates on unsigned 8-bit quantized weights and
+activations (the weight histograms in Fig. 1 span ``0..255``).  This package
+provides the affine (asymmetric) quantization scheme used throughout the
+reproduction:
+
+* :class:`~repro.quantization.schemes.QuantParams` — scale / zero-point pair
+  describing a uint8 affine quantizer.
+* :func:`~repro.quantization.quantize.quantize` /
+  :func:`~repro.quantization.quantize.dequantize` — tensor conversion.
+* :func:`~repro.quantization.quantize.calibrate_minmax` /
+  :func:`~repro.quantization.quantize.calibrate_percentile` — derive
+  quantization parameters from observed tensors.
+* :class:`~repro.quantization.qlayers.QuantizedLinearOp` — the integer
+  matrix-multiply core shared by quantized convolution and dense layers,
+  with a pluggable product model (accurate or approximate multiplier).
+"""
+
+from repro.quantization.schemes import QuantParams, UINT8_LEVELS
+from repro.quantization.quantize import (
+    quantize,
+    dequantize,
+    calibrate_minmax,
+    calibrate_percentile,
+    quantize_tensor,
+)
+from repro.quantization.qlayers import QuantizedLinearOp
+
+__all__ = [
+    "QuantParams",
+    "UINT8_LEVELS",
+    "quantize",
+    "dequantize",
+    "calibrate_minmax",
+    "calibrate_percentile",
+    "quantize_tensor",
+    "QuantizedLinearOp",
+]

@@ -1,0 +1,122 @@
+"""Integer execution core shared by quantized convolution and dense layers.
+
+With the affine scheme ``r = s (q - z)`` a real dot product of ``k`` taps
+expands into integer arithmetic as
+
+    sum_j w_j a_j = s_w s_a * ( sum_j wq_j aq_j
+                                - z_w sum_j aq_j
+                                - z_a sum_j wq_j
+                                + k z_w z_a )
+
+Only the first term, ``sum_j wq_j aq_j``, involves per-element products and
+is therefore the term executed on the (possibly approximate) MAC array.  The
+remaining terms are exact integer corrections.  :class:`QuantizedLinearOp`
+keeps the weights and the exact correction terms and accepts the raw product
+sum from any product model — the accurate matmul by default, or the
+approximate / control-variate-corrected sums produced by
+:mod:`repro.core.approx_conv`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.schemes import QuantParams
+
+
+class QuantizedLinearOp:
+    """A quantized ``(patches x taps) @ (taps x filters)`` operation.
+
+    Parameters
+    ----------
+    weight_codes:
+        uint8 array of shape ``(taps, filters)`` — the quantized weights laid
+        out exactly as the MAC array consumes them (one column per filter).
+    weight_params:
+        Quantization parameters of the weights.
+    bias:
+        Optional real-valued bias per filter, added after dequantization.
+    """
+
+    def __init__(
+        self,
+        weight_codes: np.ndarray,
+        weight_params: QuantParams,
+        bias: np.ndarray | None = None,
+    ):
+        weight_codes = np.asarray(weight_codes)
+        if weight_codes.ndim != 2:
+            raise ValueError(
+                f"weight_codes must be 2-D (taps, filters), got {weight_codes.shape}"
+            )
+        if weight_codes.dtype != np.uint8:
+            raise TypeError(f"weight_codes must be uint8, got {weight_codes.dtype}")
+        self.weight_codes = weight_codes
+        self.weight_params = weight_params
+        self.taps, self.filters = weight_codes.shape
+        if bias is None:
+            bias = np.zeros(self.filters, dtype=np.float64)
+        bias = np.asarray(bias, dtype=np.float64)
+        if bias.shape != (self.filters,):
+            raise ValueError(f"bias must have shape ({self.filters},), got {bias.shape}")
+        self.bias = bias
+        # Exact per-filter weight-code sums used by the zero-point correction.
+        self._weight_code_sums = weight_codes.astype(np.int64).sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def exact_product_sum(self, act_codes: np.ndarray) -> np.ndarray:
+        """Accurate ``sum_j wq_j aq_j`` for every (patch, filter) pair."""
+        act = self._check_activations(act_codes)
+        return act.astype(np.int64) @ self.weight_codes.astype(np.int64)
+
+    def output_real(
+        self,
+        act_codes: np.ndarray,
+        act_params: QuantParams,
+        product_sum: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Dequantized real output of the quantized linear operation.
+
+        Parameters
+        ----------
+        act_codes:
+            uint8 activations of shape ``(patches, taps)``.
+        act_params:
+            Quantization parameters of the activations.
+        product_sum:
+            Raw ``sum_j product(wq_j, aq_j)`` of shape ``(patches, filters)``.
+            When ``None``, the exact sum is used.  Approximate product models
+            (perforation, LUT multipliers, control-variate correction) pass
+            their own sums here.
+        """
+        act = self._check_activations(act_codes)
+        if product_sum is None:
+            product_sum = self.exact_product_sum(act)
+        product_sum = np.asarray(product_sum, dtype=np.float64)
+        expected = (act.shape[0], self.filters)
+        if product_sum.shape != expected:
+            raise ValueError(
+                f"product_sum must have shape {expected}, got {product_sum.shape}"
+            )
+        act_sums = act.astype(np.int64).sum(axis=1, keepdims=True).astype(np.float64)
+        z_w = float(self.weight_params.zero_point)
+        z_a = float(act_params.zero_point)
+        corrected = (
+            product_sum
+            - z_w * act_sums
+            - z_a * self._weight_code_sums.astype(np.float64)[None, :]
+            + float(self.taps) * z_w * z_a
+        )
+        scale = self.weight_params.scale * act_params.scale
+        return scale * corrected + self.bias[None, :]
+
+    # ------------------------------------------------------------------
+    def _check_activations(self, act_codes: np.ndarray) -> np.ndarray:
+        act = np.asarray(act_codes)
+        if act.ndim != 2 or act.shape[1] != self.taps:
+            raise ValueError(
+                f"activations must have shape (patches, {self.taps}), got {act.shape}"
+            )
+        if act.dtype != np.uint8:
+            raise TypeError(f"activations must be uint8, got {act.dtype}")
+        return act

@@ -1,0 +1,87 @@
+"""Affine uint8 quantization parameters.
+
+A real value ``r`` is represented by an unsigned 8-bit integer ``q`` through
+
+    r = scale * (q - zero_point)
+
+which is the scheme used by TensorFlow-Lite style integer inference and by
+the TFApprox flow the paper builds on.  Both weights and activations use
+unsigned 8-bit codes so that the hardware multiplier is an unsigned 8x8
+multiplier, matching the MAC unit of Section IV of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Number of representable uint8 levels.
+UINT8_LEVELS = 256
+
+#: Smallest representable code.
+QMIN = 0
+
+#: Largest representable code.
+QMAX = 255
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale / zero-point pair of an affine uint8 quantizer.
+
+    Attributes
+    ----------
+    scale:
+        Positive real step size between adjacent integer codes.
+    zero_point:
+        Integer code that represents the real value ``0.0``.  Always within
+        ``[0, 255]`` so that zero is exactly representable (important for
+        zero padding in convolutions).
+    """
+
+    scale: float
+    zero_point: int
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.scale) or self.scale <= 0.0:
+            raise ValueError(f"scale must be positive and finite, got {self.scale}")
+        if not QMIN <= self.zero_point <= QMAX:
+            raise ValueError(
+                f"zero_point must be within [{QMIN}, {QMAX}], got {self.zero_point}"
+            )
+
+    @classmethod
+    def from_range(cls, rmin: float, rmax: float) -> "QuantParams":
+        """Build parameters covering the real range ``[rmin, rmax]``.
+
+        The range is first expanded (if needed) to include zero so the zero
+        point is exactly representable, as required for padding and for the
+        bias-free formulation of the integer convolution.
+        """
+        rmin = float(min(rmin, 0.0))
+        rmax = float(max(rmax, 0.0))
+        if rmax == rmin:
+            # Degenerate all-zero tensor: pick an arbitrary unit scale.
+            return cls(scale=1.0, zero_point=0)
+        scale = (rmax - rmin) / float(QMAX - QMIN)
+        zero_point = int(round(QMIN - rmin / scale))
+        zero_point = int(np.clip(zero_point, QMIN, QMAX))
+        return cls(scale=scale, zero_point=zero_point)
+
+    def quantize_value(self, r: float) -> int:
+        """Quantize a single real value to its uint8 code."""
+        q = int(round(r / self.scale)) + self.zero_point
+        return int(np.clip(q, QMIN, QMAX))
+
+    def dequantize_value(self, q: int) -> float:
+        """Recover the real value represented by code ``q``."""
+        return self.scale * (float(q) - float(self.zero_point))
+
+    @property
+    def range(self) -> tuple[float, float]:
+        """Real range exactly representable by this quantizer."""
+        return (
+            self.scale * (QMIN - self.zero_point),
+            self.scale * (QMAX - self.zero_point),
+        )

@@ -1,0 +1,57 @@
+"""Experiment machinery: approximate inference and experiment campaigns.
+
+* :mod:`~repro.simulation.inference` — the TFApprox-equivalent executor: runs
+  a trained float model with quantized convolution / dense layers whose
+  product model can be the accurate multiplier, the perforated multiplier
+  with or without the control variate, or any LUT multiplier (per layer).
+* :mod:`~repro.simulation.metrics` — accuracy and error metrics.
+* :mod:`~repro.simulation.campaign` — the Table III sweep (six networks, two
+  datasets, m = 1..3, with/without V) and the trained-model cache that keeps
+  benches fast and deterministic.
+"""
+
+from repro.simulation.inference import (
+    ProductModel,
+    AccurateProduct,
+    PerforatedProduct,
+    LUTProduct,
+    ExecutionPlan,
+    ApproximateExecutor,
+)
+from repro.simulation.metrics import (
+    accuracy,
+    accuracy_loss_percent,
+    output_error_stats,
+    OutputErrorStats,
+)
+from repro.simulation.campaign import (
+    TrainedModel,
+    TrainedModelCache,
+    TrainingSettings,
+    AccuracyRecord,
+    SweepResult,
+    accuracy_sweep,
+    train_reference_model,
+    experiment_dataset,
+)
+
+__all__ = [
+    "ProductModel",
+    "AccurateProduct",
+    "PerforatedProduct",
+    "LUTProduct",
+    "ExecutionPlan",
+    "ApproximateExecutor",
+    "accuracy",
+    "accuracy_loss_percent",
+    "output_error_stats",
+    "OutputErrorStats",
+    "TrainedModel",
+    "TrainedModelCache",
+    "TrainingSettings",
+    "AccuracyRecord",
+    "SweepResult",
+    "accuracy_sweep",
+    "train_reference_model",
+    "experiment_dataset",
+]

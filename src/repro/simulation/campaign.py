@@ -1,0 +1,293 @@
+"""Experiment campaigns: training reference models and sweeping approximations.
+
+This module provides the machinery behind the Table III benchmark:
+
+* :func:`train_reference_model` trains one of the six architectures on a
+  CIFAR-like dataset with the numpy engine;
+* :class:`TrainedModelCache` stores trained parameters (and their float
+  accuracy) on disk so the expensive training step runs once per
+  (architecture, dataset, seed) combination;
+* :func:`accuracy_sweep` evaluates the quantized accurate baseline and every
+  requested perforation value with and without the control variate,
+  producing one :class:`AccuracyRecord` per cell of Table III.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.models.zoo import build_model
+from repro.nn.graph import Graph
+from repro.nn.optimizers import SGD
+from repro.nn.serialization import load_params, save_params
+from repro.nn.training import Trainer, evaluate_accuracy
+from repro.simulation.inference import (
+    AccurateProduct,
+    ApproximateExecutor,
+    ExecutionPlan,
+    PerforatedProduct,
+)
+from repro.simulation.metrics import accuracy, accuracy_loss_percent
+
+
+def default_cache_dir() -> str:
+    """Directory used to cache trained model parameters."""
+    return os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.expanduser("~"), ".cache", "repro-dac21"),
+    )
+
+
+def experiment_dataset(num_classes: int, train_per_class: int | None = None) -> Dataset:
+    """The CIFAR-like dataset configuration used by the paper-reproduction benches.
+
+    The generator parameters are chosen so the trained reference models land
+    around 85-95 % clean accuracy — high enough to be meaningful, low enough
+    that approximation-induced degradation is measurable and graded (the
+    role CIFAR-10/100 play in the paper).  The 100-class variant uses fewer
+    samples per class, making it the harder dataset, as in the paper.
+    """
+    from repro.datasets.cifar import load_cifar_like
+    from repro.datasets.synthetic import SyntheticCifarConfig
+
+    if num_classes == 10:
+        config = SyntheticCifarConfig(
+            num_classes=10,
+            train_per_class=train_per_class if train_per_class is not None else 150,
+            test_per_class=40,
+            noise_std=0.22,
+            confusion=0.45,
+            seed=10,
+        )
+    elif num_classes == 100:
+        config = SyntheticCifarConfig(
+            num_classes=100,
+            train_per_class=train_per_class if train_per_class is not None else 24,
+            test_per_class=6,
+            noise_std=0.20,
+            confusion=0.45,
+            seed=100,
+        )
+    else:
+        raise ValueError(f"num_classes must be 10 or 100, got {num_classes}")
+    return load_cifar_like(num_classes=num_classes, synthetic_config=config)
+
+
+@dataclass
+class TrainedModel:
+    """A trained architecture together with its float test accuracy."""
+
+    name: str
+    dataset_name: str
+    model: Graph
+    float_accuracy: float
+
+
+@dataclass(frozen=True)
+class TrainingSettings:
+    """Hyper-parameters of the reference training runs."""
+
+    epochs: int = 8
+    batch_size: int = 64
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_decay: float = 0.85
+    seed: int = 0
+
+
+def train_reference_model(
+    model_name: str,
+    dataset: Dataset,
+    settings: TrainingSettings = TrainingSettings(),
+    verbose: bool = False,
+) -> TrainedModel:
+    """Train one architecture on ``dataset`` and return it with its accuracy."""
+    rng = np.random.default_rng(settings.seed)
+    model = build_model(model_name, num_classes=dataset.num_classes, rng=rng)
+    optimizer = SGD(
+        learning_rate=settings.learning_rate,
+        momentum=settings.momentum,
+        weight_decay=settings.weight_decay,
+    )
+    trainer = Trainer(model, optimizer, rng=np.random.default_rng(settings.seed + 1))
+    trainer.fit(
+        dataset.train_images,
+        dataset.train_labels,
+        epochs=settings.epochs,
+        batch_size=settings.batch_size,
+        validation=(dataset.test_images, dataset.test_labels),
+        lr_decay=settings.lr_decay,
+        verbose=verbose,
+    )
+    float_acc = evaluate_accuracy(model, dataset.test_images, dataset.test_labels)
+    return TrainedModel(
+        name=model_name,
+        dataset_name=dataset.name,
+        model=model,
+        float_accuracy=float_acc,
+    )
+
+
+class TrainedModelCache:
+    """Disk cache of trained model parameters keyed by (model, dataset, seed)."""
+
+    def __init__(self, cache_dir: str | None = None):
+        self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+
+    def _paths(self, model_name: str, dataset_name: str, seed: int) -> tuple[str, str]:
+        stem = f"{model_name}__{dataset_name}__seed{seed}"
+        return (
+            os.path.join(self.cache_dir, f"{stem}.npz"),
+            os.path.join(self.cache_dir, f"{stem}.json"),
+        )
+
+    def load_or_train(
+        self,
+        model_name: str,
+        dataset: Dataset,
+        settings: TrainingSettings = TrainingSettings(),
+        verbose: bool = False,
+    ) -> TrainedModel:
+        """Return a cached trained model, training and caching it if missing."""
+        params_path, meta_path = self._paths(model_name, dataset.name, settings.seed)
+        if os.path.exists(params_path) and os.path.exists(meta_path):
+            model = build_model(
+                model_name,
+                num_classes=dataset.num_classes,
+                rng=np.random.default_rng(settings.seed),
+            )
+            load_params(model, params_path)
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            return TrainedModel(
+                name=model_name,
+                dataset_name=dataset.name,
+                model=model,
+                float_accuracy=float(meta["float_accuracy"]),
+            )
+        trained = train_reference_model(model_name, dataset, settings, verbose=verbose)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        save_params(trained.model, params_path)
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "model": model_name,
+                    "dataset": dataset.name,
+                    "seed": settings.seed,
+                    "float_accuracy": trained.float_accuracy,
+                },
+                handle,
+                indent=2,
+            )
+        return trained
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """One cell of the Table III sweep."""
+
+    model: str
+    dataset: str
+    m: int
+    with_control_variate: bool
+    baseline_accuracy: float
+    approximate_accuracy: float
+
+    @property
+    def accuracy_loss(self) -> float:
+        """Accuracy loss in percentage points versus the accurate design."""
+        return accuracy_loss_percent(self.baseline_accuracy, self.approximate_accuracy)
+
+
+@dataclass
+class SweepResult:
+    """All records of an accuracy sweep plus the quantized baselines."""
+
+    records: list[AccuracyRecord] = field(default_factory=list)
+    baselines: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def lookup(self, model: str, dataset: str, m: int, with_cv: bool) -> AccuracyRecord:
+        """Find the record of one (model, dataset, m, method) combination."""
+        for record in self.records:
+            if (
+                record.model == model
+                and record.dataset == dataset
+                and record.m == m
+                and record.with_control_variate == with_cv
+            ):
+                return record
+        raise LookupError(f"no record for {model}/{dataset}/m={m}/cv={with_cv}")
+
+    def average_loss(self, dataset: str, m: int, with_cv: bool) -> float:
+        """Average accuracy loss over all models, as in Table III's last row."""
+        losses = [
+            record.accuracy_loss
+            for record in self.records
+            if record.dataset == dataset
+            and record.m == m
+            and record.with_control_variate == with_cv
+        ]
+        if not losses:
+            raise LookupError(f"no records for {dataset}/m={m}/cv={with_cv}")
+        return float(np.mean(losses))
+
+
+def accuracy_sweep(
+    trained_models: Iterable[TrainedModel],
+    datasets: dict[str, Dataset],
+    perforations: Sequence[int] = (1, 2, 3),
+    max_eval_images: int | None = None,
+    calibration_images: int = 128,
+) -> SweepResult:
+    """Evaluate every trained model under every approximation mode.
+
+    Parameters
+    ----------
+    trained_models:
+        Models produced by :func:`train_reference_model` /
+        :class:`TrainedModelCache`.
+    datasets:
+        Mapping from dataset name to dataset (must contain every
+        ``TrainedModel.dataset_name``).
+    perforations:
+        The perforation values ``m`` to sweep (the paper uses 1..3).
+    max_eval_images:
+        Optional cap on the number of test images (keeps CI-style runs fast).
+    calibration_images:
+        Number of training images used for activation calibration.
+    """
+    result = SweepResult()
+    for trained in trained_models:
+        dataset = datasets[trained.dataset_name]
+        test_images = dataset.test_images
+        test_labels = dataset.test_labels
+        if max_eval_images is not None:
+            test_images = test_images[:max_eval_images]
+            test_labels = test_labels[:max_eval_images]
+        calib = dataset.train_images[:calibration_images]
+        executor = ApproximateExecutor(trained.model, calib)
+        baseline_plan = ExecutionPlan.uniform(AccurateProduct())
+        baseline_acc = accuracy(executor.predict(test_images, baseline_plan), test_labels)
+        result.baselines[(trained.name, trained.dataset_name)] = baseline_acc
+        for m in perforations:
+            for with_cv in (True, False):
+                plan = ExecutionPlan.uniform(PerforatedProduct(m, use_control_variate=with_cv))
+                approx_acc = accuracy(executor.predict(test_images, plan), test_labels)
+                result.records.append(
+                    AccuracyRecord(
+                        model=trained.name,
+                        dataset=trained.dataset_name,
+                        m=m,
+                        with_control_variate=with_cv,
+                        baseline_accuracy=baseline_acc,
+                        approximate_accuracy=approx_acc,
+                    )
+                )
+    return result

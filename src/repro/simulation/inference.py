@@ -1,0 +1,347 @@
+"""Approximate quantized inference executor (the TFApprox substitute).
+
+The executor re-runs a trained float :class:`repro.nn.graph.Graph` with its
+convolution and dense layers executed in the quantized integer domain.  The
+per-element products of those integer accumulations — the operations the
+MAC array performs — are produced by a pluggable :class:`ProductModel`:
+
+* :class:`AccurateProduct` — the accurate array (quantization error only);
+* :class:`PerforatedProduct` — the paper's perforated multiplier, with or
+  without the control-variate MAC+ column;
+* :class:`LUTProduct` — an arbitrary library multiplier (used by the
+  state-of-the-art baselines), optionally with ALWANN-style weight tuning.
+
+An :class:`ExecutionPlan` assigns one product model per MAC layer, which is
+how layer-wise techniques (ALWANN [7], the reconfigurable approach [8]) are
+expressed.  Everything that is not a convolution or dense layer (batch-norm,
+ReLU, pooling, merges) runs in float exactly as during training, matching
+the fake-quantization methodology of the TFApprox flow the paper uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.core.approx_conv import (
+    accurate_product_sums,
+    lut_product_sums,
+    perforated_product_sums,
+)
+from repro.core.control_variate import ControlVariate
+from repro.multipliers.base import Multiplier
+from repro.nn.graph import Graph
+from repro.nn.im2col import im2col
+from repro.nn.layers import Conv2D, Dense
+from repro.quantization.qlayers import QuantizedLinearOp
+from repro.quantization.quantize import calibrate_minmax, calibrate_percentile, quantize
+from repro.quantization.schemes import QuantParams
+
+
+class ProductModel(abc.ABC):
+    """Strategy producing the raw product sums of one quantized linear op."""
+
+    @abc.abstractmethod
+    def product_sums(
+        self,
+        act_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+    ) -> np.ndarray:
+        """Return ``sum_j product(wq_j, aq_j)`` of shape ``(patches, filters)``."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class AccurateProduct(ProductModel):
+    """Exact integer products — the accurate MAC array."""
+
+    def product_sums(
+        self,
+        act_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+    ) -> np.ndarray:
+        return accurate_product_sums(act_codes, weight_codes)
+
+
+class PerforatedProduct(ProductModel):
+    """Perforated multiplier, optionally corrected by the control variate."""
+
+    def __init__(self, m: int, use_control_variate: bool = True):
+        if not 1 <= int(m) < 8:
+            raise ValueError(f"m must be within [1, 7], got {m}")
+        self.m = int(m)
+        self.use_control_variate = bool(use_control_variate)
+
+    @classmethod
+    def from_config(cls, config: AcceleratorConfig) -> "ProductModel":
+        """Product model implied by an accelerator configuration."""
+        if not config.is_approximate:
+            return AccurateProduct()
+        return cls(config.perforation, config.use_control_variate)
+
+    def product_sums(
+        self,
+        act_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+    ) -> np.ndarray:
+        cv = control_variate if self.use_control_variate else None
+        return perforated_product_sums(act_codes, weight_codes, self.m, cv)
+
+    @property
+    def name(self) -> str:
+        suffix = "+V" if self.use_control_variate else ""
+        return f"perforated_m{self.m}{suffix}"
+
+
+class LUTProduct(ProductModel):
+    """Arbitrary approximate multiplier evaluated through its 256x256 LUT."""
+
+    def __init__(self, multiplier: Multiplier, chunk_patches: int = 256):
+        self.multiplier = multiplier
+        self._lut = multiplier.build_lut()
+        self.chunk_patches = int(chunk_patches)
+
+    def product_sums(
+        self,
+        act_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+    ) -> np.ndarray:
+        return lut_product_sums(
+            act_codes, weight_codes, self._lut, chunk_patches=self.chunk_patches
+        )
+
+    @property
+    def name(self) -> str:
+        return f"lut[{self.multiplier.name}]"
+
+
+@dataclass
+class ExecutionPlan:
+    """Assignment of a product model to every MAC (conv/dense) node."""
+
+    default: ProductModel
+    per_layer: dict[str, ProductModel]
+
+    @classmethod
+    def uniform(cls, model: ProductModel) -> "ExecutionPlan":
+        """Use the same product model for every layer."""
+        return cls(default=model, per_layer={})
+
+    @classmethod
+    def from_config(cls, config: AcceleratorConfig) -> "ExecutionPlan":
+        """Plan implied by a single accelerator configuration."""
+        return cls.uniform(PerforatedProduct.from_config(config))
+
+    def model_for(self, layer_name: str) -> ProductModel:
+        return self.per_layer.get(layer_name, self.default)
+
+    def with_layer(self, layer_name: str, model: ProductModel) -> "ExecutionPlan":
+        """Return a copy of the plan with one layer overridden."""
+        per_layer = dict(self.per_layer)
+        per_layer[layer_name] = model
+        return ExecutionPlan(default=self.default, per_layer=per_layer)
+
+
+@dataclass
+class _QuantizedMacNode:
+    """Pre-quantized data of one conv/dense node (one entry per group)."""
+
+    node_name: str
+    ops: list[QuantizedLinearOp]
+    weight_overrides: list[np.ndarray | None]
+    control_variates: list[ControlVariate]
+    act_params: QuantParams
+
+
+class ApproximateExecutor:
+    """Runs a trained model with quantized, possibly approximate, MAC layers.
+
+    Parameters
+    ----------
+    model:
+        The trained float model.
+    calibration_images:
+        A batch of representative inputs used to calibrate the activation
+        quantizers of every MAC layer (post-training quantization).
+    activation_percentile:
+        Percentile used for activation calibration; 100 gives min/max.
+    """
+
+    def __init__(
+        self,
+        model: Graph,
+        calibration_images: np.ndarray,
+        activation_percentile: float = 99.9,
+    ):
+        self.model = model
+        self._nodes: dict[str, _QuantizedMacNode] = {}
+        self._calibrate(calibration_images, activation_percentile)
+
+    # ------------------------------------------------------------------
+    def _calibrate(self, images: np.ndarray, percentile: float) -> None:
+        _, activations = self.model.forward(images, training=False, return_activations=True)
+        for node in self.model.conv_dense_nodes():
+            layer = node.layer
+            parent_output = activations[node.inputs[0]]
+            if percentile >= 100.0:
+                act_params = calibrate_minmax(parent_output)
+            else:
+                act_params = calibrate_percentile(parent_output, percentile)
+            ops: list[QuantizedLinearOp] = []
+            cvs: list[ControlVariate] = []
+            for weight_matrix, bias in _group_weight_matrices(layer):
+                weight_params = calibrate_minmax(weight_matrix)
+                weight_codes = quantize(weight_matrix, weight_params)
+                ops.append(QuantizedLinearOp(weight_codes, weight_params, bias))
+                cvs.append(ControlVariate.from_weight_matrix(weight_codes))
+            self._nodes[node.name] = _QuantizedMacNode(
+                node_name=node.name,
+                ops=ops,
+                weight_overrides=[None] * len(ops),
+                control_variates=cvs,
+                act_params=act_params,
+            )
+
+    # ------------------------------------------------------------------
+    def mac_layer_names(self) -> list[str]:
+        """Names of the quantized MAC layers, in execution order."""
+        return [node.name for node in self.model.conv_dense_nodes()]
+
+    def quantized_weights(self, layer_name: str) -> list[np.ndarray]:
+        """The uint8 weight matrices (one per group) of a MAC layer."""
+        return [op.weight_codes for op in self._nodes[layer_name].ops]
+
+    def set_weight_override(self, layer_name: str, codes_per_group: list[np.ndarray]) -> None:
+        """Replace the weight codes used at inference time (ALWANN weight tuning).
+
+        The override only affects the products sent to the MAC array; the
+        dequantization, zero-point corrections and control variates keep
+        using the original weights, mirroring how ALWANN retunes the stored
+        weights without retraining.
+        """
+        node = self._nodes[layer_name]
+        if len(codes_per_group) != len(node.ops):
+            raise ValueError(
+                f"expected {len(node.ops)} weight matrices for layer {layer_name!r}"
+            )
+        overrides: list[np.ndarray | None] = []
+        for op, codes in zip(node.ops, codes_per_group):
+            codes = np.asarray(codes, dtype=np.uint8)
+            if codes.shape != op.weight_codes.shape:
+                raise ValueError("override shape mismatch")
+            overrides.append(codes)
+        node.weight_overrides = overrides
+
+    def clear_weight_overrides(self) -> None:
+        """Remove all inference-time weight overrides."""
+        for node in self._nodes.values():
+            node.weight_overrides = [None] * len(node.ops)
+
+    # ------------------------------------------------------------------
+    def forward(self, images: np.ndarray, plan: ExecutionPlan) -> np.ndarray:
+        """Run quantized inference on ``images`` under ``plan``."""
+        activations: dict[str, np.ndarray] = {"input": images}
+        for node in self.model.nodes:
+            inputs = [activations[name] for name in node.inputs]
+            if node.name in self._nodes:
+                activations[node.name] = self._run_mac_node(
+                    node.name, node.layer, inputs[0], plan.model_for(node.name)
+                )
+            else:
+                activations[node.name] = node.layer.forward(*inputs, training=False)
+        return activations[self.model.output_name]
+
+    def logits(self, images: np.ndarray, plan: ExecutionPlan, batch_size: int = 256) -> np.ndarray:
+        """Batched forward pass returning the concatenated logits."""
+        outputs = []
+        for start in range(0, images.shape[0], batch_size):
+            outputs.append(self.forward(images[start : start + batch_size], plan))
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, images: np.ndarray, plan: ExecutionPlan, batch_size: int = 256) -> np.ndarray:
+        """Predicted class labels."""
+        return self.logits(images, plan, batch_size=batch_size).argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    def _run_mac_node(
+        self,
+        name: str,
+        layer: Conv2D | Dense,
+        x: np.ndarray,
+        product_model: ProductModel,
+    ) -> np.ndarray:
+        qnode = self._nodes[name]
+        if isinstance(layer, Conv2D):
+            return self._run_conv(layer, qnode, x, product_model)
+        return self._run_dense(layer, qnode, x, product_model)
+
+    def _run_conv(
+        self,
+        layer: Conv2D,
+        qnode: _QuantizedMacNode,
+        x: np.ndarray,
+        product_model: ProductModel,
+    ) -> np.ndarray:
+        batch = x.shape[0]
+        cin_per_group = layer.in_channels // layer.groups
+        cout_per_group = layer.out_channels // layer.groups
+        outputs = []
+        out_h = out_w = None
+        for g in range(layer.groups):
+            x_g = x[..., g * cin_per_group : (g + 1) * cin_per_group]
+            cols, out_h, out_w = im2col(
+                x_g, layer.kernel_size, layer.kernel_size, layer.stride, layer.pad
+            )
+            act_codes = quantize(cols, qnode.act_params)
+            out_flat = self._run_group(qnode, g, act_codes, product_model)
+            outputs.append(out_flat.reshape(batch, out_h, out_w, cout_per_group))
+        return np.concatenate(outputs, axis=-1) if layer.groups > 1 else outputs[0]
+
+    def _run_dense(
+        self,
+        layer: Dense,
+        qnode: _QuantizedMacNode,
+        x: np.ndarray,
+        product_model: ProductModel,
+    ) -> np.ndarray:
+        act_codes = quantize(x, qnode.act_params)
+        return self._run_group(qnode, 0, act_codes, product_model)
+
+    def _run_group(
+        self,
+        qnode: _QuantizedMacNode,
+        group: int,
+        act_codes: np.ndarray,
+        product_model: ProductModel,
+    ) -> np.ndarray:
+        op = qnode.ops[group]
+        override = qnode.weight_overrides[group]
+        weight_codes = override if override is not None else op.weight_codes
+        sums = product_model.product_sums(
+            act_codes, weight_codes, qnode.control_variates[group]
+        )
+        return op.output_real(act_codes, qnode.act_params, product_sum=sums)
+
+
+def _group_weight_matrices(layer: Conv2D | Dense):
+    """Yield ``(weight_matrix, bias)`` per group with the (taps, filters) layout."""
+    if isinstance(layer, Conv2D):
+        cout_per_group = layer.out_channels // layer.groups
+        for g in range(layer.groups):
+            bias = None
+            if layer.use_bias:
+                bias = layer.bias[g * cout_per_group : (g + 1) * cout_per_group]
+            yield layer.weight_matrix(g), bias
+    elif isinstance(layer, Dense):
+        yield layer.weight, (layer.bias if layer.use_bias else None)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unsupported MAC layer type: {type(layer).__name__}")

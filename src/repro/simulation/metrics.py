@@ -1,0 +1,63 @@
+"""Accuracy and error metrics for the approximate-inference experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in ``[0, 1]``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty prediction set")
+    return float((predictions == labels).mean())
+
+
+def accuracy_loss_percent(baseline_accuracy: float, approximate_accuracy: float) -> float:
+    """Accuracy loss in percentage points, as reported in Table III.
+
+    Negative values mean the approximation *improved* accuracy (the paper
+    observes this occasionally and attributes it to a regularization-like
+    effect of the injected error).
+    """
+    return 100.0 * (baseline_accuracy - approximate_accuracy)
+
+
+@dataclass(frozen=True)
+class OutputErrorStats:
+    """Error statistics between accurate and approximate layer/logit outputs."""
+
+    mean: float
+    std: float
+    mean_absolute: float
+    max_absolute: float
+    rmse: float
+
+    @property
+    def variance(self) -> float:
+        return self.std**2
+
+
+def output_error_stats(reference: np.ndarray, approximate: np.ndarray) -> OutputErrorStats:
+    """Summary statistics of ``reference - approximate`` (any matching shapes)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    approximate = np.asarray(approximate, dtype=np.float64)
+    if reference.shape != approximate.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {approximate.shape}"
+        )
+    err = reference - approximate
+    return OutputErrorStats(
+        mean=float(err.mean()),
+        std=float(err.std()),
+        mean_absolute=float(np.abs(err).mean()),
+        max_absolute=float(np.abs(err).max()),
+        rmse=float(np.sqrt((err**2).mean())),
+    )

@@ -1,0 +1,64 @@
+"""Shared fixtures of the test suite.
+
+The expensive fixtures (a trained reference model and its approximate
+executor) are session-scoped and deliberately tiny so the whole suite stays
+fast while still exercising the full train → quantize → approximate-inference
+pipeline on a real (if small) network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
+from repro.models.zoo import build_model
+from repro.nn.optimizers import SGD
+from repro.nn.training import Trainer
+from repro.simulation.inference import ApproximateExecutor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small, easy synthetic dataset used by the training-dependent tests."""
+    config = SyntheticCifarConfig(
+        num_classes=4,
+        image_size=16,
+        train_per_class=40,
+        test_per_class=10,
+        noise_std=0.10,
+        confusion=0.20,
+        seed=7,
+    )
+    return make_synthetic_cifar(config)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model(tiny_dataset):
+    """A small VGG-13-style model trained on the tiny dataset (session-scoped)."""
+    model = build_model(
+        "vgg13",
+        num_classes=tiny_dataset.num_classes,
+        base_width=8,
+        rng=np.random.default_rng(0),
+    )
+    trainer = Trainer(model, SGD(learning_rate=0.08), rng=np.random.default_rng(0))
+    trainer.fit(
+        tiny_dataset.train_images,
+        tiny_dataset.train_labels,
+        epochs=3,
+        batch_size=32,
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_executor(trained_tiny_model, tiny_dataset):
+    """Approximate executor calibrated on the tiny dataset."""
+    return ApproximateExecutor(trained_tiny_model, tiny_dataset.train_images[:64])

@@ -1,0 +1,216 @@
+"""Tests of the MAC units, systolic array, scheduling and energy models."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.energy import layer_energy, network_energy
+from repro.accelerator.mac_unit import MacPlusUnit, MacStarUnit, MacUnit, adder_bits
+from repro.accelerator.scheduling import (
+    LayerShape,
+    layer_cycles,
+    layer_shapes_of_model,
+    network_cycles,
+    tile_count,
+)
+from repro.accelerator.systolic import SystolicArray
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.core.approx_conv import perforated_product_sums
+from repro.core.control_variate import ControlVariate
+from repro.models.zoo import build_model
+
+
+class TestMacUnits:
+    def test_adder_bits_matches_paper(self):
+        """Section IV: a 64x64 array needs a 22-bit accumulator."""
+        assert adder_bits(64) == 22
+        assert adder_bits(16) == 20
+
+    def test_accurate_mac_step(self):
+        mac = MacUnit(array_size=64)
+        assert mac.step(10, 20, 5) == 205
+        assert mac.accumulator_bits == 22
+
+    def test_operand_range_checked(self):
+        with pytest.raises(ValueError):
+            MacUnit().step(256, 1, 0)
+        with pytest.raises(ValueError):
+            MacStarUnit(m=2).step(1, -1, 0, 0)
+
+    def test_mac_star_step_eq13(self):
+        unit = MacStarUnit(m=2, array_size=64)
+        weight, activation = 100, 77  # 77 = 0b1001101, low bits = 0b01 = 1
+        sum_out, sumx_out = unit.step(weight, activation, sum_in=0, sumx_in=0)
+        assert sumx_out == 77 & 3
+        assert sum_out == (100 * (77 - (77 & 3))) >> 2
+        assert unit.accumulator_bits == 20
+        assert unit.sumx_bits == 8
+
+    def test_mac_star_validation(self):
+        with pytest.raises(ValueError):
+            MacStarUnit(m=0)
+
+    def test_mac_plus_reconstruction_eq14_15(self):
+        """Full column pipeline reproduces B + sum(W*A|approx) + C*sumX."""
+        m, n = 2, 8
+        rng = np.random.default_rng(0)
+        weights = rng.integers(0, 256, size=n)
+        acts = rng.integers(0, 256, size=n)
+        bias = 173
+        star = MacStarUnit(m=m, array_size=n)
+        plus = MacPlusUnit(m=m, array_size=n)
+        partial, sumx = bias >> m, 0
+        for w, a in zip(weights, acts):
+            partial, sumx = star.step(int(w), int(a), partial, sumx)
+        control = 131
+        result = plus.step(control, sumx, partial, bias_low=bias & ((1 << m) - 1))
+        x = acts & ((1 << m) - 1)
+        expected = bias + int((weights * (acts - x)).sum()) + control * int(x.sum())
+        assert result == expected
+
+    def test_mac_plus_properties(self):
+        plus = MacPlusUnit(m=2, array_size=64)
+        assert plus.multiplier_bits == (8, 8)
+        assert plus.adder_bits == 22
+        with pytest.raises(ValueError):
+            plus.step(300, 0, 0)
+        with pytest.raises(ValueError):
+            plus.step(100, 0, 0, bias_low=4)
+        with pytest.raises(ValueError):
+            MacPlusUnit(m=0)
+
+
+class TestSystolicArray:
+    @pytest.fixture
+    def workload(self, rng):
+        acts = rng.integers(0, 256, size=(19, 70), dtype=np.int64)
+        weights = rng.integers(0, 256, size=(70, 37), dtype=np.int64)
+        bias = rng.integers(0, 1000, size=37, dtype=np.int64)
+        return acts, weights, bias
+
+    def test_accurate_array_matches_matmul(self, workload):
+        acts, weights, bias = workload
+        array = SystolicArray(AcceleratorConfig.accurate(16))
+        out, tiles = array.matmul(acts, weights, bias)
+        assert np.array_equal(out, acts @ weights + bias)
+        assert len(tiles) == tile_count(LayerShape("x", 19, 70, 37), 16)
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_approximate_array_matches_fast_path(self, workload, m):
+        acts, weights, bias = workload
+        cv = ControlVariate.from_weight_matrix(weights)
+        array = SystolicArray(AcceleratorConfig.make(16, m, use_control_variate=True))
+        out, _ = array.matmul(acts, weights, bias, control_constants=cv.constants)
+        expected = perforated_product_sums(acts, weights, m, cv) + bias[None, :]
+        assert np.array_equal(out, expected)
+
+    def test_without_control_variate(self, workload):
+        acts, weights, bias = workload
+        array = SystolicArray(AcceleratorConfig.make(16, 2, use_control_variate=False))
+        out, _ = array.matmul(acts, weights, bias)
+        assert np.array_equal(
+            out, perforated_product_sums(acts, weights, 2) + bias[None, :]
+        )
+
+    def test_missing_control_constants_rejected(self, workload):
+        acts, weights, _ = workload
+        array = SystolicArray(AcceleratorConfig.make(16, 2, use_control_variate=True))
+        with pytest.raises(ValueError):
+            array.matmul(acts, weights)
+
+    def test_shape_validation(self, rng):
+        array = SystolicArray(AcceleratorConfig.accurate(8))
+        with pytest.raises(ValueError):
+            array.matmul(np.zeros((3, 4)), np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            array.matmul(np.zeros((3, 4)), np.zeros((4, 2)), bias_codes=np.zeros(3))
+
+
+class TestScheduling:
+    def test_layer_shape_validation(self):
+        with pytest.raises(ValueError):
+            LayerShape("x", 0, 1, 1)
+
+    def test_macs_count(self):
+        shape = LayerShape("conv", patches=100, taps=9, filters=16, groups=2)
+        assert shape.macs == 100 * 9 * 16 * 2
+
+    def test_tile_count(self):
+        shape = LayerShape("conv", patches=10, taps=100, filters=70)
+        assert tile_count(shape, 64) == 2 * 2
+
+    def test_layer_cycles_formula(self):
+        shape = LayerShape("conv", patches=256, taps=64, filters=64)
+        config = AcceleratorConfig.accurate(64)
+        assert layer_cycles(shape, config) == (63 + 256 + 63)
+
+    def test_mac_plus_adds_one_cycle_per_layer(self):
+        shape = LayerShape("conv", patches=256, taps=64, filters=64)
+        accurate = layer_cycles(shape, AcceleratorConfig.accurate(64))
+        ours = layer_cycles(shape, AcceleratorConfig.make(64, 2, use_control_variate=True))
+        without_v = layer_cycles(shape, AcceleratorConfig.make(64, 2, use_control_variate=False))
+        assert ours == accurate + 1
+        assert without_v == accurate
+
+    def test_layer_shapes_of_model(self, rng):
+        model = build_model("vgg13", num_classes=10, rng=rng)
+        shapes = layer_shapes_of_model(model, (16, 16, 3), batch=1)
+        mac_layers = model.conv_dense_nodes()
+        assert len(shapes) == len(mac_layers)
+        first = shapes[0]
+        assert first.taps == 3 * 3 * 3
+        assert first.patches == 16 * 16
+
+    def test_network_cycles_accepts_graph(self, rng):
+        model = build_model("vgg13", num_classes=10, rng=rng)
+        config = AcceleratorConfig.accurate(32)
+        by_graph = network_cycles(model, config, input_shape=(16, 16, 3))
+        by_shapes = network_cycles(
+            layer_shapes_of_model(model, (16, 16, 3)), config
+        )
+        assert by_graph == by_shapes > 0
+
+    def test_larger_array_needs_fewer_cycles(self, rng):
+        model = build_model("resnet44", num_classes=10, rng=rng)
+        shapes = layer_shapes_of_model(model, (16, 16, 3))
+        small = network_cycles(shapes, AcceleratorConfig.accurate(16))
+        large = network_cycles(shapes, AcceleratorConfig.accurate(64))
+        assert large < small
+
+
+class TestEnergy:
+    def test_layer_energy_formula(self):
+        shape = LayerShape("conv", patches=100, taps=32, filters=32)
+        config = AcceleratorConfig.accurate(32, clock_ns=2.0)
+        cycles = layer_cycles(shape, config)
+        assert layer_energy(shape, config, power_mw=10.0) == pytest.approx(
+            cycles * 10.0 * 2.0 / 1e3
+        )
+
+    def test_negative_power_rejected(self):
+        shape = LayerShape("conv", patches=10, taps=8, filters=8)
+        with pytest.raises(ValueError):
+            layer_energy(shape, AcceleratorConfig.accurate(8), power_mw=-1.0)
+        with pytest.raises(ValueError):
+            network_energy([shape], AcceleratorConfig.accurate(8), power_mw=-1.0)
+
+    def test_network_energy_report(self):
+        shapes = [
+            LayerShape("a", patches=64, taps=27, filters=8),
+            LayerShape("b", patches=64, taps=72, filters=16),
+        ]
+        config = AcceleratorConfig.make(16, 2, clock_ns=1.5)
+        report = network_energy(shapes, config, power_mw=5.0)
+        assert set(report.layer_cycles) == {"a", "b"}
+        assert report.total_cycles == sum(report.layer_cycles.values())
+        assert report.total_energy_nj == pytest.approx(
+            report.total_cycles * 5.0 * 1.5 / 1e3
+        )
+        assert report.latency_us == pytest.approx(report.total_cycles * 1.5 / 1e3)
+
+    def test_energy_reduction_of_approximate_array(self, rng):
+        """Lower power at (almost) equal cycles => lower energy."""
+        model = build_model("vgg13", num_classes=10, rng=rng)
+        shapes = layer_shapes_of_model(model, (16, 16, 3))
+        accurate = network_energy(shapes, AcceleratorConfig.accurate(64), power_mw=10.0)
+        ours = network_energy(shapes, AcceleratorConfig.make(64, 2), power_mw=6.5)
+        assert ours.total_energy_nj < accurate.total_energy_nj

@@ -1,0 +1,107 @@
+"""Tests of the analysis helpers plus an end-to-end integration test."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table, format_table
+from repro.analysis.statistics import (
+    filter_weight_distribution,
+    model_variance_reduction,
+    model_weight_distributions,
+)
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.accelerator.energy import network_energy
+from repro.accelerator.scheduling import layer_shapes_of_model
+from repro.hardware.area_power import array_cost
+from repro.simulation.inference import (
+    AccurateProduct,
+    ExecutionPlan,
+    PerforatedProduct,
+)
+from repro.simulation.metrics import accuracy
+
+
+class TestReporting:
+    def test_table_render_and_csv(self):
+        table = Table(title="demo", columns=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", 3.25)
+        text = table.render()
+        assert "demo" in text and "2.50" in text and "x" in text
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "3.2500" in csv
+
+    def test_row_length_checked(self):
+        table = Table(title="demo", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+        with pytest.raises(ValueError):
+            format_table("t", ["a"], [[1, 2]])
+
+    def test_bool_formatting(self):
+        table = Table(title="t", columns=["flag"])
+        table.add_row(True)
+        assert "True" in table.render()
+
+
+class TestWeightStatistics:
+    def test_distribution_of_trained_filter(self, trained_tiny_model):
+        node = trained_tiny_model.conv_dense_nodes()[0]
+        dist = filter_weight_distribution(trained_tiny_model, node.name, 0)
+        assert dist.codes.min() >= 0 and dist.codes.max() <= 255
+        assert dist.pdf().sum() == pytest.approx(1.0)
+        assert 0.0 <= dist.concentration <= 1.0
+
+    def test_unknown_layer_and_filter_rejected(self, trained_tiny_model):
+        with pytest.raises(KeyError):
+            filter_weight_distribution(trained_tiny_model, "not_a_layer", 0)
+        node = trained_tiny_model.conv_dense_nodes()[0]
+        with pytest.raises(IndexError):
+            filter_weight_distribution(trained_tiny_model, node.name, 10_000)
+
+    def test_random_sampling(self, trained_tiny_model, rng):
+        dists = model_weight_distributions(trained_tiny_model, n_filters=4, rng=rng)
+        assert len(dists) == 4
+
+    def test_variance_reduction_positive(self, trained_tiny_model):
+        """Trained weight distributions must yield a variance-reduction factor > 1
+        for most layers — the Fig. 1 argument for why the control variate works."""
+        factors = model_variance_reduction(trained_tiny_model, m=2)
+        values = np.array(list(factors.values()))
+        assert (values > 1.0).mean() > 0.8
+
+
+class TestEndToEnd:
+    def test_full_pipeline(self, tiny_executor, tiny_dataset, trained_tiny_model):
+        """Train -> quantize -> approximate inference -> hardware/energy accounting.
+
+        Asserts the paper's headline relationships on the tiny setup:
+        the control variate keeps accuracy close to the accurate design while
+        the modeled accelerator consumes less power and energy.
+        """
+        images, labels = tiny_dataset.test_images, tiny_dataset.test_labels
+        baseline_acc = accuracy(
+            tiny_executor.predict(images, ExecutionPlan.uniform(AccurateProduct())), labels
+        )
+        ours_acc = accuracy(
+            tiny_executor.predict(images, ExecutionPlan.uniform(PerforatedProduct(2, True))),
+            labels,
+        )
+        plain_acc = accuracy(
+            tiny_executor.predict(images, ExecutionPlan.uniform(PerforatedProduct(2, False))),
+            labels,
+        )
+        assert baseline_acc - ours_acc <= 0.12
+        assert ours_acc >= plain_acc
+
+        accurate_cfg = AcceleratorConfig.accurate(64)
+        ours_cfg = AcceleratorConfig.make(64, 2, use_control_variate=True)
+        shapes = layer_shapes_of_model(trained_tiny_model, tiny_dataset.image_shape)
+        accurate_energy = network_energy(
+            shapes, accurate_cfg, array_cost(accurate_cfg).power_mw
+        )
+        ours_energy = network_energy(shapes, ours_cfg, array_cost(ours_cfg).power_mw)
+        assert ours_energy.total_energy_nj < accurate_energy.total_energy_nj
+        reduction = 1 - ours_energy.total_energy_nj / accurate_energy.total_energy_nj
+        assert 0.25 < reduction < 0.45  # ~35 % at m = 2, as in the paper

@@ -1,0 +1,181 @@
+"""Tests of the Fig. 5 techniques (ours + the three state-of-the-art baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.alwann import AlwannBaseline, tune_weights
+from repro.baselines.base import TechniqueResult, evaluate_plan_accuracy
+from repro.baselines.ours import ControlVariateTechnique
+from repro.baselines.reconfigurable import ReconfigurableBaseline
+from repro.baselines.weight_oriented import WeightOrientedBaseline, WeightOrientedProduct
+from repro.core.control_variate import ControlVariate
+from repro.hardware.area_power import array_cost
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.library import MultiplierLibrary
+from repro.multipliers.perforated import PerforatedMultiplier
+from repro.multipliers.truncated import TruncatedMultiplier
+from repro.simulation.inference import AccurateProduct, ExecutionPlan
+
+
+@pytest.fixture(scope="module")
+def library():
+    return MultiplierLibrary.synthetic_evoapprox(seed=4, n_evolved=3)
+
+
+@pytest.fixture(scope="module")
+def eval_data(tiny_dataset):
+    return tiny_dataset.test_images[:48], tiny_dataset.test_labels[:48]
+
+
+class TestWeightTuning:
+    def test_identity_for_accurate_multiplier(self, rng):
+        codes = rng.integers(0, 256, size=(9, 4)).astype(np.uint8)
+        tuned = tune_weights(codes, AccurateMultiplier())
+        assert np.array_equal(tuned, codes)
+
+    def test_reduces_expected_error(self, rng):
+        """Tuned weights never increase the mean absolute product error."""
+        mult = TruncatedMultiplier(weight_bits=2, activation_bits=0)
+        codes = rng.integers(0, 256, size=(30, 3)).astype(np.uint8)
+        acts = rng.integers(0, 256, size=2000)
+        lut = mult.build_lut()
+
+        def mean_error(weight_codes):
+            w = weight_codes.astype(np.int64).reshape(-1)
+            return np.abs(
+                lut[w[:, None], acts[None, :]] - codes.astype(np.int64).reshape(-1)[:, None] * acts[None, :]
+            ).mean()
+
+        tuned = tune_weights(codes, mult)
+        assert mean_error(tuned) <= mean_error(codes) + 1e-9
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            tune_weights(np.array([300]), AccurateMultiplier())
+
+    def test_respects_search_radius(self, rng):
+        codes = rng.integers(5, 250, size=(10, 2)).astype(np.uint8)
+        tuned = tune_weights(codes, TruncatedMultiplier(2, 0), search_radius=2)
+        assert np.abs(tuned.astype(int) - codes.astype(int)).max() <= 2
+
+    def test_activation_distribution_used(self, rng):
+        codes = rng.integers(0, 256, size=(6, 2)).astype(np.uint8)
+        acts = rng.integers(0, 32, size=500)
+        tuned = tune_weights(codes, TruncatedMultiplier(1, 1), activation_codes=acts)
+        assert tuned.shape == codes.shape
+
+
+class TestWeightOrientedProduct:
+    def test_threshold_zero_means_all_conservative(self, rng):
+        acts = rng.integers(0, 256, size=(7, 12))
+        weights = rng.integers(0, 256, size=(12, 5))
+        cv = ControlVariate.from_weight_matrix(weights)
+        product = WeightOrientedProduct(m_low=0, m_high=2, threshold=0, compensate_mean=False)
+        assert np.array_equal(product.product_sums(acts, weights, cv), acts @ weights)
+
+    def test_threshold_max_means_all_aggressive(self, rng):
+        from repro.core.approx_conv import perforated_product_sums
+
+        acts = rng.integers(0, 256, size=(7, 12))
+        weights = rng.integers(0, 256, size=(12, 5))
+        cv = ControlVariate.from_weight_matrix(weights)
+        product = WeightOrientedProduct(m_low=2, m_high=2, threshold=256, compensate_mean=False)
+        assert np.array_equal(
+            product.product_sums(acts, weights, cv),
+            perforated_product_sums(acts, weights, 2),
+        )
+
+    def test_mean_compensation_reduces_bias(self, rng):
+        acts = rng.integers(0, 256, size=(400, 24))
+        weights = rng.integers(0, 256, size=(24, 3))
+        cv = ControlVariate.from_weight_matrix(weights)
+        exact = acts @ weights
+        plain = WeightOrientedProduct(1, 2, threshold=128, compensate_mean=False)
+        comp = WeightOrientedProduct(1, 2, threshold=128, compensate_mean=True)
+        bias_plain = np.abs((exact - plain.product_sums(acts, weights, cv)).mean())
+        bias_comp = np.abs((exact - comp.product_sums(acts, weights, cv)).mean())
+        assert bias_comp < bias_plain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightOrientedProduct(3, 2, 10)
+        with pytest.raises(ValueError):
+            WeightOrientedProduct(0, 2, 300)
+
+    def test_mode_masks(self, rng):
+        weights = np.array([[10, 200], [150, 90]])
+        product = WeightOrientedProduct(0, 2, threshold=100)
+        assert np.array_equal(product.mode_masks(weights), np.array([[True, False], [False, True]]))
+
+
+class TestTechniques:
+    def test_ours_technique(self, tiny_executor, eval_data):
+        technique = ControlVariateTechnique(m=2, array_size=32)
+        result = technique.apply(tiny_executor, *eval_data)
+        assert isinstance(result, TechniqueResult)
+        assert result.extra_cycles_per_layer == 1
+        accurate_power = array_cost(AcceleratorConfig.accurate(32)).power_mw
+        assert result.array_power_mw < accurate_power
+        assert result.accuracy_loss_percent < 20.0
+
+    def test_alwann_selects_feasible_multiplier(self, tiny_executor, eval_data, library):
+        technique = AlwannBaseline(library, array_size=32, max_accuracy_drop=0.05)
+        result = technique.apply(tiny_executor, *eval_data)
+        assert result.technique == "alwann"
+        assert result.extra_cycles_per_layer == 0
+        assert result.baseline_accuracy - result.accuracy <= 0.05 + 0.1
+        assert "multiplier" in result.details
+
+    def test_alwann_impossible_budget_falls_back_to_accurate(
+        self, tiny_executor, eval_data, library
+    ):
+        technique = AlwannBaseline(
+            library, array_size=32, max_accuracy_drop=-1.0, apply_weight_tuning=False
+        )
+        result = technique.apply(tiny_executor, *eval_data)
+        assert result.details["multiplier"] == "accurate"
+        accurate_power = array_cost(AcceleratorConfig.accurate(32)).power_mw
+        assert result.array_power_mw == pytest.approx(accurate_power, rel=1e-6)
+
+    def test_weight_oriented_within_budget(self, tiny_executor, eval_data):
+        technique = WeightOrientedBaseline(array_size=32, max_accuracy_drop=0.05)
+        result = technique.apply(tiny_executor, *eval_data)
+        assert result.technique == "weight_oriented"
+        assert result.baseline_accuracy - result.accuracy <= 0.05 + 0.1
+        assert "configuration" in result.details
+
+    def test_reconfigurable_assignment(self, tiny_executor, eval_data):
+        technique = ReconfigurableBaseline(array_size=32, max_accuracy_drop=0.05)
+        result = technique.apply(tiny_executor, *eval_data)
+        assert result.technique == "reconfigurable"
+        assignment = result.details["assignment"]
+        assert set(assignment) == set(tiny_executor.mac_layer_names())
+        assert all(m in (0, 1, 2) for m in assignment.values())
+
+    def test_reconfigurable_validation(self):
+        with pytest.raises(ValueError):
+            ReconfigurableBaseline(accuracy_levels=(0,))
+
+    def test_ordering_ours_saves_most_power(self, tiny_executor, eval_data, library):
+        """Our technique's array power is the lowest among the four techniques
+        (the driver of the Fig. 5 energy ordering)."""
+        ours = ControlVariateTechnique(m=2, array_size=32).apply(tiny_executor, *eval_data)
+        alwann = AlwannBaseline(library, array_size=32, max_accuracy_drop=0.02).apply(
+            tiny_executor, *eval_data
+        )
+        woa = WeightOrientedBaseline(array_size=32, max_accuracy_drop=0.02).apply(
+            tiny_executor, *eval_data
+        )
+        reconf = ReconfigurableBaseline(array_size=32, max_accuracy_drop=0.02).apply(
+            tiny_executor, *eval_data
+        )
+        assert ours.array_power_mw < min(
+            alwann.array_power_mw, woa.array_power_mw, reconf.array_power_mw
+        )
+
+    def test_evaluate_plan_accuracy_helper(self, tiny_executor, eval_data):
+        acc = evaluate_plan_accuracy(
+            tiny_executor, ExecutionPlan.uniform(AccurateProduct()), *eval_data
+        )
+        assert 0.0 <= acc <= 1.0

@@ -1,0 +1,68 @@
+"""Tests of the CLI and smoke tests of the fast example scripts."""
+
+import runpy
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_hardware_command(self, capsys):
+        assert main(["hardware", "--array-sizes", "16", "--perforations", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "norm. power" in out
+        assert out.count("\n") >= 4  # title + header + separator + 2 rows
+
+    def test_error_model_command(self, capsys):
+        assert main(["error-model", "--m", "1", "--taps", "32", "--trials", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "ours (+V)" in out and "w/o V" in out
+
+    def test_accuracy_command_small(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "accuracy",
+                    "--model",
+                    "vgg13",
+                    "--classes",
+                    "10",
+                    "--epochs",
+                    "1",
+                    "--perforations",
+                    "1",
+                    "--max-eval-images",
+                    "16",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ours loss" in out
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["accuracy", "--model", "alexnet"])
+
+
+class TestExamples:
+    """The fast examples must run end to end (the training-heavy ones are
+    exercised indirectly through the campaign tests and benches)."""
+
+    @pytest.mark.parametrize(
+        "script",
+        ["examples/quickstart.py", "examples/accelerator_design_space.py"],
+    )
+    def test_example_runs(self, script, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", [script])
+        runpy.run_path(script, run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 5

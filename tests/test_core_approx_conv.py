@@ -1,0 +1,158 @@
+"""Tests of the approximate product-sum paths and the accelerator config."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.core.approx_conv import (
+    ApproximationMode,
+    accurate_product_sums,
+    lut_product_sums,
+    perforated_product_sums,
+    product_sums,
+)
+from repro.core.control_variate import ControlVariate
+from repro.multipliers.lut import build_lut
+from repro.multipliers.perforated import PerforatedMultiplier
+
+
+@pytest.fixture
+def operands(rng):
+    acts = rng.integers(0, 256, size=(23, 40), dtype=np.int64)
+    weights = rng.integers(0, 256, size=(40, 11), dtype=np.int64)
+    return acts, weights
+
+
+class TestAccurateProductSums:
+    def test_is_matmul(self, operands):
+        acts, weights = operands
+        assert np.array_equal(accurate_product_sums(acts, weights), acts @ weights)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            accurate_product_sums(np.zeros((3, 4)), np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            accurate_product_sums(np.zeros(4), np.zeros((4, 2)))
+
+
+class TestPerforatedProductSums:
+    def test_equals_per_element_lut_without_cv(self, operands):
+        """The analytical fast path is bit-identical to the LUT emulation."""
+        acts, weights = operands
+        for m in (1, 2, 3):
+            fast = perforated_product_sums(acts, weights, m)
+            lut = lut_product_sums(acts, weights, build_lut(PerforatedMultiplier(m)))
+            assert np.array_equal(fast, lut)
+
+    def test_error_decomposition(self, operands):
+        """exact - approx = sum_j W_j x_j per output (eq. (2) + eq. (5))."""
+        acts, weights = operands
+        m = 2
+        x = acts & 3
+        expected_error = x @ weights
+        approx = perforated_product_sums(acts, weights, m)
+        assert np.array_equal(acts @ weights - approx, expected_error)
+
+    def test_control_variate_correction_value(self, operands):
+        acts, weights = operands
+        m = 2
+        cv = ControlVariate.from_weight_matrix(weights, quantize=False)
+        corrected = perforated_product_sums(acts, weights, m, cv)
+        x_sums = (acts & 3).sum(axis=1)
+        expected = perforated_product_sums(acts, weights, m) + np.outer(x_sums, cv.constants)
+        assert np.allclose(corrected, expected)
+
+    def test_quantized_constants_give_integer_sums(self, operands):
+        acts, weights = operands
+        cv = ControlVariate.from_weight_matrix(weights, quantize=True)
+        out = perforated_product_sums(acts, weights, 1, cv)
+        assert out.dtype == np.int64
+
+    def test_cv_reduces_error_variance(self, operands):
+        acts, weights = operands
+        m = 3
+        exact = acts @ weights
+        cv = ControlVariate.from_weight_matrix(weights, quantize=False)
+        err_with = exact - perforated_product_sums(acts, weights, m, cv)
+        err_without = exact - perforated_product_sums(acts, weights, m)
+        assert err_with.var() < err_without.var()
+        assert abs(err_with.mean()) < abs(err_without.mean())
+
+    def test_filter_count_mismatch_rejected(self, operands):
+        acts, weights = operands
+        cv = ControlVariate(constants=np.zeros(3))
+        with pytest.raises(ValueError):
+            perforated_product_sums(acts, weights, 1, cv)
+
+    def test_invalid_m_rejected(self, operands):
+        acts, weights = operands
+        with pytest.raises(ValueError):
+            perforated_product_sums(acts, weights, 8)
+
+    @given(m=st.integers(1, 7), patches=st.integers(1, 8), taps=st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_m_zero_bits_never_increase_result(self, m, patches, taps):
+        rng = np.random.default_rng(m * 1000 + patches * 10 + taps)
+        acts = rng.integers(0, 256, size=(patches, taps))
+        weights = rng.integers(0, 256, size=(taps, 3))
+        approx = perforated_product_sums(acts, weights, m)
+        assert (approx <= acts @ weights).all()
+
+
+class TestLutProductSums:
+    def test_chunking_consistency(self, operands):
+        acts, weights = operands
+        lut = build_lut(PerforatedMultiplier(2))
+        small = lut_product_sums(acts, weights, lut, chunk_patches=3)
+        large = lut_product_sums(acts, weights, lut, chunk_patches=1000)
+        assert np.array_equal(small, large)
+
+
+class TestDispatch:
+    def test_all_modes(self, operands):
+        acts, weights = operands
+        accurate = product_sums(acts, weights, ApproximationMode.ACCURATE)
+        assert np.array_equal(accurate, acts @ weights)
+        perforated = product_sums(acts, weights, ApproximationMode.PERFORATED, m=2)
+        assert np.array_equal(perforated, perforated_product_sums(acts, weights, 2))
+        cv_mode = product_sums(acts, weights, ApproximationMode.PERFORATED_CV, m=2)
+        default_cv = ControlVariate.from_weight_matrix(weights)
+        assert np.array_equal(
+            cv_mode, perforated_product_sums(acts, weights, 2, default_cv)
+        )
+
+    def test_uses_control_variate_property(self):
+        assert ApproximationMode.PERFORATED_CV.uses_control_variate
+        assert not ApproximationMode.PERFORATED.uses_control_variate
+
+
+class TestAcceleratorConfig:
+    def test_mode_derivation(self):
+        assert AcceleratorConfig.accurate(32).mode is ApproximationMode.ACCURATE
+        assert AcceleratorConfig.make(32, 2).mode is ApproximationMode.PERFORATED_CV
+        assert (
+            AcceleratorConfig.make(32, 2, use_control_variate=False).mode
+            is ApproximationMode.PERFORATED
+        )
+
+    def test_columns_include_mac_plus(self):
+        assert AcceleratorConfig.make(16, 1).columns == 17
+        assert AcceleratorConfig.make(16, 1, use_control_variate=False).columns == 16
+        assert AcceleratorConfig.accurate(16).columns == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(array_size=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(array_size=8, perforation=9)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(array_size=8, clock_ns=0.0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(array_size=8, activation_bits=4)
+
+    def test_describe(self):
+        assert "accurate" in AcceleratorConfig.accurate(64).describe()
+        assert "m=2" in AcceleratorConfig.make(64, 2).describe()
+        assert "w/o V" in AcceleratorConfig.make(64, 2, use_control_variate=False).describe()

@@ -1,0 +1,176 @@
+"""Tests of the control variate and the closed-form error model (Section III)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.control_variate import (
+    ControlVariate,
+    optimal_control_constant,
+    quantize_control_constant,
+)
+from repro.core.error_model import (
+    convolution_error_stats,
+    simulate_convolution_error,
+    variance_reduction_factor,
+)
+
+weight_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(2, 64),
+    elements=st.integers(0, 255),
+)
+
+
+class TestOptimalControlConstant:
+    def test_is_the_mean(self, rng):
+        weights = rng.integers(0, 256, size=50)
+        assert optimal_control_constant(weights) == pytest.approx(weights.mean())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_control_constant(np.array([]))
+
+    @given(weights=weight_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_mean_minimizes_corrected_variance(self, weights):
+        """Eq. (11): C = E[W] minimizes sum_j (W_j - C)^2, hence Var(eps_G*)."""
+        c_opt = optimal_control_constant(weights)
+        best = convolution_error_stats(weights, 2, control_constant=c_opt).variance
+        for delta in (-7.0, -1.0, 1.0, 7.0):
+            other = convolution_error_stats(weights, 2, control_constant=c_opt + delta).variance
+            assert best <= other + 1e-9
+
+    def test_quantize_control_constant(self):
+        assert quantize_control_constant(127.4) == 127
+        assert quantize_control_constant(300.0) == 255
+        assert quantize_control_constant(-3.0) == 0
+        with pytest.raises(ValueError):
+            quantize_control_constant(10.0, bits=0)
+
+
+class TestControlVariateObject:
+    def test_from_weight_matrix(self, rng):
+        codes = rng.integers(0, 256, size=(36, 8))
+        cv = ControlVariate.from_weight_matrix(codes, quantize=False)
+        assert cv.n_filters == 8
+        assert np.allclose(cv.constants, codes.mean(axis=0))
+
+    def test_quantized_constants_are_integers(self, rng):
+        codes = rng.integers(0, 256, size=(10, 4))
+        cv = ControlVariate.from_weight_matrix(codes, quantize=True)
+        assert np.allclose(cv.constants, np.round(cv.constants))
+        assert cv.constants.max() <= 255
+
+    def test_correction_shape_and_value(self):
+        cv = ControlVariate(constants=np.array([2.0, 3.0]), quantized=False)
+        correction = cv.correction(np.array([1, 4, 10]))
+        assert correction.shape == (3, 2)
+        assert np.allclose(correction, np.array([[2, 3], [8, 12], [20, 30]]))
+
+    def test_memory_overhead(self):
+        cv = ControlVariate(constants=np.zeros(64))
+        assert cv.memory_overhead_bits() == 64 * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControlVariate(constants=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            ControlVariate.from_weight_matrix(np.zeros(5))
+
+
+class TestConvolutionErrorStats:
+    def test_eq3_without_control_variate(self):
+        """E = E[x] sum W ; Var = Var(x) sum W^2 (eq. (3) specialised to perforation)."""
+        weights = np.array([10.0, 20.0, 30.0])
+        m = 2
+        x = np.arange(1 << m)
+        stats = convolution_error_stats(weights, m, use_control_variate=False)
+        assert stats.mean == pytest.approx(x.mean() * weights.sum())
+        assert stats.variance == pytest.approx(x.var() * (weights**2).sum())
+
+    def test_eq12_mean_is_nullified(self, rng):
+        weights = rng.integers(0, 256, size=40)
+        stats = convolution_error_stats(weights, 3, use_control_variate=True)
+        assert stats.mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_eq10_variance_formula(self, rng):
+        weights = rng.integers(0, 256, size=25).astype(float)
+        m = 2
+        c = weights.mean()
+        stats = convolution_error_stats(weights, m, use_control_variate=True)
+        levels = 1 << m
+        expected = (levels - 1) * (levels + 1) / 12.0 * ((weights - c) ** 2).sum()
+        assert stats.variance == pytest.approx(expected)
+
+    def test_identical_weights_give_zero_variance(self):
+        stats = convolution_error_stats(np.full(9, 120.0), 3, use_control_variate=True)
+        assert stats.variance == pytest.approx(0.0)
+        assert variance_reduction_factor(np.full(9, 120.0), 3) == np.inf
+
+    def test_m_zero_is_error_free(self, rng):
+        weights = rng.integers(0, 256, size=10)
+        for cv in (True, False):
+            stats = convolution_error_stats(weights, 0, use_control_variate=cv)
+            assert stats.mean == 0.0
+            assert stats.variance == 0.0
+
+    def test_variance_grows_with_m(self, rng):
+        """Section III: the larger m, the larger the error variance."""
+        weights = rng.integers(0, 256, size=30)
+        variances = [
+            convolution_error_stats(weights, m, use_control_variate=True).variance
+            for m in (1, 2, 3, 4)
+        ]
+        assert variances == sorted(variances)
+
+    @given(weights=weight_arrays, m=st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_control_variate_never_increases_variance(self, weights, m):
+        with_cv = convolution_error_stats(weights, m, use_control_variate=True).variance
+        without = convolution_error_stats(weights, m, use_control_variate=False).variance
+        assert with_cv <= without + 1e-9
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            convolution_error_stats(np.array([]), 1)
+
+    def test_std_property(self):
+        stats = convolution_error_stats(np.array([1.0, 2.0]), 1, use_control_variate=False)
+        assert stats.std == pytest.approx(np.sqrt(stats.variance))
+
+
+class TestMonteCarloValidation:
+    def test_simulation_matches_closed_form(self, rng):
+        """Monte-Carlo convolution errors reproduce eqs. (3), (10), (12)."""
+        weights = rng.integers(30, 220, size=64)
+        m = 2
+        for use_cv in (True, False):
+            errors = simulate_convolution_error(
+                weights, m, n_trials=20000, use_control_variate=use_cv, rng=rng
+            )
+            stats = convolution_error_stats(weights, m, use_control_variate=use_cv)
+            assert errors.mean() == pytest.approx(stats.mean, abs=4 * stats.std / np.sqrt(20000) + 1e-9)
+            assert errors.var() == pytest.approx(stats.variance, rel=0.1)
+
+    def test_custom_control_constant(self, rng):
+        weights = rng.integers(0, 256, size=16)
+        errors = simulate_convolution_error(
+            weights, 1, n_trials=500, control_constant=0.0, rng=rng
+        )
+        reference = simulate_convolution_error(
+            weights, 1, n_trials=500, use_control_variate=False, rng=rng
+        )
+        # C = 0 means the control variate adds nothing.
+        assert errors.var() == pytest.approx(reference.var(), rel=0.25)
+
+    def test_empty_weights_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_convolution_error(np.array([]), 1, rng=rng)
+
+    def test_variance_reduction_factor_positive(self, rng):
+        weights = rng.integers(60, 200, size=100)
+        factor = variance_reduction_factor(weights, 2)
+        assert factor > 1.0

@@ -1,0 +1,283 @@
+"""Tests of the hardware cost models (Table I exactly, Fig. 4 / Table II trends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator_model import AcceleratorConfig
+from repro.hardware.activity import (
+    activity_weighted_multiplier_power,
+    bit_toggle_rates,
+    partial_product_activity,
+)
+from repro.hardware.area_power import (
+    array_cost,
+    array_cost_from_multiplier,
+    mac_plus_cost,
+    mac_star_cost,
+    mac_unit_cost,
+    macplus_area_share,
+    macplus_power_share,
+    normalized_array_area,
+    normalized_array_power,
+)
+from repro.hardware.components import (
+    accumulator_bits,
+    adder_full_adders,
+    array_multiplier_full_adders,
+    mac_plus_full_adders,
+    mac_star_full_adders,
+    mac_unit_full_adders,
+    perforated_multiplier_full_adders,
+    sumx_accumulator_bits,
+)
+from repro.hardware.full_adders import (
+    mac_plus_fa_increase,
+    mac_star_fa_decrease,
+    table_i,
+    total_fa_decrease,
+)
+from repro.hardware.technology import GENERIC_14NM, TechnologyModel
+
+
+class TestComponents:
+    def test_accumulator_bits(self):
+        assert accumulator_bits(64) == 22
+        assert accumulator_bits(16) == 20
+        with pytest.raises(ValueError):
+            accumulator_bits(0)
+
+    def test_sumx_accumulator_bits(self):
+        assert sumx_accumulator_bits(64, 1) == 6
+        assert sumx_accumulator_bits(64, 2) == 8
+        assert sumx_accumulator_bits(16, 3) == 7
+        with pytest.raises(ValueError):
+            sumx_accumulator_bits(16, 0)
+
+    def test_multiplier_full_adders(self):
+        assert array_multiplier_full_adders(8, 8) == 56
+        assert array_multiplier_full_adders(4, 8) == 28
+        with pytest.raises(ValueError):
+            array_multiplier_full_adders(0, 8)
+
+    def test_perforated_multiplier_drops_8m(self):
+        for m in range(4):
+            assert perforated_multiplier_full_adders(m) == 56 - 8 * m
+        with pytest.raises(ValueError):
+            perforated_multiplier_full_adders(8)
+
+    def test_adder_full_adders(self):
+        assert adder_full_adders(22) == 22
+        assert adder_full_adders(8, ripple_with_half_adder=True) == 7.5
+        with pytest.raises(ValueError):
+            adder_full_adders(0)
+
+    def test_mac_unit_decomposition(self):
+        assert mac_unit_full_adders(64) == 56 + 22
+        assert mac_star_full_adders(64, 1) == (56 - 8) + 21 + 5.5
+        assert mac_plus_full_adders(64, 1) == 7 * 6 + 21.5
+        with pytest.raises(ValueError):
+            mac_star_full_adders(64, 0)
+        with pytest.raises(ValueError):
+            mac_plus_full_adders(64, 0)
+
+
+class TestTableI:
+    """Exact reproduction of every number in Table I of the paper."""
+
+    PAPER_TABLE = {
+        # (m, N): (MAC* decrease, MAC+ increase, total decrease)
+        (1, 16): (1408, 760, 648),
+        (1, 32): (4608, 1776, 2832),
+        (1, 48): (8064, 3048, 5016),
+        (1, 64): (14336, 4064, 10272),
+        (2, 16): (3200, 984, 2216),
+        (2, 32): (11776, 2224, 9552),
+        (2, 48): (24192, 3720, 20472),
+        (2, 64): (43008, 4960, 38048),
+    }
+
+    @pytest.mark.parametrize("key,expected", sorted(PAPER_TABLE.items()))
+    def test_each_cell(self, key, expected):
+        m, n = key
+        assert mac_star_fa_decrease(n, m) == pytest.approx(expected[0])
+        assert mac_plus_fa_increase(n, m) == pytest.approx(expected[1])
+        assert total_fa_decrease(n, m) == pytest.approx(expected[2])
+
+    def test_table_generator_covers_grid(self):
+        rows = table_i()
+        assert len(rows) == 8
+        for row in rows:
+            expected = self.PAPER_TABLE[(row.m, row.array_size)]
+            assert row.total_decrease == pytest.approx(expected[2])
+
+    def test_per_unit_closed_form(self):
+        """MAC* saves 9m - ceil(log2(N(2^m-1))) + 0.5 FAs (paper, Section IV)."""
+        for n in (16, 32, 48, 64):
+            for m in (1, 2, 3):
+                per_unit = mac_star_fa_decrease(n, m) / (n * n)
+                expected = 9 * m - sumx_accumulator_bits(n, m) + 0.5
+                assert per_unit == pytest.approx(expected)
+
+    def test_mac_plus_overhead_grows_slower_than_savings(self):
+        """Savings are O(N^2), overhead O(N): the ratio grows with N."""
+        ratios = [
+            mac_star_fa_decrease(n, 1) / mac_plus_fa_increase(n, 1) for n in (16, 32, 64)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[0] > 1.0  # even at N=16 the savings dominate (paper: 2.59x)
+        assert ratios[0] == pytest.approx(1408 / 760)
+
+
+class TestTechnology:
+    def test_default_instance_valid(self):
+        assert GENERIC_14NM.perforated_power_factor(0) == 1.0
+        assert GENERIC_14NM.perforated_power_factor(2) < GENERIC_14NM.perforated_power_factor(1)
+        assert GENERIC_14NM.clock_ns == pytest.approx(1.0)
+
+    def test_unsupported_m_rejected(self):
+        with pytest.raises(ValueError):
+            GENERIC_14NM.perforated_power_factor(9)
+        with pytest.raises(ValueError):
+            GENERIC_14NM.perforated_area_factor(-1)
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            TechnologyModel(mac_power_shares=(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            TechnologyModel(macplus_activity_factor=0.0)
+        with pytest.raises(ValueError):
+            TechnologyModel(ripple_adder_power_factor=2.0)
+
+
+class TestAreaPowerModel:
+    def test_mac_unit_cost_positive(self):
+        cost = mac_unit_cost(64)
+        assert cost.power_uw > 0 and cost.area_um2 > 0 and cost.delay_ns > 0
+        assert cost.power_mw == pytest.approx(cost.power_uw / 1e3)
+        assert cost.area_mm2 == pytest.approx(cost.area_um2 / 1e6)
+
+    def test_mac_star_cheaper_than_mac(self):
+        for m in (1, 2, 3):
+            star = mac_star_cost(64, m)
+            base = mac_unit_cost(64)
+            assert star.power_uw < base.power_uw
+            assert star.delay_ns <= base.delay_ns
+
+    def test_mac_star_requires_m(self):
+        with pytest.raises(ValueError):
+            mac_star_cost(64, 0)
+        with pytest.raises(ValueError):
+            mac_plus_cost(64, 0)
+
+    def test_mac_plus_much_cheaper_than_mac(self):
+        plus = mac_plus_cost(64, 2)
+        base = mac_unit_cost(64)
+        assert plus.power_uw < 0.5 * base.power_uw
+
+    def test_array_cost_scaling(self):
+        small = array_cost(AcceleratorConfig.accurate(16))
+        large = array_cost(AcceleratorConfig.accurate(64))
+        assert large.power_uw == pytest.approx(16 * small.power_uw, rel=0.05)
+
+    @pytest.mark.parametrize("n", [16, 32, 48, 64])
+    def test_fig4_power_bands(self, n):
+        """Power reduction per m lands in the band reported in Fig. 4a."""
+        reductions = {
+            m: 1.0 - normalized_array_power(AcceleratorConfig.make(n, m)) for m in (1, 2, 3)
+        }
+        assert 0.18 <= reductions[1] <= 0.30
+        assert 0.30 <= reductions[2] <= 0.42
+        assert 0.45 <= reductions[3] <= 0.60
+        assert reductions[1] < reductions[2] < reductions[3]
+
+    def test_fig4_power_nearly_independent_of_n(self):
+        values = [
+            normalized_array_power(AcceleratorConfig.make(n, 2)) for n in (16, 32, 48, 64)
+        ]
+        assert max(values) - min(values) < 0.02
+
+    def test_fig4_area_trends(self):
+        """m=1 keeps area almost unchanged; area gains grow with m (Fig. 4b)."""
+        areas = {
+            m: normalized_array_area(AcceleratorConfig.make(64, m)) for m in (1, 2, 3)
+        }
+        assert areas[1] > 0.95
+        assert areas[1] > areas[2] > areas[3]
+        assert areas[3] < 0.90
+
+    def test_table2_macplus_shares_small_and_shrinking(self):
+        """MAC+ consumes < 2.5 % of the array and its share shrinks with N."""
+        for m in (1, 2, 3):
+            shares = [
+                macplus_power_share(AcceleratorConfig.make(n, m)) for n in (16, 32, 48, 64)
+            ]
+            assert all(share < 0.025 for share in shares)
+            assert shares == sorted(shares, reverse=True)
+            area_shares = [
+                macplus_area_share(AcceleratorConfig.make(n, m)) for n in (16, 32, 48, 64)
+            ]
+            assert all(share < 0.025 for share in area_shares)
+
+    def test_macplus_share_requires_cv_config(self):
+        with pytest.raises(ValueError):
+            macplus_power_share(AcceleratorConfig.accurate(64))
+        with pytest.raises(ValueError):
+            macplus_area_share(AcceleratorConfig.make(64, 2, use_control_variate=False))
+
+    def test_array_cost_from_multiplier(self):
+        accurate = array_cost_from_multiplier(1.0, 1.0, 64)
+        cheaper = array_cost_from_multiplier(0.5, 0.6, 64)
+        overhead = array_cost_from_multiplier(0.5, 0.6, 64, multiplier_overhead=1.3)
+        assert cheaper.power_uw < accurate.power_uw
+        assert cheaper.power_uw < overhead.power_uw < accurate.power_uw
+        assert accurate.power_uw == pytest.approx(
+            array_cost(AcceleratorConfig.accurate(64)).power_uw
+        )
+        with pytest.raises(ValueError):
+            array_cost_from_multiplier(0.5, 0.5, 64, multiplier_overhead=0.9)
+
+    def test_scaled_and_add(self):
+        a = mac_unit_cost(16)
+        total = a.scaled(2) + a.scaled(3)
+        assert total.power_uw == pytest.approx(5 * a.power_uw)
+        assert total.delay_ns == pytest.approx(a.delay_ns)
+
+
+class TestActivity:
+    def test_toggle_rates_of_counter(self):
+        """A binary counter toggles bit 0 every step, bit 1 every other step, ..."""
+        rates = bit_toggle_rates(np.arange(256), bits=8)
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[1] == pytest.approx(0.5, abs=0.01)
+        assert rates[7] < rates[0]
+
+    def test_toggle_rates_need_two_samples(self):
+        with pytest.raises(ValueError):
+            bit_toggle_rates(np.array([3]))
+
+    def test_lsb_rows_most_active_for_real_traffic(self, rng):
+        acts = rng.integers(0, 256, size=4000)
+        weights = rng.integers(0, 256, size=4000)
+        activity = partial_product_activity(weights, acts)
+        # Low-significance activation bits toggle at ~0.5, the MSB of a
+        # uniform stream also toggles ~0.5; compare against a *peaked*
+        # activation distribution where MSBs are almost static.
+        peaked = rng.integers(0, 64, size=4000)
+        peaked_activity = partial_product_activity(weights, peaked)
+        assert peaked_activity[0] > peaked_activity[7]
+
+    def test_activity_weighted_power_between_bounds(self, rng):
+        acts = rng.integers(0, 200, size=3000)
+        weights = rng.integers(0, 256, size=3000)
+        for m in (1, 2, 3):
+            remaining = activity_weighted_multiplier_power(weights, acts, m)
+            assert 0.0 < remaining < 1.0
+            # Must save at least the uniform-activity share of the removed rows.
+            assert remaining < 1.0 - 0.5 * m / 8
+
+    def test_activity_weighted_power_m_zero(self, rng):
+        acts = rng.integers(0, 256, size=100)
+        weights = rng.integers(0, 256, size=100)
+        assert activity_weighted_multiplier_power(weights, acts, 0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            activity_weighted_multiplier_power(weights, acts, 8)

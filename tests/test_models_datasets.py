@@ -1,0 +1,170 @@
+"""Tests of the model zoo and the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cifar import load_cifar_like
+from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
+from repro.models.googlenet import build_googlenet
+from repro.models.resnet import build_resnet
+from repro.models.shufflenet import build_shufflenet
+from repro.models.vgg import build_vgg
+from repro.models.zoo import MODEL_NAMES, build_model, model_spec
+
+
+class TestModelZoo:
+    def test_registry_contains_papers_six_networks(self):
+        assert set(MODEL_NAMES) == {
+            "googlenet",
+            "resnet44",
+            "resnet56",
+            "shufflenet",
+            "vgg13",
+            "vgg16",
+        }
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            model_spec("alexnet")
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_forward_shapes(self, name, rng):
+        model = build_model(name, num_classes=10, rng=rng)
+        out = model.forward(rng.uniform(size=(2, 16, 16, 3)))
+        assert out.shape == (2, 10)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_num_classes_respected(self, name, rng):
+        model = build_model(name, num_classes=7, rng=rng)
+        assert model.forward(rng.uniform(size=(1, 16, 16, 3))).shape == (1, 7)
+
+    def test_depth_ordering_preserved(self, rng):
+        """ResNet-56-like is deeper (more conv layers) than ResNet-44-like,
+        and VGG-16-like deeper than VGG-13-like — matching the families'
+        ordering in the paper."""
+        def conv_count(name):
+            return len(build_model(name, num_classes=10, rng=rng).conv_dense_nodes())
+
+        assert conv_count("resnet56") > conv_count("resnet44")
+        assert conv_count("vgg16") > conv_count("vgg13")
+
+    def test_models_are_trainable_one_step(self, rng):
+        """Every architecture supports a full forward/backward/update step."""
+        from repro.nn.losses import softmax_cross_entropy
+        from repro.nn.optimizers import SGD
+
+        x = rng.uniform(size=(4, 16, 16, 3))
+        y = rng.integers(0, 3, size=4)
+        for name in MODEL_NAMES:
+            model = build_model(name, num_classes=3, rng=rng)
+            logits = model.forward(x, training=True)
+            loss, grad = softmax_cross_entropy(logits, y)
+            model.backward(grad)
+            SGD(learning_rate=0.01).step(model)
+            assert np.isfinite(model.forward(x)).all(), name
+
+    def test_invalid_depths_rejected(self):
+        with pytest.raises(ValueError):
+            build_vgg(depth=19)
+        with pytest.raises(ValueError):
+            build_resnet(depth=20)
+
+    def test_googlenet_has_concat_branches(self, rng):
+        model = build_googlenet(num_classes=5, rng=rng)
+        layer_types = {type(node.layer).__name__ for node in model.nodes}
+        assert "Concat" in layer_types
+
+    def test_shufflenet_has_shuffle_and_groups(self, rng):
+        model = build_shufflenet(num_classes=5, rng=rng)
+        layer_types = {type(node.layer).__name__ for node in model.nodes}
+        assert "ChannelShuffle" in layer_types
+        groups = {
+            node.layer.groups
+            for node in model.conv_dense_nodes()
+            if hasattr(node.layer, "groups")
+        }
+        assert any(g > 1 for g in groups)
+
+    def test_shufflenet_width_validation(self):
+        with pytest.raises(ValueError):
+            build_shufflenet(base_width=10, groups=4)
+
+
+class TestSyntheticDataset:
+    def test_shapes_and_ranges(self):
+        config = SyntheticCifarConfig(num_classes=5, train_per_class=10, test_per_class=4)
+        ds = make_synthetic_cifar(config)
+        assert ds.train_images.shape == (50, 16, 16, 3)
+        assert ds.test_images.shape == (20, 16, 16, 3)
+        assert ds.train_images.min() >= 0.0 and ds.train_images.max() <= 1.0
+        assert ds.num_classes == 5
+        assert set(np.unique(ds.test_labels)) == set(range(5))
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticCifarConfig(num_classes=3, train_per_class=5, test_per_class=2, seed=9)
+        a = make_synthetic_cifar(config)
+        b = make_synthetic_cifar(config)
+        assert np.array_equal(a.train_images, b.train_images)
+        assert np.array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_cifar(SyntheticCifarConfig(num_classes=3, train_per_class=5, test_per_class=2, seed=1))
+        b = make_synthetic_cifar(SyntheticCifarConfig(num_classes=3, train_per_class=5, test_per_class=2, seed=2))
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_classes_are_separable(self):
+        """A trivial nearest-class-mean classifier should beat chance by a lot,
+        otherwise the dataset would be unlearnable for the CNNs."""
+        ds = make_synthetic_cifar(
+            SyntheticCifarConfig(num_classes=4, train_per_class=30, test_per_class=10, seed=3)
+        )
+        means = np.stack(
+            [ds.train_images[ds.train_labels == c].mean(axis=0) for c in range(4)]
+        )
+        flat_test = ds.test_images.reshape(len(ds.test_images), -1)
+        distances = ((flat_test[:, None, :] - means.reshape(4, -1)[None, :, :]) ** 2).sum(-1)
+        accuracy = (distances.argmin(axis=1) == ds.test_labels).mean()
+        assert accuracy > 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(image_size=4)
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(confusion=1.5)
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(train_per_class=0)
+
+    def test_dataset_properties(self):
+        ds = make_synthetic_cifar(SyntheticCifarConfig(num_classes=3, train_per_class=4, test_per_class=2))
+        assert ds.image_shape == (16, 16, 3)
+        assert ds.n_train == 12
+        assert ds.n_test == 6
+
+
+class TestCifarLoader:
+    def test_falls_back_to_synthetic(self, tmp_path):
+        ds = load_cifar_like(num_classes=10, data_root=str(tmp_path))
+        assert ds.num_classes == 10
+        assert ds.name.startswith("synthetic")
+
+    def test_hundred_class_variant(self, tmp_path):
+        ds = load_cifar_like(
+            num_classes=100,
+            data_root=str(tmp_path),
+            synthetic_config=SyntheticCifarConfig(num_classes=100, train_per_class=2, test_per_class=1),
+        )
+        assert ds.num_classes == 100
+
+    def test_invalid_class_count_rejected(self):
+        with pytest.raises(ValueError):
+            load_cifar_like(num_classes=20)
+
+    def test_mismatched_synthetic_config_rejected(self):
+        with pytest.raises(ValueError):
+            load_cifar_like(
+                num_classes=100,
+                data_root="/nonexistent",
+                synthetic_config=SyntheticCifarConfig(num_classes=10),
+            )

@@ -1,0 +1,186 @@
+"""Behavioural tests of the approximate multiplier models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multipliers import (
+    AccurateMultiplier,
+    CompensatedMultiplier,
+    LUTMultiplier,
+    PerforatedMultiplier,
+    TruncatedMultiplier,
+    apply_lut,
+    build_lut,
+)
+
+operand = st.integers(min_value=0, max_value=255)
+
+
+class TestAccurateMultiplier:
+    def test_exact_products(self, rng):
+        mult = AccurateMultiplier()
+        w = rng.integers(0, 256, size=50)
+        a = rng.integers(0, 256, size=50)
+        assert np.array_equal(mult.multiply(w, a), w * a)
+
+    def test_zero_error(self):
+        assert AccurateMultiplier().error_table().max() == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            AccurateMultiplier().multiply(np.array([256]), np.array([1]))
+        with pytest.raises(ValueError):
+            AccurateMultiplier().multiply(np.array([1]), np.array([-1]))
+
+
+class TestPerforatedMultiplier:
+    def test_m_zero_is_accurate(self, rng):
+        mult = PerforatedMultiplier(0)
+        w = rng.integers(0, 256, size=30)
+        a = rng.integers(0, 256, size=30)
+        assert np.array_equal(mult.multiply(w, a), w * a)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ValueError):
+            PerforatedMultiplier(8)
+        with pytest.raises(ValueError):
+            PerforatedMultiplier(-1)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_error_identity_eq5(self, m, rng):
+        """eps = W * (A mod 2^m) — eq. (5) of the paper, exactly."""
+        mult = PerforatedMultiplier(m)
+        w = rng.integers(0, 256, size=200)
+        a = rng.integers(0, 256, size=200)
+        assert np.array_equal(mult.error(w, a), w * (a & ((1 << m) - 1)))
+
+    @given(w=operand, a=operand, m=st.integers(1, 7))
+    @settings(max_examples=200, deadline=None)
+    def test_error_identity_property(self, w, a, m):
+        mult = PerforatedMultiplier(m)
+        assert int(mult.error(np.array([w]), np.array([a]))[0]) == w * (a % (1 << m))
+
+    @given(w=operand, a=operand, m=st.integers(1, 7))
+    @settings(max_examples=200, deadline=None)
+    def test_product_never_exceeds_exact(self, w, a, m):
+        """Perforation only drops partial products, so approx <= exact."""
+        mult = PerforatedMultiplier(m)
+        assert int(mult.multiply(np.array([w]), np.array([a]))[0]) <= w * a
+
+    def test_x_moments(self):
+        mult = PerforatedMultiplier(3)
+        x = np.arange(8)
+        assert mult.x_mean == pytest.approx(x.mean())
+        assert mult.x_variance == pytest.approx(x.var())
+
+    def test_perforated_bits(self):
+        mult = PerforatedMultiplier(2)
+        assert np.array_equal(
+            mult.perforated_bits(np.array([0, 1, 2, 3, 4, 255])),
+            np.array([0, 1, 2, 3, 0, 3]),
+        )
+
+    def test_error_statistics_formulas(self, rng):
+        """Analytical mean/variance match Monte Carlo over uniform activations."""
+        m = 2
+        mult = PerforatedMultiplier(m)
+        weights = rng.integers(80, 180, size=5000).astype(float)
+        activations = rng.integers(0, 256, size=5000)
+        errors = weights * (activations & 3)
+        assert mult.error_mean(weights.mean()) == pytest.approx(errors.mean(), rel=0.1)
+        assert mult.error_variance((weights**2).mean(), weights.mean()) == pytest.approx(
+            errors.var(), rel=0.1
+        )
+
+
+class TestTruncatedMultiplier:
+    def test_masks(self):
+        mult = TruncatedMultiplier(weight_bits=2, activation_bits=3)
+        assert mult.weight_mask == 0xFC
+        assert mult.activation_mask == 0xF8
+
+    def test_zero_truncation_is_exact(self, rng):
+        mult = TruncatedMultiplier(0, 0)
+        w = rng.integers(0, 256, size=20)
+        a = rng.integers(0, 256, size=20)
+        assert np.array_equal(mult.multiply(w, a), w * a)
+
+    @pytest.mark.parametrize("wb,ab", [(1, 0), (0, 2), (2, 2)])
+    def test_truncation_formula(self, wb, ab, rng):
+        mult = TruncatedMultiplier(wb, ab)
+        w = rng.integers(0, 256, size=100)
+        a = rng.integers(0, 256, size=100)
+        expected = (w & ~((1 << wb) - 1)) * (a & ~((1 << ab) - 1))
+        assert np.array_equal(mult.multiply(w, a), expected)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            TruncatedMultiplier(8, 0)
+
+
+class TestCompensatedMultiplier:
+    def test_mean_error_nullified(self):
+        base = TruncatedMultiplier(0, 2)
+        compensated = CompensatedMultiplier(base)
+        assert abs(compensated.error_table().mean()) <= 0.5
+
+    def test_explicit_offset(self, rng):
+        base = TruncatedMultiplier(0, 1)
+        compensated = CompensatedMultiplier(base, offset=7)
+        w = rng.integers(0, 256, size=10)
+        a = rng.integers(0, 256, size=10)
+        assert np.array_equal(compensated.multiply(w, a), base.multiply(w, a) + 7)
+
+    def test_variance_unchanged(self):
+        """Constant compensation cannot reduce the error variance (Section III)."""
+        base = TruncatedMultiplier(0, 2)
+        compensated = CompensatedMultiplier(base)
+        assert compensated.error_table().var() == pytest.approx(base.error_table().var())
+
+    def test_mean_error_helper(self):
+        base = TruncatedMultiplier(0, 2)
+        assert CompensatedMultiplier.mean_error_of(base) == pytest.approx(
+            base.error_table().mean()
+        )
+
+
+class TestLUT:
+    def test_lut_matches_multiplier(self):
+        mult = PerforatedMultiplier(2)
+        lut = build_lut(mult)
+        assert lut.shape == (256, 256)
+        assert lut[7, 13] == mult.multiply(np.array([7]), np.array([13]))[0]
+
+    def test_lut_multiplier_round_trip(self, rng):
+        base = PerforatedMultiplier(3)
+        frozen = LUTMultiplier.from_multiplier(base)
+        w = rng.integers(0, 256, size=(5, 7))
+        a = rng.integers(0, 256, size=(5, 7))
+        assert np.array_equal(frozen.multiply(w, a), base.multiply(w, a))
+
+    def test_apply_lut_broadcasting(self, rng):
+        lut = build_lut(AccurateMultiplier())
+        w = rng.integers(0, 256, size=(4, 1, 6))
+        a = rng.integers(0, 256, size=(1, 3, 6))
+        out = apply_lut(lut, w, a)
+        assert out.shape == (4, 3, 6)
+        assert np.array_equal(out, w * a)
+
+    def test_apply_lut_chunked_matches_unchunked(self, rng):
+        lut = build_lut(TruncatedMultiplier(1, 1))
+        w = rng.integers(0, 256, size=5000)
+        a = rng.integers(0, 256, size=5000)
+        assert np.array_equal(apply_lut(lut, w, a, chunk_size=64), apply_lut(lut, w, a))
+
+    def test_lut_shape_validated(self):
+        with pytest.raises(ValueError):
+            LUTMultiplier(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            apply_lut(np.zeros((4, 4)), np.array([1]), np.array([1]))
+
+    def test_lut_is_read_only_view(self):
+        frozen = LUTMultiplier.from_multiplier(AccurateMultiplier())
+        with pytest.raises(ValueError):
+            frozen.lut[0, 0] = 5

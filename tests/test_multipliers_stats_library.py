@@ -1,0 +1,154 @@
+"""Tests of multiplier error statistics and the synthetic multiplier library."""
+
+import numpy as np
+import pytest
+
+from repro.multipliers import (
+    AccurateMultiplier,
+    MultiplierLibrary,
+    PerforatedMultiplier,
+    TruncatedMultiplier,
+    empirical_error_stats,
+    perforation_error_stats,
+)
+from repro.multipliers.library import LibraryEntry, estimate_relative_cost
+
+
+class TestEmpiricalErrorStats:
+    def test_accurate_has_zero_error(self):
+        stats = empirical_error_stats(AccurateMultiplier())
+        assert stats.mean == 0
+        assert stats.variance == 0
+        assert stats.max_absolute == 0
+
+    def test_perforated_mean_error_uniform_operands(self):
+        """Over uniform operands E[eps] = E[W] * E[x] = 127.5 * (2^m - 1)/2."""
+        m = 2
+        stats = empirical_error_stats(PerforatedMultiplier(m))
+        assert stats.mean == pytest.approx(127.5 * ((1 << m) - 1) / 2, rel=1e-6)
+
+    def test_error_grows_with_m(self):
+        stds = [empirical_error_stats(PerforatedMultiplier(m)).std for m in (1, 2, 3)]
+        assert stds[0] < stds[1] < stds[2]
+
+    def test_workload_aware_stats(self, rng):
+        weights = rng.integers(100, 140, size=64)
+        activations = rng.integers(0, 256, size=64)
+        stats = empirical_error_stats(PerforatedMultiplier(1), weights, activations)
+        assert 0 < stats.mean < 140  # small weights range -> bounded mean error
+
+    def test_partial_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_error_stats(PerforatedMultiplier(1), weights=np.arange(4))
+
+
+class TestPerforationErrorStats:
+    def test_matches_empirical_for_uniform_weights(self):
+        weights = np.arange(256)
+        analytical = perforation_error_stats(2, weights)
+        empirical = empirical_error_stats(PerforatedMultiplier(2))
+        assert analytical.mean == pytest.approx(empirical.mean, rel=1e-9)
+        assert analytical.variance == pytest.approx(empirical.variance, rel=1e-9)
+
+    def test_concentrated_weights_reduce_variance(self):
+        spread = perforation_error_stats(2, np.array([10.0, 250.0] * 50))
+        tight = perforation_error_stats(2, np.full(100, 130.0))
+        assert tight.variance < spread.variance
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            perforation_error_stats(1, np.array([]))
+
+
+class TestRelativeCost:
+    def test_full_bits_is_unity(self):
+        power, area, delay = estimate_relative_cost(64)
+        assert power == pytest.approx(1.0)
+        assert area == pytest.approx(1.0)
+        assert delay == pytest.approx(1.0)
+
+    def test_monotone_in_bits(self):
+        costs = [estimate_relative_cost(bits)[0] for bits in (64, 48, 32, 16)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_clipped_to_valid_range(self):
+        power, area, delay = estimate_relative_cost(0)
+        assert 0 < power < 1
+        assert 0 < area < 1
+        assert 0 < delay <= 1
+
+
+class TestMultiplierLibrary:
+    @pytest.fixture(scope="class")
+    def library(self):
+        return MultiplierLibrary.synthetic_evoapprox(seed=3, n_evolved=4)
+
+    def test_contains_accurate_and_perforated(self, library):
+        assert "accurate" in library
+        assert "perforated_m2" in library
+        assert len(library) > 10
+
+    def test_duplicate_rejected(self, library):
+        entry = library["accurate"]
+        with pytest.raises(ValueError):
+            library.add(entry)
+
+    def test_accurate_entry_lookup(self, library):
+        assert library.accurate_entry().stats.max_absolute == 0
+
+    def test_approximate_entries_exclude_accurate(self, library):
+        names = [e.name for e in library.approximate_entries()]
+        assert "accurate" not in names
+        assert len(names) == len(library) - 1
+
+    def test_sorted_by_power(self, library):
+        powers = [e.relative_power for e in library.sorted_by_power()]
+        assert powers == sorted(powers)
+
+    def test_pareto_front_is_non_dominated(self, library):
+        front = library.pareto_front()
+        assert front
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominates = (
+                    b.relative_power <= a.relative_power
+                    and b.stats.std <= a.stats.std
+                    and (b.relative_power < a.relative_power or b.stats.std < a.stats.std)
+                )
+                assert not dominates
+
+    def test_cheapest_within_error(self, library):
+        entry = library.cheapest_within_error(max_error_std=1e12)
+        assert entry.relative_power == min(e.relative_power for e in library)
+        with pytest.raises(LookupError):
+            library.cheapest_within_error(max_error_std=-1.0)
+
+    def test_perforated_entries_marked_reconfigurable(self, library):
+        assert library["perforated_m1"].reconfigurable
+        assert not library["truncated_w0a1"].reconfigurable
+
+    def test_cost_ordering_follows_approximation(self, library):
+        assert (
+            library["perforated_m3"].relative_power
+            < library["perforated_m1"].relative_power
+            < library["accurate"].relative_power
+        )
+
+    def test_from_multipliers_characterizes_entries(self):
+        lib = MultiplierLibrary.from_multipliers([AccurateMultiplier(), TruncatedMultiplier(0, 2)])
+        assert len(lib) == 2
+        entry = lib["truncated_w0a2"]
+        assert isinstance(entry, LibraryEntry)
+        assert entry.relative_power < 1.0
+        assert entry.stats.max_absolute > 0
+
+    def test_deterministic_generation(self):
+        a = MultiplierLibrary.synthetic_evoapprox(seed=11, n_evolved=3)
+        b = MultiplierLibrary.synthetic_evoapprox(seed=11, n_evolved=3)
+        assert a.names == b.names
+        assert all(
+            np.array_equal(a[name].multiplier.build_lut(), b[name].multiplier.build_lut())
+            for name in ("evolved_0", "evolved_2")
+        )

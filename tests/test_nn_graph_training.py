@@ -1,0 +1,255 @@
+"""Tests of the graph container, losses, optimizers, training and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import Graph, INPUT, Sequential
+from repro.nn.layers import Add, BatchNorm, Conv2D, Dense, Flatten, GlobalAvgPool, ReLU
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.serialization import load_params, save_params
+from repro.nn.training import Trainer, evaluate_accuracy
+
+
+def _small_graph(rng):
+    graph = Graph()
+    x = graph.add("conv", Conv2D(3, 4, 3, rng=rng), INPUT)
+    x = graph.add("bn", BatchNorm(4), x)
+    x = graph.add("relu", ReLU(), x)
+    x = graph.add("gap", GlobalAvgPool(), x)
+    graph.add("fc", Dense(4, 3, rng=rng), x)
+    return graph
+
+
+class TestGraphConstruction:
+    def test_add_and_lookup(self, rng):
+        graph = _small_graph(rng)
+        assert "conv" in graph
+        assert graph.node("conv").inputs == [INPUT]
+        assert graph.output_name == "fc"
+
+    def test_duplicate_name_rejected(self, rng):
+        graph = Graph()
+        graph.add("a", ReLU(), INPUT)
+        with pytest.raises(ValueError):
+            graph.add("a", ReLU(), INPUT)
+
+    def test_unknown_input_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add("a", ReLU(), "missing")
+
+    def test_input_arity_checked(self):
+        graph = Graph()
+        graph.add("a", ReLU(), INPUT)
+        with pytest.raises(ValueError):
+            graph.add("sum", Add(2), ["a"])
+
+    def test_reserved_name_rejected(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add(INPUT, ReLU(), INPUT)
+
+    def test_forward_on_empty_graph(self):
+        with pytest.raises(RuntimeError):
+            Graph().forward(np.zeros((1, 2)))
+
+
+class TestGraphExecution:
+    def test_forward_shapes(self, rng):
+        graph = _small_graph(rng)
+        out = graph.forward(rng.normal(size=(2, 8, 8, 3)))
+        assert out.shape == (2, 3)
+
+    def test_return_activations(self, rng):
+        graph = _small_graph(rng)
+        out, acts = graph.forward(rng.normal(size=(1, 8, 8, 3)), return_activations=True)
+        assert set(acts) == {INPUT, "conv", "bn", "relu", "gap", "fc"}
+        assert np.allclose(acts["fc"], out)
+
+    def test_branching_graph_backward(self, rng):
+        """Residual branches accumulate gradients at the shared parent."""
+        graph = Graph()
+        x = graph.add("conv1", Conv2D(2, 2, 3, rng=rng), INPUT)
+        a = graph.add("relu_a", ReLU(), x)
+        b = graph.add("relu_b", ReLU(), x)
+        graph.add("sum", Add(2), [a, b])
+        data = np.abs(rng.normal(size=(1, 4, 4, 2))) + 0.1
+        out = graph.forward(data, training=True)
+        graph.backward(np.ones_like(out))
+        # Both branches pass the (positive) activations, so the conv weight
+        # gradient equals twice the single-branch gradient.
+        assert np.isfinite(graph.node("conv1").layer.dweight).all()
+        assert np.abs(graph.node("conv1").layer.dweight).max() > 0
+
+    def test_conv_dense_nodes_in_order(self, rng):
+        graph = _small_graph(rng)
+        names = [n.name for n in graph.conv_dense_nodes()]
+        assert names == ["conv", "fc"]
+
+    def test_count_parameters(self, rng):
+        graph = _small_graph(rng)
+        expected = (3 * 3 * 3 * 4 + 4) + (4 + 4) + (4 * 3 + 3)
+        assert graph.count_parameters() == expected
+
+
+class TestSequential:
+    def test_auto_naming_and_chaining(self, rng):
+        model = Sequential()
+        model.append(Conv2D(3, 4, 3, rng=rng))
+        model.append(ReLU())
+        model.append(GlobalAvgPool())
+        model.append(Dense(4, 2, rng=rng), name="head")
+        out = model.forward(rng.normal(size=(2, 6, 6, 3)))
+        assert out.shape == (2, 2)
+        assert model.output_name == "head"
+
+
+class TestLosses:
+    def test_softmax_normalizes(self, rng):
+        probs = softmax(rng.normal(size=(5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs > 0).all()
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        assert np.allclose(grad, 0.0, atol=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((2, 4))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 3]))
+        assert loss == pytest.approx(np.log(4.0))
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([1, 4, 0])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                shifted = logits.copy()
+                shifted[i, j] += eps
+                plus, _ = softmax_cross_entropy(shifted, labels)
+                shifted[i, j] -= 2 * eps
+                minus, _ = softmax_cross_entropy(shifted, labels)
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        assert np.allclose(grad, numeric, atol=1e-6)
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros(3), np.array([0]))
+
+
+class TestOptimizers:
+    def _loss_after_steps(self, optimizer_cls, steps=30, **kwargs):
+        rng = np.random.default_rng(0)
+        graph = Graph()
+        graph.add("fc", Dense(4, 2, rng=rng), INPUT)
+        x = rng.normal(size=(16, 4))
+        y = (x[:, 0] > 0).astype(int)
+        optimizer = optimizer_cls(**kwargs)
+        for _ in range(steps):
+            logits = graph.forward(x, training=True)
+            loss, grad = softmax_cross_entropy(logits, y)
+            graph.backward(grad)
+            optimizer.step(graph)
+        final, _ = softmax_cross_entropy(graph.forward(x), y)
+        return final
+
+    def test_sgd_reduces_loss(self):
+        assert self._loss_after_steps(SGD, learning_rate=0.5, weight_decay=0.0) < 0.3
+
+    def test_adam_reduces_loss(self):
+        assert self._loss_after_steps(Adam, learning_rate=0.05) < 0.3
+
+    def test_sgd_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD(weight_decay=-0.1)
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        graph = Graph()
+        graph.add("fc", Dense(3, 2, rng=rng), INPUT)
+        layer = graph.node("fc").layer
+        layer.dweight = np.zeros_like(layer.weight)
+        layer.dbias = np.zeros_like(layer.bias)
+        norm_before = np.linalg.norm(layer.weight)
+        SGD(learning_rate=0.1, momentum=0.0, weight_decay=0.1).step(graph)
+        assert np.linalg.norm(layer.weight) < norm_before
+
+
+class TestTrainingAndSerialization:
+    def test_trainer_learns_tiny_dataset(self, tiny_dataset, trained_tiny_model):
+        accuracy = evaluate_accuracy(
+            trained_tiny_model, tiny_dataset.test_images, tiny_dataset.test_labels
+        )
+        assert accuracy > 0.6  # well above the 25 % chance level
+
+    def test_trainer_records_history(self, tiny_dataset, rng):
+        from repro.models.zoo import build_model
+
+        model = build_model("vgg13", num_classes=tiny_dataset.num_classes, base_width=8, rng=rng)
+        trainer = Trainer(model, SGD(learning_rate=0.05), rng=rng)
+        result = trainer.fit(
+            tiny_dataset.train_images[:64],
+            tiny_dataset.train_labels[:64],
+            epochs=2,
+            batch_size=32,
+            validation=(tiny_dataset.test_images[:20], tiny_dataset.test_labels[:20]),
+        )
+        assert len(result.losses) == 2
+        assert len(result.val_accuracies) == 2
+        assert np.isfinite(result.final_val_accuracy)
+
+    def test_label_shape_validated(self, tiny_dataset, rng):
+        from repro.models.zoo import build_model
+
+        model = build_model("vgg13", num_classes=4, base_width=8, rng=rng)
+        trainer = Trainer(model)
+        with pytest.raises(ValueError):
+            trainer.fit(tiny_dataset.train_images[:8], np.zeros((4,)), epochs=1)
+
+    def test_save_load_round_trip(self, trained_tiny_model, tiny_dataset, tmp_path, rng):
+        from repro.models.zoo import build_model
+
+        path = tmp_path / "params.npz"
+        save_params(trained_tiny_model, path)
+        clone = build_model(
+            "vgg13", num_classes=tiny_dataset.num_classes, base_width=8, rng=rng
+        )
+        load_params(clone, path)
+        x = tiny_dataset.test_images[:8]
+        assert np.allclose(trained_tiny_model.forward(x), clone.forward(x))
+
+    def test_load_missing_key_rejected(self, trained_tiny_model, tmp_path, rng):
+        from repro.models.zoo import build_model
+
+        state = trained_tiny_model.state_dict()
+        state.pop(next(iter(state)))
+        model = build_model("vgg13", num_classes=4, base_width=8, rng=rng)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_shape_mismatch_rejected(self, trained_tiny_model, rng):
+        from repro.models.zoo import build_model
+
+        state = trained_tiny_model.state_dict()
+        key = next(k for k in state if k.endswith(".weight"))
+        state[key] = np.zeros((1, 1))
+        model = build_model("vgg13", num_classes=4, base_width=8, rng=rng)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)

@@ -1,0 +1,287 @@
+"""Layer forward/backward tests, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm,
+    ChannelShuffle,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    Pad,
+    ReLU,
+)
+
+
+def numerical_gradient(f, x, eps=1e-5):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f()
+        flat[i] = original - eps
+        minus = f()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, *inputs, input_index=0, atol=1e-5):
+    """Compare the layer's backward pass against numerical differentiation."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(*inputs, training=True)
+    upstream = rng.normal(size=out.shape)
+
+    def loss():
+        return float((layer.forward(*inputs, training=True) * upstream).sum())
+
+    grads = layer.backward(upstream)
+    numeric = numerical_gradient(loss, inputs[input_index])
+    assert np.allclose(grads[input_index], numeric, atol=atol), (
+        f"analytic/numeric input gradient mismatch for {type(layer).__name__}"
+    )
+
+
+def check_param_gradient(layer, param_name, *inputs, atol=1e-5):
+    """Numerical check of one trainable-parameter gradient."""
+    rng = np.random.default_rng(1)
+    out = layer.forward(*inputs, training=True)
+    upstream = rng.normal(size=out.shape)
+
+    def loss():
+        return float((layer.forward(*inputs, training=True) * upstream).sum())
+
+    layer.backward(upstream)
+    analytic = layer.grads()[param_name]
+    numeric = numerical_gradient(loss, layer.params()[param_name])
+    assert np.allclose(analytic, numeric, atol=atol), (
+        f"analytic/numeric {param_name} gradient mismatch for {type(layer).__name__}"
+    )
+
+
+class TestConv2D:
+    def test_same_padding_preserves_size(self, rng):
+        layer = Conv2D(3, 5, 3, padding="same", rng=rng)
+        out = layer.forward(rng.normal(size=(2, 8, 8, 3)))
+        assert out.shape == (2, 8, 8, 5)
+
+    def test_valid_padding(self, rng):
+        layer = Conv2D(3, 4, 3, padding="valid", rng=rng)
+        assert layer.forward(rng.normal(size=(1, 8, 8, 3))).shape == (1, 6, 6, 4)
+
+    def test_stride(self, rng):
+        layer = Conv2D(3, 4, 3, stride=2, padding="same", rng=rng)
+        assert layer.forward(rng.normal(size=(1, 8, 8, 3))).shape == (1, 4, 4, 4)
+
+    def test_wrong_channels_rejected(self, rng):
+        layer = Conv2D(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 8, 8, 2)))
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2D(3, 4, 3, groups=2)
+
+    def test_grouped_conv_is_blockwise(self, rng):
+        """A grouped conv equals two independent convolutions on channel halves."""
+        layer = Conv2D(4, 6, 3, groups=2, use_bias=False, rng=rng)
+        x = rng.normal(size=(1, 6, 6, 4))
+        out = layer.forward(x)
+        for g in range(2):
+            single = Conv2D(2, 3, 3, use_bias=False, rng=rng)
+            single.weight = layer.weight[..., g * 3 : (g + 1) * 3].copy()
+            expected = single.forward(x[..., g * 2 : (g + 1) * 2])
+            assert np.allclose(out[..., g * 3 : (g + 1) * 3], expected)
+
+    def test_depthwise_conv_shapes(self, rng):
+        layer = Conv2D(4, 4, 3, groups=4, rng=rng)
+        assert layer.forward(rng.normal(size=(2, 6, 6, 4))).shape == (2, 6, 6, 4)
+
+    def test_weight_matrix_layout(self, rng):
+        layer = Conv2D(2, 3, 3, rng=rng)
+        mat = layer.weight_matrix()
+        assert mat.shape == (18, 3)
+        assert np.shares_memory(mat, layer.weight) or np.allclose(
+            mat, layer.weight.reshape(-1, 3)
+        )
+
+    def test_input_gradient(self, rng):
+        layer = Conv2D(2, 3, 3, stride=1, padding="same", rng=rng)
+        check_input_gradient(layer, rng.normal(size=(1, 5, 5, 2)))
+
+    def test_weight_gradient(self, rng):
+        layer = Conv2D(2, 2, 3, stride=2, padding="same", rng=rng)
+        check_param_gradient(layer, "weight", rng.normal(size=(1, 6, 6, 2)))
+
+    def test_bias_gradient(self, rng):
+        layer = Conv2D(2, 2, 3, rng=rng)
+        check_param_gradient(layer, "bias", rng.normal(size=(1, 4, 4, 2)))
+
+    def test_grouped_gradient(self, rng):
+        layer = Conv2D(4, 4, 3, groups=2, rng=rng)
+        check_input_gradient(layer, rng.normal(size=(1, 4, 4, 4)))
+
+    def test_backward_requires_training_forward(self, rng):
+        layer = Conv2D(2, 2, 3, rng=rng)
+        layer.forward(rng.normal(size=(1, 4, 4, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 4, 4, 2)))
+
+
+class TestDense:
+    def test_shapes(self, rng):
+        layer = Dense(10, 4, rng=rng)
+        assert layer.forward(rng.normal(size=(3, 10))).shape == (3, 4)
+
+    def test_wrong_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dense(10, 4, rng=rng).forward(rng.normal(size=(3, 9)))
+
+    def test_gradients(self, rng):
+        layer = Dense(6, 3, rng=rng)
+        x = rng.normal(size=(4, 6))
+        check_input_gradient(layer, x)
+        check_param_gradient(layer, "weight", x)
+        check_param_gradient(layer, "bias", x)
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self, rng):
+        layer = BatchNorm(5)
+        x = rng.normal(3.0, 2.0, size=(64, 4, 4, 5))
+        out = layer.forward(x, training=True)
+        assert np.allclose(out.mean(axis=(0, 1, 2)), 0.0, atol=1e-7)
+        assert np.allclose(out.var(axis=(0, 1, 2)), 1.0, atol=1e-5)
+
+    def test_running_stats_updated(self, rng):
+        layer = BatchNorm(3, momentum=0.5)
+        x = rng.normal(2.0, 1.0, size=(32, 2, 2, 3))
+        layer.forward(x, training=True)
+        assert not np.allclose(layer.running_mean, 0.0)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm(3)
+        x = rng.normal(size=(16, 2, 2, 3))
+        for _ in range(30):
+            layer.forward(x, training=True)
+        train_out = layer.forward(x, training=True)
+        eval_out = layer.forward(x, training=False)
+        assert np.allclose(train_out, eval_out, atol=0.2)
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm(3).forward(rng.normal(size=(2, 4, 4, 5)))
+
+    def test_gradients(self, rng):
+        layer = BatchNorm(3)
+        x = rng.normal(size=(6, 2, 2, 3))
+        check_input_gradient(layer, x, atol=1e-4)
+        check_param_gradient(layer, "gamma", x, atol=1e-4)
+        check_param_gradient(layer, "beta", x, atol=1e-4)
+
+    def test_works_on_2d_inputs(self, rng):
+        layer = BatchNorm(4)
+        out = layer.forward(rng.normal(size=(16, 4)), training=True)
+        assert out.shape == (16, 4)
+
+
+class TestActivationsAndPooling:
+    def test_relu(self, rng):
+        layer = ReLU()
+        x = rng.normal(size=(3, 4))
+        out = layer.forward(x, training=True)
+        assert (out >= 0).all()
+        check_input_gradient(ReLU(), x + 0.1 * np.sign(x))  # avoid kink at 0
+
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = MaxPool2D(2).forward(x)
+        assert np.allclose(out.reshape(-1), [5, 7, 13, 15])
+
+    def test_maxpool_requires_divisible(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(rng.normal(size=(1, 5, 5, 1)))
+
+    def test_maxpool_gradient(self, rng):
+        x = rng.normal(size=(2, 4, 4, 3))
+        check_input_gradient(MaxPool2D(2), x)
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = AvgPool2D(2).forward(x)
+        assert np.allclose(out.reshape(-1), [2.5, 4.5, 10.5, 12.5])
+
+    def test_avgpool_gradient(self, rng):
+        check_input_gradient(AvgPool2D(2), rng.normal(size=(1, 4, 4, 2)))
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 4, 4, 3))
+        out = GlobalAvgPool().forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(1, 2)))
+        check_input_gradient(GlobalAvgPool(), x)
+
+    def test_flatten(self, rng):
+        x = rng.normal(size=(2, 3, 3, 4))
+        layer = Flatten()
+        assert layer.forward(x, training=True).shape == (2, 36)
+        check_input_gradient(Flatten(), x)
+
+
+class TestMergeLayers:
+    def test_add(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        layer = Add(2)
+        assert np.allclose(layer.forward(a, b), a + b)
+        grads = layer.backward(np.ones((2, 3)))
+        assert len(grads) == 2
+
+    def test_add_input_count_checked(self, rng):
+        with pytest.raises(ValueError):
+            Add(2).forward(rng.normal(size=(2, 3)))
+
+    def test_concat(self, rng):
+        a = rng.normal(size=(2, 4, 4, 3))
+        b = rng.normal(size=(2, 4, 4, 5))
+        layer = Concat(2)
+        out = layer.forward(a, b, training=True)
+        assert out.shape == (2, 4, 4, 8)
+        ga, gb = layer.backward(out)
+        assert ga.shape == a.shape and gb.shape == b.shape
+        assert np.allclose(ga, a) and np.allclose(gb, b)
+
+    def test_channel_shuffle_is_permutation(self, rng):
+        x = rng.normal(size=(1, 2, 2, 6))
+        layer = ChannelShuffle(2)
+        out = layer.forward(x)
+        assert sorted(out.reshape(-1)) == pytest.approx(sorted(x.reshape(-1)))
+
+    def test_channel_shuffle_inverse_gradient(self, rng):
+        """backward is the inverse permutation of forward."""
+        x = rng.normal(size=(1, 2, 2, 6))
+        layer = ChannelShuffle(3)
+        out = layer.forward(x, training=True)
+        (restored,) = layer.backward(out)
+        assert np.allclose(restored, x)
+
+    def test_channel_shuffle_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            ChannelShuffle(4).forward(rng.normal(size=(1, 2, 2, 6)))
+
+    def test_pad_channels(self, rng):
+        x = rng.normal(size=(1, 2, 2, 3))
+        layer = Pad(2)
+        out = layer.forward(x, training=True)
+        assert out.shape == (1, 2, 2, 5)
+        assert np.allclose(out[..., 3:], 0.0)
+        (grad,) = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape

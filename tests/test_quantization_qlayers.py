@@ -1,0 +1,90 @@
+"""Tests of the quantized linear-operation core."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.qlayers import QuantizedLinearOp
+from repro.quantization.quantize import calibrate_minmax, quantize
+from repro.quantization.schemes import QuantParams
+
+
+def _make_op(rng, taps=20, filters=6, with_bias=True):
+    weights = rng.normal(0, 0.4, size=(taps, filters))
+    w_params = calibrate_minmax(weights)
+    bias = rng.normal(size=filters) if with_bias else None
+    op = QuantizedLinearOp(quantize(weights, w_params), w_params, bias)
+    return op, weights, bias
+
+
+class TestValidation:
+    def test_weight_codes_must_be_uint8(self):
+        with pytest.raises(TypeError):
+            QuantizedLinearOp(np.zeros((4, 2), dtype=np.int64), QuantParams(1.0, 0))
+
+    def test_weight_codes_must_be_2d(self):
+        with pytest.raises(ValueError):
+            QuantizedLinearOp(np.zeros(4, dtype=np.uint8), QuantParams(1.0, 0))
+
+    def test_bias_shape_checked(self):
+        with pytest.raises(ValueError):
+            QuantizedLinearOp(
+                np.zeros((4, 2), dtype=np.uint8), QuantParams(1.0, 0), bias=np.zeros(3)
+            )
+
+    def test_activation_shape_checked(self, rng):
+        op, _, _ = _make_op(rng)
+        with pytest.raises(ValueError):
+            op.exact_product_sum(np.zeros((3, 5), dtype=np.uint8))
+
+    def test_activation_dtype_checked(self, rng):
+        op, _, _ = _make_op(rng)
+        with pytest.raises(TypeError):
+            op.exact_product_sum(np.zeros((3, op.taps), dtype=np.int32))
+
+    def test_product_sum_shape_checked(self, rng):
+        op, _, _ = _make_op(rng)
+        acts = np.zeros((3, op.taps), dtype=np.uint8)
+        params = QuantParams(1.0, 0)
+        with pytest.raises(ValueError):
+            op.output_real(acts, params, product_sum=np.zeros((3, op.filters + 1)))
+
+
+class TestDequantizedOutput:
+    def test_matches_float_matmul(self, rng):
+        op, weights, bias = _make_op(rng)
+        acts = rng.uniform(0, 1, size=(15, weights.shape[0]))
+        a_params = calibrate_minmax(acts)
+        act_codes = quantize(acts, a_params)
+        out = op.output_real(act_codes, a_params)
+        reference = acts @ weights + bias
+        # Quantization error only: bounded by the quantization steps.
+        tolerance = (
+            weights.shape[0]
+            * (op.weight_params.scale + a_params.scale)
+            * max(np.abs(acts).max(), np.abs(weights).max())
+        )
+        assert np.abs(out - reference).max() < tolerance
+
+    def test_without_bias(self, rng):
+        op, weights, _ = _make_op(rng, with_bias=False)
+        acts = rng.uniform(0, 1, size=(7, weights.shape[0]))
+        a_params = calibrate_minmax(acts)
+        out = op.output_real(quantize(acts, a_params), a_params)
+        assert np.abs(out - acts @ weights).max() < 0.5
+
+    def test_custom_product_sum_shifts_output(self, rng):
+        op, weights, bias = _make_op(rng)
+        acts = rng.uniform(0, 1, size=(5, weights.shape[0]))
+        a_params = calibrate_minmax(acts)
+        act_codes = quantize(acts, a_params)
+        exact = op.exact_product_sum(act_codes)
+        shifted = op.output_real(act_codes, a_params, product_sum=exact + 10)
+        base = op.output_real(act_codes, a_params, product_sum=exact)
+        expected_delta = 10 * op.weight_params.scale * a_params.scale
+        assert np.allclose(shifted - base, expected_delta)
+
+    def test_exact_product_sum_is_integer_matmul(self, rng):
+        op, _, _ = _make_op(rng, taps=9, filters=3)
+        act_codes = rng.integers(0, 256, size=(4, 9)).astype(np.uint8)
+        expected = act_codes.astype(np.int64) @ op.weight_codes.astype(np.int64)
+        assert np.array_equal(op.exact_product_sum(act_codes), expected)

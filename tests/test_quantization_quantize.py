@@ -1,0 +1,101 @@
+"""Tests of tensor quantization, dequantization and calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantization.quantize import (
+    QuantizedTensor,
+    calibrate_minmax,
+    calibrate_percentile,
+    dequantize,
+    quantize,
+    quantize_tensor,
+)
+from repro.quantization.schemes import QuantParams
+
+
+class TestCalibration:
+    def test_minmax_covers_tensor(self, rng):
+        tensor = rng.normal(0, 1, size=(100,))
+        params = calibrate_minmax(tensor)
+        lo, hi = params.range
+        assert lo <= tensor.min() + params.scale
+        assert hi >= tensor.max() - params.scale
+
+    def test_minmax_empty_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_minmax(np.array([]))
+
+    def test_percentile_clips_outliers(self, rng):
+        tensor = np.concatenate([rng.normal(0, 1, size=1000), [1000.0]])
+        clipped = calibrate_percentile(tensor, percentile=99.0)
+        full = calibrate_minmax(tensor)
+        assert clipped.scale < full.scale
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_percentile(np.ones(10), percentile=40.0)
+        with pytest.raises(ValueError):
+            calibrate_percentile(np.array([]), percentile=99.0)
+
+    def test_percentile_100_equals_minmax(self, rng):
+        tensor = rng.normal(0, 1, size=(50,))
+        assert calibrate_percentile(tensor, 100.0) == calibrate_minmax(tensor)
+
+
+class TestQuantizeDequantize:
+    def test_output_dtype_is_uint8(self, rng):
+        tensor = rng.normal(size=(4, 5))
+        codes = quantize(tensor, calibrate_minmax(tensor))
+        assert codes.dtype == np.uint8
+        assert codes.shape == tensor.shape
+
+    def test_round_trip_error_bounded(self, rng):
+        tensor = rng.normal(0, 2, size=(64, 3))
+        params = calibrate_minmax(tensor)
+        recovered = dequantize(quantize(tensor, params), params)
+        assert np.abs(recovered - tensor).max() <= params.scale / 2 + 1e-12
+
+    def test_out_of_range_values_clip(self):
+        params = QuantParams.from_range(0.0, 1.0)
+        codes = quantize(np.array([-5.0, 5.0]), params)
+        assert codes[0] == 0
+        assert codes[1] == 255
+
+    def test_zero_maps_to_zero_point(self):
+        params = QuantParams.from_range(-1.0, 1.0)
+        assert quantize(np.array([0.0]), params)[0] == params.zero_point
+
+    @given(
+        tensor=hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=8),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, tensor):
+        params = calibrate_minmax(tensor)
+        recovered = dequantize(quantize(tensor, params), params)
+        assert np.abs(recovered - tensor).max() <= params.scale / 2 + 1e-9
+
+
+class TestQuantizedTensor:
+    def test_quantize_tensor_auto_calibrates(self, rng):
+        tensor = rng.normal(size=(10, 10))
+        qt = quantize_tensor(tensor)
+        assert isinstance(qt, QuantizedTensor)
+        assert qt.shape == (10, 10)
+        assert np.abs(qt.dequantize() - tensor).max() <= qt.params.scale
+
+    def test_requires_uint8(self):
+        with pytest.raises(TypeError):
+            QuantizedTensor(np.zeros(3, dtype=np.int32), QuantParams(1.0, 0))
+
+    def test_explicit_params_respected(self, rng):
+        params = QuantParams.from_range(-1.0, 1.0)
+        qt = quantize_tensor(rng.uniform(-1, 1, size=(5,)), params)
+        assert qt.params is params

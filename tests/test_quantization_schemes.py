@@ -1,0 +1,102 @@
+"""Tests of the affine uint8 quantization parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization.schemes import QMAX, QMIN, QuantParams, UINT8_LEVELS
+
+
+class TestQuantParamsValidation:
+    def test_positive_scale_required(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0, zero_point=0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=-1.0, zero_point=0)
+
+    def test_non_finite_scale_rejected(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=float("nan"), zero_point=0)
+
+    def test_zero_point_range_checked(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=256)
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=-1)
+
+    def test_levels_constant(self):
+        assert UINT8_LEVELS == 256
+
+
+class TestFromRange:
+    def test_symmetric_range(self):
+        params = QuantParams.from_range(-1.0, 1.0)
+        assert params.scale == pytest.approx(2.0 / 255.0)
+        assert QMIN <= params.zero_point <= QMAX
+
+    def test_positive_only_range_includes_zero(self):
+        params = QuantParams.from_range(0.5, 2.0)
+        # The range is expanded to include zero, so zero_point is 0.
+        assert params.zero_point == 0
+        assert params.scale == pytest.approx(2.0 / 255.0)
+
+    def test_negative_only_range_includes_zero(self):
+        params = QuantParams.from_range(-3.0, -1.0)
+        assert params.zero_point == QMAX
+
+    def test_degenerate_range(self):
+        params = QuantParams.from_range(0.0, 0.0)
+        assert params.scale == 1.0
+        assert params.zero_point == 0
+
+    def test_zero_is_exactly_representable(self):
+        params = QuantParams.from_range(-0.37, 1.23)
+        code = params.quantize_value(0.0)
+        assert params.dequantize_value(code) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestScalarRoundTrip:
+    def test_round_trip_error_bounded_by_half_scale(self):
+        params = QuantParams.from_range(-2.0, 2.0)
+        for value in np.linspace(-2.0, 2.0, 41):
+            code = params.quantize_value(float(value))
+            assert abs(params.dequantize_value(code) - value) <= params.scale / 2 + 1e-12
+
+    def test_clipping_out_of_range(self):
+        params = QuantParams.from_range(-1.0, 1.0)
+        assert params.quantize_value(100.0) == QMAX
+        assert params.quantize_value(-100.0) == QMIN
+
+    def test_range_property(self):
+        params = QuantParams.from_range(-1.0, 3.0)
+        lo, hi = params.range
+        assert lo <= -1.0 + params.scale
+        assert hi >= 3.0 - params.scale
+
+
+class TestFromRangeProperties:
+    @given(
+        lo=st.floats(-1e3, 1e3, allow_nan=False),
+        width=st.floats(1e-3, 1e3, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_zero_point_always_valid(self, lo, width):
+        params = QuantParams.from_range(lo, lo + width)
+        assert QMIN <= params.zero_point <= QMAX
+        assert params.scale > 0
+
+    @given(
+        lo=st.floats(-1e3, 1e3, allow_nan=False),
+        width=st.floats(1e-3, 1e3, allow_nan=False),
+        value=st.floats(-1e3, 1e3, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_within_range_bounded(self, lo, width, value):
+        hi = lo + width
+        params = QuantParams.from_range(lo, hi)
+        clipped = min(max(value, min(lo, 0.0)), max(hi, 0.0))
+        code = params.quantize_value(clipped)
+        assert abs(params.dequantize_value(code) - clipped) <= params.scale * 0.5 + 1e-9

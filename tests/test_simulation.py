@@ -1,0 +1,270 @@
+"""Tests of the approximate inference executor, metrics and campaign machinery."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.perforated import PerforatedMultiplier
+from repro.simulation.campaign import (
+    TrainedModelCache,
+    TrainingSettings,
+    accuracy_sweep,
+    experiment_dataset,
+    train_reference_model,
+)
+from repro.simulation.inference import (
+    AccurateProduct,
+    ApproximateExecutor,
+    ExecutionPlan,
+    LUTProduct,
+    PerforatedProduct,
+)
+from repro.simulation.metrics import (
+    OutputErrorStats,
+    accuracy,
+    accuracy_loss_percent,
+    output_error_stats,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3, 4]), np.array([1, 2, 0, 4])) == 0.75
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_accuracy_loss_percent(self):
+        assert accuracy_loss_percent(0.90, 0.88) == pytest.approx(2.0)
+        assert accuracy_loss_percent(0.90, 0.92) == pytest.approx(-2.0)
+
+    def test_output_error_stats(self, rng):
+        ref = rng.normal(size=(10, 10))
+        stats = output_error_stats(ref, ref)
+        assert stats.mean == 0.0 and stats.rmse == 0.0
+        shifted = output_error_stats(ref, ref - 1.0)
+        assert shifted.mean == pytest.approx(1.0)
+        assert shifted.variance == pytest.approx(0.0, abs=1e-12)
+        assert isinstance(shifted, OutputErrorStats)
+
+    def test_output_error_stats_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            output_error_stats(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestProductModels:
+    def test_perforated_from_config(self):
+        from repro.core.accelerator_model import AcceleratorConfig
+
+        assert isinstance(
+            PerforatedProduct.from_config(AcceleratorConfig.accurate(64)), AccurateProduct
+        )
+        model = PerforatedProduct.from_config(AcceleratorConfig.make(64, 2))
+        assert isinstance(model, PerforatedProduct)
+        assert model.m == 2 and model.use_control_variate
+
+    def test_names(self):
+        assert PerforatedProduct(2, True).name == "perforated_m2+V"
+        assert PerforatedProduct(2, False).name == "perforated_m2"
+        assert "accurate" in LUTProduct(AccurateMultiplier()).name
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            PerforatedProduct(0)
+
+
+class TestExecutionPlan:
+    def test_uniform_and_override(self):
+        base = ExecutionPlan.uniform(AccurateProduct())
+        override = base.with_layer("conv1", PerforatedProduct(2))
+        assert isinstance(base.model_for("conv1"), AccurateProduct)
+        assert isinstance(override.model_for("conv1"), PerforatedProduct)
+        assert isinstance(override.model_for("other"), AccurateProduct)
+        # the original plan is unchanged
+        assert "conv1" not in base.per_layer
+
+    def test_from_config(self):
+        from repro.core.accelerator_model import AcceleratorConfig
+
+        plan = ExecutionPlan.from_config(AcceleratorConfig.make(32, 1, use_control_variate=False))
+        model = plan.model_for("any")
+        assert isinstance(model, PerforatedProduct)
+        assert not model.use_control_variate
+
+
+class TestApproximateExecutor:
+    def test_accurate_plan_close_to_float_model(self, tiny_executor, trained_tiny_model, tiny_dataset):
+        images = tiny_dataset.test_images[:16]
+        float_logits = trained_tiny_model.forward(images)
+        quant_logits = tiny_executor.forward(images, ExecutionPlan.uniform(AccurateProduct()))
+        # 8-bit post-training quantization: logits agree to within a small error.
+        assert np.abs(float_logits - quant_logits).max() < 0.5 * np.abs(float_logits).max() + 0.5
+
+    def test_accurate_plan_preserves_accuracy(self, tiny_executor, trained_tiny_model, tiny_dataset):
+        from repro.nn.training import evaluate_accuracy
+
+        float_acc = evaluate_accuracy(
+            trained_tiny_model, tiny_dataset.test_images, tiny_dataset.test_labels
+        )
+        quant_acc = accuracy(
+            tiny_executor.predict(tiny_dataset.test_images, ExecutionPlan.uniform(AccurateProduct())),
+            tiny_dataset.test_labels,
+        )
+        assert quant_acc >= float_acc - 0.12
+
+    def test_lut_path_matches_analytic_path(self, tiny_executor, tiny_dataset):
+        """Perforated LUT emulation and the analytical fast path agree."""
+        images = tiny_dataset.test_images[:8]
+        analytic = tiny_executor.forward(
+            images, ExecutionPlan.uniform(PerforatedProduct(2, use_control_variate=False))
+        )
+        lut = tiny_executor.forward(
+            images, ExecutionPlan.uniform(LUTProduct(PerforatedMultiplier(2)))
+        )
+        assert np.allclose(analytic, lut)
+
+    def test_control_variate_improves_over_plain_perforation(
+        self, tiny_executor, tiny_dataset
+    ):
+        images = tiny_dataset.test_images
+        labels = tiny_dataset.test_labels
+        acc_cv = accuracy(
+            tiny_executor.predict(images, ExecutionPlan.uniform(PerforatedProduct(2, True))),
+            labels,
+        )
+        acc_plain = accuracy(
+            tiny_executor.predict(images, ExecutionPlan.uniform(PerforatedProduct(2, False))),
+            labels,
+        )
+        assert acc_cv >= acc_plain
+
+    def test_logit_error_reduced_by_control_variate(self, tiny_executor, tiny_dataset):
+        images = tiny_dataset.test_images[:24]
+        reference = tiny_executor.forward(images, ExecutionPlan.uniform(AccurateProduct()))
+        with_cv = tiny_executor.forward(
+            images, ExecutionPlan.uniform(PerforatedProduct(2, True))
+        )
+        without = tiny_executor.forward(
+            images, ExecutionPlan.uniform(PerforatedProduct(2, False))
+        )
+        assert output_error_stats(reference, with_cv).rmse < output_error_stats(
+            reference, without
+        ).rmse
+
+    def test_per_layer_plan(self, tiny_executor, tiny_dataset):
+        layer = tiny_executor.mac_layer_names()[0]
+        plan = ExecutionPlan.uniform(AccurateProduct()).with_layer(
+            layer, PerforatedProduct(3, use_control_variate=False)
+        )
+        out = tiny_executor.forward(tiny_dataset.test_images[:4], plan)
+        ref = tiny_executor.forward(
+            tiny_dataset.test_images[:4], ExecutionPlan.uniform(AccurateProduct())
+        )
+        assert not np.allclose(out, ref)
+
+    def test_weight_overrides(self, tiny_executor, tiny_dataset):
+        layer = tiny_executor.mac_layer_names()[0]
+        original = tiny_executor.quantized_weights(layer)
+        zeroed = [np.zeros_like(codes) for codes in original]
+        tiny_executor.set_weight_override(layer, zeroed)
+        try:
+            overridden = tiny_executor.forward(
+                tiny_dataset.test_images[:4], ExecutionPlan.uniform(AccurateProduct())
+            )
+        finally:
+            tiny_executor.clear_weight_overrides()
+        restored = tiny_executor.forward(
+            tiny_dataset.test_images[:4], ExecutionPlan.uniform(AccurateProduct())
+        )
+        reference = tiny_executor.forward(
+            tiny_dataset.test_images[:4], ExecutionPlan.uniform(AccurateProduct())
+        )
+        assert not np.allclose(overridden, reference)
+        assert np.allclose(restored, reference)
+
+    def test_weight_override_validation(self, tiny_executor):
+        layer = tiny_executor.mac_layer_names()[0]
+        with pytest.raises(ValueError):
+            tiny_executor.set_weight_override(layer, [])
+
+    def test_mac_layer_names_match_model(self, tiny_executor, trained_tiny_model):
+        assert tiny_executor.mac_layer_names() == [
+            node.name for node in trained_tiny_model.conv_dense_nodes()
+        ]
+
+    def test_grouped_conv_model_executes(self, tiny_dataset, rng):
+        """ShuffleNet-style grouped/depthwise convolutions run through the executor."""
+        from repro.models.zoo import build_model
+
+        model = build_model("shufflenet", num_classes=tiny_dataset.num_classes, rng=rng)
+        executor = ApproximateExecutor(model, tiny_dataset.train_images[:32])
+        out = executor.forward(
+            tiny_dataset.test_images[:4], ExecutionPlan.uniform(PerforatedProduct(1))
+        )
+        assert out.shape == (4, tiny_dataset.num_classes)
+        assert np.isfinite(out).all()
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def small_dataset(self):
+        return make_synthetic_cifar(
+            SyntheticCifarConfig(num_classes=4, train_per_class=30, test_per_class=8, seed=5)
+        )
+
+    def test_train_reference_model(self, small_dataset):
+        trained = train_reference_model(
+            "vgg13", small_dataset, TrainingSettings(epochs=2, seed=1)
+        )
+        assert trained.name == "vgg13"
+        assert 0.0 <= trained.float_accuracy <= 1.0
+
+    def test_cache_round_trip(self, small_dataset, tmp_path):
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        settings = TrainingSettings(epochs=1, seed=2)
+        first = cache.load_or_train("vgg13", small_dataset, settings)
+        second = cache.load_or_train("vgg13", small_dataset, settings)
+        assert second.float_accuracy == pytest.approx(first.float_accuracy)
+        x = small_dataset.test_images[:4]
+        assert np.allclose(first.model.forward(x), second.model.forward(x))
+
+    def test_accuracy_sweep_structure(self, small_dataset, tmp_path):
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=2, seed=3))
+        result = accuracy_sweep(
+            [trained],
+            {small_dataset.name: small_dataset},
+            perforations=(1, 2),
+            max_eval_images=24,
+        )
+        assert len(result.records) == 4  # 2 m-values x {with, without} V
+        record = result.lookup("vgg13", small_dataset.name, 1, True)
+        assert record.baseline_accuracy >= 0
+        assert np.isfinite(record.accuracy_loss)
+        assert np.isfinite(result.average_loss(small_dataset.name, 1, True))
+        with pytest.raises(LookupError):
+            result.lookup("vgg13", small_dataset.name, 3, True)
+        with pytest.raises(LookupError):
+            result.average_loss(small_dataset.name, 3, True)
+
+    def test_sweep_cv_beats_no_cv_on_average(self, small_dataset, tmp_path):
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=2, seed=3))
+        result = accuracy_sweep(
+            [trained], {small_dataset.name: small_dataset}, perforations=(2,), max_eval_images=32
+        )
+        assert result.average_loss(small_dataset.name, 2, True) <= result.average_loss(
+            small_dataset.name, 2, False
+        )
+
+    def test_experiment_dataset_configs(self):
+        ds10 = experiment_dataset(10, train_per_class=2)
+        assert ds10.num_classes == 10
+        ds100 = experiment_dataset(100, train_per_class=1)
+        assert ds100.num_classes == 100
+        with pytest.raises(ValueError):
+            experiment_dataset(50)
