@@ -1,0 +1,176 @@
+"""Engine throughput — compiled product kernels vs. the legacy per-batch paths.
+
+Two measurements back the compiled-engine acceptance criteria:
+
+* **LUT kernel throughput** on a ResNet-shaped conv layer (3x3x64 taps, 64
+  filters, 4096 patches): the compiled ``lut = exact - error`` decomposition
+  must be at least 5x faster than the legacy 3-D gather of
+  :func:`repro.core.approx_conv.lut_product_sums`, with bit-exact outputs.
+* **End-to-end sweep wall-clock** on the Table III configuration (accurate
+  baseline plus m = 1..3 with and without the control variate): the
+  compiled executor must be at least 2x faster than the legacy executor,
+  again bit-exact.
+
+Patches/sec figures are printed and written to ``results/`` so regressions
+are visible across runs.  Run via pytest (``pytest -m engine
+benchmarks/bench_engine_throughput.py``) or directly as a script.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+
+from repro.core.approx_conv import lut_product_sums
+from repro.core.product_kernels import LUTKernel
+from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
+from repro.models.zoo import build_model
+from repro.nn.optimizers import SGD
+from repro.nn.training import Trainer
+from repro.simulation.inference import (
+    AccurateProduct,
+    ApproximateExecutor,
+    ExecutionPlan,
+    PerforatedProduct,
+)
+
+pytestmark = pytest.mark.engine
+
+# ResNet-shaped conv layer: 3x3 kernel over 64 channels, 64 filters.
+PATCHES = 4096
+TAPS = 3 * 3 * 64
+FILTERS = 64
+
+LUT_MIN_SPEEDUP = 5.0
+SWEEP_MIN_SPEEDUP = 2.0
+
+
+def _random_lut(rng: np.random.Generator) -> np.ndarray:
+    """A structureless table — the worst case for the compiled decomposition."""
+    exact = np.arange(256, dtype=np.int64)[:, None] * np.arange(256, dtype=np.int64)
+    return exact + rng.integers(-500, 500, size=(256, 256))
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def run_lut_throughput() -> dict:
+    rng = np.random.default_rng(0)
+    acts = rng.integers(0, 256, size=(PATCHES, TAPS), dtype=np.uint8)
+    weights = rng.integers(0, 256, size=(TAPS, FILTERS), dtype=np.uint8)
+    lut = _random_lut(rng)
+
+    legacy_out = lut_product_sums(acts, weights, lut)
+    legacy_time = _best_of(lambda: lut_product_sums(acts, weights, lut), repeats=2)
+
+    compile_start = time.perf_counter()
+    kernel = LUTKernel(weights, lut)
+    compile_time = time.perf_counter() - compile_start
+    compiled_out = kernel(acts)
+    compiled_time = _best_of(lambda: kernel(acts))
+
+    assert np.array_equal(compiled_out, legacy_out), "compiled LUT kernel not bit-exact"
+    return {
+        "legacy_time": legacy_time,
+        "compiled_time": compiled_time,
+        "compile_time": compile_time,
+        "legacy_pps": PATCHES / legacy_time,
+        "compiled_pps": PATCHES / compiled_time,
+        "speedup": legacy_time / compiled_time,
+    }
+
+
+def _table3_setup():
+    """A scaled Table III cell: one trained network, full plan set."""
+    dataset = make_synthetic_cifar(
+        SyntheticCifarConfig(
+            num_classes=10, image_size=32, train_per_class=20, test_per_class=20, seed=3
+        )
+    )
+    model = build_model("vgg13", num_classes=10, rng=np.random.default_rng(0))
+    trainer = Trainer(model, SGD(learning_rate=0.05), rng=np.random.default_rng(1))
+    trainer.fit(dataset.train_images, dataset.train_labels, epochs=1, batch_size=32)
+    plans = [ExecutionPlan.uniform(AccurateProduct())] + [
+        ExecutionPlan.uniform(PerforatedProduct(m, use_control_variate=cv))
+        for m in (1, 2, 3)
+        for cv in (True, False)
+    ]
+    return dataset, model, plans
+
+
+def run_sweep_wallclock() -> dict:
+    dataset, model, plans = _table3_setup()
+    images = dataset.test_images
+    calib = dataset.train_images[:64]
+    compiled = ApproximateExecutor(model, calib, use_compiled=True)
+    legacy = ApproximateExecutor(model, calib, use_compiled=False)
+    for executor in (compiled, legacy):  # warm caches / kernels
+        executor.predict(images[:16], plans[0])
+    for plan in plans:
+        np.testing.assert_array_equal(
+            compiled.forward(images[:8], plan), legacy.forward(images[:8], plan)
+        )
+
+    def sweep(executor):
+        def run():
+            for plan in plans:
+                executor.predict(images, plan)
+
+        return run
+
+    compiled_time = _best_of(sweep(compiled), repeats=2)
+    legacy_time = _best_of(sweep(legacy), repeats=2)
+    evals = len(plans) * images.shape[0]
+    return {
+        "legacy_time": legacy_time,
+        "compiled_time": compiled_time,
+        "legacy_ips": evals / legacy_time,
+        "compiled_ips": evals / compiled_time,
+        "speedup": legacy_time / compiled_time,
+    }
+
+
+def _render(lut: dict, sweep: dict) -> str:
+    lines = [
+        "engine throughput: legacy vs compiled product kernels",
+        "",
+        f"LUT product sums ({PATCHES} patches x {TAPS} taps x {FILTERS} filters):",
+        f"  legacy    {lut['legacy_pps']:10.0f} patches/s  ({lut['legacy_time']:.3f} s)",
+        f"  compiled  {lut['compiled_pps']:10.0f} patches/s  ({lut['compiled_time']:.3f} s"
+        f" + {lut['compile_time']:.3f} s one-time compile)",
+        f"  speedup   {lut['speedup']:.1f}x  (required >= {LUT_MIN_SPEEDUP:.0f}x)",
+        "",
+        "Table III sweep (vgg13, accurate + m=1..3 x {with, without} V):",
+        f"  legacy    {sweep['legacy_ips']:10.1f} image-evals/s  ({sweep['legacy_time']:.2f} s)",
+        f"  compiled  {sweep['compiled_ips']:10.1f} image-evals/s  ({sweep['compiled_time']:.2f} s)",
+        f"  speedup   {sweep['speedup']:.1f}x  (required >= {SWEEP_MIN_SPEEDUP:.0f}x)",
+    ]
+    return "\n".join(lines)
+
+
+def test_engine_throughput(results_dir):
+    """Compiled kernels beat the legacy paths by the required margins."""
+    lut = run_lut_throughput()
+    sweep = run_sweep_wallclock()
+    rendered = _render(lut, sweep)
+    path = write_result(results_dir, "engine_throughput.txt", rendered)
+    print("\n" + rendered)
+    print(f"\n[written to {path}]")
+    assert lut["speedup"] >= LUT_MIN_SPEEDUP
+    assert sweep["speedup"] >= SWEEP_MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    lut_result = run_lut_throughput()
+    sweep_result = run_sweep_wallclock()
+    print(_render(lut_result, sweep_result))

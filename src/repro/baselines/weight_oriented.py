@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.baselines.base import TechniqueResult, evaluate_plan_accuracy
 from repro.core.control_variate import ControlVariate
+from repro.core.product_kernels import ProductKernel, _WeightOperand
 from repro.hardware.area_power import array_cost_from_multiplier
 from repro.hardware.technology import GENERIC_14NM, TechnologyModel
 from repro.simulation.inference import (
@@ -98,9 +99,56 @@ class WeightOrientedProduct(ProductModel):
             return sums + np.rint(compensation).astype(np.int64)[None, :]
         return sums
 
+    def compile(
+        self, weight_codes: np.ndarray, control_variate: ControlVariate
+    ) -> ProductKernel:
+        return _WeightOrientedKernel(self, weight_codes)
+
     @property
     def name(self) -> str:
         return f"weight_oriented(m_low={self.m_low}, m_high={self.m_high}, thr={self.threshold})"
+
+
+class _WeightOrientedKernel(ProductKernel):
+    """Compiled form of :class:`WeightOrientedProduct` for one layer.
+
+    The mode masks, per-mode selected weight matrices and the constant mean
+    compensation depend only on the weights, so they are all precomputed
+    here; the per-batch work is one matmul per active mode.  Bit-exact
+    against :meth:`WeightOrientedProduct.product_sums`.
+    """
+
+    def __init__(self, product: WeightOrientedProduct, weight_codes: np.ndarray):
+        weights = np.asarray(weight_codes, dtype=np.int64)
+        if weights.ndim != 2:
+            raise ValueError(
+                f"weight_codes must be 2-D (taps, filters), got {weights.shape}"
+            )
+        super().__init__(*weights.shape)
+        aggressive = product.mode_masks(weights)
+        self._w_op = _WeightOperand(weights)
+        self._modes: list[tuple[int, _WeightOperand]] = []
+        compensation = np.zeros(weights.shape[1], dtype=np.float64)
+        for m, selector in ((product.m_high, aggressive), (product.m_low, ~aggressive)):
+            if m == 0 or not selector.any():
+                continue
+            mask = (1 << m) - 1
+            selected = weights * selector
+            self._modes.append((mask, _WeightOperand(selected)))
+            if product.compensate_mean:
+                compensation += _x_mean(m) * selected.sum(axis=0)
+        self._compensation: np.ndarray | None = None
+        if product.compensate_mean:
+            self._compensation = np.rint(compensation).astype(np.int64)[None, :]
+
+    def product_sums(self, act_codes: np.ndarray) -> np.ndarray:
+        act = self._check_acts(act_codes)
+        sums = self._w_op.matmul(act)
+        for mask, selected_op in self._modes:
+            sums = sums - selected_op.matmul(act & mask)
+        if self._compensation is not None:
+            return sums + self._compensation
+        return sums
 
 
 @dataclass(frozen=True)

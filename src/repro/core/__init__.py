@@ -14,6 +14,10 @@ This package implements Section III of the paper:
 * :mod:`~repro.core.accelerator_model` — a configuration object tying the
   approximation mode to the MAC-array geometry used by the simulators and
   hardware models.
+* :mod:`~repro.core.product_kernels` — compiled per-layer product kernels:
+  the weight-dependent state of every product model is built once per
+  (layer, plan) and reused across batches; the LUT path becomes two matrix
+  products via the ``lut = exact - error`` decomposition.
 """
 
 from repro.core.control_variate import (
@@ -35,6 +39,14 @@ from repro.core.approx_conv import (
     product_sums,
 )
 from repro.core.accelerator_model import AcceleratorConfig
+from repro.core.product_kernels import (
+    AccurateKernel,
+    CallbackKernel,
+    LUTKernel,
+    PerforatedKernel,
+    ProductKernel,
+    exact_int_matmul,
+)
 
 __all__ = [
     "ControlVariate",
@@ -50,4 +62,10 @@ __all__ = [
     "lut_product_sums",
     "product_sums",
     "AcceleratorConfig",
+    "ProductKernel",
+    "AccurateKernel",
+    "PerforatedKernel",
+    "LUTKernel",
+    "CallbackKernel",
+    "exact_int_matmul",
 ]

@@ -18,6 +18,18 @@ All perforation paths exploit the functional form of the approximation:
 activations, so no per-element lookup is ever needed — exactly the property
 ([10] is "based on mathematical formulation") the paper requires of the
 multiplier.
+
+The functions here are the *reference* (legacy) implementations: stateless,
+one call per batch, re-deriving weight-side state every time.  The hot path
+of the approximate executor instead uses the compiled per-layer kernels of
+:mod:`repro.core.product_kernels`, which hoist that state out of the batch
+loop (and replace the 3-D LUT gather of :func:`lut_product_sums` with two
+matrix products).  The two implementations are bit-exact against each other;
+the ``pytest -m engine`` parity suite enforces it.
+
+``m = 0`` is a valid degenerate perforation everywhere: the products equal
+:func:`accurate_product_sums` and the control-variate correction is exactly
+zero (no activation bits are dropped).
 """
 
 from __future__ import annotations
@@ -119,6 +131,10 @@ def lut_product_sums(
     library entries used by the Fig. 5 baselines.  Evaluation is chunked
     over patches to bound peak memory at ``chunk_patches * taps * filters``
     lookups.
+
+    This is the legacy reference implementation; repeated evaluation against
+    the same weights should use :class:`repro.core.product_kernels.LUTKernel`,
+    which eliminates the 3-D gather entirely.
     """
     act, w = _check_codes(act_codes, weight_codes)
     patches, taps = act.shape

@@ -1,0 +1,333 @@
+"""Compiled per-layer product kernels for the approximate executor.
+
+The legacy product-sum functions in :mod:`repro.core.approx_conv` re-derive
+all per-layer state (int64 weight copies, LUT gathers, control constants) on
+every batch.  A :class:`ProductKernel` is the compiled counterpart: it is
+built **once** per (layer, execution plan) by ``ProductModel.compile`` and
+then evaluated on every activation batch, so all weight-dependent work is
+hoisted out of the hot loop.
+
+The LUT kernel is the important one.  For an arbitrary 256x256 multiplier
+table the legacy path materializes a ``(patches, taps, filters)`` gather per
+chunk.  The compiled kernel instead decomposes the table as
+
+    lut[w, a] = w * a - err[w, a]
+
+so the exact part ``sum_j w_j a_j`` is a single matrix product, and the error
+part becomes a matrix product of the *one-hot encoded* activations against a
+precompiled ``(taps * 256, filters)`` error matrix::
+
+    err_sums[p, f] = sum_j err[w[j, f], act[p, j]]
+                   = onehot(act)[p, :] @ E[:, f],
+    E[j * 256 + a, f] = err[w[j, f], a]
+
+The one-hot matrix has exactly ``taps`` ones per row, so the product is
+evaluated through a scipy CSR matrix when scipy is available, or through a
+per-tap gather loop otherwise — either way the 3-D gather is gone.
+
+All integer matrix products are executed in float64 BLAS and cast back: every
+partial product and every partial sum is a non-negative integer bounded by
+``taps * 255 * 255 << 2^53``, so the float64 accumulation is exact and the
+results are bit-identical to the int64 reference paths (enforced by the
+``pytest -m engine`` parity suite).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.control_variate import ControlVariate
+from repro.multipliers.base import OPERAND_LEVELS
+
+try:  # pragma: no cover - exercised indirectly via LUTKernel paths
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is available in CI
+    _sparse = None
+
+
+#: Largest precompiled LUT error matrix, in bytes, before :class:`LUTKernel`
+#: falls back to the low-memory per-tap evaluation.
+DEFAULT_MAX_ERROR_MATRIX_BYTES = 1 << 28
+
+
+def _as_int64_weights(weight_codes: np.ndarray) -> np.ndarray:
+    w = np.asarray(weight_codes)
+    if w.ndim != 2:
+        raise ValueError(f"weight_codes must be 2-D (taps, filters), got {w.shape}")
+    return w.astype(np.int64)
+
+
+def exact_int_matmul(lhs: np.ndarray, rhs_f64: np.ndarray) -> np.ndarray:
+    """``lhs @ rhs`` for non-negative integer operands, via float64 BLAS.
+
+    Exact because every partial sum is an integer below 2^53; BLAS is an
+    order of magnitude faster than numpy's native int64 matmul.
+    """
+    return (lhs.astype(np.float64) @ rhs_f64).astype(np.int64)
+
+
+#: Largest per-(patch, filter) product sum for which float32 accumulation is
+#: still exact (integers below 2^24).
+_F32_EXACT_BOUND = 1 << 24
+
+
+class _WeightOperand:
+    """A weight matrix prepared for exact floating-point BLAS products.
+
+    Stores the float64 copy of the ``(taps, filters)`` weights and, when
+    every possible product sum of 8-bit activations against them fits below
+    2^24 (``255 * max_f sum_j w[j, f] < 2^24``), a float32 copy as well —
+    float32 sgemm is about twice as fast as dgemm and still bit-exact in
+    that regime, because every partial sum is a non-negative integer below
+    the float32 exact-integer limit.
+    """
+
+    def __init__(self, w: np.ndarray):
+        self._f64 = w.astype(np.float64)
+        w64 = w.astype(np.int64)
+        # The bound argument requires genuine 8-bit codes: signed or
+        # out-of-range weights could overflow float32 partial products even
+        # with a small column sum, so they disqualify the f32 copy entirely.
+        is_8bit = w64.size == 0 or (w64.min() >= 0 and w64.max() < OPERAND_LEVELS)
+        max_col_sum = int(w64.sum(axis=0).max()) if w64.size else 0
+        self._f32 = (
+            w.astype(np.float32)
+            if is_8bit and 255 * max_col_sum < _F32_EXACT_BOUND
+            else None
+        )
+
+    def matmul(self, lhs: np.ndarray) -> np.ndarray:
+        """Exact ``lhs @ w`` as int64 for integer-valued ``lhs``.
+
+        The float32 path is only taken for uint8 operands — the dtype
+        guarantees the <= 255 bound the exactness argument needs; any other
+        integer input goes through float64, which is exact for every partial
+        sum below 2^53.
+        """
+        if self._f32 is not None and lhs.dtype == np.uint8:
+            return (lhs.astype(np.float32) @ self._f32).astype(np.int64)
+        return exact_int_matmul(lhs, self._f64)
+
+
+class ProductKernel(abc.ABC):
+    """A product model compiled against one layer's quantized weights.
+
+    Calling the kernel with ``(patches, taps)`` activation codes returns the
+    ``(patches, filters)`` raw product sums, exactly as the corresponding
+    legacy function in :mod:`repro.core.approx_conv` would.
+    """
+
+    def __init__(self, taps: int, filters: int):
+        self.taps = int(taps)
+        self.filters = int(filters)
+
+    @abc.abstractmethod
+    def product_sums(self, act_codes: np.ndarray) -> np.ndarray:
+        """Raw ``sum_j product(wq_j, aq_j)`` of shape ``(patches, filters)``."""
+
+    def __call__(self, act_codes: np.ndarray) -> np.ndarray:
+        return self.product_sums(act_codes)
+
+    def _check_acts(self, act_codes: np.ndarray) -> np.ndarray:
+        """Validate shape; keep integer dtypes as-is — uint8 stays uint8, so
+        the executor's persistent buffers reach BLAS without an int64 detour.
+        Non-integer inputs are truncated to int64, matching the legacy
+        ``_check_codes`` behaviour of :mod:`repro.core.approx_conv`."""
+        act = np.asarray(act_codes)
+        if act.ndim != 2 or act.shape[1] != self.taps:
+            raise ValueError(
+                f"activations must have shape (patches, {self.taps}), got {act.shape}"
+            )
+        if not np.issubdtype(act.dtype, np.integer):
+            act = act.astype(np.int64)
+        return act
+
+
+class AccurateKernel(ProductKernel):
+    """Compiled exact ``act @ weights`` product sums."""
+
+    def __init__(self, weight_codes: np.ndarray):
+        w = _as_int64_weights(weight_codes)
+        super().__init__(*w.shape)
+        self._w_op = _WeightOperand(w)
+
+    def product_sums(self, act_codes: np.ndarray) -> np.ndarray:
+        act = self._check_acts(act_codes)
+        return self._w_op.matmul(act)
+
+
+class PerforatedKernel(ProductKernel):
+    """Compiled perforated product sums, optionally CV-corrected.
+
+    ``m = 0`` degenerates to the accurate array: the products equal
+    :func:`repro.core.approx_conv.accurate_product_sums` and the control
+    variate correction is exactly zero (``x = A mod 1 = 0``).
+    """
+
+    def __init__(
+        self,
+        weight_codes: np.ndarray,
+        m: int,
+        control_variate: ControlVariate | None = None,
+    ):
+        if not 0 <= int(m) < 8:
+            raise ValueError(f"m must be within [0, 7], got {m}")
+        w = _as_int64_weights(weight_codes)
+        super().__init__(*w.shape)
+        if control_variate is not None and control_variate.n_filters != self.filters:
+            raise ValueError(
+                f"control variate has {control_variate.n_filters} filters, "
+                f"weights have {self.filters}"
+            )
+        self.m = int(m)
+        self._mask = (1 << self.m) - 1
+        self._w_op = _WeightOperand(w)
+        self.control_variate = control_variate
+
+    def product_sums(self, act_codes: np.ndarray) -> np.ndarray:
+        act = self._check_acts(act_codes)
+        # The mask fits any 8-bit operand dtype, so these ops stay in the
+        # input dtype (uint8 in the executor) — no int64 round trip.
+        x = act & self._mask
+        sums = self._w_op.matmul(act - x)
+        cv = self.control_variate
+        if cv is None:
+            return sums
+        correction = cv.correction(x.sum(axis=1, dtype=np.int64))
+        if cv.quantized:
+            return sums + correction.astype(np.int64)
+        return sums.astype(np.float64) + correction
+
+
+class LUTKernel(ProductKernel):
+    """Compiled product sums for an arbitrary 256x256 multiplier LUT.
+
+    The table is decomposed as ``lut[w, a] = w * a - err[w, a]`` (see the
+    module docstring); an exact multiplier therefore compiles down to the
+    plain matmul with no error term at all.
+    """
+
+    def __init__(
+        self,
+        weight_codes: np.ndarray,
+        lut: np.ndarray,
+        max_error_matrix_bytes: int = DEFAULT_MAX_ERROR_MATRIX_BYTES,
+    ):
+        lut = np.asarray(lut, dtype=np.int64)
+        if lut.shape != (OPERAND_LEVELS, OPERAND_LEVELS):
+            raise ValueError(f"lut must have shape (256, 256), got {lut.shape}")
+        w = _as_int64_weights(weight_codes)
+        if w.size and (w.min() < 0 or w.max() >= OPERAND_LEVELS):
+            raise ValueError(f"weight codes out of range [0, {OPERAND_LEVELS - 1}]")
+        super().__init__(*w.shape)
+        self._w_op = _WeightOperand(w)
+        levels = np.arange(OPERAND_LEVELS, dtype=np.int64)
+        err_table = levels[:, None] * levels[None, :] - lut
+        # _err_table/_w are only needed by the low-memory per-batch fallback;
+        # on the exact and fully-compiled paths they are dropped below.
+        self._err_table: np.ndarray | None = None
+        self._w: np.ndarray | None = None
+        self._error_matrix: np.ndarray | None = None
+        self._tap_offsets: np.ndarray | None = None
+        self._exact = not err_table.any()
+        if self._exact:
+            return
+        matrix_bytes = self.taps * OPERAND_LEVELS * self.filters * 8
+        if matrix_bytes > max_error_matrix_bytes:
+            # Low-memory mode: per-tap gather against the raw table.
+            self._err_table = err_table
+            self._w = w
+            return
+        # E[j * 256 + a, f] = err[w[j, f], a], built in tap chunks to bound
+        # the transient (taps, filters, 256) intermediate.
+        matrix = np.empty((self.taps * OPERAND_LEVELS, self.filters), dtype=np.int64)
+        view = matrix.reshape(self.taps, OPERAND_LEVELS, self.filters)
+        chunk = max(1, (1 << 24) // max(1, OPERAND_LEVELS * self.filters * 8))
+        for start in range(0, self.taps, chunk):
+            stop = min(start + chunk, self.taps)
+            view[start:stop] = err_table[w[start:stop]].transpose(0, 2, 1)
+        self._error_matrix = matrix
+        self._tap_offsets = np.arange(self.taps, dtype=np.int64) * OPERAND_LEVELS
+        self._ones = np.empty(0, dtype=np.int8)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the LUT is the exact multiplier (no error term compiled)."""
+        return self._exact
+
+    def product_sums(self, act_codes: np.ndarray) -> np.ndarray:
+        act = self._check_acts(act_codes)
+        if act.dtype != np.uint8 and act.size and (
+            act.min() < 0 or act.max() >= OPERAND_LEVELS
+        ):
+            raise ValueError(f"activation codes out of range [0, {OPERAND_LEVELS - 1}]")
+        sums = self._w_op.matmul(act)
+        if self._exact:
+            return sums
+        if self._error_matrix is not None:
+            return sums - self._error_sums_compiled(act)
+        return sums - self._error_sums_lowmem(act)
+
+    # ------------------------------------------------------------------
+    def _error_sums_compiled(self, act: np.ndarray) -> np.ndarray:
+        patches = act.shape[0]
+        indices = (act + self._tap_offsets[None, :]).ravel()
+        if _sparse is not None:
+            # int8 ones: 8x smaller than int64 for a patches*taps-long array
+            # that is pure structure; scipy promotes the product back to the
+            # error matrix's int64.
+            if self._ones.shape[0] < indices.shape[0]:
+                self._ones = np.ones(indices.shape[0], dtype=np.int8)
+            indptr = np.arange(patches + 1, dtype=np.int64) * self.taps
+            onehot = _sparse.csr_matrix(
+                (self._ones[: indices.shape[0]], indices, indptr),
+                shape=(patches, self.taps * OPERAND_LEVELS),
+            )
+            return np.asarray(onehot @ self._error_matrix)
+        view = self._error_matrix.reshape(self.taps, OPERAND_LEVELS, self.filters)
+        err = np.zeros((patches, self.filters), dtype=np.int64)
+        for j in range(self.taps):
+            err += view[j][act[:, j]]
+        return err
+
+    def _error_sums_lowmem(self, act: np.ndarray) -> np.ndarray:
+        err = np.zeros((act.shape[0], self.filters), dtype=np.int64)
+        for j in range(self.taps):
+            err += self._err_table[self._w[j][None, :], act[:, j][:, None]]
+        return err
+
+
+class CallbackKernel(ProductKernel):
+    """Fallback kernel wrapping an uncompiled ``ProductModel.product_sums``.
+
+    Used by product models that do not provide a specialized compiled form;
+    the weight codes and control variate are still bound once at compile
+    time, so callers need no per-batch layer state.
+    """
+
+    def __init__(self, product_model, weight_codes: np.ndarray, control_variate):
+        w = np.asarray(weight_codes)
+        if w.ndim != 2:
+            raise ValueError(f"weight_codes must be 2-D (taps, filters), got {w.shape}")
+        super().__init__(*w.shape)
+        self._product_model = product_model
+        self._weight_codes = weight_codes
+        self._control_variate = control_variate
+
+    def product_sums(self, act_codes: np.ndarray) -> np.ndarray:
+        return self._product_model.product_sums(
+            act_codes, self._weight_codes, self._control_variate
+        )
+
+
+__all__ = [
+    "DEFAULT_MAX_ERROR_MATRIX_BYTES",
+    "ProductKernel",
+    "AccurateKernel",
+    "PerforatedKernel",
+    "LUTKernel",
+    "CallbackKernel",
+    "exact_int_matmul",
+]

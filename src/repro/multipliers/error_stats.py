@@ -98,8 +98,12 @@ def perforation_error_stats(m: int, weights: np.ndarray) -> ErrorStats:
     * ``E[eps] = E[W] * E[x]``
     * ``Var(eps) = E[W^2] E[x^2] - (E[W] E[x])^2``
 
-    This is the analytical counterpart of :func:`empirical_error_stats`
-    for the paper's multiplier and is validated against it in the tests.
+    The absolute and relative metrics are computed by exact enumeration
+    (the error only takes ``|W x|`` with ``x`` spanning ``2^m`` values, and
+    the relative denominator spans the 256 activation levels), so for
+    integer-valued weights every field agrees with
+    :func:`empirical_error_stats` of the same perforated multiplier — a
+    property pinned by the tests.
     """
     mult = PerforatedMultiplier(m)
     w = np.asarray(weights, dtype=np.float64).reshape(-1)
@@ -117,10 +121,22 @@ def perforation_error_stats(m: int, weights: np.ndarray) -> ErrorStats:
     abs_err = np.abs(np.outer(w, x))
     max_abs = float(abs_err.max()) if abs_err.size else 0.0
     mean_abs = float(abs_err.mean())
+    # The relative error |W x| / max(1, W a) depends on the full activation
+    # value a = t 2^m + x, not just its low bits, so enumerate all operand
+    # levels — deduplicated through the empirical weight histogram so the
+    # cost is O(distinct weights x 256) regardless of the sample count.
+    # This matches the definition used by ``empirical_error_stats`` exactly.
+    unique_w, counts = np.unique(w, return_counts=True)
+    a = np.arange(OPERAND_LEVELS, dtype=np.float64)
+    x_of_a = np.arange(OPERAND_LEVELS, dtype=np.int64) & np.int64(mult.perforation_mask)
+    exact = np.outer(unique_w, a)
+    rel = np.abs(unique_w[:, None] * x_of_a[None, :].astype(np.float64))
+    rel /= np.maximum(exact, 1.0)
+    weighted = (rel.mean(axis=1) * counts).sum() / counts.sum()
     return ErrorStats(
         mean=mean,
         variance=variance,
         mean_absolute=mean_abs,
         max_absolute=max_abs,
-        mean_relative=float("nan"),
+        mean_relative=float(weighted),
     )

@@ -6,9 +6,17 @@ become a ``(kh*kw*cin, cout)`` matrix.  This is also exactly the layout the
 quantized / approximate executors need, because the systolic MAC array of
 Section IV consumes one weight column per filter and streams activation
 patches through it.
+
+The gather indices depend only on the convolution geometry, so
+:func:`im2col_indices` memoizes them (LRU, keyed by the geometry tuple):
+repeated batches through the same layer — the common case in accuracy
+sweeps — pay the index construction once.  The cached arrays are returned
+read-only and shared between callers.
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
@@ -24,6 +32,28 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return out
 
 
+@functools.lru_cache(maxsize=256)
+def _cached_im2col_indices(
+    height: int,
+    width: int,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+    base_r = np.repeat(np.arange(out_h) * stride, out_w)
+    base_c = np.tile(np.arange(out_w) * stride, out_h)
+    off_r = np.repeat(np.arange(kernel_h), kernel_w)
+    off_c = np.tile(np.arange(kernel_w), kernel_h)
+    rows = base_r[:, None] + off_r[None, :]
+    cols = base_c[:, None] + off_c[None, :]
+    rows.flags.writeable = False
+    cols.flags.writeable = False
+    return rows, cols, out_h, out_w
+
+
 def im2col_indices(
     height: int,
     width: int,
@@ -36,21 +66,21 @@ def im2col_indices(
 
     Returns ``(rows, cols, out_h, out_w)`` where ``rows`` and ``cols`` have
     shape ``(out_h * out_w, kernel_h * kernel_w)`` and index into the padded
-    input plane.
+    input plane.  The index arrays are memoized per geometry and returned as
+    shared read-only views.
     """
-    out_h = conv_output_size(height, kernel_h, stride, pad)
-    out_w = conv_output_size(width, kernel_w, stride, pad)
-    base_r = np.repeat(np.arange(out_h) * stride, out_w)
-    base_c = np.tile(np.arange(out_w) * stride, out_h)
-    off_r = np.repeat(np.arange(kernel_h), kernel_w)
-    off_c = np.tile(np.arange(kernel_w), kernel_h)
-    rows = base_r[:, None] + off_r[None, :]
-    cols = base_c[:, None] + off_c[None, :]
-    return rows, cols, out_h, out_w
+    return _cached_im2col_indices(
+        int(height), int(width), int(kernel_h), int(kernel_w), int(stride), int(pad)
+    )
 
 
 def im2col(
-    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, pad: int = 0
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+    pad_value: float | int = 0,
 ) -> tuple[np.ndarray, int, int]:
     """Unfold an NHWC tensor into patch rows.
 
@@ -59,7 +89,12 @@ def im2col(
     x:
         Input of shape ``(batch, height, width, channels)``.
     kernel_h, kernel_w, stride, pad:
-        Convolution geometry (symmetric zero padding).
+        Convolution geometry (symmetric padding).
+    pad_value:
+        Constant used for the padded border (default 0).  The quantized
+        executor unfolds uint8 *codes* rather than real values and pads with
+        the zero-point code — the code of the real value 0 — so that
+        quantize-then-unfold equals unfold-then-quantize elementwise.
 
     Returns
     -------
@@ -72,7 +107,12 @@ def im2col(
         raise ValueError(f"expected NHWC input, got shape {x.shape}")
     batch, height, width, channels = x.shape
     if pad:
-        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)), mode="constant")
+        x = np.pad(
+            x,
+            ((0, 0), (pad, pad), (pad, pad), (0, 0)),
+            mode="constant",
+            constant_values=pad_value,
+        )
     rows, cols, out_h, out_w = im2col_indices(
         height, width, kernel_h, kernel_w, stride, pad
     )

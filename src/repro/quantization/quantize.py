@@ -41,11 +41,33 @@ def calibrate_percentile(tensor: np.ndarray, percentile: float = 99.9) -> QuantP
     return QuantParams.from_range(lo, hi)
 
 
-def quantize(tensor: np.ndarray, params: QuantParams) -> np.ndarray:
-    """Quantize a real tensor to uint8 codes using ``params``."""
+def quantize(
+    tensor: np.ndarray, params: QuantParams, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Quantize a real tensor to uint8 codes using ``params``.
+
+    Parameters
+    ----------
+    tensor:
+        Real-valued input of any shape.
+    params:
+        Quantization parameters.
+    out:
+        Optional preallocated uint8 array of the same shape receiving the
+        codes — lets hot loops (e.g. the approximate executor) reuse a
+        batch-persistent buffer instead of allocating per call.
+    """
     arr = np.asarray(tensor, dtype=np.float64)
     q = np.rint(arr / params.scale) + params.zero_point
-    return np.clip(q, QMIN, QMAX).astype(np.uint8)
+    np.clip(q, QMIN, QMAX, out=q)
+    if out is None:
+        return q.astype(np.uint8)
+    if out.dtype != np.uint8 or out.shape != arr.shape:
+        raise ValueError(
+            f"out must be uint8 with shape {arr.shape}, got {out.dtype} {out.shape}"
+        )
+    np.copyto(out, q, casting="unsafe")
+    return out
 
 
 def dequantize(codes: np.ndarray, params: QuantParams) -> np.ndarray:

@@ -4,10 +4,17 @@
   a trained float model with quantized convolution / dense layers whose
   product model can be the accurate multiplier, the perforated multiplier
   with or without the control variate, or any LUT multiplier (per layer).
+  Each product model is *compiled* once per layer into a
+  :class:`repro.core.product_kernels.ProductKernel` (cached by the
+  executor), so the per-batch hot path is free of weight-side work — the
+  LUT path in particular runs as two matrix products instead of a 3-D
+  gather.
 * :mod:`~repro.simulation.metrics` — accuracy and error metrics.
 * :mod:`~repro.simulation.campaign` — the Table III sweep (six networks, two
-  datasets, m = 1..3, with/without V) and the trained-model cache that keeps
-  benches fast and deterministic.
+  datasets, m = 1..3, with/without V), its multi-process variant
+  :func:`~repro.simulation.campaign.parallel_sweep`, and the trained-model
+  cache (keyed by the full training settings) that keeps benches fast and
+  deterministic.
 """
 
 from repro.simulation.inference import (
@@ -31,6 +38,8 @@ from repro.simulation.campaign import (
     AccuracyRecord,
     SweepResult,
     accuracy_sweep,
+    parallel_sweep,
+    settings_fingerprint,
     train_reference_model,
     experiment_dataset,
 )
@@ -52,6 +61,8 @@ __all__ = [
     "AccuracyRecord",
     "SweepResult",
     "accuracy_sweep",
+    "parallel_sweep",
+    "settings_fingerprint",
     "train_reference_model",
     "experiment_dataset",
 ]

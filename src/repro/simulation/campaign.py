@@ -6,16 +6,28 @@ This module provides the machinery behind the Table III benchmark:
   CIFAR-like dataset with the numpy engine;
 * :class:`TrainedModelCache` stores trained parameters (and their float
   accuracy) on disk so the expensive training step runs once per
-  (architecture, dataset, seed) combination;
+  (architecture, dataset, training-settings) combination — the cache stem
+  carries a hash of the full :class:`TrainingSettings` and the stored
+  metadata is validated on load, so changing any hyper-parameter retrains
+  instead of silently reusing a stale model;
 * :func:`accuracy_sweep` evaluates the quantized accurate baseline and every
   requested perforation value with and without the control variate,
-  producing one :class:`AccuracyRecord` per cell of Table III.
+  producing one :class:`AccuracyRecord` per cell of Table III;
+* :func:`parallel_sweep` fans the (model, m, control-variate) cells of the
+  sweep across worker processes, each worker building its calibrated
+  :class:`~repro.simulation.inference.ApproximateExecutor` (with its
+  compiled product kernels) once per model and reusing it for every cell it
+  evaluates.  Results are bit-identical to the serial sweep.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
+import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -135,18 +147,61 @@ def train_reference_model(
     )
 
 
+def settings_fingerprint(settings: TrainingSettings) -> str:
+    """Stable short hash of every :class:`TrainingSettings` field.
+
+    Used in the cache file stem so that any hyper-parameter change (epochs,
+    learning rate, decay, ...) maps to a distinct cache entry instead of
+    silently aliasing an older run.
+    """
+    payload = json.dumps(dataclasses.asdict(settings), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
 class TrainedModelCache:
-    """Disk cache of trained model parameters keyed by (model, dataset, seed)."""
+    """Disk cache of trained models keyed by (model, dataset, training settings).
+
+    The cache stem embeds :func:`settings_fingerprint`, and the stored JSON
+    metadata (model, dataset, full settings) is re-validated on load; any
+    mismatch retrains and overwrites the entry rather than returning a stale
+    model.
+    """
 
     def __init__(self, cache_dir: str | None = None):
         self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
 
-    def _paths(self, model_name: str, dataset_name: str, seed: int) -> tuple[str, str]:
-        stem = f"{model_name}__{dataset_name}__seed{seed}"
+    def _paths(
+        self, model_name: str, dataset_name: str, settings: TrainingSettings
+    ) -> tuple[str, str]:
+        stem = (
+            f"{model_name}__{dataset_name}__seed{settings.seed}"
+            f"__cfg{settings_fingerprint(settings)}"
+        )
         return (
             os.path.join(self.cache_dir, f"{stem}.npz"),
             os.path.join(self.cache_dir, f"{stem}.json"),
         )
+
+    def _load_valid_meta(
+        self,
+        meta_path: str,
+        model_name: str,
+        dataset_name: str,
+        settings: TrainingSettings,
+    ) -> dict | None:
+        """The stored metadata, or ``None`` when it does not match the request."""
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if meta.get("model") != model_name or meta.get("dataset") != dataset_name:
+            return None
+        if meta.get("settings") != dataclasses.asdict(settings):
+            return None
+        if "float_accuracy" not in meta:
+            return None
+        return meta
 
     def load_or_train(
         self,
@@ -156,22 +211,22 @@ class TrainedModelCache:
         verbose: bool = False,
     ) -> TrainedModel:
         """Return a cached trained model, training and caching it if missing."""
-        params_path, meta_path = self._paths(model_name, dataset.name, settings.seed)
+        params_path, meta_path = self._paths(model_name, dataset.name, settings)
         if os.path.exists(params_path) and os.path.exists(meta_path):
-            model = build_model(
-                model_name,
-                num_classes=dataset.num_classes,
-                rng=np.random.default_rng(settings.seed),
-            )
-            load_params(model, params_path)
-            with open(meta_path, "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
-            return TrainedModel(
-                name=model_name,
-                dataset_name=dataset.name,
-                model=model,
-                float_accuracy=float(meta["float_accuracy"]),
-            )
+            meta = self._load_valid_meta(meta_path, model_name, dataset.name, settings)
+            if meta is not None:
+                model = build_model(
+                    model_name,
+                    num_classes=dataset.num_classes,
+                    rng=np.random.default_rng(settings.seed),
+                )
+                load_params(model, params_path)
+                return TrainedModel(
+                    name=model_name,
+                    dataset_name=dataset.name,
+                    model=model,
+                    float_accuracy=float(meta["float_accuracy"]),
+                )
         trained = train_reference_model(model_name, dataset, settings, verbose=verbose)
         os.makedirs(self.cache_dir, exist_ok=True)
         save_params(trained.model, params_path)
@@ -181,6 +236,7 @@ class TrainedModelCache:
                     "model": model_name,
                     "dataset": dataset.name,
                     "seed": settings.seed,
+                    "settings": dataclasses.asdict(settings),
                     "float_accuracy": trained.float_accuracy,
                 },
                 handle,
@@ -239,6 +295,157 @@ class SweepResult:
         return float(np.mean(losses))
 
 
+#: Per-process worker state of :func:`parallel_sweep` (set by the pool
+#: initializer; also used by the in-process serial path).
+_SWEEP_STATE: dict = {}
+
+
+def _init_sweep_worker(
+    trained_models: list[TrainedModel],
+    datasets: dict[str, Dataset],
+    max_eval_images: int | None,
+    calibration_images: int,
+) -> None:
+    _SWEEP_STATE.clear()
+    _SWEEP_STATE.update(
+        models=trained_models,
+        datasets=datasets,
+        max_eval_images=max_eval_images,
+        calibration_images=calibration_images,
+        executors={},
+    )
+
+
+def _sweep_executor(model_index: int) -> ApproximateExecutor:
+    """Calibrated executor of one trained model, cached per worker process.
+
+    Only the most recent model's executor is kept: cells are grouped by
+    model, so this preserves reuse across a model's cells while bounding
+    peak memory to one executor (kernel caches, activation buffers and
+    quantized weights included) — matching the old serial sweep's profile.
+    """
+    executor = _SWEEP_STATE["executors"].get(model_index)
+    if executor is None:
+        trained = _SWEEP_STATE["models"][model_index]
+        dataset = _SWEEP_STATE["datasets"][trained.dataset_name]
+        calib = dataset.train_images[: _SWEEP_STATE["calibration_images"]]
+        executor = ApproximateExecutor(trained.model, calib)
+        _SWEEP_STATE["executors"].clear()
+        _SWEEP_STATE["executors"][model_index] = executor
+    return executor
+
+
+def _eval_sweep_cell(cell: tuple[int, int | None, bool]) -> tuple[int, int | None, bool, float]:
+    """Evaluate one (model, m, cv) cell; ``m is None`` is the accurate baseline."""
+    model_index, m, with_cv = cell
+    trained = _SWEEP_STATE["models"][model_index]
+    dataset = _SWEEP_STATE["datasets"][trained.dataset_name]
+    test_images = dataset.test_images
+    test_labels = dataset.test_labels
+    max_eval = _SWEEP_STATE["max_eval_images"]
+    if max_eval is not None:
+        test_images = test_images[:max_eval]
+        test_labels = test_labels[:max_eval]
+    executor = _sweep_executor(model_index)
+    if m is None:
+        plan = ExecutionPlan.uniform(AccurateProduct())
+    else:
+        plan = ExecutionPlan.uniform(PerforatedProduct(m, use_control_variate=with_cv))
+    acc = accuracy(executor.predict(test_images, plan), test_labels)
+    return model_index, m, with_cv, acc
+
+
+def _assemble_sweep_result(
+    models: list[TrainedModel],
+    perforations: Sequence[int],
+    cell_results: Iterable[tuple[int, int | None, bool, float]],
+) -> SweepResult:
+    baselines: dict[int, float] = {}
+    approx: dict[tuple[int, int, bool], float] = {}
+    for model_index, m, with_cv, acc in cell_results:
+        if m is None:
+            baselines[model_index] = acc
+        else:
+            approx[(model_index, m, with_cv)] = acc
+    result = SweepResult()
+    for index, trained in enumerate(models):
+        baseline_acc = baselines[index]
+        result.baselines[(trained.name, trained.dataset_name)] = baseline_acc
+        for m in perforations:
+            for with_cv in (True, False):
+                result.records.append(
+                    AccuracyRecord(
+                        model=trained.name,
+                        dataset=trained.dataset_name,
+                        m=m,
+                        with_control_variate=with_cv,
+                        baseline_accuracy=baseline_acc,
+                        approximate_accuracy=approx[(index, m, with_cv)],
+                    )
+                )
+    return result
+
+
+def _sweep_cells(
+    models: list[TrainedModel], perforations: Sequence[int]
+) -> list[tuple[int, int | None, bool]]:
+    cells: list[tuple[int, int | None, bool]] = []
+    for index in range(len(models)):
+        cells.append((index, None, False))
+        for m in perforations:
+            for with_cv in (True, False):
+                cells.append((index, m, with_cv))
+    return cells
+
+
+def parallel_sweep(
+    trained_models: Iterable[TrainedModel],
+    datasets: dict[str, Dataset],
+    perforations: Sequence[int] = (1, 2, 3),
+    max_eval_images: int | None = None,
+    calibration_images: int = 128,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """:func:`accuracy_sweep` fanned across worker processes.
+
+    Every (model, m, control-variate) cell — plus one accurate-baseline cell
+    per model — is an independent task.  Workers cache one calibrated
+    executor per model, so a worker that receives several cells of the same
+    model pays calibration and kernel compilation once.  The result is
+    bit-identical to the serial sweep; ``max_workers=1`` (or a single CPU)
+    degenerates to the in-process serial path with no multiprocessing
+    overhead.
+
+    Parameters
+    ----------
+    trained_models, datasets, perforations, max_eval_images, calibration_images:
+        As in :func:`accuracy_sweep`.
+    max_workers:
+        Worker process count; defaults to ``os.cpu_count()``.
+    """
+    models = list(trained_models)
+    cells = _sweep_cells(models, perforations)
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if max_workers <= 1 or len(cells) <= 1:
+        _init_sweep_worker(models, datasets, max_eval_images, calibration_images)
+        try:
+            results = [_eval_sweep_cell(cell) for cell in cells]
+        finally:
+            _SWEEP_STATE.clear()
+        return _assemble_sweep_result(models, perforations, results)
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=context,
+        initializer=_init_sweep_worker,
+        initargs=(models, datasets, max_eval_images, calibration_images),
+    ) as pool:
+        results = list(pool.map(_eval_sweep_cell, cells))
+    return _assemble_sweep_result(models, perforations, results)
+
+
 def accuracy_sweep(
     trained_models: Iterable[TrainedModel],
     datasets: dict[str, Dataset],
@@ -246,7 +453,7 @@ def accuracy_sweep(
     max_eval_images: int | None = None,
     calibration_images: int = 128,
 ) -> SweepResult:
-    """Evaluate every trained model under every approximation mode.
+    """Evaluate every trained model under every approximation mode (serially).
 
     Parameters
     ----------
@@ -262,32 +469,15 @@ def accuracy_sweep(
         Optional cap on the number of test images (keeps CI-style runs fast).
     calibration_images:
         Number of training images used for activation calibration.
+
+    See :func:`parallel_sweep` for the multi-process variant; both produce
+    identical results.
     """
-    result = SweepResult()
-    for trained in trained_models:
-        dataset = datasets[trained.dataset_name]
-        test_images = dataset.test_images
-        test_labels = dataset.test_labels
-        if max_eval_images is not None:
-            test_images = test_images[:max_eval_images]
-            test_labels = test_labels[:max_eval_images]
-        calib = dataset.train_images[:calibration_images]
-        executor = ApproximateExecutor(trained.model, calib)
-        baseline_plan = ExecutionPlan.uniform(AccurateProduct())
-        baseline_acc = accuracy(executor.predict(test_images, baseline_plan), test_labels)
-        result.baselines[(trained.name, trained.dataset_name)] = baseline_acc
-        for m in perforations:
-            for with_cv in (True, False):
-                plan = ExecutionPlan.uniform(PerforatedProduct(m, use_control_variate=with_cv))
-                approx_acc = accuracy(executor.predict(test_images, plan), test_labels)
-                result.records.append(
-                    AccuracyRecord(
-                        model=trained.name,
-                        dataset=trained.dataset_name,
-                        m=m,
-                        with_control_variate=with_cv,
-                        baseline_accuracy=baseline_acc,
-                        approximate_accuracy=approx_acc,
-                    )
-                )
-    return result
+    return parallel_sweep(
+        trained_models,
+        datasets,
+        perforations=perforations,
+        max_eval_images=max_eval_images,
+        calibration_images=calibration_images,
+        max_workers=1,
+    )

@@ -16,11 +16,26 @@ how layer-wise techniques (ALWANN [7], the reconfigurable approach [8]) are
 expressed.  Everything that is not a convolution or dense layer (batch-norm,
 ReLU, pooling, merges) runs in float exactly as during training, matching
 the fake-quantization methodology of the TFApprox flow the paper uses.
+
+Kernel compilation
+------------------
+Every :class:`ProductModel` can be *compiled* against one layer's quantized
+weights via :meth:`ProductModel.compile`, yielding a
+:class:`repro.core.product_kernels.ProductKernel` that hoists all
+weight-dependent work (int64 weight conversion, LUT error-matrix
+construction, control constants) out of the per-batch hot loop.  The
+executor compiles each (layer, group, product model) combination once,
+caches the kernel for the lifetime of the product-model instance, and reuses
+persistent uint8 activation buffers across batches, so a sweep that runs the
+same plan over a full test set performs only the unavoidable per-batch work.
+The legacy uncompiled path is kept behind ``use_compiled=False`` and the
+``pytest -m engine`` parity suite pins both paths bit-exact.
 """
 
 from __future__ import annotations
 
 import abc
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +47,13 @@ from repro.core.approx_conv import (
     perforated_product_sums,
 )
 from repro.core.control_variate import ControlVariate
+from repro.core.product_kernels import (
+    AccurateKernel,
+    CallbackKernel,
+    LUTKernel,
+    PerforatedKernel,
+    ProductKernel,
+)
 from repro.multipliers.base import Multiplier
 from repro.nn.graph import Graph
 from repro.nn.im2col import im2col
@@ -53,6 +75,16 @@ class ProductModel(abc.ABC):
     ) -> np.ndarray:
         """Return ``sum_j product(wq_j, aq_j)`` of shape ``(patches, filters)``."""
 
+    def compile(
+        self, weight_codes: np.ndarray, control_variate: ControlVariate
+    ) -> ProductKernel:
+        """Compile this model against one layer's weights (run once per plan).
+
+        The default implementation wraps :meth:`product_sums`; subclasses
+        with an exploitable structure return a specialized kernel instead.
+        """
+        return CallbackKernel(self, weight_codes, control_variate)
+
     @property
     def name(self) -> str:
         return type(self).__name__
@@ -69,13 +101,23 @@ class AccurateProduct(ProductModel):
     ) -> np.ndarray:
         return accurate_product_sums(act_codes, weight_codes)
 
+    def compile(
+        self, weight_codes: np.ndarray, control_variate: ControlVariate
+    ) -> ProductKernel:
+        return AccurateKernel(weight_codes)
+
 
 class PerforatedProduct(ProductModel):
-    """Perforated multiplier, optionally corrected by the control variate."""
+    """Perforated multiplier, optionally corrected by the control variate.
+
+    ``m = 0`` is the degenerate accurate array: products are identical to
+    :class:`AccurateProduct` and the control-variate correction is exactly
+    zero, matching :func:`repro.core.approx_conv.perforated_product_sums`.
+    """
 
     def __init__(self, m: int, use_control_variate: bool = True):
-        if not 1 <= int(m) < 8:
-            raise ValueError(f"m must be within [1, 7], got {m}")
+        if not 0 <= int(m) < 8:
+            raise ValueError(f"m must be within [0, 7], got {m}")
         self.m = int(m)
         self.use_control_variate = bool(use_control_variate)
 
@@ -94,6 +136,12 @@ class PerforatedProduct(ProductModel):
     ) -> np.ndarray:
         cv = control_variate if self.use_control_variate else None
         return perforated_product_sums(act_codes, weight_codes, self.m, cv)
+
+    def compile(
+        self, weight_codes: np.ndarray, control_variate: ControlVariate
+    ) -> ProductKernel:
+        cv = control_variate if self.use_control_variate else None
+        return PerforatedKernel(weight_codes, self.m, cv)
 
     @property
     def name(self) -> str:
@@ -118,6 +166,11 @@ class LUTProduct(ProductModel):
         return lut_product_sums(
             act_codes, weight_codes, self._lut, chunk_patches=self.chunk_patches
         )
+
+    def compile(
+        self, weight_codes: np.ndarray, control_variate: ControlVariate
+    ) -> ProductKernel:
+        return LUTKernel(weight_codes, self._lut)
 
     @property
     def name(self) -> str:
@@ -174,6 +227,12 @@ class ApproximateExecutor:
         quantizers of every MAC layer (post-training quantization).
     activation_percentile:
         Percentile used for activation calibration; 100 gives min/max.
+    use_compiled:
+        Run each MAC layer through its compiled
+        :class:`~repro.core.product_kernels.ProductKernel` (compiled once
+        per (layer, group, product model) and cached).  Disable to force
+        the legacy per-batch ``ProductModel.product_sums`` path; both paths
+        are bit-exact.
     """
 
     def __init__(
@@ -181,9 +240,18 @@ class ApproximateExecutor:
         model: Graph,
         calibration_images: np.ndarray,
         activation_percentile: float = 99.9,
+        use_compiled: bool = True,
     ):
         self.model = model
+        self.use_compiled = bool(use_compiled)
         self._nodes: dict[str, _QuantizedMacNode] = {}
+        # Compiled kernels, keyed by product-model instance (weakly, so plans
+        # can be discarded) then by (layer, group).
+        self._kernel_cache: "weakref.WeakKeyDictionary[ProductModel, dict[tuple[str, int], ProductKernel]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # Batch-persistent uint8 activation-code buffers per (layer, group).
+        self._act_buffers: dict[tuple[str, int], np.ndarray] = {}
         self._calibrate(calibration_images, activation_percentile)
 
     # ------------------------------------------------------------------
@@ -240,11 +308,13 @@ class ApproximateExecutor:
                 raise ValueError("override shape mismatch")
             overrides.append(codes)
         node.weight_overrides = overrides
+        self._kernel_cache = weakref.WeakKeyDictionary()
 
     def clear_weight_overrides(self) -> None:
         """Remove all inference-time weight overrides."""
         for node in self._nodes.values():
             node.weight_overrides = [None] * len(node.ops)
+        self._kernel_cache = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
     def forward(self, images: np.ndarray, plan: ExecutionPlan) -> np.ndarray:
@@ -295,13 +365,33 @@ class ApproximateExecutor:
         cin_per_group = layer.in_channels // layer.groups
         cout_per_group = layer.out_channels // layer.groups
         outputs = []
-        out_h = out_w = None
+        if self.use_compiled:
+            # Quantize once on the compact NHWC input, then unfold the uint8
+            # codes (padding with the zero-point code, i.e. quantize(0)) —
+            # elementwise identical to unfold-then-quantize, but the im2col
+            # gather duplicates every pixel ~k^2 times, so this quantizes up
+            # to k^2 x less data and gathers uint8 instead of float64.
+            codes = self._quantize_acts(qnode, -1, x)
+            pad_code = int(np.clip(qnode.act_params.zero_point, 0, 255))
+            for g in range(layer.groups):
+                codes_g = codes[..., g * cin_per_group : (g + 1) * cin_per_group]
+                act_codes, out_h, out_w = im2col(
+                    codes_g,
+                    layer.kernel_size,
+                    layer.kernel_size,
+                    layer.stride,
+                    layer.pad,
+                    pad_value=pad_code,
+                )
+                out_flat = self._run_group(qnode, g, act_codes, product_model)
+                outputs.append(out_flat.reshape(batch, out_h, out_w, cout_per_group))
+            return np.concatenate(outputs, axis=-1) if layer.groups > 1 else outputs[0]
         for g in range(layer.groups):
             x_g = x[..., g * cin_per_group : (g + 1) * cin_per_group]
             cols, out_h, out_w = im2col(
                 x_g, layer.kernel_size, layer.kernel_size, layer.stride, layer.pad
             )
-            act_codes = quantize(cols, qnode.act_params)
+            act_codes = self._quantize_acts(qnode, g, cols)
             out_flat = self._run_group(qnode, g, act_codes, product_model)
             outputs.append(out_flat.reshape(batch, out_h, out_w, cout_per_group))
         return np.concatenate(outputs, axis=-1) if layer.groups > 1 else outputs[0]
@@ -313,8 +403,39 @@ class ApproximateExecutor:
         x: np.ndarray,
         product_model: ProductModel,
     ) -> np.ndarray:
-        act_codes = quantize(x, qnode.act_params)
+        act_codes = self._quantize_acts(qnode, 0, x)
         return self._run_group(qnode, 0, act_codes, product_model)
+
+    def _quantize_acts(self, qnode: _QuantizedMacNode, group: int, cols: np.ndarray) -> np.ndarray:
+        """Quantize activations into a per-(layer, group) persistent buffer.
+
+        The buffer grows along the leading (batch/patch) axis only; group
+        ``-1`` holds the whole NHWC input of a conv node (compiled path).
+        """
+        key = (qnode.node_name, group)
+        buffer = self._act_buffers.get(key)
+        if buffer is None or buffer.shape[0] < cols.shape[0] or buffer.shape[1:] != cols.shape[1:]:
+            buffer = np.empty(cols.shape, dtype=np.uint8)
+            self._act_buffers[key] = buffer
+        return quantize(cols, qnode.act_params, out=buffer[: cols.shape[0]])
+
+    def _kernel_for(
+        self, qnode: _QuantizedMacNode, group: int, product_model: ProductModel
+    ) -> ProductKernel:
+        per_model = self._kernel_cache.get(product_model)
+        if per_model is None:
+            per_model = {}
+            self._kernel_cache[product_model] = per_model
+        key = (qnode.node_name, group)
+        kernel = per_model.get(key)
+        if kernel is None:
+            override = qnode.weight_overrides[group]
+            weight_codes = (
+                override if override is not None else qnode.ops[group].weight_codes
+            )
+            kernel = product_model.compile(weight_codes, qnode.control_variates[group])
+            per_model[key] = kernel
+        return kernel
 
     def _run_group(
         self,
@@ -324,11 +445,14 @@ class ApproximateExecutor:
         product_model: ProductModel,
     ) -> np.ndarray:
         op = qnode.ops[group]
-        override = qnode.weight_overrides[group]
-        weight_codes = override if override is not None else op.weight_codes
-        sums = product_model.product_sums(
-            act_codes, weight_codes, qnode.control_variates[group]
-        )
+        if self.use_compiled:
+            sums = self._kernel_for(qnode, group, product_model)(act_codes)
+        else:
+            override = qnode.weight_overrides[group]
+            weight_codes = override if override is not None else op.weight_codes
+            sums = product_model.product_sums(
+                act_codes, weight_codes, qnode.control_variates[group]
+            )
         return op.output_real(act_codes, qnode.act_params, product_sum=sums)
 
 

@@ -55,6 +55,29 @@ class TestPerforationErrorStats:
         tight = perforation_error_stats(2, np.full(100, 130.0))
         assert tight.variance < spread.variance
 
+    def test_mean_relative_matches_empirical_uniform_weights(self):
+        """MRE is finite and agrees with the exhaustive empirical figure."""
+        for m in (1, 2, 3):
+            analytical = perforation_error_stats(m, np.arange(256))
+            empirical = empirical_error_stats(PerforatedMultiplier(m))
+            assert np.isfinite(analytical.mean_relative)
+            assert analytical.mean_relative == pytest.approx(
+                empirical.mean_relative, rel=1e-9
+            )
+
+    def test_mean_relative_matches_empirical_weight_distribution(self, rng):
+        weights = rng.integers(5, 200, size=300)
+        activations = np.arange(256)
+        analytical = perforation_error_stats(2, weights)
+        empirical = empirical_error_stats(PerforatedMultiplier(2), weights, activations)
+        assert analytical.mean_relative == pytest.approx(empirical.mean_relative, rel=1e-9)
+        assert analytical.mean_absolute == pytest.approx(empirical.mean_absolute, rel=1e-9)
+
+    def test_mean_relative_zero_for_m0(self):
+        stats = perforation_error_stats(0, np.arange(1, 100))
+        assert stats.mean_relative == 0.0
+        assert stats.mean_absolute == 0.0
+
     def test_empty_weights_rejected(self):
         with pytest.raises(ValueError):
             perforation_error_stats(1, np.array([]))

@@ -74,7 +74,25 @@ class TestProductModels:
 
     def test_invalid_m(self):
         with pytest.raises(ValueError):
-            PerforatedProduct(0)
+            PerforatedProduct(-1)
+        with pytest.raises(ValueError):
+            PerforatedProduct(8)
+
+    def test_m_zero_degenerates_to_accurate(self, rng):
+        """m=0 is valid and matches the accurate array, with and without V."""
+        from repro.core.approx_conv import accurate_product_sums
+        from repro.core.control_variate import ControlVariate
+
+        acts = rng.integers(0, 256, size=(13, 9), dtype=np.uint8)
+        weights = rng.integers(0, 256, size=(9, 5), dtype=np.uint8)
+        cv = ControlVariate.from_weight_matrix(weights)
+        reference = accurate_product_sums(acts, weights)
+        for use_cv in (True, False):
+            model = PerforatedProduct(0, use_control_variate=use_cv)
+            sums = model.product_sums(acts, weights, cv)
+            np.testing.assert_array_equal(np.asarray(sums), reference)
+            kernel = model.compile(weights, cv)
+            np.testing.assert_array_equal(np.asarray(kernel(acts)), reference)
 
 
 class TestExecutionPlan:
@@ -231,6 +249,64 @@ class TestCampaign:
         assert second.float_accuracy == pytest.approx(first.float_accuracy)
         x = small_dataset.test_images[:4]
         assert np.allclose(first.model.forward(x), second.model.forward(x))
+
+    def test_cache_keyed_by_training_settings(self, small_dataset, tmp_path):
+        """Changing hyper-parameters must retrain, not reuse a stale model."""
+        import os
+
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        settings = TrainingSettings(epochs=1, seed=2)
+        cache.load_or_train("vgg13", small_dataset, settings)
+        files_before = sorted(os.listdir(tmp_path))
+        # Same (model, dataset, seed) but different epochs: distinct entry.
+        more_epochs = TrainingSettings(epochs=2, seed=2)
+        retrained = cache.load_or_train("vgg13", small_dataset, more_epochs)
+        files_after = sorted(os.listdir(tmp_path))
+        assert len(files_after) == len(files_before) + 2
+        assert retrained.float_accuracy >= 0.0
+        # Re-requesting either settings hits its own cached entry.
+        assert sorted(os.listdir(tmp_path)) == files_after
+        cache.load_or_train("vgg13", small_dataset, settings)
+        cache.load_or_train("vgg13", small_dataset, more_epochs)
+        assert sorted(os.listdir(tmp_path)) == files_after
+
+    def test_cache_rejects_mismatched_meta(self, small_dataset, tmp_path):
+        """Tampered / stale metadata triggers a retrain instead of a stale hit."""
+        import json
+        import os
+
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        settings = TrainingSettings(epochs=1, seed=2)
+        cache.load_or_train("vgg13", small_dataset, settings)
+        meta_path = next(
+            os.path.join(tmp_path, f) for f in os.listdir(tmp_path) if f.endswith(".json")
+        )
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        meta["settings"]["epochs"] = 99
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        reloaded = cache.load_or_train("vgg13", small_dataset, settings)
+        with open(meta_path) as handle:
+            repaired = json.load(handle)
+        assert repaired["settings"]["epochs"] == 1
+        assert 0.0 <= reloaded.float_accuracy <= 1.0
+
+    def test_parallel_sweep_matches_serial(self, small_dataset, tmp_path):
+        from repro.simulation.campaign import parallel_sweep
+
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=1, seed=3))
+        kwargs = dict(perforations=(0, 2), max_eval_images=16)
+        serial = accuracy_sweep([trained], {small_dataset.name: small_dataset}, **kwargs)
+        parallel = parallel_sweep(
+            [trained], {small_dataset.name: small_dataset}, max_workers=2, **kwargs
+        )
+        assert parallel.baselines == serial.baselines
+        assert parallel.records == serial.records
+        # m=0 cells are the accurate design: zero accuracy loss.
+        assert parallel.lookup("vgg13", small_dataset.name, 0, True).accuracy_loss == 0.0
+        assert parallel.lookup("vgg13", small_dataset.name, 0, False).accuracy_loss == 0.0
 
     def test_accuracy_sweep_structure(self, small_dataset, tmp_path):
         cache = TrainedModelCache(cache_dir=str(tmp_path))
