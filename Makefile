@@ -1,0 +1,17 @@
+# CI-style entry points.  `make check` is the gate a PR must pass: the
+# tier-1 suite plus the engine parity/throughput suite, with any
+# unregistered-marker warning promoted to an error (markers are registered
+# once, in pyproject.toml).
+
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest -W error::pytest.PytestUnknownMarkWarning
+
+.PHONY: check tier1 engine
+
+check: tier1 engine
+
+tier1:
+	$(PYTEST) -x -q
+
+engine:
+	$(PYTEST) -q -m engine tests benchmarks/bench_engine_throughput.py

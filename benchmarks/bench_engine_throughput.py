@@ -1,11 +1,17 @@
 """Engine throughput — compiled product kernels vs. the legacy per-batch paths.
 
-Two measurements back the compiled-engine acceptance criteria:
+Three measurements back the compiled-engine acceptance criteria:
 
 * **LUT kernel throughput** on a ResNet-shaped conv layer (3x3x64 taps, 64
   filters, 4096 patches): the compiled ``lut = exact - error`` decomposition
   must be at least 5x faster than the legacy 3-D gather of
   :func:`repro.core.approx_conv.lut_product_sums`, with bit-exact outputs.
+* **Per-backend throughput** on the same layer: every *available* engine
+  backend (numpy, numba, lowmem, ...) compiles the accurate, perforated+V
+  and LUT product models and reports patches/s; unavailable backends are
+  listed with their reason.  All backend outputs are asserted bit-exact
+  against the legacy reference; the numpy backend must meet the legacy
+  speedup floor above.
 * **End-to-end sweep wall-clock** on the Table III configuration (accurate
   baseline plus m = 1..3 with and without the control variate): the
   compiled executor must be at least 2x faster than the legacy executor,
@@ -25,8 +31,15 @@ import pytest
 
 from conftest import write_result
 
-from repro.core.approx_conv import lut_product_sums
+from repro.core.approx_conv import (
+    accurate_product_sums,
+    lut_product_sums,
+    perforated_product_sums,
+)
+from repro.core.backends import backend_names, get_backend
+from repro.core.control_variate import ControlVariate
 from repro.core.product_kernels import LUTKernel
+from repro.multipliers.lut import LUTMultiplier
 from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
 from repro.models.zoo import build_model
 from repro.nn.optimizers import SGD
@@ -90,6 +103,53 @@ def run_lut_throughput() -> dict:
     }
 
 
+def run_backend_throughput() -> list[dict]:
+    """Per-backend patches/s of the three compiled product models.
+
+    Every available backend must be bit-exact against the legacy reference;
+    unavailable backends are reported (with their reason), not hidden.
+    """
+    rng = np.random.default_rng(0)
+    acts = rng.integers(0, 256, size=(PATCHES, TAPS), dtype=np.uint8)
+    weights = rng.integers(0, 256, size=(TAPS, FILTERS), dtype=np.uint8)
+    lut = _random_lut(rng)
+    cv = ControlVariate.from_weight_matrix(weights)
+
+    from repro.simulation.inference import LUTProduct
+
+    cases = [
+        ("accurate", AccurateProduct(), accurate_product_sums(acts, weights)),
+        (
+            "perforated m=2 +V",
+            PerforatedProduct(2, True),
+            perforated_product_sums(acts, weights, 2, cv),
+        ),
+        (
+            "lut (random table)",
+            LUTProduct(LUTMultiplier(lut, name="bench")),
+            lut_product_sums(acts, weights, lut),
+        ),
+    ]
+    rows: list[dict] = []
+    for name in backend_names():
+        backend = get_backend(name)
+        available, reason = backend.availability()
+        if not available:
+            rows.append({"backend": name, "available": False, "reason": reason})
+            continue
+        row: dict = {"backend": name, "available": True, "cases": {}}
+        for case_name, model, expected in cases:
+            kernel = backend.compile(model, weights, cv)
+            out = kernel(acts)  # warm-up + correctness in one
+            assert np.array_equal(out, expected), (
+                f"backend {name!r} not bit-exact on {case_name}"
+            )
+            elapsed = _best_of(lambda: kernel(acts))
+            row["cases"][case_name] = PATCHES / elapsed
+        rows.append(row)
+    return rows
+
+
 def _table3_setup():
     """A scaled Table III cell: one trained network, full plan set."""
     dataset = make_synthetic_cifar(
@@ -140,7 +200,7 @@ def run_sweep_wallclock() -> dict:
     }
 
 
-def _render(lut: dict, sweep: dict) -> str:
+def _render(lut: dict, backends: list[dict], sweep: dict) -> str:
     lines = [
         "engine throughput: legacy vs compiled product kernels",
         "",
@@ -149,6 +209,18 @@ def _render(lut: dict, sweep: dict) -> str:
         f"  compiled  {lut['compiled_pps']:10.0f} patches/s  ({lut['compiled_time']:.3f} s"
         f" + {lut['compile_time']:.3f} s one-time compile)",
         f"  speedup   {lut['speedup']:.1f}x  (required >= {LUT_MIN_SPEEDUP:.0f}x)",
+        "",
+        "Per-backend throughput (patches/s, bit-exact vs legacy reference):",
+    ]
+    for row in backends:
+        if not row["available"]:
+            lines.append(f"  {row['backend']:<8} unavailable ({row['reason']})")
+            continue
+        cases = "  ".join(
+            f"{case}: {pps:10.0f}" for case, pps in row["cases"].items()
+        )
+        lines.append(f"  {row['backend']:<8} {cases}")
+    lines += [
         "",
         "Table III sweep (vgg13, accurate + m=1..3 x {with, without} V):",
         f"  legacy    {sweep['legacy_ips']:10.1f} image-evals/s  ({sweep['legacy_time']:.2f} s)",
@@ -159,18 +231,27 @@ def _render(lut: dict, sweep: dict) -> str:
 
 
 def test_engine_throughput(results_dir):
-    """Compiled kernels beat the legacy paths by the required margins."""
+    """Compiled kernels beat the legacy paths by the required margins, and
+    every available backend reports bit-exact per-backend throughput."""
     lut = run_lut_throughput()
+    backends = run_backend_throughput()
     sweep = run_sweep_wallclock()
-    rendered = _render(lut, sweep)
+    rendered = _render(lut, backends, sweep)
     path = write_result(results_dir, "engine_throughput.txt", rendered)
     print("\n" + rendered)
     print(f"\n[written to {path}]")
     assert lut["speedup"] >= LUT_MIN_SPEEDUP
     assert sweep["speedup"] >= SWEEP_MIN_SPEEDUP
+    by_name = {row["backend"]: row for row in backends}
+    assert by_name["numpy"]["available"], "numpy backend must always be available"
+    # The numpy backend's LUT kernel is the same code path as the compiled
+    # measurement above, so its floor is the legacy speedup requirement.
+    numpy_lut_pps = by_name["numpy"]["cases"]["lut (random table)"]
+    assert numpy_lut_pps >= LUT_MIN_SPEEDUP * lut["legacy_pps"]
 
 
 if __name__ == "__main__":
     lut_result = run_lut_throughput()
+    backend_rows = run_backend_throughput()
     sweep_result = run_sweep_wallclock()
-    print(_render(lut_result, sweep_result))
+    print(_render(lut_result, backend_rows, sweep_result))

@@ -25,13 +25,6 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "engine: compiled product-kernel parity/throughput suite (run with -m engine)",
-    )
-
-
 def bench_epochs() -> int:
     """Training epochs used by the accuracy benches."""
     return int(os.environ.get("REPRO_BENCH_EPOCHS", "6"))

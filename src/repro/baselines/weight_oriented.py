@@ -100,7 +100,10 @@ class WeightOrientedProduct(ProductModel):
         return sums
 
     def compile(
-        self, weight_codes: np.ndarray, control_variate: ControlVariate
+        self,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+        options=None,
     ) -> ProductKernel:
         return _WeightOrientedKernel(self, weight_codes)
 

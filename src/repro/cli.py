@@ -11,6 +11,21 @@ regenerate the paper's headline artifacts without writing Python:
   convolution error statistics of Section III.
 
 Each sub-command prints an aligned text table to stdout.
+
+Engine backends
+---------------
+The accuracy sweep compiles its product kernels through a pluggable engine
+backend (:mod:`repro.core.backends`).  ``python -m repro backends`` lists
+the registered backends and their availability, and ``--engine-backend``
+selects one for the sweep::
+
+    python -m repro backends
+    python -m repro accuracy --model vgg13 --engine-backend lowmem
+    python -m repro accuracy --model vgg13 --engine-backend numba  # JIT
+
+Backends are bit-exact — they change simulation speed and memory only — and
+an unavailable backend (e.g. ``numba`` without the package installed) falls
+back to ``numpy`` with a warning.
 """
 
 from __future__ import annotations
@@ -21,6 +36,7 @@ import numpy as np
 
 from repro.analysis.reporting import Table
 from repro.core.accelerator_model import AcceleratorConfig
+from repro.core.backends import DEFAULT_BACKEND, backend_names, get_backend
 from repro.core.error_model import convolution_error_stats, simulate_convolution_error
 from repro.hardware.area_power import (
     macplus_area_share,
@@ -69,6 +85,7 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
         {dataset.name: dataset},
         perforations=tuple(args.perforations),
         max_eval_images=args.max_eval_images,
+        engine_backend=args.engine_backend,
     )
     table = Table(
         title=f"{args.model} on {dataset.name} "
@@ -103,6 +120,24 @@ def _cmd_error_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    table = Table(
+        title="Registered engine backends",
+        columns=["name", "available", "default", "notes"],
+    )
+    for name in backend_names():
+        backend = get_backend(name)
+        available, reason = backend.availability()
+        table.add_row(
+            name,
+            "yes" if available else "no",
+            "*" if name == DEFAULT_BACKEND else "",
+            reason if not available else backend.describe(),
+        )
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -123,8 +158,20 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--perforations", type=int, nargs="+", default=[1, 2, 3])
     accuracy.add_argument("--max-eval-images", type=int, default=None)
     accuracy.add_argument("--cache-dir", default=None)
+    accuracy.add_argument(
+        "--engine-backend",
+        choices=backend_names(),
+        default=None,
+        help="engine backend compiling the product kernels (bit-exact; "
+        "unavailable backends fall back to numpy with a warning)",
+    )
     accuracy.add_argument("--verbose", action="store_true")
     accuracy.set_defaults(func=_cmd_accuracy)
+
+    backends = sub.add_parser(
+        "backends", help="list registered engine backends and their availability"
+    )
+    backends.set_defaults(func=_cmd_backends)
 
     error_model = sub.add_parser("error-model", help="closed-form vs Monte-Carlo error statistics")
     error_model.add_argument("--m", type=int, default=2)

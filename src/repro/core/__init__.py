@@ -18,6 +18,11 @@ This package implements Section III of the paper:
   the weight-dependent state of every product model is built once per
   (layer, plan) and reused across batches; the LUT path becomes two matrix
   products via the ``lut = exact - error`` decomposition.
+* :mod:`~repro.core.backends` — the pluggable engine-backend registry
+  (``numpy`` / ``numba`` / ``lowmem``) selecting *how* product kernels are
+  compiled; all backends are bit-exact and selectable via
+  ``AcceleratorConfig.engine_backend``, the executor's ``engine_backend``
+  argument and the CLI's ``--engine-backend`` flag.
 """
 
 from repro.core.control_variate import (
@@ -42,10 +47,26 @@ from repro.core.accelerator_model import AcceleratorConfig
 from repro.core.product_kernels import (
     AccurateKernel,
     CallbackKernel,
+    ChunkedKernel,
+    KernelOptions,
     LUTKernel,
     PerforatedKernel,
     ProductKernel,
     exact_int_matmul,
+)
+from repro.core.backends import (
+    DEFAULT_BACKEND,
+    BackendUnavailableError,
+    EngineBackend,
+    LowMemoryBackend,
+    NumbaBackend,
+    NumpyBackend,
+    available_backend_names,
+    backend_names,
+    get_backend,
+    has_backend,
+    register_backend,
+    resolve_backend,
 )
 
 __all__ = [
@@ -66,6 +87,20 @@ __all__ = [
     "AccurateKernel",
     "PerforatedKernel",
     "LUTKernel",
+    "ChunkedKernel",
     "CallbackKernel",
+    "KernelOptions",
     "exact_int_matmul",
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "EngineBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "LowMemoryBackend",
+    "register_backend",
+    "backend_names",
+    "available_backend_names",
+    "has_backend",
+    "get_backend",
+    "resolve_backend",
 ]

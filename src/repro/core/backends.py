@@ -1,0 +1,429 @@
+"""Pluggable engine backends for the compiled product-kernel engine.
+
+PR 1 introduced the ``ProductModel.compile -> ProductKernel`` seam: every
+product model (accurate, perforated ± control variate, LUT, ...) compiles
+against one layer's quantized weights into a kernel that is evaluated per
+batch.  This module makes the *compiler* pluggable: an
+:class:`EngineBackend` owns the strategy used to build those kernels, and a
+process-wide registry lets callers select one by name —
+
+``numpy``
+    The default BLAS-backed kernels of
+    :mod:`repro.core.product_kernels` (float32/float64 sgemm/dgemm with the
+    exactness bounds documented there).
+``numba``
+    JIT-compiled per-tap loops.  Only *available* when the optional
+    :mod:`numba` package is importable; resolving it on a machine without
+    numba falls back cleanly to ``numpy`` (with a warning) instead of
+    failing, and the parity suite skips it with a reason.
+``lowmem``
+    A low-memory streaming variant of the numpy backend: the LUT
+    error-matrix footprint is capped (forcing the per-tap evaluation for
+    large layers) and every kernel is evaluated in bounded patch chunks, so
+    peak transient memory is independent of the batch size.
+
+All backends are **bit-exact** against the legacy reference functions in
+:mod:`repro.core.approx_conv`; the ``pytest -m engine`` parity suite is
+parametrized over every registered backend and enforces this (skipping
+unavailable backends with a reason).
+
+Selection is threaded through the stack: ``AcceleratorConfig.engine_backend``
+names the backend implied by a hardware configuration (honored by
+``ApproximateExecutor.from_config``),
+``ApproximateExecutor(engine_backend=...)`` compiles every layer through it,
+``parallel_sweep(..., engine_backend=...)`` forwards it to sweep workers, and
+the CLI exposes ``--engine-backend`` (plus ``python -m repro backends`` to
+list availability).
+"""
+
+from __future__ import annotations
+
+import abc
+import warnings
+
+import numpy as np
+
+from repro.core.product_kernels import (
+    ChunkedKernel,
+    KernelOptions,
+    ProductKernel,
+)
+from repro.multipliers.base import OPERAND_LEVELS
+
+try:  # pragma: no cover - numba is an optional accelerator dependency
+    import numba as _numba
+except ImportError:  # pragma: no cover - exercised on numba-less installs
+    _numba = None
+
+
+DEFAULT_BACKEND = "numpy"
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when an unavailable backend is asked to compile a kernel."""
+
+
+class EngineBackend(abc.ABC):
+    """Strategy that compiles product models into per-layer kernels.
+
+    Subclasses define a unique :attr:`name`, an availability probe and the
+    :meth:`compile` hook.  A backend must be *bit-exact* against the legacy
+    reference paths of :mod:`repro.core.approx_conv` — backends trade only
+    speed and memory, never results.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def availability(self) -> tuple[bool, str]:
+        """``(available, reason)`` — ``reason`` explains unavailability."""
+
+    def is_available(self) -> bool:
+        return self.availability()[0]
+
+    @abc.abstractmethod
+    def compile(
+        self, product_model, weight_codes: np.ndarray, control_variate
+    ) -> ProductKernel:
+        """Compile ``product_model`` against one layer's quantized weights."""
+
+    def describe(self) -> str:
+        """One-line human-readable description used by the CLI listing."""
+        doc = (type(self).__doc__ or "").strip().splitlines()
+        return doc[0] if doc else self.name
+
+    def _require_available(self) -> None:
+        available, reason = self.availability()
+        if not available:
+            raise BackendUnavailableError(
+                f"engine backend {self.name!r} is unavailable: {reason}"
+            )
+
+
+class NumpyBackend(EngineBackend):
+    """Default numpy/BLAS kernels (exact float32/float64 matmuls)."""
+
+    name = "numpy"
+
+    def __init__(self, options: KernelOptions | None = None):
+        self.options = options if options is not None else KernelOptions()
+
+    def availability(self) -> tuple[bool, str]:
+        return True, ""
+
+    def compile(
+        self, product_model, weight_codes: np.ndarray, control_variate
+    ) -> ProductKernel:
+        return product_model.compile(
+            weight_codes, control_variate, options=self.options
+        )
+
+
+class LowMemoryBackend(EngineBackend):
+    """Streaming numpy kernels with a capped LUT error-matrix footprint.
+
+    Two knobs bound peak memory:
+
+    * ``max_error_matrix_bytes`` caps the precompiled ``(taps * 256,
+      filters)`` LUT error matrix — layers over the cap use the per-tap
+      streaming evaluation instead of materializing it;
+    * ``chunk_patches`` wraps every compiled kernel so each batch is
+      evaluated in bounded patch chunks, keeping transients (one-hot
+      products, correction terms) independent of the batch size.
+
+    Outputs are bit-exact with every other backend: chunking splits work
+    along the patch axis only, and rows are computed independently.
+    """
+
+    name = "lowmem"
+
+    def __init__(
+        self,
+        max_error_matrix_bytes: int = 1 << 20,
+        chunk_patches: int = 1024,
+    ):
+        if max_error_matrix_bytes < 0:
+            raise ValueError("max_error_matrix_bytes must be non-negative")
+        if chunk_patches < 1:
+            raise ValueError("chunk_patches must be positive")
+        self.options = KernelOptions(max_error_matrix_bytes=max_error_matrix_bytes)
+        self.chunk_patches = int(chunk_patches)
+
+    def availability(self) -> tuple[bool, str]:
+        return True, ""
+
+    def compile(
+        self, product_model, weight_codes: np.ndarray, control_variate
+    ) -> ProductKernel:
+        kernel = product_model.compile(
+            weight_codes, control_variate, options=self.options
+        )
+        return ChunkedKernel(kernel, self.chunk_patches)
+
+
+# ----------------------------------------------------------------------
+# Numba backend
+# ----------------------------------------------------------------------
+#
+# The kernel bodies are plain-python nested loops written in the shape numba
+# JIT-compiles well (prange over patches, contiguous inner loops).  They are
+# only ever executed through ``numba.njit`` — on a numba-less install the
+# backend reports itself unavailable and is never asked to compile.
+
+
+def _kernel_masked_matmul(act, w, mask):  # pragma: no cover - numba-compiled
+    patches, taps = act.shape
+    filters = w.shape[1]
+    out = np.zeros((patches, filters), dtype=np.int64)
+    for p in range(patches):
+        for j in range(taps):
+            a = np.int64(act[p, j])
+            a = a - (a & mask)
+            if a == 0:
+                continue
+            for f in range(filters):
+                out[p, f] += a * w[j, f]
+    return out
+
+
+def _kernel_masked_sums(act, mask):  # pragma: no cover - numba-compiled
+    patches, taps = act.shape
+    out = np.zeros(patches, dtype=np.int64)
+    for p in range(patches):
+        total = np.int64(0)
+        for j in range(taps):
+            total += np.int64(act[p, j]) & mask
+        out[p] = total
+    return out
+
+
+def _kernel_lut_sums(act, w, lut):  # pragma: no cover - numba-compiled
+    patches, taps = act.shape
+    filters = w.shape[1]
+    out = np.zeros((patches, filters), dtype=np.int64)
+    for p in range(patches):
+        for j in range(taps):
+            row = lut[:, act[p, j]]
+            for f in range(filters):
+                out[p, f] += row[w[j, f]]
+    return out
+
+
+class _NumbaPerforatedKernel(ProductKernel):
+    """JIT perforated (or, with ``m=0``, accurate) product sums."""
+
+    def __init__(self, fns, weight_codes, m, control_variate):
+        w = np.ascontiguousarray(np.asarray(weight_codes), dtype=np.int64)
+        if w.ndim != 2:
+            raise ValueError(f"weight_codes must be 2-D (taps, filters), got {w.shape}")
+        super().__init__(*w.shape)
+        if control_variate is not None and control_variate.n_filters != self.filters:
+            raise ValueError(
+                f"control variate has {control_variate.n_filters} filters, "
+                f"weights have {self.filters}"
+            )
+        self._fns = fns
+        self._w = w
+        self._mask = np.int64((1 << int(m)) - 1)
+        self.control_variate = control_variate
+
+    def product_sums(self, act_codes: np.ndarray) -> np.ndarray:
+        act = np.ascontiguousarray(self._check_acts(act_codes))
+        sums = self._fns["masked_matmul"](act, self._w, self._mask)
+        cv = self.control_variate
+        if cv is None:
+            return sums
+        correction = cv.correction(self._fns["masked_sums"](act, self._mask))
+        if cv.quantized:
+            return sums + correction.astype(np.int64)
+        return sums.astype(np.float64) + correction
+
+
+class _NumbaLUTKernel(ProductKernel):
+    """JIT per-tap LUT gather (no error-matrix materialization at all)."""
+
+    def __init__(self, fns, weight_codes, lut):
+        w = np.ascontiguousarray(np.asarray(weight_codes), dtype=np.int64)
+        if w.ndim != 2:
+            raise ValueError(f"weight_codes must be 2-D (taps, filters), got {w.shape}")
+        if w.size and (w.min() < 0 or w.max() >= OPERAND_LEVELS):
+            raise ValueError(f"weight codes out of range [0, {OPERAND_LEVELS - 1}]")
+        super().__init__(*w.shape)
+        self._fns = fns
+        self._w = w
+        self._lut = np.ascontiguousarray(np.asarray(lut, dtype=np.int64))
+        if self._lut.shape != (OPERAND_LEVELS, OPERAND_LEVELS):
+            raise ValueError(f"lut must have shape (256, 256), got {self._lut.shape}")
+
+    def product_sums(self, act_codes: np.ndarray) -> np.ndarray:
+        act = self._check_acts(act_codes)
+        if act.dtype != np.uint8 and act.size and (
+            act.min() < 0 or act.max() >= OPERAND_LEVELS
+        ):
+            raise ValueError(f"activation codes out of range [0, {OPERAND_LEVELS - 1}]")
+        act = np.ascontiguousarray(act, dtype=np.int64)
+        return self._fns["lut_sums"](act, self._w, self._lut)
+
+
+class NumbaBackend(EngineBackend):
+    """JIT-compiled per-tap loops via numba (optional dependency)."""
+
+    name = "numba"
+
+    def __init__(self):
+        self._fns: dict | None = None
+        self._probe_error: str | None = None
+
+    def availability(self) -> tuple[bool, str]:
+        if _numba is None:
+            return False, "the 'numba' package is not installed"
+        if self._probe_error is not None:
+            return False, self._probe_error
+        return True, ""
+
+    def _compiled_fns(self) -> dict:
+        """JIT-compile the kernel bodies once per backend instance."""
+        if self._fns is None:
+            njit = _numba.njit
+            self._fns = {
+                "masked_matmul": njit(cache=False, nogil=True)(_kernel_masked_matmul),
+                "masked_sums": njit(cache=False, nogil=True)(_kernel_masked_sums),
+                "lut_sums": njit(cache=False, nogil=True)(_kernel_lut_sums),
+            }
+        return self._fns
+
+    def compile(
+        self, product_model, weight_codes: np.ndarray, control_variate
+    ) -> ProductKernel:
+        self._require_available()
+        # Local import: repro.simulation.inference imports this module at
+        # load time, so the concrete model types are resolved lazily here.
+        from repro.simulation.inference import (
+            AccurateProduct,
+            LUTProduct,
+            PerforatedProduct,
+        )
+
+        try:
+            fns = self._compiled_fns()
+        except Exception as exc:
+            # A broken numba install (e.g. llvmlite/ABI mismatch) surfaces
+            # here on first compile; record it and fall back permanently.
+            # Only the JIT step is guarded — kernel-construction errors
+            # (shape/range validation) propagate like any other backend's.
+            self._probe_error = f"numba JIT compilation failed: {exc}"
+            warnings.warn(
+                f"engine backend 'numba' disabled after a compile failure; "
+                f"falling back to numpy kernels ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return product_model.compile(weight_codes, control_variate)
+        if isinstance(product_model, AccurateProduct):
+            return _NumbaPerforatedKernel(fns, weight_codes, 0, None)
+        if isinstance(product_model, PerforatedProduct):
+            cv = control_variate if product_model.use_control_variate else None
+            return _NumbaPerforatedKernel(fns, weight_codes, product_model.m, cv)
+        if isinstance(product_model, LUTProduct):
+            return _NumbaLUTKernel(fns, weight_codes, product_model.lut)
+        # Models without a specialized numba kernel use their own compiled
+        # form — still bit-exact, just not JIT-ed.
+        return product_model.compile(weight_codes, control_variate)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, EngineBackend] = {}
+
+
+def register_backend(backend: EngineBackend, replace: bool = False) -> EngineBackend:
+    """Add ``backend`` to the process-wide registry (keyed by its name)."""
+    if not backend.name or backend.name == "abstract":
+        raise ValueError("backend must define a concrete name")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"engine backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def backend_names() -> list[str]:
+    """Names of all registered backends (available or not), in registration order."""
+    return list(_REGISTRY)
+
+
+def available_backend_names() -> list[str]:
+    """Names of the backends whose availability probe passes."""
+    return [name for name, backend in _REGISTRY.items() if backend.is_available()]
+
+
+def has_backend(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def get_backend(name: str) -> EngineBackend:
+    """Look up a registered backend by name (availability not checked)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown engine backend {name!r}; registered backends: {known}"
+        ) from None
+
+
+def resolve_backend(
+    backend: str | EngineBackend | None,
+    allow_fallback: bool = True,
+) -> EngineBackend:
+    """Resolve a backend name (or instance) to a usable backend.
+
+    ``None`` resolves to the default (``numpy``) backend.  When the
+    requested backend exists but is unavailable (e.g. ``numba`` without the
+    numba package), the default backend is returned with a warning if
+    ``allow_fallback`` is true — this is the "fall back cleanly" contract —
+    otherwise :class:`BackendUnavailableError` is raised.
+    """
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, EngineBackend):
+        resolved = backend
+    else:
+        resolved = get_backend(str(backend))
+    available, reason = resolved.availability()
+    if available:
+        return resolved
+    if not allow_fallback:
+        raise BackendUnavailableError(
+            f"engine backend {resolved.name!r} is unavailable: {reason}"
+        )
+    warnings.warn(
+        f"engine backend {resolved.name!r} is unavailable ({reason}); "
+        f"falling back to {DEFAULT_BACKEND!r}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return get_backend(DEFAULT_BACKEND)
+
+
+register_backend(NumpyBackend())
+register_backend(NumbaBackend())
+register_backend(LowMemoryBackend())
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "EngineBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "LowMemoryBackend",
+    "register_backend",
+    "backend_names",
+    "available_backend_names",
+    "has_backend",
+    "get_backend",
+    "resolve_backend",
+]

@@ -36,9 +36,11 @@ from repro.simulation.campaign import (
     TrainedModelCache,
     TrainingSettings,
     AccuracyRecord,
+    SharedTrainedModels,
     SweepResult,
     accuracy_sweep,
     parallel_sweep,
+    publish_trained_models,
     settings_fingerprint,
     train_reference_model,
     experiment_dataset,
@@ -59,9 +61,11 @@ __all__ = [
     "TrainedModelCache",
     "TrainingSettings",
     "AccuracyRecord",
+    "SharedTrainedModels",
     "SweepResult",
     "accuracy_sweep",
     "parallel_sweep",
+    "publish_trained_models",
     "settings_fingerprint",
     "train_reference_model",
     "experiment_dataset",

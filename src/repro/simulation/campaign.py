@@ -18,20 +18,42 @@ This module provides the machinery behind the Table III benchmark:
   :class:`~repro.simulation.inference.ApproximateExecutor` (with its
   compiled product kernels) once per model and reusing it for every cell it
   evaluates.  Results are bit-identical to the serial sweep.
+
+Shared-memory model publication
+-------------------------------
+The multi-process sweep does **not** ship a private copy of every trained
+model to every worker.  :func:`publish_trained_models` writes all parameter
+arrays once into a single ``multiprocessing.shared_memory`` block (falling
+back to a memory-mapped temp file when POSIX shared memory is unavailable)
+and pickles each model with the arrays replaced by persistent-id tokens;
+workers unpickle the models with the tokens resolved to **read-only views
+into the shared block**, so N workers hold one copy of the parameters
+instead of N.  Workers never train — they attach to already-trained
+parameters — and the engine backend used to compile product kernels is
+forwarded via ``engine_backend``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import gc
 import hashlib
+import io
 import json
 import multiprocessing
 import os
+import pickle
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
+
+try:  # pragma: no cover - part of the stdlib since 3.8
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds only
+    _shared_memory = None
 
 from repro.datasets.synthetic import Dataset
 from repro.models.zoo import build_model
@@ -295,24 +317,244 @@ class SweepResult:
         return float(np.mean(losses))
 
 
+# ----------------------------------------------------------------------
+# Shared-memory publication of trained models
+# ----------------------------------------------------------------------
+
+
+class _ParamPickler(pickle.Pickler):
+    """Pickler externalizing registered parameter arrays as persistent ids.
+
+    Arrays registered (by object identity) in ``tokens`` are emitted as a
+    token string instead of their bytes; everything else pickles normally.
+    This keeps the model *structure* in the pickle while the parameter
+    *data* lives once in the shared block.
+    """
+
+    def __init__(self, file, tokens: dict[int, str]):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._tokens = tokens
+
+    def persistent_id(self, obj):
+        if isinstance(obj, np.ndarray):
+            return self._tokens.get(id(obj))
+        return None
+
+
+class _ParamUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent-id tokens to views of a shared buffer."""
+
+    def __init__(self, file, spec: dict[str, tuple[int, tuple, str]], buf: np.ndarray):
+        super().__init__(file)
+        self._spec = spec
+        self._buf = buf
+
+    def persistent_load(self, token):
+        offset, shape, dtype_str = self._spec[token]
+        dtype = np.dtype(dtype_str)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        view = self._buf[offset : offset + nbytes].view(dtype).reshape(shape)
+        # Workers only read parameters; an accidental in-place write would
+        # corrupt every sibling worker, so the shared views are frozen.
+        view.flags.writeable = False
+        return view
+
+
+#: Byte alignment of each array inside the shared block (covers every dtype).
+_PARAM_ALIGN = 64
+
+
+class SharedTrainedModels:
+    """Trained models published once for zero-copy attachment by workers.
+
+    Produced by :func:`publish_trained_models`.  The parameter arrays of
+    every model live in one shared block (POSIX shared memory, or a
+    memory-mapped temp file as fallback — see :attr:`kind`); the pickled
+    models reference them via persistent-id tokens.  :meth:`attach` rebuilds
+    the :class:`TrainedModel` list with parameters as read-only views into
+    the block, never copying them.  The publishing process must call
+    :meth:`unlink` once all consumers are done.
+    """
+
+    def __init__(
+        self,
+        pickles: list[bytes],
+        spec: dict[str, tuple[int, tuple, str]],
+        kind: str,
+        name: str,
+        size: int,
+    ):
+        self.pickles = pickles
+        self.spec = spec
+        self.kind = kind  # "shm" | "memmap"
+        self.name = name  # shm segment name / memmap file path
+        self.size = size
+        self._handle = None  # parent-side SharedMemory keeping the mapping
+        self._buf: np.ndarray | None = None
+        self._models: list[TrainedModel] | None = None
+
+    def __getstate__(self):
+        # Process-local handles never travel to workers (spawn start method).
+        state = self.__dict__.copy()
+        state["_handle"] = None
+        state["_buf"] = None
+        state["_models"] = None
+        return state
+
+    # -- buffer management ------------------------------------------------
+    def _attach_buf(self, writable: bool = False) -> np.ndarray:
+        if self._buf is None:
+            if self.kind == "shm":
+                # The publisher already holds the creating handle: reuse it
+                # instead of opening a second mapping of the same segment
+                # (which would orphan the creator handle to GC-time close).
+                if self._handle is None:
+                    self._handle = _shared_memory.SharedMemory(name=self.name)
+                self._buf = np.frombuffer(self._handle.buf, dtype=np.uint8)
+            else:
+                mode = "r+" if writable else "r"
+                self._buf = np.memmap(self.name, dtype=np.uint8, mode=mode)
+        return self._buf
+
+    def attach(self) -> list[TrainedModel]:
+        """Models with parameters viewing the shared block (cached per process)."""
+        if self._models is None:
+            buf = self._attach_buf()
+            self._models = [
+                _ParamUnpickler(io.BytesIO(blob), self.spec, buf).load()
+                for blob in self.pickles
+            ]
+        return self._models
+
+    def nbytes_shared(self) -> int:
+        """Total parameter bytes placed in the shared block."""
+        return sum(
+            int(np.prod(shape, dtype=np.int64)) * np.dtype(dt).itemsize
+            for _, shape, dt in self.spec.values()
+        )
+
+    def unlink(self) -> None:
+        """Release the shared block (publisher side; idempotent)."""
+        # Views into the block must be dropped before the mapping can close;
+        # model graphs contain reference cycles, so force a collection to
+        # release any attached views deterministically.
+        self._models = None
+        self._buf = None
+        gc.collect()
+        if self.kind == "shm":
+            handle, self._handle = self._handle, None
+            try:
+                if handle is None:
+                    handle = _shared_memory.SharedMemory(name=self.name)
+            except FileNotFoundError:
+                return
+            try:
+                handle.close()
+            except BufferError:  # pragma: no cover - a view outlived us
+                pass
+            try:
+                handle.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        else:
+            try:
+                os.unlink(self.name)
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass
+
+
+def publish_trained_models(
+    trained_models: Iterable[TrainedModel],
+    prefer_shared_memory: bool = True,
+) -> SharedTrainedModels:
+    """Publish the parameter arrays of ``trained_models`` for worker attachment.
+
+    Every array returned by each model's ``state_dict`` (weights, biases,
+    batch-norm statistics) is copied once into a single shared block, and
+    each :class:`TrainedModel` is pickled with those arrays externalized.
+    Workers call :meth:`SharedTrainedModels.attach` to rebuild the models
+    with parameters as read-only views — no per-worker copies, no re-pickling
+    of parameter data.
+
+    POSIX shared memory is used when available; when it cannot be created
+    (or ``prefer_shared_memory`` is false) the block degrades to a
+    memory-mapped file in the temp directory, which workers map read-only.
+    """
+    models = list(trained_models)
+    tokens: dict[int, str] = {}
+    entries: list[tuple[str, np.ndarray]] = []
+    for index, trained in enumerate(models):
+        for key, array in trained.model.state_dict().items():
+            if id(array) in tokens:  # array shared between models: store once
+                continue
+            token = f"{index}:{key}"
+            tokens[id(array)] = token
+            entries.append((token, np.ascontiguousarray(array)))
+
+    spec: dict[str, tuple[int, tuple, str]] = {}
+    offset = 0
+    for token, array in entries:
+        spec[token] = (offset, tuple(array.shape), array.dtype.str)
+        offset += -(-array.nbytes // _PARAM_ALIGN) * _PARAM_ALIGN
+    total = max(offset, 1)
+
+    kind, name, handle = "memmap", "", None
+    if prefer_shared_memory and _shared_memory is not None:
+        try:
+            handle = _shared_memory.SharedMemory(create=True, size=total)
+            kind, name = "shm", handle.name
+        except OSError:  # pragma: no cover - /dev/shm unavailable
+            handle = None
+    if handle is None:
+        fd, name = tempfile.mkstemp(prefix="repro-sweep-params-", suffix=".bin")
+        with os.fdopen(fd, "wb") as out:
+            out.truncate(total)
+
+    store = SharedTrainedModels([], spec, kind, name, total)
+    store._handle = handle
+    buf = store._attach_buf(writable=True)
+    for token, array in entries:
+        off, shape, dtype_str = spec[token]
+        buf[off : off + array.nbytes].view(array.dtype).reshape(shape)[...] = array
+    if kind == "memmap":
+        buf.flush()
+
+    for index, trained in enumerate(models):
+        sink = io.BytesIO()
+        _ParamPickler(sink, tokens).dump(trained)
+        store.pickles.append(sink.getvalue())
+    # The publisher's own attach() must also see the shared views (serial
+    # forced-shared path); drop the writable buffer so attach re-maps.
+    if kind == "memmap":
+        store._buf = None
+    return store
+
+
 #: Per-process worker state of :func:`parallel_sweep` (set by the pool
 #: initializer; also used by the in-process serial path).
 _SWEEP_STATE: dict = {}
 
 
 def _init_sweep_worker(
-    trained_models: list[TrainedModel],
+    trained_models: "list[TrainedModel] | SharedTrainedModels",
     datasets: dict[str, Dataset],
     max_eval_images: int | None,
     calibration_images: int,
+    engine_backend: str | None = None,
 ) -> None:
+    if isinstance(trained_models, SharedTrainedModels):
+        # Attach to the published parameter block: the models rebuilt here
+        # hold read-only views into shared memory, not private copies.
+        trained_models = trained_models.attach()
     _SWEEP_STATE.clear()
     _SWEEP_STATE.update(
         models=trained_models,
         datasets=datasets,
         max_eval_images=max_eval_images,
         calibration_images=calibration_images,
+        engine_backend=engine_backend,
         executors={},
+        executor_builds=0,
     )
 
 
@@ -323,15 +565,20 @@ def _sweep_executor(model_index: int) -> ApproximateExecutor:
     model, so this preserves reuse across a model's cells while bounding
     peak memory to one executor (kernel caches, activation buffers and
     quantized weights included) — matching the old serial sweep's profile.
+    The executor's own cross-plan activation cache then makes consecutive
+    cells of one model skip re-quantizing the first MAC layer's inputs.
     """
     executor = _SWEEP_STATE["executors"].get(model_index)
     if executor is None:
         trained = _SWEEP_STATE["models"][model_index]
         dataset = _SWEEP_STATE["datasets"][trained.dataset_name]
         calib = dataset.train_images[: _SWEEP_STATE["calibration_images"]]
-        executor = ApproximateExecutor(trained.model, calib)
+        executor = ApproximateExecutor(
+            trained.model, calib, engine_backend=_SWEEP_STATE["engine_backend"]
+        )
         _SWEEP_STATE["executors"].clear()
         _SWEEP_STATE["executors"][model_index] = executor
+        _SWEEP_STATE["executor_builds"] += 1
     return executor
 
 
@@ -405,6 +652,8 @@ def parallel_sweep(
     max_eval_images: int | None = None,
     calibration_images: int = 128,
     max_workers: int | None = None,
+    engine_backend: str | None = None,
+    use_shared_memory: bool | None = None,
 ) -> SweepResult:
     """:func:`accuracy_sweep` fanned across worker processes.
 
@@ -422,27 +671,55 @@ def parallel_sweep(
         As in :func:`accuracy_sweep`.
     max_workers:
         Worker process count; defaults to ``os.cpu_count()``.
+    engine_backend:
+        Engine backend name compiled kernels should use in every worker
+        (see :mod:`repro.core.backends`); ``None`` uses the default.
+    use_shared_memory:
+        Publish trained-model parameters once via
+        :func:`publish_trained_models` so workers attach read-only views
+        instead of receiving per-process copies.  ``None`` (default)
+        enables it exactly when worker processes are used; ``True`` forces
+        the publish/attach round trip even on the serial path (useful for
+        testing), ``False`` ships the models directly.
     """
     models = list(trained_models)
     cells = _sweep_cells(models, perforations)
     if max_workers is None:
         max_workers = os.cpu_count() or 1
-    if max_workers <= 1 or len(cells) <= 1:
-        _init_sweep_worker(models, datasets, max_eval_images, calibration_images)
-        try:
-            results = [_eval_sweep_cell(cell) for cell in cells]
-        finally:
-            _SWEEP_STATE.clear()
-        return _assemble_sweep_result(models, perforations, results)
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with ProcessPoolExecutor(
-        max_workers=max_workers,
-        mp_context=context,
-        initializer=_init_sweep_worker,
-        initargs=(models, datasets, max_eval_images, calibration_images),
-    ) as pool:
-        results = list(pool.map(_eval_sweep_cell, cells))
+    serial = max_workers <= 1 or len(cells) <= 1
+    share = (not serial) if use_shared_memory is None else bool(use_shared_memory)
+    store = publish_trained_models(models) if share else None
+    payload: "list[TrainedModel] | SharedTrainedModels" = (
+        store if store is not None else models
+    )
+    try:
+        if serial:
+            _init_sweep_worker(
+                payload, datasets, max_eval_images, calibration_images, engine_backend
+            )
+            try:
+                results = [_eval_sweep_cell(cell) for cell in cells]
+            finally:
+                _SWEEP_STATE.clear()
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else None)
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=context,
+                initializer=_init_sweep_worker,
+                initargs=(
+                    payload,
+                    datasets,
+                    max_eval_images,
+                    calibration_images,
+                    engine_backend,
+                ),
+            ) as pool:
+                results = list(pool.map(_eval_sweep_cell, cells))
+    finally:
+        if store is not None:
+            store.unlink()
     return _assemble_sweep_result(models, perforations, results)
 
 
@@ -452,6 +729,7 @@ def accuracy_sweep(
     perforations: Sequence[int] = (1, 2, 3),
     max_eval_images: int | None = None,
     calibration_images: int = 128,
+    engine_backend: str | None = None,
 ) -> SweepResult:
     """Evaluate every trained model under every approximation mode (serially).
 
@@ -480,4 +758,5 @@ def accuracy_sweep(
         max_eval_images=max_eval_images,
         calibration_images=calibration_images,
         max_workers=1,
+        engine_backend=engine_backend,
     )

@@ -30,6 +30,32 @@ persistent uint8 activation buffers across batches, so a sweep that runs the
 same plan over a full test set performs only the unavoidable per-batch work.
 The legacy uncompiled path is kept behind ``use_compiled=False`` and the
 ``pytest -m engine`` parity suite pins both paths bit-exact.
+
+Engine backends
+---------------
+*How* kernels are compiled is pluggable: the executor's ``engine_backend``
+parameter selects an :class:`repro.core.backends.EngineBackend` by name —
+``numpy`` (default BLAS kernels), ``numba`` (JIT per-tap loops, available
+only when numba is installed) or ``lowmem`` (capped LUT error matrix plus
+chunked evaluation).  All backends are bit-exact; they trade speed and
+memory only.  Selection is exposed end to end::
+
+    executor = ApproximateExecutor(model, calib, engine_backend="lowmem")
+    parallel_sweep(models, datasets, engine_backend="numba")  # falls back
+    # CLI: python -m repro accuracy --model vgg13 --engine-backend lowmem
+    # CLI: python -m repro backends   # list backends + availability
+
+An unavailable backend (e.g. ``numba`` without the package) resolves to the
+numpy backend with a warning, so scripts stay portable.
+
+Cross-plan activation reuse
+---------------------------
+Within a sweep the quantized input codes of the *first* MAC layer depend
+only on the images, not on the execution plan, so the executor caches them
+per input batch (keyed by the identity of the underlying buffer) and skips
+re-quantization when consecutive ``forward`` calls — one per plan — see the
+same batch.  Disable with ``reuse_plan_invariant_acts=False`` if the caller
+mutates input arrays in place between calls.
 """
 
 from __future__ import annotations
@@ -41,6 +67,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.accelerator_model import AcceleratorConfig
+from repro.core.backends import EngineBackend, resolve_backend
 from repro.core.approx_conv import (
     accurate_product_sums,
     lut_product_sums,
@@ -50,6 +77,7 @@ from repro.core.control_variate import ControlVariate
 from repro.core.product_kernels import (
     AccurateKernel,
     CallbackKernel,
+    KernelOptions,
     LUTKernel,
     PerforatedKernel,
     ProductKernel,
@@ -76,12 +104,18 @@ class ProductModel(abc.ABC):
         """Return ``sum_j product(wq_j, aq_j)`` of shape ``(patches, filters)``."""
 
     def compile(
-        self, weight_codes: np.ndarray, control_variate: ControlVariate
+        self,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+        options: KernelOptions | None = None,
     ) -> ProductKernel:
         """Compile this model against one layer's weights (run once per plan).
 
         The default implementation wraps :meth:`product_sums`; subclasses
         with an exploitable structure return a specialized kernel instead.
+        ``options`` carries backend-tunable knobs (see
+        :class:`~repro.core.product_kernels.KernelOptions`); models honor
+        the knobs that apply to them and ignore the rest.
         """
         return CallbackKernel(self, weight_codes, control_variate)
 
@@ -102,7 +136,10 @@ class AccurateProduct(ProductModel):
         return accurate_product_sums(act_codes, weight_codes)
 
     def compile(
-        self, weight_codes: np.ndarray, control_variate: ControlVariate
+        self,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+        options: KernelOptions | None = None,
     ) -> ProductKernel:
         return AccurateKernel(weight_codes)
 
@@ -138,7 +175,10 @@ class PerforatedProduct(ProductModel):
         return perforated_product_sums(act_codes, weight_codes, self.m, cv)
 
     def compile(
-        self, weight_codes: np.ndarray, control_variate: ControlVariate
+        self,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+        options: KernelOptions | None = None,
     ) -> ProductKernel:
         cv = control_variate if self.use_control_variate else None
         return PerforatedKernel(weight_codes, self.m, cv)
@@ -167,10 +207,24 @@ class LUTProduct(ProductModel):
             act_codes, weight_codes, self._lut, chunk_patches=self.chunk_patches
         )
 
+    @property
+    def lut(self) -> np.ndarray:
+        """The precomputed 256x256 product table (shared by all backends)."""
+        return self._lut
+
     def compile(
-        self, weight_codes: np.ndarray, control_variate: ControlVariate
+        self,
+        weight_codes: np.ndarray,
+        control_variate: ControlVariate,
+        options: KernelOptions | None = None,
     ) -> ProductKernel:
-        return LUTKernel(weight_codes, self._lut)
+        if options is None:
+            options = KernelOptions()
+        return LUTKernel(
+            weight_codes,
+            self._lut,
+            max_error_matrix_bytes=options.max_error_matrix_bytes,
+        )
 
     @property
     def name(self) -> str:
@@ -233,6 +287,22 @@ class ApproximateExecutor:
         per (layer, group, product model) and cached).  Disable to force
         the legacy per-batch ``ProductModel.product_sums`` path; both paths
         are bit-exact.
+    engine_backend:
+        Name (or instance) of the :class:`~repro.core.backends.EngineBackend`
+        that compiles the kernels — ``"numpy"`` (default), ``"numba"`` or
+        ``"lowmem"``.  An unavailable backend falls back to numpy with a
+        warning; all backends are bit-exact.
+    reuse_plan_invariant_acts:
+        Cache the quantized activation codes of the first MAC layer per
+        input batch and reuse them across execution plans (they are
+        plan-invariant).  The cache is keyed by the identity of the input
+        buffer — disable when input arrays are mutated in place between
+        ``forward`` calls.
+    act_cache_batches:
+        How many distinct batches the plan-invariant cache retains per
+        layer (LRU).  A multi-plan sweep over an eval set of up to
+        ``act_cache_batches`` batches quantizes each batch once; each entry
+        costs one uint8 copy of the first MAC layer's input.
     """
 
     def __init__(
@@ -241,9 +311,13 @@ class ApproximateExecutor:
         calibration_images: np.ndarray,
         activation_percentile: float = 99.9,
         use_compiled: bool = True,
+        engine_backend: str | EngineBackend | None = None,
+        reuse_plan_invariant_acts: bool = True,
+        act_cache_batches: int = 16,
     ):
         self.model = model
         self.use_compiled = bool(use_compiled)
+        self.engine_backend = resolve_backend(engine_backend)
         self._nodes: dict[str, _QuantizedMacNode] = {}
         # Compiled kernels, keyed by product-model instance (weakly, so plans
         # can be discarded) then by (layer, group).
@@ -252,7 +326,42 @@ class ApproximateExecutor:
         )
         # Batch-persistent uint8 activation-code buffers per (layer, group).
         self._act_buffers: dict[tuple[str, int], np.ndarray] = {}
+        # Cross-plan reuse of the first MAC layer's quantized activations:
+        # its input is plan-invariant, so forward calls under different
+        # plans that see a batch already quantized reuse the cached codes.
+        # Per layer key, a small LRU of (identity token, codes) pairs keeps
+        # reuse alive for batched eval sets, not just single-batch calls.
+        self.reuse_plan_invariant_acts = bool(reuse_plan_invariant_acts)
+        self.act_cache_batches = int(act_cache_batches)
+        mac_nodes = model.conv_dense_nodes()
+        self._first_mac_name = mac_nodes[0].name if mac_nodes else None
+        self._act_cache: dict[tuple[str, int], list[tuple[tuple, np.ndarray]]] = {}
+        self.act_cache_hits = 0
+        self.act_cache_misses = 0
         self._calibrate(calibration_images, activation_percentile)
+
+    @classmethod
+    def from_config(
+        cls,
+        model: Graph,
+        calibration_images: np.ndarray,
+        config: AcceleratorConfig,
+        **kwargs,
+    ) -> "ApproximateExecutor":
+        """Executor honoring ``config.engine_backend``.
+
+        Pair with :meth:`ExecutionPlan.from_config` on the same config to
+        run the product model the accelerator configuration implies::
+
+            executor = ApproximateExecutor.from_config(model, calib, config)
+            logits = executor.forward(images, ExecutionPlan.from_config(config))
+        """
+        return cls(
+            model,
+            calibration_images,
+            engine_backend=config.engine_backend,
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------
     def _calibrate(self, images: np.ndarray, percentile: float) -> None:
@@ -411,8 +520,29 @@ class ApproximateExecutor:
 
         The buffer grows along the leading (batch/patch) axis only; group
         ``-1`` holds the whole NHWC input of a conv node (compiled path).
+        For the first MAC layer the input is plan-invariant, so when a batch
+        (same underlying buffer, offset and shape) arrives again — e.g. the
+        next plan of a sweep re-running the same eval set — its previous
+        quantization is returned from a per-layer LRU of up to
+        ``act_cache_batches`` batches instead of being recomputed.
         """
         key = (qnode.node_name, group)
+        if self.reuse_plan_invariant_acts and qnode.node_name == self._first_mac_name:
+            token = _array_identity_token(cols)
+            entries = self._act_cache.setdefault(key, [])
+            for index, (cached_token, codes) in enumerate(entries):
+                if _tokens_match(cached_token, token):
+                    self.act_cache_hits += 1
+                    if index:
+                        entries.insert(0, entries.pop(index))
+                    return codes
+            # Cached batches get private arrays (not the shared buffer, which
+            # the next batch would overwrite).
+            codes = quantize(cols, qnode.act_params)
+            self.act_cache_misses += 1
+            entries.insert(0, (token, codes))
+            del entries[self.act_cache_batches :]
+            return codes
         buffer = self._act_buffers.get(key)
         if buffer is None or buffer.shape[0] < cols.shape[0] or buffer.shape[1:] != cols.shape[1:]:
             buffer = np.empty(cols.shape, dtype=np.uint8)
@@ -433,7 +563,9 @@ class ApproximateExecutor:
             weight_codes = (
                 override if override is not None else qnode.ops[group].weight_codes
             )
-            kernel = product_model.compile(weight_codes, qnode.control_variates[group])
+            kernel = self.engine_backend.compile(
+                product_model, weight_codes, qnode.control_variates[group]
+            )
             per_model[key] = kernel
         return kernel
 
@@ -454,6 +586,41 @@ class ApproximateExecutor:
                 act_codes, weight_codes, qnode.control_variates[group]
             )
         return op.output_real(act_codes, qnode.act_params, product_sum=sums)
+
+
+def _array_identity_token(arr: np.ndarray) -> tuple:
+    """Identity token of the memory window an array views.
+
+    Two arrays get equal tokens iff they view the same window (same owning
+    buffer, data pointer, shape and dtype) of a buffer that is still alive.
+    The owning buffer is anchored by a weak reference, so a token can never
+    collide with a later array that merely reuses a freed object's ``id()``
+    — a dead weakref only compares equal to itself.  Slices of one base
+    array (``images[a:b]``) therefore match across calls, which is what the
+    executor's cross-plan activation cache keys on.
+    """
+    base = arr
+    while isinstance(base.base, np.ndarray):
+        base = base.base
+    return (
+        weakref.ref(base),
+        arr.__array_interface__["data"][0],
+        arr.shape,
+        arr.dtype.str,
+    )
+
+
+def _tokens_match(cached: tuple | None, current: tuple) -> bool:
+    """Whether two identity tokens denote the same live memory window.
+
+    The weakref element is dereferenced and compared by *identity* — never
+    with ``==``, which for live ndarray referents would broadcast into an
+    element-wise comparison.  A dead referent never matches.
+    """
+    if cached is None or cached[1:] != current[1:]:
+        return False
+    referent = cached[0]()
+    return referent is not None and referent is current[0]()
 
 
 def _group_weight_matrices(layer: Conv2D | Dense):

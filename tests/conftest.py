@@ -18,13 +18,6 @@ from repro.nn.training import Trainer
 from repro.simulation.inference import ApproximateExecutor
 
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "engine: compiled product-kernel parity/throughput suite (run with -m engine)",
-    )
-
-
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Fresh deterministic random generator per test."""

@@ -52,6 +52,42 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["accuracy", "--model", "alexnet"])
 
+    def test_backends_command(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("numpy", "numba", "lowmem"):
+            assert name in out
+        assert "available" in out
+
+    def test_accuracy_command_with_engine_backend(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "accuracy",
+                    "--model",
+                    "vgg13",
+                    "--classes",
+                    "10",
+                    "--epochs",
+                    "1",
+                    "--perforations",
+                    "1",
+                    "--max-eval-images",
+                    "16",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--engine-backend",
+                    "lowmem",
+                ]
+            )
+            == 0
+        )
+        assert "ours loss" in capsys.readouterr().out
+
+    def test_invalid_engine_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["accuracy", "--engine-backend", "gpu"])
+
 
 class TestExamples:
     """The fast examples must run end to end (the training-heavy ones are
@@ -59,7 +95,11 @@ class TestExamples:
 
     @pytest.mark.parametrize(
         "script",
-        ["examples/quickstart.py", "examples/accelerator_design_space.py"],
+        [
+            "examples/quickstart.py",
+            "examples/accelerator_design_space.py",
+            "examples/engine_backends.py",
+        ],
     )
     def test_example_runs(self, script, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv", [script])

@@ -1,9 +1,12 @@
 """Parity suite: compiled product kernels vs. the legacy product-sum paths.
 
-Every kernel produced by ``ProductModel.compile`` must be *bit-exact*
-against the corresponding stateless function in
-:mod:`repro.core.approx_conv` — this is what allows the executor to run the
-compiled engine by default while keeping the legacy path as the reference.
+Every kernel produced by ``ProductModel.compile`` — through **every
+registered engine backend** — must be *bit-exact* against the corresponding
+stateless function in :mod:`repro.core.approx_conv`; this is what allows the
+executor to run the compiled engine by default while keeping the legacy path
+as the reference.  The ``engine_backend`` fixture parametrizes the suite
+over the backend registry and skips (with a reason) any backend whose
+availability probe fails, e.g. ``numba`` on a numba-less install.
 Run standalone with ``pytest -m engine``.
 """
 
@@ -15,6 +18,7 @@ from repro.core.approx_conv import (
     lut_product_sums,
     perforated_product_sums,
 )
+from repro.core.backends import backend_names, get_backend
 from repro.core.control_variate import ControlVariate
 from repro.core.product_kernels import (
     AccurateKernel,
@@ -35,6 +39,16 @@ from repro.simulation.inference import (
 )
 
 pytestmark = pytest.mark.engine
+
+
+@pytest.fixture(params=backend_names())
+def engine_backend(request):
+    """Every registered backend; unavailable ones skip with their reason."""
+    backend = get_backend(request.param)
+    available, reason = backend.availability()
+    if not available:
+        pytest.skip(f"engine backend {backend.name!r} unavailable: {reason}")
+    return backend
 
 
 @pytest.fixture
@@ -118,6 +132,37 @@ class TestKernelParity:
         monkeypatch.setattr(pk, "_sparse", None)
         np.testing.assert_array_equal(kernel(acts), lut_product_sums(acts, weights, lut))
 
+    def test_lut_kernel_built_without_scipy_bit_exact(self, operands, rng, monkeypatch):
+        """Compile *and* evaluate with scipy absent: the gather loop is the
+        only error-sum path, and repeated calls must stay exact."""
+        import repro.core.product_kernels as pk
+
+        monkeypatch.setattr(pk, "_sparse", None)
+        acts, weights = operands
+        lut = random_lut(rng)
+        kernel = LUTKernel(weights, lut)
+        expected = lut_product_sums(acts, weights, lut)
+        np.testing.assert_array_equal(kernel(acts), expected)
+        np.testing.assert_array_equal(kernel(acts), expected)  # no state decay
+        # Varying batch sizes through the same kernel (executor-style reuse).
+        np.testing.assert_array_equal(kernel(acts[:5]), expected[:5])
+
+    def test_executor_lut_plan_without_scipy(
+        self, trained_tiny_model, tiny_dataset, rng, monkeypatch
+    ):
+        """End-to-end LUT inference with scipy absent matches the legacy path."""
+        import repro.core.product_kernels as pk
+
+        monkeypatch.setattr(pk, "_sparse", None)
+        images = tiny_dataset.test_images[:4]
+        calib = tiny_dataset.train_images[:32]
+        plan = ExecutionPlan.uniform(LUTProduct(LUTMultiplier(random_lut(rng), name="noscipy")))
+        compiled = ApproximateExecutor(trained_tiny_model, calib, use_compiled=True)
+        legacy = ApproximateExecutor(trained_tiny_model, calib, use_compiled=False)
+        np.testing.assert_array_equal(
+            compiled.forward(images, plan), legacy.forward(images, plan)
+        )
+
     def test_callback_kernel_wraps_product_sums(self, operands):
         acts, weights = operands
         cv = ControlVariate.from_weight_matrix(weights)
@@ -159,6 +204,81 @@ class TestKernelParity:
         assert isinstance(lut_model.compile(weights, cv), LUTKernel)
 
 
+class TestBackendKernelParity:
+    """Every registered backend is bit-exact against the legacy reference.
+
+    Unavailable backends (e.g. numba without the package) are skipped with a
+    reason by the ``engine_backend`` fixture, never silently dropped.
+    """
+
+    def test_accurate(self, operands, engine_backend):
+        acts, weights = operands
+        cv = ControlVariate.from_weight_matrix(weights)
+        kernel = engine_backend.compile(AccurateProduct(), weights, cv)
+        expected = accurate_product_sums(acts, weights)
+        result = kernel(acts)
+        assert np.asarray(result).dtype == expected.dtype
+        np.testing.assert_array_equal(result, expected)
+
+    @pytest.mark.parametrize("m", [0, 2, 7])
+    def test_perforated(self, operands, engine_backend, m):
+        acts, weights = operands
+        cv = ControlVariate.from_weight_matrix(weights)
+        kernel = engine_backend.compile(
+            PerforatedProduct(m, use_control_variate=False), weights, cv
+        )
+        np.testing.assert_array_equal(
+            kernel(acts), perforated_product_sums(acts, weights, m)
+        )
+
+    @pytest.mark.parametrize("m", [1, 3])
+    @pytest.mark.parametrize("quantized", [True, False])
+    def test_perforated_with_control_variate(self, operands, engine_backend, m, quantized):
+        acts, weights = operands
+        cv = ControlVariate.from_weight_matrix(weights, quantize=quantized)
+        kernel = engine_backend.compile(PerforatedProduct(m, True), weights, cv)
+        expected = perforated_product_sums(acts, weights, m, cv)
+        result = kernel(acts)
+        assert np.asarray(result).dtype == np.asarray(expected).dtype
+        np.testing.assert_array_equal(result, expected)
+
+    def test_lut_random_table(self, operands, engine_backend, rng):
+        acts, weights = operands
+        lut = random_lut(rng)
+        model = LUTProduct(LUTMultiplier(lut, name="random"))
+        kernel = engine_backend.compile(model, weights, None)
+        np.testing.assert_array_equal(kernel(acts), lut_product_sums(acts, weights, lut))
+
+    def test_lut_structured_tables(self, operands, engine_backend):
+        acts, weights = operands
+        for multiplier in (PerforatedMultiplier(2), TruncatedMultiplier(2, 3)):
+            model = LUTProduct(multiplier)
+            kernel = engine_backend.compile(model, weights, None)
+            np.testing.assert_array_equal(
+                kernel(acts), lut_product_sums(acts, weights, multiplier.build_lut())
+            )
+
+    def test_exotic_model_compiles_through_any_backend(self, operands, engine_backend):
+        """Models without a backend-specialized kernel fall back bit-exact."""
+        from repro.baselines.weight_oriented import WeightOrientedProduct
+
+        acts, weights = operands
+        cv = ControlVariate.from_weight_matrix(weights)
+        model = WeightOrientedProduct(1, 3, threshold=128, compensate_mean=True)
+        kernel = engine_backend.compile(model, weights, cv)
+        np.testing.assert_array_equal(kernel(acts), model.product_sums(acts, weights, cv))
+
+    def test_large_batch_chunking_is_exact(self, rng, engine_backend):
+        """Batches larger than any internal chunk size stay bit-exact."""
+        acts = rng.integers(0, 256, size=(2600, 12), dtype=np.uint8)
+        weights = rng.integers(0, 256, size=(12, 5), dtype=np.uint8)
+        cv = ControlVariate.from_weight_matrix(weights)
+        kernel = engine_backend.compile(PerforatedProduct(2, True), weights, cv)
+        np.testing.assert_array_equal(
+            kernel(acts), perforated_product_sums(acts, weights, 2, cv)
+        )
+
+
 class TestWeightOrientedKernelParity:
     @pytest.mark.parametrize("compensate", [True, False])
     @pytest.mark.parametrize("m_low,m_high", [(0, 2), (1, 3)])
@@ -186,23 +306,29 @@ class TestExecutorEngineParity:
     }
 
     @pytest.mark.parametrize("plan_name", sorted(PLANS))
-    def test_forward_bit_exact(self, trained_tiny_model, tiny_dataset, plan_name):
+    def test_forward_bit_exact(
+        self, trained_tiny_model, tiny_dataset, plan_name, engine_backend
+    ):
         images = tiny_dataset.test_images[:8]
         calib = tiny_dataset.train_images[:32]
-        compiled = ApproximateExecutor(trained_tiny_model, calib, use_compiled=True)
+        compiled = ApproximateExecutor(
+            trained_tiny_model, calib, use_compiled=True, engine_backend=engine_backend
+        )
         legacy = ApproximateExecutor(trained_tiny_model, calib, use_compiled=False)
         plan = self.PLANS[plan_name]()
         np.testing.assert_array_equal(
             compiled.forward(images, plan), legacy.forward(images, plan)
         )
 
-    def test_grouped_conv_bit_exact(self, tiny_dataset, rng):
+    def test_grouped_conv_bit_exact(self, tiny_dataset, rng, engine_backend):
         from repro.models.zoo import build_model
 
         model = build_model("shufflenet", num_classes=tiny_dataset.num_classes, rng=rng)
         calib = tiny_dataset.train_images[:32]
         images = tiny_dataset.test_images[:4]
-        compiled = ApproximateExecutor(model, calib, use_compiled=True)
+        compiled = ApproximateExecutor(
+            model, calib, use_compiled=True, engine_backend=engine_backend
+        )
         legacy = ApproximateExecutor(model, calib, use_compiled=False)
         for plan in (
             ExecutionPlan.uniform(PerforatedProduct(2, True)),
@@ -250,6 +376,73 @@ class TestExecutorEngineParity:
         restored = executor.forward(images, plan)
         assert not np.array_equal(overridden, reference)
         np.testing.assert_array_equal(restored, reference)
+
+    def test_cross_plan_activation_cache(self, trained_tiny_model, tiny_dataset):
+        """The first MAC layer's quantized activations are computed once per
+        batch and reused across plans — bit-exactly."""
+        images = tiny_dataset.test_images[:8]
+        calib = tiny_dataset.train_images[:32]
+        cached = ApproximateExecutor(trained_tiny_model, calib)
+        uncached = ApproximateExecutor(
+            trained_tiny_model, calib, reuse_plan_invariant_acts=False
+        )
+        plans = [
+            ExecutionPlan.uniform(AccurateProduct()),
+            ExecutionPlan.uniform(PerforatedProduct(2, True)),
+            ExecutionPlan.uniform(PerforatedProduct(3, False)),
+        ]
+        for plan in plans:
+            np.testing.assert_array_equal(
+                cached.forward(images, plan), uncached.forward(images, plan)
+            )
+        assert cached.act_cache_misses == 1
+        assert cached.act_cache_hits == len(plans) - 1
+        assert uncached.act_cache_hits == 0 and uncached.act_cache_misses == 0
+        # A different batch (same shape, different window) must re-quantize.
+        cached.forward(tiny_dataset.test_images[8:16], plans[0])
+        assert cached.act_cache_misses == 2
+
+    def test_cross_plan_cache_across_batched_eval(self, trained_tiny_model, tiny_dataset):
+        """Batched multi-plan evaluation quantizes each batch once: the LRU
+        holds every batch of the eval set, so the second plan is all hits."""
+        images = tiny_dataset.test_images[:12]
+        calib = tiny_dataset.train_images[:32]
+        executor = ApproximateExecutor(trained_tiny_model, calib)
+        reference = ApproximateExecutor(
+            trained_tiny_model, calib, reuse_plan_invariant_acts=False
+        )
+        plans = [
+            ExecutionPlan.uniform(AccurateProduct()),
+            ExecutionPlan.uniform(PerforatedProduct(2, True)),
+        ]
+        for plan in plans:
+            np.testing.assert_array_equal(
+                executor.logits(images, plan, batch_size=4),
+                reference.logits(images, plan, batch_size=4),
+            )
+        assert executor.act_cache_misses == 3  # three batches, quantized once
+        assert executor.act_cache_hits == 3  # all reused by the second plan
+
+    def test_cross_plan_cache_with_distinct_live_batches(
+        self, trained_tiny_model, tiny_dataset
+    ):
+        """Two independently allocated same-shape batches, both alive: the
+        identity tokens must compare by referent identity (never ndarray
+        ``==``) and each batch must be re-quantized."""
+        calib = tiny_dataset.train_images[:32]
+        executor = ApproximateExecutor(trained_tiny_model, calib)
+        plan = ExecutionPlan.uniform(AccurateProduct())
+        a = tiny_dataset.test_images[:4].copy()
+        b = tiny_dataset.test_images[:4].copy()
+        out_a = executor.forward(a, plan)
+        out_b = executor.forward(b, plan)
+        assert executor.act_cache_misses == 2 and executor.act_cache_hits == 0
+        # Same batch again under another plan: now a genuine hit.
+        np.testing.assert_array_equal(out_b, executor.forward(b, plan))
+        assert executor.act_cache_hits == 1
+        np.testing.assert_array_equal(
+            out_a, ApproximateExecutor(trained_tiny_model, calib).forward(a, plan)
+        )
 
     def test_batched_logits_match_single_batch(self, trained_tiny_model, tiny_dataset):
         """Persistent activation buffers must not leak state across batches."""

@@ -308,6 +308,116 @@ class TestCampaign:
         assert parallel.lookup("vgg13", small_dataset.name, 0, True).accuracy_loss == 0.0
         assert parallel.lookup("vgg13", small_dataset.name, 0, False).accuracy_loss == 0.0
 
+    def test_parallel_sweep_shared_memory_forced(
+        self, small_dataset, tmp_path, monkeypatch
+    ):
+        """Shared-memory path forced on: results and error stats identical to
+        the serial sweep, and no worker ever (re)trains a model."""
+        import repro.simulation.campaign as campaign
+        from repro.simulation.campaign import parallel_sweep
+
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        settings = TrainingSettings(epochs=1, seed=3)
+        trained = cache.load_or_train("vgg13", small_dataset, settings)
+        datasets = {small_dataset.name: small_dataset}
+        kwargs = dict(perforations=(1, 2), max_eval_images=16)
+        serial = accuracy_sweep([trained], datasets, **kwargs)
+
+        # Cache hit: a second load returns the stored model without training.
+        def _no_training(*args, **kw):
+            raise AssertionError("training ran after the model was already cached")
+
+        monkeypatch.setattr(campaign, "train_reference_model", _no_training)
+        reloaded = cache.load_or_train("vgg13", small_dataset, settings)
+        assert reloaded.float_accuracy == trained.float_accuracy
+
+        # Workers (fork start method) inherit the patched trainer: any retrain
+        # inside the sweep would blow up the worker and fail the sweep.
+        for max_workers in (1, 2):
+            shared = parallel_sweep(
+                [reloaded],
+                datasets,
+                max_workers=max_workers,
+                use_shared_memory=True,
+                **kwargs,
+            )
+            assert shared.baselines == serial.baselines
+            assert shared.records == serial.records
+            for record, expected in zip(shared.records, serial.records):
+                assert record.accuracy_loss == expected.accuracy_loss
+
+        # Cache-hit assertion: every cell of a model reuses one calibrated
+        # executor — the worker builds it exactly once.
+        store = campaign.publish_trained_models([reloaded])
+        try:
+            campaign._init_sweep_worker(store, datasets, 16, 128, None)
+            cells = campaign._sweep_cells([reloaded], (1, 2))
+            assert len(cells) > 1
+            for cell in cells:
+                campaign._eval_sweep_cell(cell)
+            assert campaign._SWEEP_STATE["executor_builds"] == 1
+        finally:
+            campaign._SWEEP_STATE.clear()
+            store.unlink()
+
+    def test_publish_trained_models_zero_copy_views(self, small_dataset, tmp_path):
+        """Attached models view one shared block read-only and predict
+        identically to the originals."""
+        from repro.simulation.campaign import publish_trained_models
+
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=1, seed=3))
+        store = publish_trained_models([trained])
+        try:
+            assert store.nbytes_shared() > 0
+            attached = store.attach()
+            assert len(attached) == 1
+            clone = attached[0]
+            assert clone.name == trained.name
+            assert clone.float_accuracy == trained.float_accuracy
+            x = small_dataset.test_images[:4]
+            np.testing.assert_array_equal(clone.model.forward(x), trained.model.forward(x))
+            # Parameters are read-only views into the block, not copies.
+            assert all(
+                not p.flags.writeable and not p.flags.owndata
+                for _, _, p in clone.model.parameters()
+            )
+            # attach() is idempotent per process.
+            assert store.attach() is attached
+        finally:
+            del attached, clone
+            store.unlink()
+
+    def test_publish_trained_models_memmap_fallback(self, small_dataset, tmp_path):
+        """Without POSIX shared memory the block degrades to a memmapped file."""
+        import os
+
+        from repro.simulation.campaign import publish_trained_models
+
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=1, seed=3))
+        store = publish_trained_models([trained], prefer_shared_memory=False)
+        try:
+            assert store.kind == "memmap" and os.path.exists(store.name)
+            clone = store.attach()[0]
+            x = small_dataset.test_images[:4]
+            np.testing.assert_array_equal(clone.model.forward(x), trained.model.forward(x))
+        finally:
+            del clone
+            store.unlink()
+        assert not os.path.exists(store.name)
+
+    def test_sweep_engine_backend_is_bit_identical(self, small_dataset, tmp_path):
+        """The lowmem backend produces the exact same sweep as the default."""
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=1, seed=3))
+        datasets = {small_dataset.name: small_dataset}
+        kwargs = dict(perforations=(2,), max_eval_images=16)
+        default = accuracy_sweep([trained], datasets, **kwargs)
+        lowmem = accuracy_sweep([trained], datasets, engine_backend="lowmem", **kwargs)
+        assert lowmem.records == default.records
+        assert lowmem.baselines == default.baselines
+
     def test_accuracy_sweep_structure(self, small_dataset, tmp_path):
         cache = TrainedModelCache(cache_dir=str(tmp_path))
         trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=2, seed=3))
