@@ -1,7 +1,9 @@
 # CI-style entry points.  `make check` is the gate a PR must pass: the
-# tier-1 suite plus the engine parity/throughput suite, with any
-# unregistered-marker warning promoted to an error (markers are registered
-# once, in pyproject.toml).
+# tier-1 suite plus the engine parity/throughput suite (which doubles as a
+# perf smoke run — both benches merge their metrics into
+# results/BENCH_engine.json so the perf trajectory is diffable across PRs),
+# with any unregistered-marker warning promoted to an error (markers are
+# registered once, in pyproject.toml).
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest -W error::pytest.PytestUnknownMarkWarning
@@ -14,4 +16,4 @@ tier1:
 	$(PYTEST) -x -q
 
 engine:
-	$(PYTEST) -q -m engine tests benchmarks/bench_engine_throughput.py
+	$(PYTEST) -q -m engine tests benchmarks/bench_engine_throughput.py benchmarks/bench_sweep_prefix.py

@@ -29,7 +29,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import write_result
+from conftest import update_json_result, write_result
 
 from repro.core.approx_conv import (
     accurate_product_sums,
@@ -238,8 +238,18 @@ def test_engine_throughput(results_dir):
     sweep = run_sweep_wallclock()
     rendered = _render(lut, backends, sweep)
     path = write_result(results_dir, "engine_throughput.txt", rendered)
+    json_path = update_json_result(
+        results_dir,
+        "engine_throughput",
+        {
+            "workload": {"patches": PATCHES, "taps": TAPS, "filters": FILTERS},
+            "lut": lut,
+            "backends": backends,
+            "sweep_compiled_vs_legacy": sweep,
+        },
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path}]")
+    print(f"\n[written to {path} and {json_path}]")
     assert lut["speedup"] >= LUT_MIN_SPEEDUP
     assert sweep["speedup"] >= SWEEP_MIN_SPEEDUP
     by_name = {row["backend"]: row for row in backends}

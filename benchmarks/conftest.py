@@ -18,11 +18,17 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Machine-readable benchmark ledger: every perf-tracking bench merges its
+#: metrics into one JSON file under its own section, so the perf trajectory
+#: of the engine is diffable across PRs.
+BENCH_JSON = "BENCH_engine.json"
 
 
 def bench_epochs() -> int:
@@ -48,4 +54,26 @@ def write_result(results_dir: str, name: str, content: str) -> str:
     path = os.path.join(results_dir, name)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(content + "\n")
+    return path
+
+
+def update_json_result(results_dir: str, section: str, payload: dict) -> str:
+    """Merge ``payload`` under ``section`` of ``results/BENCH_engine.json``.
+
+    Each bench owns one section and overwrites only it, so running benches
+    in any order (or individually) keeps the other sections intact.
+    Returns the file path.
+    """
+    path = os.path.join(results_dir, BENCH_JSON)
+    data: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path

@@ -23,6 +23,10 @@ This package implements Section III of the paper:
   compiled; all backends are bit-exact and selectable via
   ``AcceleratorConfig.engine_backend``, the executor's ``engine_backend``
   argument and the CLI's ``--engine-backend`` flag.
+* :mod:`~repro.core.shared_store` — :class:`SharedArrayStore`, the generic
+  one-producer / many-consumer shared-memory channel (POSIX shm with a
+  memmap fallback) behind the multi-process sweep's zero-copy publication
+  of trained parameters and evaluation datasets.
 """
 
 from repro.core.control_variate import (
@@ -54,6 +58,7 @@ from repro.core.product_kernels import (
     ProductKernel,
     exact_int_matmul,
 )
+from repro.core.shared_store import SharedArrayStore
 from repro.core.backends import (
     DEFAULT_BACKEND,
     BackendUnavailableError,
@@ -91,6 +96,7 @@ __all__ = [
     "CallbackKernel",
     "KernelOptions",
     "exact_int_matmul",
+    "SharedArrayStore",
     "DEFAULT_BACKEND",
     "BackendUnavailableError",
     "EngineBackend",

@@ -1,0 +1,214 @@
+"""Generic shared-memory publication of named numpy arrays.
+
+:class:`SharedArrayStore` is the one-producer / many-consumer channel behind
+the multi-process sweep: a publisher process writes a set of named arrays
+**once** into a single shared block — POSIX ``multiprocessing.shared_memory``
+when available, a memory-mapped temp file otherwise — and consumer processes
+attach **read-only views** into that block instead of receiving per-process
+copies.  The store itself is cheap to pickle (it carries only the block name
+and the per-array layout, never the bytes), so it can travel to workers as a
+pool-initializer argument.
+
+Two sweep-facing publishers build on it:
+
+* :func:`repro.simulation.campaign.publish_trained_models` — trained model
+  parameters (weights, biases, batch-norm statistics);
+* :func:`repro.simulation.campaign.publish_datasets` — the evaluation /
+  calibration image arrays, which dwarf the weights for small models.
+
+Lifecycle
+---------
+``publish`` creates the block and copies the arrays in; consumers call
+:meth:`get` (or unpickle objects whose persistent ids resolve through the
+store); the publishing process calls :meth:`unlink` exactly once, after all
+consumers are done.  Attachment is lazy and cached per process; views handed
+out by :meth:`get` are frozen (``writeable = False``) because an accidental
+in-place write would corrupt every sibling consumer.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import tempfile
+
+import numpy as np
+
+try:  # pragma: no cover - part of the stdlib since 3.8
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds only
+    _shared_memory = None
+
+#: Byte alignment of each array inside the shared block (covers every dtype).
+ARRAY_ALIGN = 64
+
+#: Shared-memory handles whose mapping could not be closed because consumer
+#: views still point into it.  Parking them here keeps the mapping alive for
+#: those views (required for memory safety) and silences the BufferError the
+#: handle's __del__ would otherwise raise at garbage-collection time.
+_UNCLOSEABLE_HANDLES: list = []
+
+
+class SharedArrayStore:
+    """Named numpy arrays published once into one shared block.
+
+    Create with :meth:`publish`; never construct directly in new code.  The
+    instance is picklable — process-local handles (the mapping and any views
+    into it) are dropped from the pickled state, and consumers re-attach
+    lazily on first :meth:`get`.
+
+    Attributes
+    ----------
+    spec:
+        ``{key: (byte offset, shape, dtype string)}`` layout of the block.
+    kind:
+        ``"shm"`` for POSIX shared memory, ``"memmap"`` for the temp-file
+        fallback.
+    name:
+        Shared-memory segment name or memmap file path.
+    size:
+        Total block size in bytes.
+    """
+
+    def __init__(self, spec: dict[str, tuple[int, tuple, str]], kind: str, name: str, size: int):
+        self.spec = spec
+        self.kind = kind  # "shm" | "memmap"
+        self.name = name  # shm segment name / memmap file path
+        self.size = size
+        self._handle = None  # publisher-side SharedMemory keeping the mapping
+        self._buf: np.ndarray | None = None
+
+    # -- publication ------------------------------------------------------
+    @classmethod
+    def publish(
+        cls,
+        arrays: dict[str, np.ndarray],
+        prefer_shared_memory: bool = True,
+    ) -> "SharedArrayStore":
+        """Copy ``arrays`` into a freshly created shared block.
+
+        Keys become the store's lookup tokens.  Arrays are written in C
+        order; non-contiguous inputs are copied once during publication.
+        When POSIX shared memory cannot be created (or
+        ``prefer_shared_memory`` is false) the block degrades to a
+        memory-mapped file in the temp directory, which consumers map
+        read-only.
+        """
+        entries = [(key, np.ascontiguousarray(array)) for key, array in arrays.items()]
+        spec: dict[str, tuple[int, tuple, str]] = {}
+        offset = 0
+        for key, array in entries:
+            spec[key] = (offset, tuple(array.shape), array.dtype.str)
+            offset += -(-array.nbytes // ARRAY_ALIGN) * ARRAY_ALIGN
+        total = max(offset, 1)
+
+        kind, name, handle = "memmap", "", None
+        if prefer_shared_memory and _shared_memory is not None:
+            try:
+                handle = _shared_memory.SharedMemory(create=True, size=total)
+                kind, name = "shm", handle.name
+            except OSError:  # pragma: no cover - /dev/shm unavailable
+                handle = None
+        if handle is None:
+            fd, name = tempfile.mkstemp(prefix="repro-shared-arrays-", suffix=".bin")
+            with os.fdopen(fd, "wb") as out:
+                out.truncate(total)
+
+        store = cls(spec, kind, name, total)
+        store._handle = handle
+        buf = store._attach_buf(writable=True)
+        for key, array in entries:
+            off, shape, _ = spec[key]
+            buf[off : off + array.nbytes].view(array.dtype).reshape(shape)[...] = array
+        if kind == "memmap":
+            buf.flush()
+            # Consumers (and the publisher's own get()) map read-only.
+            store._buf = None
+        return store
+
+    def __getstate__(self):
+        # Process-local handles never travel to workers (any start method).
+        state = self.__dict__.copy()
+        state["_handle"] = None
+        state["_buf"] = None
+        return state
+
+    # -- attachment -------------------------------------------------------
+    def _attach_buf(self, writable: bool = False) -> np.ndarray:
+        if self._buf is None:
+            if self.kind == "shm":
+                # The publisher already holds the creating handle: reuse it
+                # instead of opening a second mapping of the same segment
+                # (which would orphan the creator handle to GC-time close).
+                if self._handle is None:
+                    self._handle = _shared_memory.SharedMemory(name=self.name)
+                    # On Python < 3.13 merely *attaching* registers the
+                    # segment with the process's resource tracker, whose
+                    # exit-time cleanup would unlink a block the publisher
+                    # still owns.  Consumers must not own cleanup: undo it.
+                    try:
+                        from multiprocessing import resource_tracker
+
+                        resource_tracker.unregister(self._handle._name, "shared_memory")
+                    except Exception:  # pragma: no cover - tracker internals
+                        pass
+                self._buf = np.frombuffer(self._handle.buf, dtype=np.uint8)
+            else:
+                mode = "r+" if writable else "r"
+                self._buf = np.memmap(self.name, dtype=np.uint8, mode=mode)
+        return self._buf
+
+    def get(self, key: str) -> np.ndarray:
+        """Read-only view of one published array (zero-copy)."""
+        offset, shape, dtype_str = self.spec[key]
+        dtype = np.dtype(dtype_str)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        buf = self._attach_buf()
+        view = buf[offset : offset + nbytes].view(dtype).reshape(shape)
+        # Consumers only read; an accidental in-place write would corrupt
+        # every sibling process, so the shared views are frozen.
+        view.flags.writeable = False
+        return view
+
+    def keys(self) -> list[str]:
+        """All published array keys, in publication order."""
+        return list(self.spec)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.spec
+
+    def nbytes_shared(self) -> int:
+        """Total payload bytes placed in the shared block (before alignment)."""
+        return sum(
+            int(np.prod(shape, dtype=np.int64)) * np.dtype(dt).itemsize
+            for _, shape, dt in self.spec.values()
+        )
+
+    # -- teardown ---------------------------------------------------------
+    def unlink(self) -> None:
+        """Release the shared block (publisher side; idempotent)."""
+        # Views into the block must be dropped before the mapping can close;
+        # consumer object graphs may contain reference cycles, so force a
+        # collection to release any attached views deterministically.
+        self._buf = None
+        gc.collect()
+        if self.kind == "shm":
+            handle, self._handle = self._handle, None
+            try:
+                if handle is None:
+                    handle = _shared_memory.SharedMemory(name=self.name)
+            except FileNotFoundError:
+                return
+            try:
+                handle.close()
+            except BufferError:  # a consumer view outlived the publisher
+                _UNCLOSEABLE_HANDLES.append(handle)
+            try:
+                handle.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        else:
+            try:
+                os.unlink(self.name)
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass

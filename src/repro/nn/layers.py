@@ -20,6 +20,29 @@ class Layer:
     #: Set by the graph when the layer is registered; used in reports.
     name: str = ""
 
+    #: Per-batch transient attributes — forward/backward caches and gradient
+    #: accumulators — that are rebuilt by the next forward/backward pass.
+    #: They are nulled when a layer is pickled: a trained model shipped to
+    #: sweep workers carries its parameters, not the im2col columns and
+    #: activation masks of the last training batch (which dwarf the weights).
+    _TRANSIENT_STATE = (
+        "_cache",
+        "_mask",
+        "_x",
+        "_x_shape",
+        "dweight",
+        "dbias",
+        "dgamma",
+        "dbeta",
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in self._TRANSIENT_STATE:
+            if state.get(key) is not None:
+                state[key] = None
+        return state
+
     def forward(self, *inputs: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
 

@@ -36,10 +36,15 @@ from repro.simulation.campaign import (
     TrainedModelCache,
     TrainingSettings,
     AccuracyRecord,
+    PlanAccuracyRecord,
+    SharedDatasets,
     SharedTrainedModels,
     SweepResult,
     accuracy_sweep,
+    order_plan_cells,
     parallel_sweep,
+    plan_sweep,
+    publish_datasets,
     publish_trained_models,
     settings_fingerprint,
     train_reference_model,
@@ -61,10 +66,15 @@ __all__ = [
     "TrainedModelCache",
     "TrainingSettings",
     "AccuracyRecord",
+    "PlanAccuracyRecord",
+    "SharedDatasets",
     "SharedTrainedModels",
     "SweepResult",
     "accuracy_sweep",
+    "order_plan_cells",
     "parallel_sweep",
+    "plan_sweep",
+    "publish_datasets",
     "publish_trained_models",
     "settings_fingerprint",
     "train_reference_model",

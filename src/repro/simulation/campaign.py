@@ -18,43 +18,45 @@ This module provides the machinery behind the Table III benchmark:
   :class:`~repro.simulation.inference.ApproximateExecutor` (with its
   compiled product kernels) once per model and reusing it for every cell it
   evaluates.  Results are bit-identical to the serial sweep.
+* :func:`plan_sweep` generalizes the cells to arbitrary labeled
+  :class:`~repro.simulation.inference.ExecutionPlan` sets (per-layer
+  approximation, LUT multipliers, ...), arms each worker executor's
+  plan-invariant prefix reuse with the full plan set, and orders cells with
+  the prefix-aware scheduler :func:`order_plan_cells` so consecutive cells
+  share the deepest possible prefix.
 
-Shared-memory model publication
--------------------------------
+Shared-memory publication
+-------------------------
 The multi-process sweep does **not** ship a private copy of every trained
-model to every worker.  :func:`publish_trained_models` writes all parameter
-arrays once into a single ``multiprocessing.shared_memory`` block (falling
-back to a memory-mapped temp file when POSIX shared memory is unavailable)
-and pickles each model with the arrays replaced by persistent-id tokens;
-workers unpickle the models with the tokens resolved to **read-only views
-into the shared block**, so N workers hold one copy of the parameters
-instead of N.  Workers never train — they attach to already-trained
-parameters — and the engine backend used to compile product kernels is
-forwarded via ``engine_backend``.
+model — or of the evaluation datasets, which dwarf the weights for small
+models — to every worker.  Both ride the generic
+:class:`repro.core.shared_store.SharedArrayStore` (one POSIX
+``multiprocessing.shared_memory`` block, memory-mapped temp file fallback):
+:func:`publish_trained_models` pickles each model with its parameter arrays
+replaced by persistent-id tokens, and :func:`publish_datasets` tokenizes the
+train/test image and label arrays of every dataset.  Workers attach
+**read-only views into the shared block**, so N workers hold one copy of
+the bytes instead of N.  Workers never train — they attach to
+already-trained parameters — and the engine backend used to compile product
+kernels is forwarded via ``engine_backend``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import gc
 import hashlib
 import io
 import json
 import multiprocessing
 import os
 import pickle
-import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
-try:  # pragma: no cover - part of the stdlib since 3.8
-    from multiprocessing import shared_memory as _shared_memory
-except ImportError:  # pragma: no cover - exotic builds only
-    _shared_memory = None
-
+from repro.core.shared_store import SharedArrayStore
 from repro.datasets.synthetic import Dataset
 from repro.models.zoo import build_model
 from repro.nn.graph import Graph
@@ -66,6 +68,7 @@ from repro.simulation.inference import (
     ApproximateExecutor,
     ExecutionPlan,
     PerforatedProduct,
+    plan_fingerprint_sort_key,
 )
 from repro.simulation.metrics import accuracy, accuracy_loss_percent
 
@@ -318,7 +321,7 @@ class SweepResult:
 
 
 # ----------------------------------------------------------------------
-# Shared-memory publication of trained models
+# Shared-memory publication of trained models and datasets
 # ----------------------------------------------------------------------
 
 
@@ -342,125 +345,73 @@ class _ParamPickler(pickle.Pickler):
 
 
 class _ParamUnpickler(pickle.Unpickler):
-    """Unpickler resolving persistent-id tokens to views of a shared buffer."""
+    """Unpickler resolving persistent-id tokens to views of a shared store."""
 
-    def __init__(self, file, spec: dict[str, tuple[int, tuple, str]], buf: np.ndarray):
+    def __init__(self, file, store: SharedArrayStore):
         super().__init__(file)
-        self._spec = spec
-        self._buf = buf
+        self._store = store
 
     def persistent_load(self, token):
-        offset, shape, dtype_str = self._spec[token]
-        dtype = np.dtype(dtype_str)
-        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-        view = self._buf[offset : offset + nbytes].view(dtype).reshape(shape)
-        # Workers only read parameters; an accidental in-place write would
-        # corrupt every sibling worker, so the shared views are frozen.
-        view.flags.writeable = False
-        return view
-
-
-#: Byte alignment of each array inside the shared block (covers every dtype).
-_PARAM_ALIGN = 64
+        return self._store.get(token)
 
 
 class SharedTrainedModels:
     """Trained models published once for zero-copy attachment by workers.
 
     Produced by :func:`publish_trained_models`.  The parameter arrays of
-    every model live in one shared block (POSIX shared memory, or a
-    memory-mapped temp file as fallback — see :attr:`kind`); the pickled
-    models reference them via persistent-id tokens.  :meth:`attach` rebuilds
-    the :class:`TrainedModel` list with parameters as read-only views into
-    the block, never copying them.  The publishing process must call
-    :meth:`unlink` once all consumers are done.
+    every model live in one :class:`~repro.core.shared_store.SharedArrayStore`
+    block (POSIX shared memory, or a memory-mapped temp file as fallback —
+    see :attr:`kind`); the pickled models reference them via persistent-id
+    tokens.  :meth:`attach` rebuilds the :class:`TrainedModel` list with
+    parameters as read-only views into the block, never copying them.  The
+    publishing process must call :meth:`unlink` once all consumers are done.
     """
 
-    def __init__(
-        self,
-        pickles: list[bytes],
-        spec: dict[str, tuple[int, tuple, str]],
-        kind: str,
-        name: str,
-        size: int,
-    ):
+    def __init__(self, pickles: list[bytes], store: SharedArrayStore):
         self.pickles = pickles
-        self.spec = spec
-        self.kind = kind  # "shm" | "memmap"
-        self.name = name  # shm segment name / memmap file path
-        self.size = size
-        self._handle = None  # parent-side SharedMemory keeping the mapping
-        self._buf: np.ndarray | None = None
+        self.store = store
         self._models: list[TrainedModel] | None = None
 
+    # Back-compat accessors mirroring the pre-SharedArrayStore attributes.
+    @property
+    def spec(self) -> dict[str, tuple[int, tuple, str]]:
+        return self.store.spec
+
+    @property
+    def kind(self) -> str:
+        return self.store.kind
+
+    @property
+    def name(self) -> str:
+        return self.store.name
+
+    @property
+    def size(self) -> int:
+        return self.store.size
+
     def __getstate__(self):
-        # Process-local handles never travel to workers (spawn start method).
+        # The per-process model cache never travels to workers.
         state = self.__dict__.copy()
-        state["_handle"] = None
-        state["_buf"] = None
         state["_models"] = None
         return state
-
-    # -- buffer management ------------------------------------------------
-    def _attach_buf(self, writable: bool = False) -> np.ndarray:
-        if self._buf is None:
-            if self.kind == "shm":
-                # The publisher already holds the creating handle: reuse it
-                # instead of opening a second mapping of the same segment
-                # (which would orphan the creator handle to GC-time close).
-                if self._handle is None:
-                    self._handle = _shared_memory.SharedMemory(name=self.name)
-                self._buf = np.frombuffer(self._handle.buf, dtype=np.uint8)
-            else:
-                mode = "r+" if writable else "r"
-                self._buf = np.memmap(self.name, dtype=np.uint8, mode=mode)
-        return self._buf
 
     def attach(self) -> list[TrainedModel]:
         """Models with parameters viewing the shared block (cached per process)."""
         if self._models is None:
-            buf = self._attach_buf()
             self._models = [
-                _ParamUnpickler(io.BytesIO(blob), self.spec, buf).load()
+                _ParamUnpickler(io.BytesIO(blob), self.store).load()
                 for blob in self.pickles
             ]
         return self._models
 
     def nbytes_shared(self) -> int:
         """Total parameter bytes placed in the shared block."""
-        return sum(
-            int(np.prod(shape, dtype=np.int64)) * np.dtype(dt).itemsize
-            for _, shape, dt in self.spec.values()
-        )
+        return self.store.nbytes_shared()
 
     def unlink(self) -> None:
         """Release the shared block (publisher side; idempotent)."""
-        # Views into the block must be dropped before the mapping can close;
-        # model graphs contain reference cycles, so force a collection to
-        # release any attached views deterministically.
         self._models = None
-        self._buf = None
-        gc.collect()
-        if self.kind == "shm":
-            handle, self._handle = self._handle, None
-            try:
-                if handle is None:
-                    handle = _shared_memory.SharedMemory(name=self.name)
-            except FileNotFoundError:
-                return
-            try:
-                handle.close()
-            except BufferError:  # pragma: no cover - a view outlived us
-                pass
-            try:
-                handle.unlink()
-            except FileNotFoundError:  # pragma: no cover - already unlinked
-                pass
-        else:
-            try:
-                os.unlink(self.name)
-            except FileNotFoundError:  # pragma: no cover - already removed
-                pass
+        self.store.unlink()
 
 
 def publish_trained_models(
@@ -481,71 +432,127 @@ def publish_trained_models(
     memory-mapped file in the temp directory, which workers map read-only.
     """
     models = list(trained_models)
+    # ``tokens`` keys arrays by id(); every keyed array is immediately
+    # pinned in ``arrays`` (which outlives the pickling below), so a
+    # tracked id can never be garbage-collected and recycled by a later,
+    # distinct array — the aliasing that plagued state_dict implementations
+    # returning fresh (otherwise unreferenced) arrays per call.
     tokens: dict[int, str] = {}
-    entries: list[tuple[str, np.ndarray]] = []
+    arrays: dict[str, np.ndarray] = {}
     for index, trained in enumerate(models):
         for key, array in trained.model.state_dict().items():
             if id(array) in tokens:  # array shared between models: store once
                 continue
             token = f"{index}:{key}"
             tokens[id(array)] = token
-            entries.append((token, np.ascontiguousarray(array)))
+            arrays[token] = array
 
-    spec: dict[str, tuple[int, tuple, str]] = {}
-    offset = 0
-    for token, array in entries:
-        spec[token] = (offset, tuple(array.shape), array.dtype.str)
-        offset += -(-array.nbytes // _PARAM_ALIGN) * _PARAM_ALIGN
-    total = max(offset, 1)
-
-    kind, name, handle = "memmap", "", None
-    if prefer_shared_memory and _shared_memory is not None:
-        try:
-            handle = _shared_memory.SharedMemory(create=True, size=total)
-            kind, name = "shm", handle.name
-        except OSError:  # pragma: no cover - /dev/shm unavailable
-            handle = None
-    if handle is None:
-        fd, name = tempfile.mkstemp(prefix="repro-sweep-params-", suffix=".bin")
-        with os.fdopen(fd, "wb") as out:
-            out.truncate(total)
-
-    store = SharedTrainedModels([], spec, kind, name, total)
-    store._handle = handle
-    buf = store._attach_buf(writable=True)
-    for token, array in entries:
-        off, shape, dtype_str = spec[token]
-        buf[off : off + array.nbytes].view(array.dtype).reshape(shape)[...] = array
-    if kind == "memmap":
-        buf.flush()
-
-    for index, trained in enumerate(models):
+    store = SharedArrayStore.publish(arrays, prefer_shared_memory=prefer_shared_memory)
+    pickles: list[bytes] = []
+    for trained in models:
         sink = io.BytesIO()
         _ParamPickler(sink, tokens).dump(trained)
-        store.pickles.append(sink.getvalue())
-    # The publisher's own attach() must also see the shared views (serial
-    # forced-shared path); drop the writable buffer so attach re-maps.
-    if kind == "memmap":
-        store._buf = None
-    return store
+        pickles.append(sink.getvalue())
+    return SharedTrainedModels(pickles, store)
 
 
-#: Per-process worker state of :func:`parallel_sweep` (set by the pool
-#: initializer; also used by the in-process serial path).
+#: Dataset fields published to (and rebuilt from) the shared block.
+_DATASET_ARRAY_FIELDS = ("train_images", "train_labels", "test_images", "test_labels")
+
+
+class SharedDatasets:
+    """Evaluation datasets published once for zero-copy worker attachment.
+
+    Produced by :func:`publish_datasets`.  The image and label arrays of
+    every dataset live in one shared block; :meth:`attach` rebuilds the
+    ``{name: Dataset}`` mapping with those arrays as read-only views, so a
+    sweep's worker processes share one copy of the evaluation data.  The
+    publishing process must call :meth:`unlink` once all consumers are done.
+    """
+
+    def __init__(self, metas: dict[str, dict], store: SharedArrayStore):
+        self.metas = metas
+        self.store = store
+        self._datasets: dict[str, Dataset] | None = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_datasets"] = None
+        return state
+
+    def attach(self) -> dict[str, Dataset]:
+        """Datasets with arrays viewing the shared block (cached per process)."""
+        if self._datasets is None:
+            self._datasets = {
+                name: Dataset(
+                    name=name,
+                    num_classes=meta["num_classes"],
+                    **{
+                        field_name: self.store.get(token)
+                        for field_name, token in meta["arrays"].items()
+                    },
+                )
+                for name, meta in self.metas.items()
+            }
+        return self._datasets
+
+    def nbytes_shared(self) -> int:
+        """Total dataset bytes placed in the shared block."""
+        return self.store.nbytes_shared()
+
+    def unlink(self) -> None:
+        """Release the shared block (publisher side; idempotent)."""
+        self._datasets = None
+        self.store.unlink()
+
+
+def publish_datasets(
+    datasets: dict[str, Dataset],
+    prefer_shared_memory: bool = True,
+) -> SharedDatasets:
+    """Publish the train/test arrays of ``datasets`` for worker attachment.
+
+    The evaluation images dwarf the trained weights for small models, so a
+    multi-process sweep that ships datasets by pickle pays the dominant
+    memory cost once per worker.  Publishing moves those bytes into one
+    shared block; workers attach read-only views through
+    :meth:`SharedDatasets.attach`.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    metas: dict[str, dict] = {}
+    for name, dataset in datasets.items():
+        field_tokens: dict[str, str] = {}
+        for field_name in _DATASET_ARRAY_FIELDS:
+            token = f"{name}:{field_name}"
+            arrays[token] = getattr(dataset, field_name)
+            field_tokens[field_name] = token
+        metas[name] = {"num_classes": dataset.num_classes, "arrays": field_tokens}
+    store = SharedArrayStore.publish(arrays, prefer_shared_memory=prefer_shared_memory)
+    return SharedDatasets(metas, store)
+
+
+#: Per-process worker state of :func:`parallel_sweep` / :func:`plan_sweep`
+#: (set by the pool initializer; also used by the in-process serial path).
 _SWEEP_STATE: dict = {}
 
 
 def _init_sweep_worker(
     trained_models: "list[TrainedModel] | SharedTrainedModels",
-    datasets: dict[str, Dataset],
+    datasets: "dict[str, Dataset] | SharedDatasets",
     max_eval_images: int | None,
     calibration_images: int,
     engine_backend: str | None = None,
+    plans: "Sequence[tuple[str, ExecutionPlan]] | None" = None,
+    reuse_prefix: bool = True,
 ) -> None:
     if isinstance(trained_models, SharedTrainedModels):
         # Attach to the published parameter block: the models rebuilt here
         # hold read-only views into shared memory, not private copies.
         trained_models = trained_models.attach()
+    if isinstance(datasets, SharedDatasets):
+        # Same for the evaluation data — images dwarf the weights for small
+        # models, so this is where most of the per-worker RSS would go.
+        datasets = datasets.attach()
     _SWEEP_STATE.clear()
     _SWEEP_STATE.update(
         models=trained_models,
@@ -553,6 +560,8 @@ def _init_sweep_worker(
         max_eval_images=max_eval_images,
         calibration_images=calibration_images,
         engine_backend=engine_backend,
+        plans=list(plans) if plans is not None else None,
+        reuse_prefix=bool(reuse_prefix),
         executors={},
         executor_builds=0,
     )
@@ -565,27 +574,35 @@ def _sweep_executor(model_index: int) -> ApproximateExecutor:
     model, so this preserves reuse across a model's cells while bounding
     peak memory to one executor (kernel caches, activation buffers and
     quantized weights included) — matching the old serial sweep's profile.
-    The executor's own cross-plan activation cache then makes consecutive
-    cells of one model skip re-quantizing the first MAC layer's inputs.
+    The executor's own cross-plan caches then make consecutive cells of one
+    model skip re-quantizing the first MAC layer's inputs, and — for a
+    :func:`plan_sweep` whose plan set is armed as the executor's plan
+    context — skip re-running the whole plan-invariant layer prefix.
     """
     executor = _SWEEP_STATE["executors"].get(model_index)
     if executor is None:
         trained = _SWEEP_STATE["models"][model_index]
         dataset = _SWEEP_STATE["datasets"][trained.dataset_name]
         calib = dataset.train_images[: _SWEEP_STATE["calibration_images"]]
+        reuse = _SWEEP_STATE.get("reuse_prefix", True)
         executor = ApproximateExecutor(
-            trained.model, calib, engine_backend=_SWEEP_STATE["engine_backend"]
+            trained.model,
+            calib,
+            engine_backend=_SWEEP_STATE["engine_backend"],
+            reuse_plan_invariant_acts=reuse,
+            reuse_plan_invariant_prefix=reuse,
         )
+        plans = _SWEEP_STATE.get("plans")
+        if plans and reuse:
+            executor.set_plan_context([plan for _, plan in plans])
         _SWEEP_STATE["executors"].clear()
         _SWEEP_STATE["executors"][model_index] = executor
         _SWEEP_STATE["executor_builds"] += 1
     return executor
 
 
-def _eval_sweep_cell(cell: tuple[int, int | None, bool]) -> tuple[int, int | None, bool, float]:
-    """Evaluate one (model, m, cv) cell; ``m is None`` is the accurate baseline."""
-    model_index, m, with_cv = cell
-    trained = _SWEEP_STATE["models"][model_index]
+def _sweep_eval_arrays(trained: TrainedModel) -> tuple[np.ndarray, np.ndarray]:
+    """The (possibly capped) evaluation images and labels of one model."""
     dataset = _SWEEP_STATE["datasets"][trained.dataset_name]
     test_images = dataset.test_images
     test_labels = dataset.test_labels
@@ -593,6 +610,14 @@ def _eval_sweep_cell(cell: tuple[int, int | None, bool]) -> tuple[int, int | Non
     if max_eval is not None:
         test_images = test_images[:max_eval]
         test_labels = test_labels[:max_eval]
+    return test_images, test_labels
+
+
+def _eval_sweep_cell(cell: tuple[int, int | None, bool]) -> tuple[int, int | None, bool, float]:
+    """Evaluate one (model, m, cv) cell; ``m is None`` is the accurate baseline."""
+    model_index, m, with_cv = cell
+    trained = _SWEEP_STATE["models"][model_index]
+    test_images, test_labels = _sweep_eval_arrays(trained)
     executor = _sweep_executor(model_index)
     if m is None:
         plan = ExecutionPlan.uniform(AccurateProduct())
@@ -600,6 +625,17 @@ def _eval_sweep_cell(cell: tuple[int, int | None, bool]) -> tuple[int, int | Non
         plan = ExecutionPlan.uniform(PerforatedProduct(m, use_control_variate=with_cv))
     acc = accuracy(executor.predict(test_images, plan), test_labels)
     return model_index, m, with_cv, acc
+
+
+def _eval_plan_cell(cell: tuple[int, int]) -> tuple[int, int, float]:
+    """Evaluate one (model, plan) cell of a :func:`plan_sweep`."""
+    model_index, plan_index = cell
+    trained = _SWEEP_STATE["models"][model_index]
+    test_images, test_labels = _sweep_eval_arrays(trained)
+    executor = _sweep_executor(model_index)
+    _, plan = _SWEEP_STATE["plans"][plan_index]
+    acc = accuracy(executor.predict(test_images, plan), test_labels)
+    return model_index, plan_index, acc
 
 
 def _assemble_sweep_result(
@@ -645,6 +681,174 @@ def _sweep_cells(
     return cells
 
 
+@dataclass(frozen=True)
+class PlanAccuracyRecord:
+    """One cell of a :func:`plan_sweep`: one model evaluated under one plan."""
+
+    model: str
+    dataset: str
+    plan_label: str
+    accuracy: float
+
+
+def order_plan_cells(
+    models: list[TrainedModel], plans: Sequence[tuple[str, ExecutionPlan]]
+) -> list[tuple[int, int]]:
+    """Prefix-aware cell schedule of a :func:`plan_sweep`.
+
+    Cells are grouped by model (one calibrated executor per model is kept
+    per worker), and within one model the plans are ordered
+    lexicographically by their per-MAC-layer fingerprint sequence.  Plans
+    sharing a layer prefix therefore become *adjacent*, which maximizes the
+    executor's prefix-checkpoint and activation-code cache hits when cells
+    run in schedule order.
+    """
+    cells: list[tuple[int, int]] = []
+    for model_index, trained in enumerate(models):
+        mac_names = [node.name for node in trained.model.conv_dense_nodes()]
+        # Same key as the executor's checkpoint-depth computation, so
+        # schedule adjacency matches the checkpoint structure exactly.
+        sort_keys = {
+            plan_index: plan_fingerprint_sort_key(plan.fingerprints(mac_names))
+            for plan_index, (_, plan) in enumerate(plans)
+        }
+        ordered = sorted(range(len(plans)), key=sort_keys.__getitem__)
+        cells.extend((model_index, plan_index) for plan_index in ordered)
+    return cells
+
+
+def _run_sweep(
+    models: list[TrainedModel],
+    datasets: "dict[str, Dataset]",
+    cells: list,
+    eval_cell,
+    max_eval_images: int | None,
+    calibration_images: int,
+    max_workers: int | None,
+    engine_backend: str | None,
+    use_shared_memory: bool | None,
+    plans: "Sequence[tuple[str, ExecutionPlan]] | None" = None,
+    reuse_prefix: bool = True,
+    contiguous_chunks: bool = False,
+) -> list:
+    """Shared orchestration of :func:`parallel_sweep` and :func:`plan_sweep`.
+
+    Publishes models (and datasets) through shared memory when sharing is
+    on, dispatches ``cells`` to ``eval_cell`` either in-process (serial) or
+    across a worker pool, and always unlinks the shared blocks.
+    ``contiguous_chunks`` hands each worker one contiguous block of the
+    schedule, preserving prefix-cache adjacency arranged by the scheduler.
+    """
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    serial = max_workers <= 1 or len(cells) <= 1
+    share = (not serial) if use_shared_memory is None else bool(use_shared_memory)
+    model_store = dataset_store = None
+    try:
+        # Publish inside the try: if the second publish fails, the finally
+        # still unlinks the first block instead of leaking it.
+        if share:
+            model_store = publish_trained_models(models)
+            dataset_store = publish_datasets(datasets)
+        initargs = (
+            model_store if model_store is not None else models,
+            dataset_store if dataset_store is not None else datasets,
+            max_eval_images,
+            calibration_images,
+            engine_backend,
+            plans,
+            reuse_prefix,
+        )
+        if serial:
+            _init_sweep_worker(*initargs)
+            try:
+                return [eval_cell(cell) for cell in cells]
+            finally:
+                _SWEEP_STATE.clear()
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=context,
+            initializer=_init_sweep_worker,
+            initargs=initargs,
+        ) as pool:
+            chunksize = -(-len(cells) // max_workers) if contiguous_chunks else 1
+            return list(pool.map(eval_cell, cells, chunksize=chunksize))
+    finally:
+        if model_store is not None:
+            model_store.unlink()
+        if dataset_store is not None:
+            dataset_store.unlink()
+
+
+def plan_sweep(
+    trained_models: Iterable[TrainedModel],
+    datasets: "dict[str, Dataset]",
+    plans: Sequence[tuple[str, ExecutionPlan]],
+    max_eval_images: int | None = None,
+    calibration_images: int = 128,
+    max_workers: int | None = None,
+    engine_backend: str | None = None,
+    use_shared_memory: bool | None = None,
+    reuse_prefix: bool = True,
+) -> list[PlanAccuracyRecord]:
+    """Evaluate every trained model under every labeled execution plan.
+
+    The generalization of :func:`parallel_sweep` behind per-layer
+    approximation studies: each ``(label, plan)`` pair is one cell per
+    model, workers arm their executors' plan-invariant prefix reuse with
+    the full plan set, cells are ordered by :func:`order_plan_cells` so
+    consecutive cells share the deepest possible prefix, and — like
+    :func:`parallel_sweep` — trained parameters and datasets are published
+    once through shared memory instead of being copied per worker.
+    Results are returned in ``(model, plan)`` input order and are
+    bit-identical to evaluating each plan on a fresh executor with reuse
+    disabled.
+
+    Parameters not shared with :func:`parallel_sweep`:
+
+    plans:
+        Labeled :class:`~repro.simulation.inference.ExecutionPlan` objects;
+        labels key the returned records.
+    reuse_prefix:
+        Arm cross-plan reuse (activation codes and the plan-invariant
+        layer prefix) in every worker executor.  Disable to force full
+        re-execution per cell — the escape hatch the CLI exposes as
+        ``--no-prefix-reuse``.
+    """
+    models = list(trained_models)
+    plans = list(plans)
+    if not plans:
+        raise ValueError("plan_sweep requires at least one plan")
+    cells = order_plan_cells(models, plans)
+    results = _run_sweep(
+        models,
+        datasets,
+        cells,
+        _eval_plan_cell,
+        max_eval_images,
+        calibration_images,
+        max_workers,
+        engine_backend,
+        use_shared_memory,
+        plans=plans,
+        reuse_prefix=reuse_prefix,
+        contiguous_chunks=True,
+    )
+    by_cell = {(model_index, plan_index): acc for model_index, plan_index, acc in results}
+    return [
+        PlanAccuracyRecord(
+            model=trained.name,
+            dataset=trained.dataset_name,
+            plan_label=plans[plan_index][0],
+            accuracy=by_cell[(model_index, plan_index)],
+        )
+        for model_index, trained in enumerate(models)
+        for plan_index in range(len(plans))
+    ]
+
+
 def parallel_sweep(
     trained_models: Iterable[TrainedModel],
     datasets: dict[str, Dataset],
@@ -654,6 +858,7 @@ def parallel_sweep(
     max_workers: int | None = None,
     engine_backend: str | None = None,
     use_shared_memory: bool | None = None,
+    reuse_prefix: bool = True,
 ) -> SweepResult:
     """:func:`accuracy_sweep` fanned across worker processes.
 
@@ -675,51 +880,32 @@ def parallel_sweep(
         Engine backend name compiled kernels should use in every worker
         (see :mod:`repro.core.backends`); ``None`` uses the default.
     use_shared_memory:
-        Publish trained-model parameters once via
-        :func:`publish_trained_models` so workers attach read-only views
-        instead of receiving per-process copies.  ``None`` (default)
-        enables it exactly when worker processes are used; ``True`` forces
-        the publish/attach round trip even on the serial path (useful for
-        testing), ``False`` ships the models directly.
+        Publish trained-model parameters (:func:`publish_trained_models`)
+        and the evaluation datasets (:func:`publish_datasets`) once so
+        workers attach read-only views instead of receiving per-process
+        copies.  ``None`` (default) enables it exactly when worker
+        processes are used; ``True`` forces the publish/attach round trip
+        even on the serial path (useful for testing), ``False`` ships
+        models and datasets directly.
+    reuse_prefix:
+        Arm the worker executors' cross-plan reuse (plan-invariant
+        activation codes and layer prefix).  Disable (the CLI's
+        ``--no-prefix-reuse``) to force full re-execution per cell.
     """
     models = list(trained_models)
     cells = _sweep_cells(models, perforations)
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    serial = max_workers <= 1 or len(cells) <= 1
-    share = (not serial) if use_shared_memory is None else bool(use_shared_memory)
-    store = publish_trained_models(models) if share else None
-    payload: "list[TrainedModel] | SharedTrainedModels" = (
-        store if store is not None else models
+    results = _run_sweep(
+        models,
+        datasets,
+        cells,
+        _eval_sweep_cell,
+        max_eval_images,
+        calibration_images,
+        max_workers,
+        engine_backend,
+        use_shared_memory,
+        reuse_prefix=reuse_prefix,
     )
-    try:
-        if serial:
-            _init_sweep_worker(
-                payload, datasets, max_eval_images, calibration_images, engine_backend
-            )
-            try:
-                results = [_eval_sweep_cell(cell) for cell in cells]
-            finally:
-                _SWEEP_STATE.clear()
-        else:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context("fork" if "fork" in methods else None)
-            with ProcessPoolExecutor(
-                max_workers=max_workers,
-                mp_context=context,
-                initializer=_init_sweep_worker,
-                initargs=(
-                    payload,
-                    datasets,
-                    max_eval_images,
-                    calibration_images,
-                    engine_backend,
-                ),
-            ) as pool:
-                results = list(pool.map(_eval_sweep_cell, cells))
-    finally:
-        if store is not None:
-            store.unlink()
     return _assemble_sweep_result(models, perforations, results)
 
 
@@ -730,6 +916,7 @@ def accuracy_sweep(
     max_eval_images: int | None = None,
     calibration_images: int = 128,
     engine_backend: str | None = None,
+    reuse_prefix: bool = True,
 ) -> SweepResult:
     """Evaluate every trained model under every approximation mode (serially).
 
@@ -759,4 +946,5 @@ def accuracy_sweep(
         calibration_images=calibration_images,
         max_workers=1,
         engine_backend=engine_backend,
+        reuse_prefix=reuse_prefix,
     )

@@ -48,21 +48,48 @@ memory only.  Selection is exposed end to end::
 An unavailable backend (e.g. ``numba`` without the package) resolves to the
 numpy backend with a warning, so scripts stay portable.
 
-Cross-plan activation reuse
----------------------------
-Within a sweep the quantized input codes of the *first* MAC layer depend
-only on the images, not on the execution plan, so the executor caches them
-per input batch (keyed by the identity of the underlying buffer) and skips
-re-quantization when consecutive ``forward`` calls — one per plan — see the
-same batch.  Disable with ``reuse_plan_invariant_acts=False`` if the caller
-mutates input arrays in place between calls.
+Cross-plan reuse
+----------------
+A Table III-style sweep re-runs the *same* trained network and the *same*
+eval batches under many execution plans, so most of the simulated work is
+plan-invariant and the executor reuses it at two levels:
+
+* **Activation codes** — the quantized input codes of the first MAC layer
+  depend only on the images, so they are cached per input batch (keyed by
+  the identity of the underlying buffer) and reused across plans.  Disable
+  with ``reuse_plan_invariant_acts=False`` if the caller mutates input
+  arrays in place between calls.
+* **Plan-invariant prefix** — per-layer plans usually leave the early
+  layers exact, so whole leading chunks of the network compute identical
+  outputs under several plans of a sweep.  :meth:`ApproximateExecutor.\
+set_plan_context` takes the sweep's plan set and resolves its sharing
+  structure (via :meth:`ProductModel.fingerprint`): at every depth where
+  two or more plans stop agreeing, ``forward`` records the shared
+  prefix's boundary activations per input batch, and later calls under a
+  plan matching a recorded prefix resume at the deepest such checkpoint —
+  the classical "deepest prefix all plans agree on" is the shallowest of
+  these levels.  The quantized input codes of each checkpoint layer are
+  plan-invariant among the sharing plans and join the activation-code
+  cache above.  Each checkpoint costs one float copy of the boundary
+  activations the remaining layers consume (typically a single
+  ``(batch, H, W, C)`` array); ``prefix_cache_batches`` bounds the number
+  of retained batches per depth.  Pair with
+  :func:`repro.simulation.campaign.order_plan_cells`, which orders sweep
+  cells so prefix-sharing plans run back to back.  Disable with
+  ``reuse_plan_invariant_prefix=False`` (the CLI exposes this as
+  ``--no-prefix-reuse``).
+
+Both reuse levels are bit-exact: a cached value is only ever substituted
+for a recomputation that would have produced the identical array.
 """
 
 from __future__ import annotations
 
 import abc
+import hashlib
 import weakref
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -119,6 +146,21 @@ class ProductModel(abc.ABC):
         """
         return CallbackKernel(self, weight_codes, control_variate)
 
+    def fingerprint(self) -> tuple:
+        """Hashable token identifying the *numerical behavior* of this model.
+
+        Two product models with equal fingerprints produce bit-identical
+        product sums for every input, which is what the cross-plan prefix
+        reuse keys on.  The default is instance identity — conservative but
+        never wrong; subclasses whose behavior is fully determined by their
+        configuration return a structural token instead.  The instance is
+        anchored by a weak reference (never a raw ``id()``): fingerprints
+        outlive the plan objects inside cached checkpoints, and a recycled
+        id must not let a new, different model match an old checkpoint.  A
+        dead weakref only compares equal to itself.
+        """
+        return (type(self).__qualname__, weakref.ref(self))
+
     @property
     def name(self) -> str:
         return type(self).__name__
@@ -142,6 +184,9 @@ class AccurateProduct(ProductModel):
         options: KernelOptions | None = None,
     ) -> ProductKernel:
         return AccurateKernel(weight_codes)
+
+    def fingerprint(self) -> tuple:
+        return ("accurate",)
 
 
 class PerforatedProduct(ProductModel):
@@ -183,6 +228,13 @@ class PerforatedProduct(ProductModel):
         cv = control_variate if self.use_control_variate else None
         return PerforatedKernel(weight_codes, self.m, cv)
 
+    def fingerprint(self) -> tuple:
+        # m=0 is bit-identical to the accurate array (the control-variate
+        # correction is exactly zero), so it shares the accurate fingerprint.
+        if self.m == 0:
+            return ("accurate",)
+        return ("perforated", self.m, self.use_control_variate)
+
     @property
     def name(self) -> str:
         suffix = "+V" if self.use_control_variate else ""
@@ -196,6 +248,12 @@ class LUTProduct(ProductModel):
         self.multiplier = multiplier
         self._lut = multiplier.build_lut()
         self.chunk_patches = int(chunk_patches)
+        # Products are fully determined by the table contents, so the
+        # fingerprint digests the table — two LUT products over equal tables
+        # are interchangeable regardless of the multiplier's name.
+        self._lut_digest = hashlib.sha1(
+            np.ascontiguousarray(self._lut).tobytes()
+        ).hexdigest()
 
     def product_sums(
         self,
@@ -225,6 +283,9 @@ class LUTProduct(ProductModel):
             self._lut,
             max_error_matrix_bytes=options.max_error_matrix_bytes,
         )
+
+    def fingerprint(self) -> tuple:
+        return ("lut", self._lut_digest)
 
     @property
     def name(self) -> str:
@@ -257,6 +318,28 @@ class ExecutionPlan:
         per_layer[layer_name] = model
         return ExecutionPlan(default=self.default, per_layer=per_layer)
 
+    def fingerprints(self, layer_names: "Sequence[str]") -> tuple:
+        """Per-layer :meth:`ProductModel.fingerprint` tokens of this plan.
+
+        Two plans with equal fingerprints over the same layer names compute
+        bit-identical outputs through those layers — the invariant behind
+        cross-plan prefix reuse and the prefix-aware sweep scheduler.
+        """
+        return tuple(self.model_for(name).fingerprint() for name in layer_names)
+
+
+def plan_fingerprint_sort_key(fingerprints: Sequence[tuple]) -> tuple[str, ...]:
+    """Lexicographic sort key of one plan's per-layer fingerprint sequence.
+
+    Fingerprint elements are heterogeneous tuples (strings, ints, weakrefs),
+    so sequences are compared by element ``repr`` to avoid cross-type
+    comparisons.  Equal prefixes sort adjacent — the property both the
+    executor's checkpoint-depth computation and the sweep scheduler
+    (:func:`repro.simulation.campaign.order_plan_cells`) rely on; they must
+    share this key so schedule adjacency matches checkpoint structure.
+    """
+    return tuple(repr(fp) for fp in fingerprints)
+
 
 @dataclass
 class _QuantizedMacNode:
@@ -267,6 +350,32 @@ class _QuantizedMacNode:
     weight_overrides: list[np.ndarray | None]
     control_variates: list[ControlVariate]
     act_params: QuantParams
+
+
+@dataclass(frozen=True)
+class _PlanContext:
+    """Resolved plan-invariant structure of one sweep's plan set.
+
+    Built by :meth:`ApproximateExecutor.set_plan_context`.  ``depths`` are
+    the checkpoint depths — the MAC-layer counts at which at least two
+    plans of the set stop agreeing (every pairwise longest-common-prefix
+    length).  For each depth ``d``: ``boundary_index[d]`` is the node index
+    of MAC layer ``d`` (``len(nodes)`` when ``d`` covers the whole net),
+    ``needed[d]`` names the activations the remaining nodes consume, and
+    ``shared[d]`` holds the fingerprint prefixes of length ``d`` assigned
+    by two or more plans — the only prefixes worth checkpointing.
+    ``global_depth`` is the deepest prefix on which *all* plans agree.
+    ``checkpoint_macs`` maps each checkpoint MAC layer name to its depth.
+    """
+
+    mac_names: tuple[str, ...]
+    depths: tuple[int, ...]
+    max_depth: int
+    global_depth: int
+    boundary_index: dict[int, int]
+    needed: dict[int, tuple[str, ...]]
+    shared: dict[int, frozenset]
+    checkpoint_macs: dict[str, int]
 
 
 class ApproximateExecutor:
@@ -293,16 +402,30 @@ class ApproximateExecutor:
         ``"lowmem"``.  An unavailable backend falls back to numpy with a
         warning; all backends are bit-exact.
     reuse_plan_invariant_acts:
-        Cache the quantized activation codes of the first MAC layer per
-        input batch and reuse them across execution plans (they are
-        plan-invariant).  The cache is keyed by the identity of the input
-        buffer — disable when input arrays are mutated in place between
-        ``forward`` calls.
+        Cache the quantized activation codes of the first MAC layer (and,
+        under an active plan context, of every checkpoint-depth MAC layer —
+        their inputs are cached prefix boundaries) per input batch and
+        reuse them across execution plans.  The cache is keyed by the
+        identity of the input buffer — disable when input arrays are
+        mutated in place between ``forward`` calls.
     act_cache_batches:
         How many distinct batches the plan-invariant cache retains per
         layer (LRU).  A multi-plan sweep over an eval set of up to
         ``act_cache_batches`` batches quantizes each batch once; each entry
         costs one uint8 copy of the first MAC layer's input.
+    reuse_plan_invariant_prefix:
+        Under an active plan context (:meth:`set_plan_context`), checkpoint
+        the boundary activations of plan-shared layer prefixes per input
+        batch and resume ``forward`` at the deepest checkpoint matching
+        the plan.  A sweep cell then re-runs only the layers past its last
+        shared prefix.  Bit-exact; disable to force full re-execution (the
+        CLI exposes this as ``--no-prefix-reuse``).
+    prefix_cache_batches:
+        How many distinct batches the prefix cache retains per checkpoint
+        depth (LRU); defaults to ``act_cache_batches``.  Each entry costs
+        one float copy of the boundary activations the remaining layers
+        consume — typically a single ``(batch, H, W, C)`` array, so sized
+        like one input batch of the checkpoint layer.
     """
 
     def __init__(
@@ -314,6 +437,8 @@ class ApproximateExecutor:
         engine_backend: str | EngineBackend | None = None,
         reuse_plan_invariant_acts: bool = True,
         act_cache_batches: int = 16,
+        reuse_plan_invariant_prefix: bool = True,
+        prefix_cache_batches: int | None = None,
     ):
         self.model = model
         self.use_compiled = bool(use_compiled)
@@ -326,11 +451,12 @@ class ApproximateExecutor:
         )
         # Batch-persistent uint8 activation-code buffers per (layer, group).
         self._act_buffers: dict[tuple[str, int], np.ndarray] = {}
-        # Cross-plan reuse of the first MAC layer's quantized activations:
-        # its input is plan-invariant, so forward calls under different
-        # plans that see a batch already quantized reuse the cached codes.
-        # Per layer key, a small LRU of (identity token, codes) pairs keeps
-        # reuse alive for batched eval sets, not just single-batch calls.
+        # Cross-plan reuse of plan-invariant quantized activations: the
+        # first MAC layer's input never depends on the plan, and the first
+        # *divergent* MAC layer's input is plan-invariant within a plan
+        # context.  Per layer key, a small LRU of (identity token, codes)
+        # pairs keeps reuse alive for batched eval sets, not just
+        # single-batch calls.
         self.reuse_plan_invariant_acts = bool(reuse_plan_invariant_acts)
         self.act_cache_batches = int(act_cache_batches)
         mac_nodes = model.conv_dense_nodes()
@@ -338,6 +464,22 @@ class ApproximateExecutor:
         self._act_cache: dict[tuple[str, int], list[tuple[tuple, np.ndarray]]] = {}
         self.act_cache_hits = 0
         self.act_cache_misses = 0
+        # Cross-plan reuse of plan-invariant layer prefixes: under an active
+        # plan context, per-depth LRUs of (identity token, fingerprint
+        # prefix, boundary activations) checkpoints let forward calls
+        # resume at the deepest layer whose prefix matches the plan.
+        self.reuse_plan_invariant_prefix = bool(reuse_plan_invariant_prefix)
+        self.prefix_cache_batches = int(
+            act_cache_batches if prefix_cache_batches is None else prefix_cache_batches
+        )
+        self._plan_context: _PlanContext | None = None
+        self._prefix_cache: dict[int, list[tuple[tuple, tuple, dict[str, np.ndarray]]]] = {}
+        # Set by logits() while an eval set cycles through more batches than
+        # the LRU can hold: storing checkpoints would then evict every entry
+        # before its batch comes around again — maximum memory, zero hits.
+        self._suppress_prefix_stores = False
+        self.prefix_cache_hits = 0
+        self.prefix_cache_misses = 0
         self._calibrate(calibration_images, activation_percentile)
 
     @classmethod
@@ -418,18 +560,177 @@ class ApproximateExecutor:
             overrides.append(codes)
         node.weight_overrides = overrides
         self._kernel_cache = weakref.WeakKeyDictionary()
+        # Prefix checkpoints embed the (old) weights of prefix MAC layers.
+        self._prefix_cache = {}
 
     def clear_weight_overrides(self) -> None:
         """Remove all inference-time weight overrides."""
         for node in self._nodes.values():
             node.weight_overrides = [None] * len(node.ops)
         self._kernel_cache = weakref.WeakKeyDictionary()
+        self._prefix_cache = {}
+
+    # ------------------------------------------------------------------
+    # Plan-invariant prefix reuse
+    # ------------------------------------------------------------------
+    def plan_invariant_prefix(self, plans: Iterable[ExecutionPlan]) -> int:
+        """Number of leading MAC layers on which all ``plans`` agree.
+
+        Agreement is by :meth:`ProductModel.fingerprint`: the returned depth
+        is the largest ``k`` such that every plan assigns a behaviorally
+        identical product model to each of the first ``k`` MAC layers.
+        """
+        plans = list(plans)
+        depth = 0
+        for name in self.mac_layer_names():
+            first = None
+            for plan in plans:
+                fp = plan.model_for(name).fingerprint()
+                if first is None:
+                    first = fp
+                elif fp != first:
+                    return depth
+            depth += 1
+        return depth
+
+    def _prefix_boundary(self, depth: int) -> tuple[int, tuple[str, ...]]:
+        """Node index of MAC layer ``depth`` and the activations needed past it."""
+        mac_names = self.mac_layer_names()
+        if depth < len(mac_names):
+            boundary_index = next(
+                i
+                for i, node in enumerate(self.model.nodes)
+                if node.name == mac_names[depth]
+            )
+        else:
+            boundary_index = len(self.model.nodes)
+        prefix_names = {node.name for node in self.model.nodes[:boundary_index]}
+        needed = set()
+        for node in self.model.nodes[boundary_index:]:
+            for parent in node.inputs:
+                if parent == "input" or parent in prefix_names:
+                    needed.add(parent)
+        if boundary_index == len(self.model.nodes):
+            # The checkpoint covers the whole network: it *is* the output.
+            needed.add(self.model.output_name)
+        return boundary_index, tuple(sorted(needed))
+
+    def set_plan_context(self, plans: Iterable[ExecutionPlan]) -> int:
+        """Declare the plan set of an upcoming sweep; returns the global depth.
+
+        Resolves the plan set's sharing structure and arms the prefix
+        checkpoint cache: for every depth at which two or more plans stop
+        agreeing, :meth:`forward` records the boundary activations of the
+        shared prefix per input batch, and later calls under a plan
+        matching a recorded prefix resume at the deepest such checkpoint
+        instead of re-running the prefix.  Pair with a schedule that keeps
+        prefix-sharing plans adjacent (see
+        :func:`repro.simulation.campaign.order_plan_cells`) for maximal
+        reuse.  Plans outside the declared set are still executed
+        correctly — checkpoints are only substituted on an exact
+        fingerprint-prefix match — so the context is always safe to leave
+        armed.  Any previous context's checkpoints are dropped.
+
+        Returns the deepest prefix on which *all* plans agree (the
+        classical plan-invariant prefix).
+        """
+        plans = list(plans)
+        if not plans:
+            raise ValueError("plan context requires at least one plan")
+        mac_names = tuple(self.mac_layer_names())
+        global_depth = self.plan_invariant_prefix(plans)
+        fp_seqs = [plan.fingerprints(mac_names) for plan in plans]
+        # Checkpoint depths: every pairwise longest-common-prefix length.
+        # Adjacent pairs of the lexicographically sorted sequences realize
+        # every pairwise LCP, so sorting keeps this O(n log n).
+        sorted_seqs = sorted(fp_seqs, key=plan_fingerprint_sort_key)
+        depths: set[int] = set()
+        for left, right in zip(sorted_seqs, sorted_seqs[1:]):
+            lcp = 0
+            while lcp < len(left) and left[lcp] == right[lcp]:
+                lcp += 1
+            if lcp > 0:
+                depths.add(lcp)
+        boundary_index: dict[int, int] = {}
+        needed: dict[int, tuple[str, ...]] = {}
+        shared: dict[int, frozenset] = {}
+        for depth in depths:
+            boundary_index[depth], needed[depth] = self._prefix_boundary(depth)
+            # Only prefixes assigned by >= 2 plans can ever be re-used; a
+            # singleton plan's checkpoint would just burn memory.
+            counts: dict[tuple, int] = {}
+            for seq in fp_seqs:
+                counts[seq[:depth]] = counts.get(seq[:depth], 0) + 1
+            shared[depth] = frozenset(fp for fp, n in counts.items() if n >= 2)
+        ordered = tuple(sorted(depths))
+        self._plan_context = _PlanContext(
+            mac_names=mac_names,
+            depths=ordered,
+            max_depth=max(ordered) if ordered else 0,
+            global_depth=global_depth,
+            boundary_index=boundary_index,
+            needed=needed,
+            shared=shared,
+            checkpoint_macs={
+                mac_names[d]: d for d in ordered if d < len(mac_names)
+            },
+        )
+        self._prefix_cache = {}
+        return global_depth
+
+    def clear_plan_context(self) -> None:
+        """Drop the plan context and every prefix checkpoint."""
+        self._plan_context = None
+        self._prefix_cache = {}
+
+    @property
+    def plan_context(self) -> _PlanContext | None:
+        """The active plan context, if any (read-only)."""
+        return self._plan_context
+
+    def reuse_stats(self) -> dict[str, int]:
+        """Hit/miss counters of both cross-plan caches (cumulative)."""
+        return {
+            "act_cache_hits": self.act_cache_hits,
+            "act_cache_misses": self.act_cache_misses,
+            "prefix_cache_hits": self.prefix_cache_hits,
+            "prefix_cache_misses": self.prefix_cache_misses,
+        }
 
     # ------------------------------------------------------------------
     def forward(self, images: np.ndarray, plan: ExecutionPlan) -> np.ndarray:
-        """Run quantized inference on ``images`` under ``plan``."""
-        activations: dict[str, np.ndarray] = {"input": images}
-        for node in self.model.nodes:
+        """Run quantized inference on ``images`` under ``plan``.
+
+        With an armed plan context (:meth:`set_plan_context`), execution
+        resumes at the deepest cached checkpoint whose fingerprint prefix
+        matches ``plan`` for this batch, and records checkpoints at every
+        context depth it passes whose prefix is shared with other plans of
+        the set — bit-exact with full execution.
+        """
+        ctx = self._plan_context
+        if ctx is not None and self.reuse_plan_invariant_prefix and ctx.depths:
+            return self._forward_with_context(images, plan, ctx)
+        return self._run_nodes({"input": images}, 0, plan)
+
+    def _run_nodes(
+        self,
+        activations: dict[str, np.ndarray],
+        start_index: int,
+        plan: ExecutionPlan,
+        checkpoints: "list[tuple[int, int, tuple, tuple]] | None" = None,
+        token: tuple | None = None,
+    ) -> np.ndarray:
+        """Execute nodes from ``start_index`` on top of seeded ``activations``.
+
+        ``checkpoints`` is an ascending list of pending snapshot points
+        ``(node index, depth, fingerprint prefix, needed names)``: when
+        execution reaches one, the named activations are recorded into the
+        prefix cache under ``(token, fingerprint prefix)``.
+        """
+        pending = list(checkpoints) if checkpoints else []
+        for index, node in enumerate(self.model.nodes[start_index:], start=start_index):
+            while pending and pending[0][0] == index:
+                self._store_checkpoint(activations, pending.pop(0), token)
             inputs = [activations[name] for name in node.inputs]
             if node.name in self._nodes:
                 activations[node.name] = self._run_mac_node(
@@ -437,13 +738,92 @@ class ApproximateExecutor:
                 )
             else:
                 activations[node.name] = node.layer.forward(*inputs, training=False)
+        while pending:  # checkpoints at the very end of the network
+            self._store_checkpoint(activations, pending.pop(0), token)
         return activations[self.model.output_name]
 
+    def _store_checkpoint(
+        self,
+        activations: dict[str, np.ndarray],
+        checkpoint: tuple[int, int, tuple, tuple],
+        token: tuple,
+    ) -> None:
+        if self._suppress_prefix_stores:
+            return
+        _, depth, fp_prefix, needed = checkpoint
+        # The boundary holds *references*, not copies.  This is safe because
+        # every Layer.forward and ProductKernel allocates a fresh output
+        # array per call (nothing upstream reuses a persistent output
+        # buffer), and it is what lets the activation-code cache recognize
+        # a resumed boundary array by identity.  If a prefix layer ever
+        # gains a persistent output buffer, these entries must copy.
+        boundary = {name: activations[name] for name in needed}
+        entries = self._prefix_cache.setdefault(depth, [])
+        entries.insert(0, (token, fp_prefix, boundary))
+        del entries[self.prefix_cache_batches :]
+
+    def _forward_with_context(
+        self, images: np.ndarray, plan: ExecutionPlan, ctx: _PlanContext
+    ) -> np.ndarray:
+        """Forward pass resuming at the deepest matching prefix checkpoint."""
+        fps = plan.fingerprints(ctx.mac_names[: ctx.max_depth])
+        token = _array_identity_token(images)
+        activations: dict[str, np.ndarray] | None = None
+        start_index = 0
+        resumed_depth = 0
+        for depth in reversed(ctx.depths):
+            entries = self._prefix_cache.get(depth)
+            if not entries:
+                continue
+            fp_prefix = fps[:depth]
+            for index, (cached_token, cached_fp, boundary) in enumerate(entries):
+                if cached_fp == fp_prefix and _tokens_match(cached_token, token):
+                    if index:
+                        entries.insert(0, entries.pop(index))
+                    activations = dict(boundary)
+                    start_index = ctx.boundary_index[depth]
+                    resumed_depth = depth
+                    break
+            if activations is not None:
+                break
+        if activations is None:
+            self.prefix_cache_misses += 1
+            activations = {"input": images}
+        else:
+            self.prefix_cache_hits += 1
+            if start_index == len(self.model.nodes):
+                return activations[self.model.output_name]
+        # Snapshot points still ahead of the resume point whose prefix at
+        # least one *other* plan of the context shares.
+        checkpoints = [
+            (ctx.boundary_index[depth], depth, fps[:depth], ctx.needed[depth])
+            for depth in ctx.depths
+            if depth > resumed_depth and fps[:depth] in ctx.shared[depth]
+        ]
+        return self._run_nodes(activations, start_index, plan, checkpoints, token)
+
     def logits(self, images: np.ndarray, plan: ExecutionPlan, batch_size: int = 256) -> np.ndarray:
-        """Batched forward pass returning the concatenated logits."""
+        """Batched forward pass returning the concatenated logits.
+
+        When the eval set spans more batches than ``prefix_cache_batches``,
+        a plan-major sweep would evict every prefix checkpoint before its
+        batch is revisited under the next plan — paying peak checkpoint
+        memory for zero hits.  Checkpoint *stores* are therefore suppressed
+        from batch ``prefix_cache_batches`` onward: the first cap-many
+        batches stay pinned (same peak memory, never evicted in plan-major
+        order), so every later plan still resumes on them; lookups and the
+        activation-code cache work for all batches.
+        """
         outputs = []
-        for start in range(0, images.shape[0], batch_size):
-            outputs.append(self.forward(images[start : start + batch_size], plan))
+        previous = self._suppress_prefix_stores
+        try:
+            for batch_index, start in enumerate(range(0, images.shape[0], batch_size)):
+                self._suppress_prefix_stores = (
+                    previous or batch_index >= self.prefix_cache_batches
+                )
+                outputs.append(self.forward(images[start : start + batch_size], plan))
+        finally:
+            self._suppress_prefix_stores = previous
         return np.concatenate(outputs, axis=0)
 
     def predict(self, images: np.ndarray, plan: ExecutionPlan, batch_size: int = 256) -> np.ndarray:
@@ -518,16 +898,24 @@ class ApproximateExecutor:
     def _quantize_acts(self, qnode: _QuantizedMacNode, group: int, cols: np.ndarray) -> np.ndarray:
         """Quantize activations into a per-(layer, group) persistent buffer.
 
-        The buffer grows along the leading (batch/patch) axis only; group
-        ``-1`` holds the whole NHWC input of a conv node (compiled path).
-        For the first MAC layer the input is plan-invariant, so when a batch
-        (same underlying buffer, offset and shape) arrives again — e.g. the
-        next plan of a sweep re-running the same eval set — its previous
-        quantization is returned from a per-layer LRU of up to
-        ``act_cache_batches`` batches instead of being recomputed.
+        The buffer is reallocated whenever an incoming batch is larger than
+        the current buffer or differs in any trailing (patch/feature) shape;
+        smaller batches reuse a leading slice of it, so a batch-size change
+        between calls can never write into (or return) a stale-shaped
+        window.  Group ``-1`` holds the whole NHWC input of a conv node
+        (compiled path).  For the first MAC layer — and, under an active
+        plan context, the first plan-*divergent* MAC layer, whose input is
+        the plan-invariant prefix's cached output — the input does not
+        depend on the plan, so when a batch (same underlying buffer, offset
+        and shape) arrives again — e.g. the next plan of a sweep re-running
+        the same eval set — its previous quantization is returned from a
+        per-layer LRU of up to ``act_cache_batches`` batches instead of
+        being recomputed.
         """
         key = (qnode.node_name, group)
-        if self.reuse_plan_invariant_acts and qnode.node_name == self._first_mac_name:
+        if self.reuse_plan_invariant_acts and self._is_act_reuse_input(
+            qnode.node_name, cols
+        ):
             token = _array_identity_token(cols)
             entries = self._act_cache.setdefault(key, [])
             for index, (cached_token, codes) in enumerate(entries):
@@ -548,6 +936,32 @@ class ApproximateExecutor:
             buffer = np.empty(cols.shape, dtype=np.uint8)
             self._act_buffers[key] = buffer
         return quantize(cols, qnode.act_params, out=buffer[: cols.shape[0]])
+
+    def _is_act_reuse_input(self, node_name: str, cols: np.ndarray) -> bool:
+        """Whether ``cols`` is a plan-invariant input worth caching codes for.
+
+        The first MAC layer always qualifies (its input is the raw image
+        pipeline).  Under an active plan context a checkpoint-depth MAC
+        layer qualifies when its input *is* a boundary array currently held
+        by the prefix cache at that depth — the only arrays that will ever
+        arrive again under another plan.  A transient activation computed
+        by a plan that shares no prefix there would leave a permanently
+        dead (never-matching) cache entry, so it stays on the persistent
+        reusable buffer path instead.
+        """
+        if node_name == self._first_mac_name:
+            return True
+        ctx = self._plan_context
+        if ctx is None or not self.reuse_plan_invariant_prefix:
+            return False
+        depth = ctx.checkpoint_macs.get(node_name)
+        if depth is None:
+            return False
+        return any(
+            cols is arr
+            for _, _, boundary in self._prefix_cache.get(depth, ())
+            for arr in boundary.values()
+        )
 
     def _kernel_for(
         self, qnode: _QuantizedMacNode, group: int, product_model: ProductModel

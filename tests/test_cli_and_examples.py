@@ -88,6 +88,35 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["accuracy", "--engine-backend", "gpu"])
 
+    def test_no_prefix_reuse_flag(self, capsys, tmp_path):
+        args = build_parser().parse_args(["accuracy", "--no-prefix-reuse"])
+        assert args.no_prefix_reuse is True
+        assert build_parser().parse_args(["accuracy"]).no_prefix_reuse is False
+        # The escape hatch runs end to end (reuse is bit-exact, so the
+        # printed table is the same either way).
+        assert (
+            main(
+                [
+                    "accuracy",
+                    "--model",
+                    "vgg13",
+                    "--classes",
+                    "10",
+                    "--epochs",
+                    "1",
+                    "--perforations",
+                    "1",
+                    "--max-eval-images",
+                    "16",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--no-prefix-reuse",
+                ]
+            )
+            == 0
+        )
+        assert "ours loss" in capsys.readouterr().out
+
 
 class TestExamples:
     """The fast examples must run end to end (the training-heavy ones are

@@ -1,0 +1,288 @@
+"""Plan-invariant prefix reuse: fingerprints, checkpoints, bit-exactness.
+
+The central property pinned here is the acceptance criterion of the prefix
+machinery: a multi-plan sweep with prefix reuse (and the activation-code
+cache) enabled is **bit-identical** to evaluating every plan on a fresh
+executor with all reuse disabled — for randomized plan sets that diverge at
+varying depths, including plans that already differ at the first MAC layer
+(zero-length shared prefix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multipliers.accurate import AccurateMultiplier
+from repro.multipliers.perforated import PerforatedMultiplier
+from repro.simulation.inference import (
+    AccurateProduct,
+    ApproximateExecutor,
+    ExecutionPlan,
+    LUTProduct,
+    PerforatedProduct,
+)
+
+
+@pytest.fixture()
+def reuse_executor(trained_tiny_model, tiny_dataset):
+    """A private executor with all cross-plan reuse enabled (default)."""
+    return ApproximateExecutor(trained_tiny_model, tiny_dataset.train_images[:64])
+
+
+@pytest.fixture(scope="module")
+def reference_executor(trained_tiny_model, tiny_dataset):
+    """Reference executor with every cross-plan cache disabled."""
+    return ApproximateExecutor(
+        trained_tiny_model,
+        tiny_dataset.train_images[:64],
+        reuse_plan_invariant_acts=False,
+        reuse_plan_invariant_prefix=False,
+    )
+
+
+def _exact_prefix_plan(mac_names: list[str], depth: int, model) -> ExecutionPlan:
+    """Exact through ``depth`` MAC layers, ``model`` everywhere after."""
+    plan = ExecutionPlan.uniform(AccurateProduct())
+    for name in mac_names[depth:]:
+        plan = plan.with_layer(name, model)
+    return plan
+
+
+class TestFingerprints:
+    def test_accurate_and_m0_share_fingerprint(self):
+        assert AccurateProduct().fingerprint() == ("accurate",)
+        assert PerforatedProduct(0, True).fingerprint() == ("accurate",)
+        assert PerforatedProduct(0, False).fingerprint() == ("accurate",)
+
+    def test_perforated_structural_equality(self):
+        assert PerforatedProduct(2, True).fingerprint() == PerforatedProduct(2, True).fingerprint()
+        assert PerforatedProduct(2, True).fingerprint() != PerforatedProduct(2, False).fingerprint()
+        assert PerforatedProduct(2, True).fingerprint() != PerforatedProduct(3, True).fingerprint()
+
+    def test_lut_fingerprint_keyed_by_table(self):
+        a = LUTProduct(PerforatedMultiplier(2))
+        b = LUTProduct(PerforatedMultiplier(2))
+        c = LUTProduct(PerforatedMultiplier(3))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+        assert a.fingerprint() != LUTProduct(AccurateMultiplier()).fingerprint()
+
+    def test_plan_fingerprints(self):
+        plan = ExecutionPlan.uniform(AccurateProduct()).with_layer(
+            "conv2", PerforatedProduct(1)
+        )
+        fps = plan.fingerprints(["conv1", "conv2"])
+        assert fps == (("accurate",), ("perforated", 1, True))
+
+
+class TestPlanContext:
+    def test_global_prefix_depth(self, reuse_executor):
+        names = reuse_executor.mac_layer_names()
+        perf = PerforatedProduct(2)
+        plans = [
+            _exact_prefix_plan(names, 3, perf),
+            _exact_prefix_plan(names, 5, perf),
+        ]
+        assert reuse_executor.plan_invariant_prefix(plans) == 3
+        # identical plans agree everywhere
+        assert reuse_executor.plan_invariant_prefix([plans[0], plans[0]]) == len(names)
+        # divergence at the first MAC layer: zero-length prefix
+        zero = [ExecutionPlan.uniform(AccurateProduct()), ExecutionPlan.uniform(perf)]
+        assert reuse_executor.plan_invariant_prefix(zero) == 0
+
+    def test_checkpoint_depths_cover_pairwise_divergence(self, reuse_executor):
+        names = reuse_executor.mac_layer_names()
+        plans = [
+            _exact_prefix_plan(names, 0, PerforatedProduct(1)),
+            _exact_prefix_plan(names, 2, PerforatedProduct(1)),
+            _exact_prefix_plan(names, 5, PerforatedProduct(1)),
+            _exact_prefix_plan(names, 5, PerforatedProduct(2)),
+        ]
+        depth = reuse_executor.set_plan_context(plans)
+        assert depth == 0  # the k=0 plan diverges immediately
+        # pairwise divergence depths: (k2 vs k5*) -> 2, (k5 vs k5) -> 5
+        assert reuse_executor.plan_context.depths == (2, 5)
+
+    def test_empty_plan_set_rejected(self, reuse_executor):
+        with pytest.raises(ValueError):
+            reuse_executor.set_plan_context([])
+
+    def test_clear_plan_context(self, reuse_executor):
+        reuse_executor.set_plan_context([ExecutionPlan.uniform(PerforatedProduct(1))] * 2)
+        assert reuse_executor.plan_context is not None
+        reuse_executor.clear_plan_context()
+        assert reuse_executor.plan_context is None
+
+
+class TestPrefixBitExactness:
+    @pytest.mark.parametrize("trial", range(3))
+    def test_randomized_plans_bit_identical_to_fresh_executors(
+        self, trial, reuse_executor, reference_executor, tiny_dataset, rng
+    ):
+        """Property test: context-armed sweep == per-plan no-reuse execution.
+
+        Plans diverge at randomized depths — always including a pair that
+        diverges at the first MAC layer (zero-length shared prefix) — and
+        are evaluated over two eval batches in a shuffled order, twice, so
+        both the checkpoint-record and the checkpoint-resume paths run.
+        """
+        trial_rng = np.random.default_rng(1000 + trial)
+        names = reuse_executor.mac_layer_names()
+        models = [
+            PerforatedProduct(int(trial_rng.integers(1, 4)), bool(trial_rng.integers(2))),
+            PerforatedProduct(int(trial_rng.integers(1, 4)), bool(trial_rng.integers(2))),
+            LUTProduct(PerforatedMultiplier(2)),
+        ]
+        depths = sorted(
+            int(d) for d in trial_rng.integers(0, len(names) + 1, size=4)
+        )
+        depths[0] = 0  # force a zero-length-prefix plan into every set
+        plans = [
+            _exact_prefix_plan(names, depth, models[i % len(models)])
+            for i, depth in enumerate(depths)
+        ]
+        plans.append(ExecutionPlan.uniform(AccurateProduct()))
+        reuse_executor.set_plan_context(plans)
+
+        batches = [tiny_dataset.test_images[:12], tiny_dataset.test_images[12:24]]
+        order = list(range(len(plans))) * 2
+        trial_rng.shuffle(order)
+        for plan_index in order:
+            for batch in batches:
+                np.testing.assert_array_equal(
+                    reuse_executor.forward(batch, plans[plan_index]),
+                    reference_executor.forward(batch, plans[plan_index]),
+                )
+
+    def test_checkpoints_actually_hit(self, reuse_executor, tiny_dataset):
+        names = reuse_executor.mac_layer_names()
+        perf = PerforatedProduct(2, use_control_variate=False)
+        plans = [
+            _exact_prefix_plan(names, 4, perf),
+            _exact_prefix_plan(names, 4, PerforatedProduct(1)),
+        ]
+        reuse_executor.set_plan_context(plans)
+        batch = tiny_dataset.test_images[:8]
+        reuse_executor.forward(batch, plans[0])
+        assert reuse_executor.prefix_cache_misses == 1
+        assert reuse_executor.prefix_cache_hits == 0
+        reuse_executor.forward(batch, plans[1])
+        assert reuse_executor.prefix_cache_hits == 1
+        # the checkpoint layer's quantized input codes are reused as well
+        assert reuse_executor.act_cache_hits >= 1
+
+    def test_oversized_eval_set_pins_only_cap_batches(
+        self, trained_tiny_model, tiny_dataset, reference_executor
+    ):
+        """An eval set spanning more batches than the LRU cap must not
+        thrash the cache: logits() pins checkpoints for the first cap-many
+        batches only (never evicted in plan-major order, so later plans
+        still resume on them) and skips stores beyond — bit-exact either
+        way."""
+        executor = ApproximateExecutor(
+            trained_tiny_model,
+            tiny_dataset.train_images[:64],
+            prefix_cache_batches=2,
+        )
+        names = executor.mac_layer_names()
+        perf = PerforatedProduct(2)
+        plans = [
+            _exact_prefix_plan(names, 4, perf),
+            _exact_prefix_plan(names, 4, PerforatedProduct(1)),
+        ]
+        executor.set_plan_context(plans)
+        images = tiny_dataset.test_images[:30]
+        for plan in plans:  # 30 images / batch 10 = 3 batches > cap of 2
+            np.testing.assert_array_equal(
+                executor.logits(images, plan, batch_size=10),
+                reference_executor.logits(images, plan, batch_size=10),
+            )
+        # the first two batches stayed pinned and served the second plan
+        assert all(len(entries) <= 2 for entries in executor._prefix_cache.values())
+        assert executor.prefix_cache_hits >= 2
+        assert executor._suppress_prefix_stores is False  # restored
+
+    def test_plan_outside_context_is_correct(
+        self, reuse_executor, reference_executor, tiny_dataset
+    ):
+        """A plan never declared in the context must still run bit-exact."""
+        names = reuse_executor.mac_layer_names()
+        perf = PerforatedProduct(1)
+        reuse_executor.set_plan_context(
+            [_exact_prefix_plan(names, 2, perf), _exact_prefix_plan(names, 4, perf)]
+        )
+        batch = tiny_dataset.test_images[:8]
+        reuse_executor.forward(batch, _exact_prefix_plan(names, 2, perf))
+        outsider = _exact_prefix_plan(names, 3, PerforatedProduct(3, False))
+        np.testing.assert_array_equal(
+            reuse_executor.forward(batch, outsider),
+            reference_executor.forward(batch, outsider),
+        )
+
+    def test_weight_override_invalidates_checkpoints(
+        self, reuse_executor, tiny_dataset
+    ):
+        """Prefix checkpoints embed prefix-layer weights: overriding them
+        must drop the checkpoints, not serve stale activations."""
+        names = reuse_executor.mac_layer_names()
+        perf = PerforatedProduct(2)
+        plans = [_exact_prefix_plan(names, 3, perf), _exact_prefix_plan(names, 5, perf)]
+        reuse_executor.set_plan_context(plans)
+        batch = tiny_dataset.test_images[:8]
+        before = reuse_executor.forward(batch, plans[0])
+        first = names[0]
+        zeroed = [np.zeros_like(c) for c in reuse_executor.quantized_weights(first)]
+        reuse_executor.set_weight_override(first, zeroed)
+        try:
+            overridden = reuse_executor.forward(batch, plans[0])
+        finally:
+            reuse_executor.clear_weight_overrides()
+        restored = reuse_executor.forward(batch, plans[0])
+        assert not np.allclose(overridden, before)
+        np.testing.assert_array_equal(restored, before)
+
+
+class TestActBufferReshaping:
+    def test_batch_size_change_between_calls_is_bit_exact(
+        self, trained_tiny_model, tiny_dataset
+    ):
+        """Regression: per-(layer, group) activation buffers persist across
+        forward calls; growing, shrinking and re-growing the batch must
+        reallocate / slice correctly, never write into a stale shape."""
+        executor = ApproximateExecutor(
+            trained_tiny_model,
+            tiny_dataset.train_images[:64],
+            reuse_plan_invariant_acts=False,  # exercise the raw buffer path
+        )
+        plan = ExecutionPlan.uniform(PerforatedProduct(2))
+        images = tiny_dataset.test_images
+        for size in (16, 4, 16, 7, 20, 1):
+            batch = images[:size]
+            # fresh executor per size: an oracle whose buffers never churned
+            fresh = ApproximateExecutor(
+                trained_tiny_model,
+                tiny_dataset.train_images[:64],
+                reuse_plan_invariant_acts=False,
+            )
+            np.testing.assert_array_equal(
+                executor.forward(batch, plan), fresh.forward(batch, plan)
+            )
+
+    def test_buffers_grow_but_never_shrink_mid_sequence(
+        self, trained_tiny_model, tiny_dataset
+    ):
+        executor = ApproximateExecutor(
+            trained_tiny_model,
+            tiny_dataset.train_images[:64],
+            reuse_plan_invariant_acts=False,
+        )
+        plan = ExecutionPlan.uniform(AccurateProduct())
+        executor.forward(tiny_dataset.test_images[:10], plan)
+        shapes_after_10 = {k: b.shape for k, b in executor._act_buffers.items()}
+        executor.forward(tiny_dataset.test_images[:3], plan)
+        # smaller batch reuses a slice — no reallocation
+        assert {k: b.shape for k, b in executor._act_buffers.items()} == shapes_after_10
+        executor.forward(tiny_dataset.test_images[:14], plan)
+        for key, buffer in executor._act_buffers.items():
+            assert buffer.shape[0] >= shapes_after_10[key][0]

@@ -1,0 +1,189 @@
+"""SharedArrayStore and the shared publication of models and datasets."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.shared_store import SharedArrayStore
+from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
+from repro.simulation.campaign import (
+    TrainedModel,
+    publish_datasets,
+    publish_trained_models,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_arrays():
+    rng = np.random.default_rng(42)
+    return {
+        "a": rng.normal(size=(7, 5)),
+        "b": rng.integers(0, 255, size=(3, 4, 2), dtype=np.uint8),
+        "c": rng.normal(size=11).astype(np.float32),
+        "empty-ish": np.zeros((1,), dtype=np.int64),
+    }
+
+
+class TestSharedArrayStore:
+    @pytest.mark.parametrize("prefer_shm", [True, False])
+    def test_publish_get_round_trip(self, sample_arrays, prefer_shm):
+        store = SharedArrayStore.publish(sample_arrays, prefer_shared_memory=prefer_shm)
+        try:
+            assert set(store.keys()) == set(sample_arrays)
+            assert "a" in store and "nope" not in store
+            assert store.nbytes_shared() == sum(a.nbytes for a in sample_arrays.values())
+            for key, original in sample_arrays.items():
+                view = store.get(key)
+                np.testing.assert_array_equal(view, original)
+                assert view.dtype == original.dtype
+                assert not view.flags.writeable
+                assert not view.flags.owndata  # a view, not a copy
+        finally:
+            view = None  # release the last view before the block unlinks
+            store.unlink()
+
+    def test_memmap_fallback_creates_and_removes_file(self, sample_arrays):
+        store = SharedArrayStore.publish(sample_arrays, prefer_shared_memory=False)
+        assert store.kind == "memmap" and os.path.exists(store.name)
+        np.testing.assert_array_equal(store.get("a"), sample_arrays["a"])
+        store.unlink()
+        assert not os.path.exists(store.name)
+        store.unlink()  # idempotent
+
+    def test_pickle_round_trip_attaches_lazily(self, sample_arrays):
+        """The pickled store carries layout only — a consumer re-attaches."""
+        store = SharedArrayStore.publish(sample_arrays)
+        try:
+            blob = pickle.dumps(store)
+            assert len(blob) < 4096  # no array bytes in the pickle
+            consumer = pickle.loads(blob)
+            view = None
+            try:
+                view = consumer.get("b")
+                np.testing.assert_array_equal(view, sample_arrays["b"])
+            finally:
+                # drop the consumer's mapping before the publisher unlinks
+                del view
+                consumer._buf = None
+                consumer._handle = None
+        finally:
+            store.unlink()
+
+    def test_non_contiguous_input_is_published_correctly(self):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        strided = base[:, ::2]
+        store = SharedArrayStore.publish({"s": strided})
+        try:
+            np.testing.assert_array_equal(store.get("s"), strided)
+        finally:
+            store.unlink()
+
+
+class TestPublishDatasets:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_synthetic_cifar(
+            SyntheticCifarConfig(num_classes=3, train_per_class=6, test_per_class=4, seed=9)
+        )
+
+    def test_attach_round_trip(self, dataset):
+        shared = publish_datasets({dataset.name: dataset})
+        try:
+            assert shared.nbytes_shared() == sum(
+                getattr(dataset, f).nbytes
+                for f in ("train_images", "train_labels", "test_images", "test_labels")
+            )
+            attached = shared.attach()[dataset.name]
+            assert attached.num_classes == dataset.num_classes
+            for field_name in ("train_images", "train_labels", "test_images", "test_labels"):
+                view = getattr(attached, field_name)
+                np.testing.assert_array_equal(view, getattr(dataset, field_name))
+                assert not view.flags.writeable
+            # attach() is idempotent per process
+            assert shared.attach()[dataset.name] is attached
+        finally:
+            del attached, view
+            shared.unlink()
+
+    def test_memmap_fallback(self, dataset):
+        shared = publish_datasets({dataset.name: dataset}, prefer_shared_memory=False)
+        assert shared.store.kind == "memmap"
+        attached = shared.attach()[dataset.name]
+        np.testing.assert_array_equal(attached.test_labels, dataset.test_labels)
+        del attached
+        shared.unlink()
+        assert not os.path.exists(shared.store.name)
+
+
+class _FreshStateModel:
+    """Minimal trained-model stand-in whose ``state_dict`` returns *fresh*
+    arrays on every call — the access pattern that used to let CPython
+    reuse a freed array's ``id()`` across ``publish_trained_models``'s
+    model loop and silently alias one model's parameters to another's."""
+
+    def __init__(self, seed: int, n_params: int = 8, size: int = 17):
+        rng = np.random.default_rng(seed)
+        self._params = {f"p{i}": rng.normal(size=size) for i in range(n_params)}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {key: value.copy() for key, value in self._params.items()}
+
+
+class TestPublishTrainedModelsAliasing:
+    def test_fresh_state_dict_arrays_never_alias_across_models(self):
+        """Regression: every (model, parameter) must land in the shared block
+        under its own token with its own bytes, even when each model's
+        ``state_dict`` materializes throwaway arrays whose ids the allocator
+        is free to recycle between loop iterations."""
+        models = [
+            TrainedModel(
+                name=f"stub{seed}",
+                dataset_name="none",
+                model=_FreshStateModel(seed),
+                float_accuracy=0.0,
+            )
+            for seed in (1, 2, 3, 4)
+        ]
+        store = publish_trained_models(models)
+        try:
+            for index, trained in enumerate(models):
+                for key, value in trained.model.state_dict().items():
+                    token = f"{index}:{key}"
+                    assert token in store.spec, f"missing token {token}"
+                    np.testing.assert_array_equal(store.store.get(token), value)
+        finally:
+            store.unlink()
+
+    def test_graph_models_share_identical_arrays_once(self, tiny_dataset, trained_tiny_model):
+        """Dedup by identity still works: publishing the same model twice
+        stores its parameter arrays once."""
+        trained = TrainedModel(
+            name="twin",
+            dataset_name=tiny_dataset.name,
+            model=trained_tiny_model,
+            float_accuracy=0.5,
+        )
+        single = publish_trained_models([trained])
+        try:
+            n_single = len(single.spec)
+            nbytes_single = single.nbytes_shared()
+        finally:
+            single.unlink()
+        double = publish_trained_models([trained, trained])
+        try:
+            # same underlying arrays -> no extra entries, no extra bytes
+            assert len(double.spec) == n_single
+            assert double.nbytes_shared() == nbytes_single
+            first, second = double.attach()
+            x = tiny_dataset.test_images[:4]
+            np.testing.assert_array_equal(first.model.forward(x), second.model.forward(x))
+            np.testing.assert_array_equal(
+                first.model.forward(x), trained_tiny_model.forward(x)
+            )
+        finally:
+            first = second = None
+            double.unlink()

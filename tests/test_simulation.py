@@ -407,6 +407,77 @@ class TestCampaign:
             store.unlink()
         assert not os.path.exists(store.name)
 
+    def test_plan_sweep_parity_across_execution_modes(self, small_dataset, tmp_path):
+        """plan_sweep with prefix reuse + shared memory + workers is
+        bit-identical to the serial no-reuse path (the acceptance criterion
+        of the prefix-reuse PR)."""
+        from repro.simulation.campaign import plan_sweep
+        from repro.simulation.inference import (
+            AccurateProduct,
+            ExecutionPlan,
+            PerforatedProduct,
+        )
+
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=1, seed=3))
+        names = [node.name for node in trained.model.conv_dense_nodes()]
+        plans = [("baseline", ExecutionPlan.uniform(AccurateProduct()))]
+        for depth in (0, 2, 4):
+            for m in (1, 2):
+                plan = ExecutionPlan.uniform(AccurateProduct())
+                for name in names[depth:]:
+                    plan = plan.with_layer(name, PerforatedProduct(m))
+                plans.append((f"exact{depth}_m{m}", plan))
+        datasets = {small_dataset.name: small_dataset}
+        kwargs = dict(max_eval_images=16)
+        reference = plan_sweep(
+            [trained], datasets, plans, max_workers=1, reuse_prefix=False, **kwargs
+        )
+        assert [r.plan_label for r in reference] == [label for label, _ in plans]
+        reused = plan_sweep([trained], datasets, plans, max_workers=1, **kwargs)
+        parallel = plan_sweep([trained], datasets, plans, max_workers=2, **kwargs)
+        shared = plan_sweep(
+            [trained], datasets, plans, max_workers=1, use_shared_memory=True, **kwargs
+        )
+        assert reused == reference
+        assert parallel == reference
+        assert shared == reference
+
+    def test_order_plan_cells_groups_shared_prefixes(self, small_dataset, tmp_path):
+        from repro.simulation.campaign import order_plan_cells
+        from repro.simulation.inference import (
+            AccurateProduct,
+            ExecutionPlan,
+            PerforatedProduct,
+        )
+
+        cache = TrainedModelCache(cache_dir=str(tmp_path))
+        trained = cache.load_or_train("vgg13", small_dataset, TrainingSettings(epochs=1, seed=3))
+        names = [node.name for node in trained.model.conv_dense_nodes()]
+
+        def exact_prefix(depth, m):
+            plan = ExecutionPlan.uniform(AccurateProduct())
+            for name in names[depth:]:
+                plan = plan.with_layer(name, PerforatedProduct(m))
+            return plan
+
+        # deliberately interleaved input order
+        plans = [
+            ("deep_m1", exact_prefix(4, 1)),
+            ("shallow_m1", exact_prefix(0, 1)),
+            ("deep_m2", exact_prefix(4, 2)),
+            ("shallow_m2", exact_prefix(0, 2)),
+            ("baseline", ExecutionPlan.uniform(AccurateProduct())),
+        ]
+        cells = order_plan_cells([trained], plans)
+        assert sorted(cells) == [(0, i) for i in range(len(plans))]
+        schedule = [plans[plan_index][0] for _, plan_index in cells]
+        # the two deep-prefix plans (and the baseline, which shares their
+        # exact prefix) must be adjacent; shallow plans sort elsewhere
+        deep_block = {"deep_m1", "deep_m2", "baseline"}
+        positions = [i for i, label in enumerate(schedule) if label in deep_block]
+        assert positions == list(range(min(positions), min(positions) + 3))
+
     def test_sweep_engine_backend_is_bit_identical(self, small_dataset, tmp_path):
         """The lowmem backend produces the exact same sweep as the default."""
         cache = TrainedModelCache(cache_dir=str(tmp_path))
