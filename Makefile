@@ -1,19 +1,33 @@
 # CI-style entry points.  `make check` is the gate a PR must pass: the
-# tier-1 suite plus the engine parity/throughput suite (which doubles as a
-# perf smoke run — both benches merge their metrics into
-# results/BENCH_engine.json so the perf trajectory is diffable across PRs),
-# with any unregistered-marker warning promoted to an error (markers are
-# registered once, in pyproject.toml).
+# tier-1 suite, the engine parity/throughput suite, the DSE search suite +
+# benchmark and the DSE CLI smoke (the perf-tracking benches merge their
+# metrics into results/BENCH_engine.json so the perf trajectory is diffable
+# across PRs), with any unregistered-marker warning promoted to an error
+# (markers are registered once, in pyproject.toml).
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest -W error::pytest.PytestUnknownMarkWarning
 
-.PHONY: check tier1 engine
+.PHONY: check tier1 engine dse dse-smoke
 
-check: tier1 engine
+check: tier1 engine dse dse-smoke
 
 tier1:
 	$(PYTEST) -x -q
 
 engine:
 	$(PYTEST) -q -m engine tests benchmarks/bench_engine_throughput.py benchmarks/bench_sweep_prefix.py
+
+# DSE search suite plus its evaluations-to-front benchmark.
+dse:
+	$(PYTEST) -q -m dse tests benchmarks/bench_dse_search.py
+
+# End-to-end greedy exploration on the synthetic workload (< 60 s; trains a
+# 1-epoch reference model on the first run).  Hermetic: the model cache and
+# the campaign ledger live under a repo-local scratch directory, not the
+# user's global cache.
+DSE_SMOKE_DIR ?= .dse-smoke
+dse-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro dse --strategy greedy --classes 10 \
+	  --epochs 1 --max-loss 0.5 --budget-evals 60 --max-eval-images 64 \
+	  --seed 0 --cache-dir $(DSE_SMOKE_DIR) --ledger $(DSE_SMOKE_DIR)/ledger

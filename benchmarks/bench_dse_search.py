@@ -1,0 +1,174 @@
+"""DSE search benchmark: evaluations-to-front and wall-clock per strategy.
+
+Runs the greedy descent and the seeded NSGA-II on a quickly trained network
+over the full per-layer perforation space and records, per strategy:
+
+* ``evaluations`` — fresh accuracy evaluations spent;
+* ``evals_to_front`` — evaluations until the last point that survived on
+  the final Pareto front had been scored (how fast the front saturates);
+* ``front_size``, ``wall_clock_s``, ``energy_reduction_percent`` and the
+  best point's loss.
+
+The metrics merge into the machine-readable ``results/BENCH_engine.json``
+ledger (section ``dse_search``) so the search efficiency is diffable across
+PRs, next to the engine-throughput and sweep-prefix sections.  Run via
+pytest (``pytest -m dse benchmarks/bench_dse_search.py``) or as a script.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import update_json_result, write_result
+
+from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
+from repro.dse import get_strategy, run_campaign
+from repro.models.zoo import build_model
+from repro.nn.optimizers import SGD
+from repro.nn.training import Trainer
+from repro.simulation.campaign import TrainedModel
+
+pytestmark = pytest.mark.dse
+
+MAX_LOSS = 0.5
+NSGA_BUDGET = 80
+
+
+def _setup() -> tuple[TrainedModel, object]:
+    """One quickly trained network on a small synthetic dataset."""
+    dataset = make_synthetic_cifar(
+        SyntheticCifarConfig(
+            num_classes=10,
+            image_size=16,
+            train_per_class=40,
+            test_per_class=16,
+            noise_std=0.12,
+            confusion=0.25,
+            seed=21,
+        )
+    )
+    model = build_model("vgg13", num_classes=10, base_width=8, rng=np.random.default_rng(0))
+    trainer = Trainer(model, SGD(learning_rate=0.08), rng=np.random.default_rng(1))
+    trainer.fit(dataset.train_images, dataset.train_labels, epochs=2, batch_size=32)
+    trained = TrainedModel(
+        name="vgg13", dataset_name=dataset.name, model=model, float_accuracy=0.0
+    )
+    return trained, dataset
+
+
+def _evals_to_front(result) -> int:
+    """Evaluations spent until the last surviving front point was scored."""
+    front = set(result.front.points())
+    last = 0
+    for index, point in enumerate(result.points):
+        if point in front:
+            last = index + 1
+    return last
+
+
+def run_strategy(trained, dataset, strategy, budget=None, rng_seed=0) -> dict:
+    start = time.perf_counter()
+    result = run_campaign(
+        trained,
+        dataset,
+        strategy=strategy,
+        max_loss=MAX_LOSS,
+        budget_evals=budget,
+        calibration_images=64,
+        rng=np.random.default_rng(rng_seed),
+        array_size=64,
+    )
+    wall = time.perf_counter() - start
+    best = result.best()
+    return {
+        "strategy": result.strategy,
+        "evaluations": result.stats["evaluations"],
+        "evals_to_front": _evals_to_front(result),
+        "front_size": result.stats["front_size"],
+        "space_size": result.stats["space_size"],
+        "wall_clock_s": wall,
+        "baseline_accuracy": result.baseline_accuracy,
+        "accurate_energy_nj": result.accurate_energy_nj,
+        "best_energy_nj": None if best is None else best.energy_nj,
+        "best_loss_percent": None if best is None else best.accuracy_loss,
+        "energy_reduction_percent": result.energy_reduction_percent(),
+    }
+
+
+def _render(metrics: list[dict]) -> str:
+    lines = [
+        "DSE search: evaluations-to-front and wall-clock per strategy",
+        f"(per-layer perforation space of {metrics[0]['space_size']} assignments,"
+        f" loss budget {MAX_LOSS}%)",
+        "",
+    ]
+    for m in metrics:
+        reduction = m["energy_reduction_percent"]
+        lines += [
+            f"{m['strategy']}:",
+            f"  evaluations        {m['evaluations']:6d}"
+            f"  (front saturated after {m['evals_to_front']})",
+            f"  front size         {m['front_size']:6d}",
+            f"  wall clock         {m['wall_clock_s']:8.2f} s",
+            f"  best feasible      "
+            + (
+                "none"
+                if m["best_energy_nj"] is None
+                else f"{m['best_energy_nj']:.1f} nJ "
+                f"(loss {m['best_loss_percent']:+.2f}%, "
+                f"{reduction:.1f}% below accurate)"
+            ),
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def test_dse_search_benchmark(results_dir):
+    """Both strategies find a feasible sub-accurate-energy point within a
+    vanishing fraction of the space; metrics land in the JSON ledger."""
+    trained, dataset = _setup()
+    greedy = run_strategy(trained, dataset, "greedy")
+    nsga2 = run_strategy(
+        trained,
+        dataset,
+        get_strategy("nsga2", population=12, generations=4),
+        budget=NSGA_BUDGET,
+        rng_seed=11,
+    )
+    metrics = [greedy, nsga2]
+    rendered = _render(metrics)
+    path = write_result(results_dir, "dse_search.txt", rendered)
+    json_path = update_json_result(
+        results_dir,
+        "dse_search",
+        {m["strategy"]: {k: v for k, v in m.items() if k != "strategy"} for m in metrics},
+    )
+    print("\n" + rendered)
+    print(f"[written to {path} and {json_path}]")
+
+    for m in metrics:
+        # The explorer must touch only a vanishing fraction of the space...
+        assert m["evaluations"] < m["space_size"] / 1000
+        # ... and return a budget-feasible point cheaper than all-accurate.
+        assert m["best_energy_nj"] is not None
+        assert m["best_loss_percent"] <= MAX_LOSS
+        assert m["best_energy_nj"] < m["accurate_energy_nj"]
+    assert nsga2["evaluations"] <= NSGA_BUDGET
+
+
+if __name__ == "__main__":
+    trained_main, dataset_main = _setup()
+    results = [
+        run_strategy(trained_main, dataset_main, "greedy"),
+        run_strategy(
+            trained_main,
+            dataset_main,
+            get_strategy("nsga2", population=12, generations=4),
+            budget=NSGA_BUDGET,
+            rng_seed=11,
+        ),
+    ]
+    print(_render(results))

@@ -6,7 +6,7 @@ from repro.analysis.statistics import (
     model_weight_distributions,
     model_variance_reduction,
 )
-from repro.analysis.reporting import format_table, Table
+from repro.analysis.reporting import format_table, pareto_front_table, Table
 
 __all__ = [
     "WeightDistribution",
@@ -14,5 +14,6 @@ __all__ = [
     "model_weight_distributions",
     "model_variance_reduction",
     "format_table",
+    "pareto_front_table",
     "Table",
 ]

@@ -47,6 +47,39 @@ def _format_cell(value: object, float_format: str) -> str:
     return str(value)
 
 
+def pareto_front_table(
+    points: "Iterable[object]",
+    baseline_energy_nj: float | None = None,
+    title: str = "Energy / accuracy Pareto front",
+) -> Table:
+    """Tabulate DSE Pareto points (ascending energy).
+
+    ``points`` are :class:`repro.dse.pareto.ParetoPoint`-shaped objects
+    (``label``, ``energy_nj``, ``accuracy``, ``accuracy_loss``).  When
+    ``baseline_energy_nj`` is given, a relative-energy column is added so
+    the table reads like the paper's savings figures.
+    """
+    columns = ["plan", "energy (nJ)", "accuracy", "loss %"]
+    if baseline_energy_nj is not None:
+        columns.append("energy vs accurate")
+    table = Table(title=title, columns=columns)
+    ordered = sorted(points, key=lambda p: p.energy_nj)
+    for point in ordered:
+        row: list[object] = [
+            point.label,
+            point.energy_nj,
+            point.accuracy,
+            point.accuracy_loss,
+        ]
+        if baseline_energy_nj is not None:
+            ratio = (
+                point.energy_nj / baseline_energy_nj if baseline_energy_nj else 0.0
+            )
+            row.append(f"{100.0 * ratio:.1f}%")
+        table.add_row(*row)
+    return table
+
+
 def format_table(
     title: str,
     columns: Sequence[str],

@@ -7,10 +7,25 @@ regenerate the paper's headline artifacts without writing Python:
   (Fig. 4 + Table II + Table I in one sweep);
 * ``python -m repro accuracy --model vgg13 --classes 10`` — train (or load
   from cache) one reference network and report its Table III row;
+* ``python -m repro sweep --models vgg13 resnet44`` — the multi-model
+  Table III sweep (optionally multi-process via ``--workers``);
+* ``python -m repro dse --strategy greedy --max-loss 0.5`` — the automated
+  per-layer design-space exploration: search the per-layer approximation
+  mapping minimizing energy within an accuracy-loss budget and print the
+  resulting Pareto front (see :mod:`repro.dse`);
 * ``python -m repro error-model --m 2`` — the closed-form vs Monte-Carlo
   convolution error statistics of Section III.
 
-Each sub-command prints an aligned text table to stdout.
+Each sub-command prints an aligned text table to stdout (``repro backends
+--json`` and ``repro dse --json`` emit machine-readable JSON instead).
+
+Unknown engine-backend or search-strategy names exit with status 2 and a
+one-line error naming the registered alternatives — never a traceback.
+
+Reproducibility: ``repro dse`` and ``repro sweep`` accept a single
+``--seed`` that drives *every* stochastic path (synthetic dataset
+generation, evaluation subsampling, NSGA-II) through named
+:class:`repro.core.seeding.SeedBank` streams.
 
 Engine backends
 ---------------
@@ -31,13 +46,17 @@ back to ``numpy`` with a warning.
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import sys
 
 import numpy as np
 
-from repro.analysis.reporting import Table
+from repro.analysis.reporting import Table, pareto_front_table
 from repro.core.accelerator_model import AcceleratorConfig
-from repro.core.backends import DEFAULT_BACKEND, backend_names, get_backend
+from repro.core.backends import DEFAULT_BACKEND, backend_names, get_backend, has_backend
 from repro.core.error_model import convolution_error_stats, simulate_convolution_error
+from repro.core.seeding import SeedBank
 from repro.hardware.area_power import (
     macplus_area_share,
     macplus_power_share,
@@ -50,8 +69,31 @@ from repro.simulation.campaign import (
     TrainedModelCache,
     TrainingSettings,
     accuracy_sweep,
+    default_cache_dir,
     experiment_dataset,
+    parallel_sweep,
 )
+
+
+def _cli_error(message: str) -> int:
+    """Print a one-line error to stderr and return the CLI failure status.
+
+    Used for late-validated names (engine backends, search strategies) so a
+    typo produces a clear message and a non-zero exit instead of a
+    traceback.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _check_engine_backend(name: str | None) -> str | None:
+    """Error message for an unknown backend name, or ``None`` when valid."""
+    if name is not None and not has_backend(name):
+        return (
+            f"unknown engine backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())} (see `repro backends`)"
+        )
+    return None
 
 
 def _cmd_hardware(args: argparse.Namespace) -> int:
@@ -122,6 +164,22 @@ def _cmd_error_model(args: argparse.Namespace) -> int:
 
 
 def _cmd_backends(args: argparse.Namespace) -> int:
+    if args.json:
+        payload = []
+        for name in backend_names():
+            backend = get_backend(name)
+            available, reason = backend.availability()
+            payload.append(
+                {
+                    "name": name,
+                    "available": available,
+                    "default": name == DEFAULT_BACKEND,
+                    "description": backend.describe(),
+                    "unavailable_reason": None if available else reason,
+                }
+            )
+        print(json.dumps(payload, indent=2))
+        return 0
     table = Table(
         title="Registered engine backends",
         columns=["name", "available", "default", "notes"],
@@ -136,6 +194,199 @@ def _cmd_backends(args: argparse.Namespace) -> int:
             reason if not available else backend.describe(),
         )
     print(table.render())
+    return 0
+
+
+def _subsampled_eval(dataset, count: int, bank: SeedBank):
+    """A seeded random evaluation subset of ``count`` test images.
+
+    Indices are drawn without replacement from the bank's dedicated
+    ``eval-subsample`` stream and kept in ascending order, so the subset is
+    reproducible under one ``--seed`` regardless of any other stochastic
+    consumer.
+    """
+    n_test = dataset.test_images.shape[0]
+    count = min(int(count), n_test)
+    rng = bank.generator("eval-subsample")
+    indices = np.sort(rng.choice(n_test, size=count, replace=False))
+    return dataset.test_images[indices], dataset.test_labels[indices]
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    # Late-validated names: clear one-line errors instead of tracebacks.
+    from repro.dse import CampaignLedger, has_strategy, run_campaign, strategy_names
+    from repro.multipliers.library import MultiplierLibrary
+
+    if not has_strategy(args.strategy):
+        return _cli_error(
+            f"unknown search strategy {args.strategy!r}; registered strategies: "
+            f"{', '.join(strategy_names())}"
+        )
+    backend_error = _check_engine_backend(args.engine_backend)
+    if backend_error is not None:
+        return _cli_error(backend_error)
+    if args.subsample_eval is not None:
+        if args.max_eval_images is not None:
+            return _cli_error(
+                "--subsample-eval and --max-eval-images are mutually exclusive: "
+                "the subsample already determines the evaluation set size"
+            )
+        if args.subsample_eval < 1:
+            return _cli_error(
+                f"--subsample-eval must be positive, got {args.subsample_eval}"
+            )
+
+    bank = SeedBank(args.seed)
+    dataset = experiment_dataset(
+        num_classes=args.classes,
+        seed=bank.seed_for("dataset") if args.seed is not None else None,
+    )
+    cache = TrainedModelCache(cache_dir=args.cache_dir)
+    settings = TrainingSettings(epochs=args.epochs)
+    trained = cache.load_or_train(args.model, dataset, settings, verbose=args.verbose)
+
+    eval_images = eval_labels = None
+    if args.subsample_eval is not None:
+        eval_images, eval_labels = _subsampled_eval(dataset, args.subsample_eval, bank)
+
+    if args.no_ledger:
+        ledger = CampaignLedger(path=None)
+    else:
+        ledger_dir = args.ledger or os.path.join(
+            args.cache_dir or default_cache_dir(), "dse-ledger"
+        )
+        ledger = CampaignLedger(path=ledger_dir)
+
+    library = (
+        MultiplierLibrary.synthetic_evoapprox() if args.include_library > 0 else None
+    )
+    try:
+        result = run_campaign(
+            trained,
+            dataset,
+            strategy=args.strategy,
+            max_loss=args.max_loss,
+            budget_evals=args.budget_evals,
+            ledger=ledger,
+            resume=args.resume,
+            rng=bank.generator("nsga2"),
+            max_eval_images=args.max_eval_images,
+            calibration_images=args.calibration_images,
+            engine_backend=args.engine_backend,
+            reuse_prefix=not args.no_prefix_reuse,
+            eval_images=eval_images,
+            eval_labels=eval_labels,
+            array_size=args.array_size,
+            perforations=tuple(args.perforations),
+            library=library,
+            max_library_candidates=args.include_library,
+        )
+    except ValueError as error:
+        # Campaign-configuration errors (exhaustive search on an unbounded
+        # space, bad budget, ...) are user errors, not tracebacks.
+        return _cli_error(str(error))
+
+    best = result.best()
+    if args.json:
+        payload = {
+            "model": args.model,
+            "dataset": dataset.name,
+            "strategy": result.strategy,
+            "max_loss": result.max_loss,
+            "baseline_accuracy": result.baseline_accuracy,
+            "accurate_energy_nj": result.accurate_energy_nj,
+            "energy_reduction_percent": result.energy_reduction_percent(),
+            "best": None
+            if best is None
+            else {
+                "label": best.label,
+                "energy_nj": best.energy_nj,
+                "accuracy": best.accuracy,
+                "accuracy_loss": best.accuracy_loss,
+            },
+            "front": [
+                {
+                    "label": p.label,
+                    "energy_nj": p.energy_nj,
+                    "accuracy": p.accuracy,
+                    "accuracy_loss": p.accuracy_loss,
+                }
+                for p in result.front.points()
+            ],
+            "stats": result.stats,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    stats = result.stats
+    print(
+        f"{args.model} on {dataset.name}: strategy={result.strategy} "
+        f"space={stats['space_size']} evaluations={stats['evaluations']} "
+        f"ledger_replays={stats['ledger_replays']} "
+        f"wall={stats['wall_clock_s']:.1f}s"
+    )
+    print(
+        f"quantized baseline accuracy {result.baseline_accuracy:.3f}, "
+        f"accurate-design energy {result.accurate_energy_nj:.1f} nJ, "
+        f"loss budget {result.max_loss:.2f}%"
+    )
+    print()
+    table = pareto_front_table(
+        result.front.points(), baseline_energy_nj=result.accurate_energy_nj
+    )
+    print(table.render(float_format="{:.3f}"))
+    print()
+    if best is None:
+        print(f"no front point within the {result.max_loss:.2f}% loss budget")
+    else:
+        reduction = result.energy_reduction_percent()
+        print(
+            f"minimum-energy feasible point: {best.label} "
+            f"({best.energy_nj:.1f} nJ, loss {best.accuracy_loss:+.2f}%, "
+            f"{reduction:.1f}% energy below the accurate design)"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    backend_error = _check_engine_backend(args.engine_backend)
+    if backend_error is not None:
+        return _cli_error(backend_error)
+    bank = SeedBank(args.seed)
+    dataset = experiment_dataset(
+        num_classes=args.classes,
+        seed=bank.seed_for("dataset") if args.seed is not None else None,
+    )
+    cache = TrainedModelCache(cache_dir=args.cache_dir)
+    settings = TrainingSettings(epochs=args.epochs)
+    trained_models = [
+        cache.load_or_train(name, dataset, settings, verbose=args.verbose)
+        for name in args.models
+    ]
+    sweep = parallel_sweep(
+        trained_models,
+        {dataset.name: dataset},
+        perforations=tuple(args.perforations),
+        max_eval_images=args.max_eval_images,
+        max_workers=args.workers,
+        engine_backend=args.engine_backend,
+        reuse_prefix=not args.no_prefix_reuse,
+    )
+    table = Table(
+        title=f"Accuracy sweep on {dataset.name} "
+        f"({len(args.models)} models, m = {', '.join(map(str, args.perforations))})",
+        columns=["model", "baseline acc", "m", "ours loss %", "w/o V loss %"],
+    )
+    for trained in trained_models:
+        for m in args.perforations:
+            table.add_row(
+                trained.name,
+                sweep.baselines[(trained.name, dataset.name)],
+                m,
+                sweep.lookup(trained.name, dataset.name, m, True).accuracy_loss,
+                sweep.lookup(trained.name, dataset.name, m, False).accuracy_loss,
+            )
+    print(table.render(float_format="{:.3f}"))
     return 0
 
 
@@ -179,7 +430,120 @@ def build_parser() -> argparse.ArgumentParser:
     backends = sub.add_parser(
         "backends", help="list registered engine backends and their availability"
     )
+    backends.add_argument(
+        "--json", action="store_true", help="emit the listing as machine-readable JSON"
+    )
     backends.set_defaults(func=_cmd_backends)
+
+    sweep = sub.add_parser(
+        "sweep", help="multi-model Table III accuracy sweep (optionally parallel)"
+    )
+    sweep.add_argument("--models", nargs="+", choices=MODEL_NAMES, default=["vgg13"])
+    sweep.add_argument("--classes", type=int, choices=(10, 100), default=10)
+    sweep.add_argument("--epochs", type=int, default=6)
+    sweep.add_argument("--perforations", type=int, nargs="+", default=[1, 2, 3])
+    sweep.add_argument("--max-eval-images", type=int, default=None)
+    sweep.add_argument("--workers", type=int, default=1, help="worker process count")
+    sweep.add_argument(
+        "--engine-backend",
+        default=None,
+        help="engine backend name (validated against the registry; unknown "
+        "names exit with a clear error)",
+    )
+    sweep.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed of every stochastic path (synthetic dataset "
+        "generation); distinct streams are derived per consumer",
+    )
+    sweep.add_argument("--cache-dir", default=None)
+    sweep.add_argument("--no-prefix-reuse", action="store_true")
+    sweep.add_argument("--verbose", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    dse = sub.add_parser(
+        "dse",
+        help="automated design-space exploration of per-layer approximation "
+        "(energy/accuracy Pareto front under a loss budget)",
+    )
+    dse.add_argument("--model", choices=MODEL_NAMES, default="vgg13")
+    dse.add_argument("--classes", type=int, choices=(10, 100), default=10)
+    dse.add_argument("--epochs", type=int, default=6)
+    dse.add_argument(
+        "--strategy",
+        default="greedy",
+        help="search strategy name (see repro.dse.strategy_names(): "
+        "exhaustive, greedy, nsga2, or a one-call baseline); unknown "
+        "names exit with a clear error",
+    )
+    dse.add_argument(
+        "--max-loss",
+        type=float,
+        default=0.5,
+        help="accuracy-loss budget in percentage points (paper headline: 0.5)",
+    )
+    dse.add_argument(
+        "--budget-evals",
+        type=int,
+        default=None,
+        help="cap on fresh accuracy evaluations (ledger replays are free)",
+    )
+    dse.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed of every stochastic path (dataset generation, eval "
+        "subsampling, NSGA-II); distinct streams are derived per consumer",
+    )
+    dse.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay ledger records of a previous (possibly killed) campaign "
+        "instead of re-evaluating plans",
+    )
+    dse.add_argument(
+        "--ledger",
+        default=None,
+        help="campaign ledger directory (default: <cache-dir>/dse-ledger); "
+        "records are always written so campaigns are resumable",
+    )
+    dse.add_argument(
+        "--no-ledger", action="store_true", help="keep the ledger in memory only"
+    )
+    dse.add_argument("--array-size", type=int, default=64)
+    dse.add_argument("--perforations", type=int, nargs="+", default=[1, 2, 3])
+    dse.add_argument(
+        "--include-library",
+        type=int,
+        default=0,
+        metavar="N",
+        help="add the N cheapest approximate-library multipliers as per-layer "
+        "LUT candidates (slower to simulate)",
+    )
+    dse.add_argument("--max-eval-images", type=int, default=None)
+    dse.add_argument(
+        "--subsample-eval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate on a seeded random subset of N test images (drawn "
+        "from the --seed bank's eval-subsample stream)",
+    )
+    dse.add_argument("--calibration-images", type=int, default=128)
+    dse.add_argument(
+        "--engine-backend",
+        default=None,
+        help="engine backend name (validated against the registry; unknown "
+        "names exit with a clear error)",
+    )
+    dse.add_argument("--cache-dir", default=None)
+    dse.add_argument("--no-prefix-reuse", action="store_true")
+    dse.add_argument(
+        "--json", action="store_true", help="emit the campaign result as JSON"
+    )
+    dse.add_argument("--verbose", action="store_true")
+    dse.set_defaults(func=_cmd_dse)
 
     error_model = sub.add_parser("error-model", help="closed-form vs Monte-Carlo error statistics")
     error_model.add_argument("--m", type=int, default=2)

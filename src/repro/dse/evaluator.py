@@ -1,0 +1,134 @@
+"""Accuracy scoring of candidate batches through the prefix-reuse machinery.
+
+The evaluator owns one calibrated
+:class:`~repro.simulation.inference.ApproximateExecutor` for the whole
+campaign — exactly the executor a serial
+:func:`~repro.simulation.campaign.plan_sweep` worker would build — and
+scores each candidate batch the way the sweep does:
+
+* the batch's plan set is armed as the executor's plan context
+  (:meth:`~repro.simulation.inference.ApproximateExecutor.set_plan_context`),
+  so plan-shared layer prefixes are checkpointed and resumed;
+* plans are visited in :func:`~repro.simulation.inference.
+  plan_fingerprint_sort_key` order — the prefix-aware schedule of
+  :func:`~repro.simulation.campaign.order_plan_cells` — so consecutive
+  plans share the deepest possible prefix.
+
+Because both the executor construction and the reuse machinery are
+bit-exact, every accuracy the evaluator reports is identical to the value a
+hand-enumerated :func:`~repro.simulation.campaign.plan_sweep` (or a fresh
+executor with reuse disabled) would measure for the same plan — the
+acceptance bar of the DSE subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.backends import EngineBackend
+from repro.datasets.synthetic import Dataset
+from repro.simulation.campaign import TrainedModel
+from repro.simulation.inference import (
+    ApproximateExecutor,
+    ExecutionPlan,
+    plan_fingerprint_sort_key,
+)
+from repro.simulation.metrics import accuracy
+
+
+class PlanEvaluator:
+    """Measures plan accuracies for the DSE campaign (bit-exact with sweeps).
+
+    Parameters mirror :func:`~repro.simulation.campaign.plan_sweep` so a
+    campaign and a hand-enumerated sweep over the same knobs agree
+    bit-exactly: ``max_eval_images`` caps the test split (prefix slice),
+    ``calibration_images`` slices the head of the training split, and
+    ``engine_backend`` / ``reuse_prefix`` select the (bit-exact) execution
+    machinery.  ``eval_images`` / ``eval_labels`` override the evaluation
+    arrays entirely — the hook the CLI's seeded eval subsampling uses.
+    """
+
+    def __init__(
+        self,
+        trained: TrainedModel,
+        dataset: Dataset,
+        max_eval_images: int | None = None,
+        calibration_images: int = 128,
+        engine_backend: "str | EngineBackend | None" = None,
+        reuse_prefix: bool = True,
+        batch_size: int = 256,
+        eval_images: np.ndarray | None = None,
+        eval_labels: np.ndarray | None = None,
+    ):
+        self.trained = trained
+        self.dataset = dataset
+        self.max_eval_images = max_eval_images
+        self.calibration_images = int(calibration_images)
+        self.batch_size = int(batch_size)
+        self.reuse_prefix = bool(reuse_prefix)
+        if (eval_images is None) != (eval_labels is None):
+            raise ValueError("eval_images and eval_labels must be given together")
+        if eval_images is None:
+            eval_images = dataset.test_images
+            eval_labels = dataset.test_labels
+            if max_eval_images is not None:
+                eval_images = eval_images[:max_eval_images]
+                eval_labels = eval_labels[:max_eval_images]
+        self.eval_images = eval_images
+        self.eval_labels = eval_labels
+        self.executor = ApproximateExecutor(
+            trained.model,
+            dataset.train_images[: self.calibration_images],
+            engine_backend=engine_backend,
+            reuse_plan_invariant_acts=self.reuse_prefix,
+            reuse_plan_invariant_prefix=self.reuse_prefix,
+        )
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    def context_key(self) -> str:
+        """Ledger context digest of this evaluator's exact measurement setup."""
+        from repro.dse.ledger import evaluation_context_key
+
+        return evaluation_context_key(
+            self.trained.model,
+            self.eval_images,
+            self.eval_labels,
+            self.dataset.train_images[: self.calibration_images],
+            batch_size=self.batch_size,
+            tag=self.dataset.name,
+        )
+
+    def mac_layer_names(self) -> list[str]:
+        """MAC layer names of the underlying executor, in execution order."""
+        return self.executor.mac_layer_names()
+
+    def evaluate(self, plans: Sequence[ExecutionPlan]) -> list[float]:
+        """Accuracies of ``plans`` on the evaluation set, in input order.
+
+        The batch is armed as the executor's plan context and visited in
+        prefix-aware fingerprint order; results are returned in the input
+        order.  Bit-exact with evaluating each plan on a fresh executor.
+        """
+        plans = list(plans)
+        if not plans:
+            return []
+        order = range(len(plans))
+        if self.reuse_prefix:
+            self.executor.set_plan_context(plans)
+            mac_names = tuple(self.mac_layer_names())
+            sort_keys = {
+                index: plan_fingerprint_sort_key(plan.fingerprints(mac_names))
+                for index, plan in enumerate(plans)
+            }
+            order = sorted(order, key=sort_keys.__getitem__)
+        accuracies: dict[int, float] = {}
+        for index in order:
+            predictions = self.executor.predict(
+                self.eval_images, plans[index], batch_size=self.batch_size
+            )
+            accuracies[index] = accuracy(predictions, self.eval_labels)
+            self.evaluations += 1
+        return [accuracies[index] for index in range(len(plans))]

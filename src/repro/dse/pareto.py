@@ -1,0 +1,106 @@
+"""Pareto-front container of the design-space exploration.
+
+The explorer optimizes two objectives per evaluated execution plan:
+**energy** (minimize, from the accelerator energy model) and **accuracy**
+(maximize, measured by the approximate executor).  :class:`ParetoFront`
+keeps the non-dominated set under these objectives with eager dominance
+pruning, so strategies can stream points into it in any order and read a
+clean front at any time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One evaluated design point of a DSE campaign.
+
+    Attributes
+    ----------
+    label:
+        Human-readable plan label (candidate codes per layer, or a
+        baseline-technique name).
+    energy_nj:
+        Modeled network energy of the plan (minimized).
+    accuracy:
+        Measured top-1 accuracy under the plan (maximized).
+    accuracy_loss:
+        Accuracy loss in percentage points versus the campaign's quantized
+        accurate baseline (derived, but stored so ledger records and
+        reports need no recomputation).
+    meta:
+        Free-form provenance (assignment indices, strategy name, ledger
+        key, ...); excluded from equality so two evaluations of the same
+        design compare equal.
+    """
+
+    label: str
+    energy_nj: float
+    accuracy: float
+    accuracy_loss: float
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weakly better in both objectives and strictly better in one."""
+        return (
+            self.energy_nj <= other.energy_nj
+            and self.accuracy >= other.accuracy
+            and (self.energy_nj < other.energy_nj or self.accuracy > other.accuracy)
+        )
+
+
+class ParetoFront:
+    """Non-dominated set of :class:`ParetoPoint` with eager pruning."""
+
+    def __init__(self) -> None:
+        self._points: list[ParetoPoint] = []
+
+    def add(self, point: ParetoPoint) -> bool:
+        """Insert ``point``; returns whether it joined the front.
+
+        A point dominated by (or objective-equal to) an existing member is
+        rejected; an accepted point evicts every member it dominates.
+        """
+        for existing in self._points:
+            if existing.dominates(point):
+                return False
+            if (
+                existing.energy_nj == point.energy_nj
+                and existing.accuracy == point.accuracy
+            ):
+                return False
+        self._points = [p for p in self._points if not point.dominates(p)]
+        self._points.append(point)
+        return True
+
+    def points(self) -> list[ParetoPoint]:
+        """Front members sorted by ascending energy."""
+        return sorted(self._points, key=lambda p: (p.energy_nj, -p.accuracy))
+
+    def min_energy_point(self, max_loss: float | None = None) -> ParetoPoint | None:
+        """Cheapest front point whose accuracy loss is within ``max_loss``.
+
+        ``None`` budget admits every point; an empty feasible set returns
+        ``None`` (the caller decides whether that means "accurate only" or
+        "infeasible campaign").
+        """
+        feasible = [
+            p
+            for p in self._points
+            if max_loss is None or p.accuracy_loss <= max_loss
+        ]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: (p.energy_nj, -p.accuracy))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ParetoPoint]:
+        return iter(self.points())
+
+    def __contains__(self, point: ParetoPoint) -> bool:
+        return point in self._points

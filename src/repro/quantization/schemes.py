@@ -65,6 +65,11 @@ class QuantParams:
             # Degenerate all-zero tensor: pick an arbitrary unit scale.
             return cls(scale=1.0, zero_point=0)
         scale = (rmax - rmin) / float(QMAX - QMIN)
+        if scale <= 0.0:
+            # A subnormal range underflows the division to zero; every value
+            # in it quantizes to the zero code, so a unit scale is as exact
+            # as any other positive one.
+            return cls(scale=1.0, zero_point=0)
         zero_point = int(round(QMIN - rmin / scale))
         zero_point = int(np.clip(zero_point, QMIN, QMAX))
         return cls(scale=scale, zero_point=zero_point)

@@ -81,7 +81,11 @@ def default_cache_dir() -> str:
     )
 
 
-def experiment_dataset(num_classes: int, train_per_class: int | None = None) -> Dataset:
+def experiment_dataset(
+    num_classes: int,
+    train_per_class: int | None = None,
+    seed: int | None = None,
+) -> Dataset:
     """The CIFAR-like dataset configuration used by the paper-reproduction benches.
 
     The generator parameters are chosen so the trained reference models land
@@ -89,6 +93,13 @@ def experiment_dataset(num_classes: int, train_per_class: int | None = None) -> 
     that approximation-induced degradation is measurable and graded (the
     role CIFAR-10/100 play in the paper).  The 100-class variant uses fewer
     samples per class, making it the harder dataset, as in the paper.
+
+    ``seed`` overrides the synthetic generator's default seed (the CLI
+    threads its single ``--seed`` here through one
+    :class:`repro.core.seeding.SeedBank` stream).  A custom-seeded
+    synthetic dataset gets a ``-seed<N>`` name suffix so trained-model
+    cache entries and DSE ledger tags never alias across seeds; real CIFAR
+    data (when locally available) ignores the seed.
     """
     from repro.datasets.cifar import load_cifar_like
     from repro.datasets.synthetic import SyntheticCifarConfig
@@ -100,7 +111,7 @@ def experiment_dataset(num_classes: int, train_per_class: int | None = None) -> 
             test_per_class=40,
             noise_std=0.22,
             confusion=0.45,
-            seed=10,
+            seed=10 if seed is None else int(seed),
         )
     elif num_classes == 100:
         config = SyntheticCifarConfig(
@@ -109,11 +120,14 @@ def experiment_dataset(num_classes: int, train_per_class: int | None = None) -> 
             test_per_class=6,
             noise_std=0.20,
             confusion=0.45,
-            seed=100,
+            seed=100 if seed is None else int(seed),
         )
     else:
         raise ValueError(f"num_classes must be 10 or 100, got {num_classes}")
-    return load_cifar_like(num_classes=num_classes, synthetic_config=config)
+    dataset = load_cifar_like(num_classes=num_classes, synthetic_config=config)
+    if seed is not None and dataset.name.startswith("synthetic"):
+        dataset = dataclasses.replace(dataset, name=f"{dataset.name}-seed{int(seed)}")
+    return dataset
 
 
 @dataclass

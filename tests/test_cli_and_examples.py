@@ -118,6 +118,169 @@ class TestCli:
         assert "ours loss" in capsys.readouterr().out
 
 
+class TestBackendsJson:
+    def test_backends_json_machine_readable(self, capsys):
+        import json
+
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload]
+        assert {"numpy", "numba", "lowmem"} <= set(names)
+        defaults = [entry for entry in payload if entry["default"]]
+        assert len(defaults) == 1 and defaults[0]["name"] == "numpy"
+        for entry in payload:
+            assert set(entry) == {
+                "name",
+                "available",
+                "default",
+                "description",
+                "unavailable_reason",
+            }
+            if not entry["available"]:
+                assert entry["unavailable_reason"]
+
+
+class TestCliErrorPaths:
+    """Unknown backend/strategy names exit non-zero with a clear message."""
+
+    def test_dse_unknown_strategy(self, capsys):
+        assert main(["dse", "--strategy", "simulated-annealing"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown search strategy" in err
+        assert "greedy" in err  # the message names the registered options
+
+    def test_dse_unknown_backend(self, capsys):
+        assert main(["dse", "--engine-backend", "gpu"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine backend" in err
+        assert "numpy" in err
+
+    def test_sweep_unknown_backend(self, capsys):
+        assert main(["sweep", "--engine-backend", "tpu"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine backend" in err
+
+    def test_dse_subsample_and_cap_mutually_exclusive(self, capsys):
+        assert (
+            main(["dse", "--subsample-eval", "16", "--max-eval-images", "32"]) == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_dse_non_positive_subsample_rejected(self, capsys):
+        assert main(["dse", "--subsample-eval", "-3"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+        assert main(["dse", "--subsample-eval", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_command_small(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--models",
+                    "vgg13",
+                    "--classes",
+                    "10",
+                    "--epochs",
+                    "1",
+                    "--perforations",
+                    "1",
+                    "--max-eval-images",
+                    "16",
+                    "--workers",
+                    "1",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ours loss" in out and "vgg13" in out
+
+
+class TestDseCommand:
+    def test_dse_greedy_end_to_end_and_resume(self, capsys, tmp_path):
+        import json
+
+        args = [
+            "dse",
+            "--model",
+            "vgg13",
+            "--classes",
+            "10",
+            "--epochs",
+            "1",
+            "--strategy",
+            "greedy",
+            "--max-loss",
+            "0.5",
+            "--budget-evals",
+            "12",
+            "--max-eval-images",
+            "16",
+            "--seed",
+            "0",
+            "--cache-dir",
+            str(tmp_path),
+            "--ledger",
+            str(tmp_path / "ledger"),
+            "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["stats"]["evaluations"] <= 12
+        assert first["stats"]["ledger_replays"] == 0
+        assert first["front"], "campaign produced no front"
+        for point in first["front"]:
+            assert {"label", "energy_nj", "accuracy", "accuracy_loss"} <= set(point)
+
+        # Re-running with --resume replays every recorded evaluation and
+        # never re-evaluates a plan: fresh evals + replays == distinct points.
+        assert main(args + ["--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["stats"]["ledger_replays"] == first["stats"]["evaluations"]
+        assert (
+            resumed["stats"]["ledger_replays"] + resumed["stats"]["evaluations"]
+            == resumed["stats"]["points"]
+        )
+        assert resumed["baseline_accuracy"] == first["baseline_accuracy"]
+
+    def test_dse_seed_threads_dataset_and_subsampling(self, capsys, tmp_path):
+        """--seed reaches the synthetic dataset (name suffix) and the eval
+        subsample; the same seed reproduces the identical campaign."""
+        import json
+
+        args = [
+            "dse",
+            "--classes",
+            "10",
+            "--epochs",
+            "1",
+            "--strategy",
+            "greedy",
+            "--budget-evals",
+            "4",
+            "--subsample-eval",
+            "16",
+            "--seed",
+            "7",
+            "--cache-dir",
+            str(tmp_path),
+            "--no-ledger",
+            "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert "-seed" in first["dataset"]
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["front"] == second["front"]
+        assert first["baseline_accuracy"] == second["baseline_accuracy"]
+
+
 class TestExamples:
     """The fast examples must run end to end (the training-heavy ones are
     exercised indirectly through the campaign tests and benches)."""

@@ -1,0 +1,194 @@
+"""Unit tests of the DSE search space and Pareto-front containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse.pareto import ParetoFront, ParetoPoint
+from repro.dse.space import SearchSpace
+from repro.models.zoo import build_model
+from repro.multipliers.library import MultiplierLibrary
+from repro.simulation.inference import (
+    AccurateProduct,
+    LUTProduct,
+    PerforatedProduct,
+)
+
+pytestmark = pytest.mark.dse
+
+
+def _point(energy: float, acc: float, label: str = "") -> ParetoPoint:
+    return ParetoPoint(
+        label=label or f"E{energy}A{acc}",
+        energy_nj=energy,
+        accuracy=acc,
+        accuracy_loss=100.0 * (0.9 - acc),
+    )
+
+
+class TestParetoFront:
+    def test_dominated_point_rejected(self):
+        front = ParetoFront()
+        assert front.add(_point(10.0, 0.9))
+        assert not front.add(_point(11.0, 0.9))  # worse energy, same accuracy
+        assert not front.add(_point(10.0, 0.8))  # same energy, worse accuracy
+        assert len(front) == 1
+
+    def test_dominating_point_evicts(self):
+        front = ParetoFront()
+        front.add(_point(10.0, 0.8))
+        front.add(_point(12.0, 0.85))
+        assert front.add(_point(9.0, 0.9))  # dominates both
+        assert len(front) == 1
+        assert front.points()[0].energy_nj == 9.0
+
+    def test_incomparable_points_coexist(self):
+        front = ParetoFront()
+        front.add(_point(10.0, 0.8))
+        front.add(_point(12.0, 0.9))
+        front.add(_point(8.0, 0.7))
+        assert len(front) == 3
+        energies = [p.energy_nj for p in front.points()]
+        assert energies == sorted(energies)
+
+    def test_duplicate_objectives_kept_once(self):
+        front = ParetoFront()
+        assert front.add(_point(10.0, 0.8, "first"))
+        assert not front.add(_point(10.0, 0.8, "second"))
+        assert len(front) == 1
+
+    def test_min_energy_point_honors_loss_budget(self):
+        front = ParetoFront()
+        cheap_lossy = _point(5.0, 0.5)  # loss 40 pp
+        mid = _point(8.0, 0.88)  # loss 2 pp
+        expensive_exact = _point(12.0, 0.9)  # loss 0 pp
+        for p in (cheap_lossy, mid, expensive_exact):
+            front.add(p)
+        assert front.min_energy_point(None) == cheap_lossy
+        assert front.min_energy_point(5.0) == mid
+        assert front.min_energy_point(1.0) == expensive_exact
+        assert front.min_energy_point(-1.0) is None
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return build_model("vgg13", num_classes=4, base_width=8, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def small_space(small_model):
+    return SearchSpace.build(small_model, (16, 16, 3), array_size=32)
+
+
+class TestSearchSpace:
+    def test_accurate_candidate_first_and_most_expensive(self, small_space):
+        assert isinstance(small_space.candidates[0].model, AccurateProduct)
+        powers = [c.power_mw for c in small_space.candidates]
+        assert powers[0] == max(powers)
+
+    def test_layers_cover_every_mac_node(self, small_space, small_model):
+        mac_names = [n.name for n in small_model.conv_dense_nodes()]
+        assert list(small_space.layer_names) == mac_names
+
+    def test_accurate_assignment_maps_to_uniform_accurate_plan(self, small_space):
+        plan = small_space.plan(small_space.accurate_assignment())
+        for name in small_space.layer_names:
+            assert plan.model_for(name).fingerprint() == ("accurate",)
+
+    def test_plan_maps_candidate_models_per_layer(self, small_space):
+        assignment = list(small_space.accurate_assignment())
+        assignment[2] = 1
+        plan = small_space.plan(assignment)
+        expected = small_space.candidates[1].model
+        assert plan.model_for(small_space.layer_names[2]) is expected
+
+    def test_energy_decreases_with_cheaper_candidates(self, small_space):
+        accurate = small_space.accurate_assignment()
+        accurate_energy = small_space.energy_nj(accurate)
+        assert accurate_energy == small_space.accurate_energy_nj()
+        for k in range(1, small_space.num_candidates):
+            uniform = (k,) * small_space.num_layers
+            assert small_space.energy_nj(uniform) < accurate_energy
+
+    def test_single_layer_step_strictly_cheaper(self, small_space):
+        base = small_space.accurate_assignment()
+        for layer_index in range(small_space.num_layers):
+            stepped = list(base)
+            stepped[layer_index] = 1
+            assert small_space.energy_nj(stepped) < small_space.energy_nj(base)
+
+    def test_size_and_enumeration_agree(self, small_model):
+        space = SearchSpace.build(
+            small_model,
+            (16, 16, 3),
+            perforations=(2,),
+            include_no_cv=False,
+            layers=["s0_c0_conv", "s0_c1_conv"],
+        )
+        assert space.num_candidates == 2  # accurate + p2v
+        assert space.size() == 4
+        enumerated = list(space.enumerate_assignments())
+        assert len(enumerated) == space.size()
+        assert len(set(enumerated)) == space.size()
+
+    def test_restricted_layers_leave_rest_accurate(self, small_model):
+        space = SearchSpace.build(
+            small_model, (16, 16, 3), layers=["s0_c0_conv"], perforations=(1,)
+        )
+        assignment = (space.num_candidates - 1,)
+        plan = space.plan(assignment)
+        mac_names = [n.name for n in small_model.conv_dense_nodes()]
+        for name in mac_names[1:]:
+            assert plan.model_for(name).fingerprint() == ("accurate",)
+
+    def test_library_candidates_included(self, small_model):
+        library = MultiplierLibrary.synthetic_evoapprox()
+        space = SearchSpace.build(
+            small_model,
+            (16, 16, 3),
+            library=library,
+            max_library_candidates=2,
+            layers=["s0_c0_conv"],
+        )
+        lut_candidates = [
+            c for c in space.candidates if isinstance(c.model, LUTProduct)
+        ]
+        assert len(lut_candidates) == 2
+        accurate_power = space.candidates[0].power_mw
+        for candidate in lut_candidates:
+            assert candidate.power_mw < accurate_power
+
+    def test_label_and_describe(self, small_space):
+        assignment = list(small_space.accurate_assignment())
+        assignment[0] = 1
+        label = small_space.label(assignment)
+        assert label.startswith(small_space.candidates[1].code)
+        described = small_space.describe(assignment)
+        assert described[small_space.layer_names[0]] == small_space.candidates[1].name
+        assert described[small_space.layer_names[1]] == "accurate"
+
+    def test_validation_errors(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.validate((0,))
+        with pytest.raises(ValueError):
+            small_space.validate((99,) * small_space.num_layers)
+
+    def test_uniform_energy_matches_accurate_assignment(self, small_space):
+        accurate_power = small_space.candidates[0].power_mw
+        assert small_space.uniform_energy_nj(accurate_power) == pytest.approx(
+            small_space.accurate_energy_nj()
+        )
+        assert small_space.uniform_energy_nj(
+            accurate_power, extra_cycles_per_layer=1
+        ) > small_space.accurate_energy_nj()
+
+    def test_perforated_candidates_carry_cv_variants(self, small_space):
+        names = {c.name for c in small_space.candidates}
+        assert "perforated_m2+V" in names
+        assert "perforated_m2" in names
+        cv = next(c for c in small_space.candidates if c.name == "perforated_m2+V")
+        plain = next(c for c in small_space.candidates if c.name == "perforated_m2")
+        assert isinstance(cv.model, PerforatedProduct) and cv.model.use_control_variate
+        # The MAC+ column costs power, so the +V variant is more expensive.
+        assert cv.power_mw > plain.power_mw
