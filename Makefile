@@ -8,9 +8,9 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest -W error::pytest.PytestUnknownMarkWarning
 
-.PHONY: check tier1 engine dse dse-smoke
+.PHONY: check tier1 engine dse dse-smoke runtime-smoke
 
-check: tier1 engine dse dse-smoke
+check: tier1 engine dse runtime-smoke dse-smoke
 
 tier1:
 	$(PYTEST) -x -q
@@ -21,6 +21,11 @@ engine:
 # DSE search suite plus its evaluations-to-front benchmark.
 dse:
 	$(PYTEST) -q -m dse tests benchmarks/bench_dse_search.py
+
+# Evaluation-runtime suite: EvaluationService lifecycle and graceful
+# shutdown, service-vs-serial bit-exact parity, parallel DSE campaigns.
+runtime-smoke:
+	$(PYTEST) -q -m runtime tests
 
 # End-to-end greedy exploration on the synthetic workload (< 60 s; trains a
 # 1-epoch reference model on the first run).  Hermetic: the model cache and

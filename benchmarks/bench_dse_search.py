@@ -13,10 +13,19 @@ The metrics merge into the machine-readable ``results/BENCH_engine.json``
 ledger (section ``dse_search``) so the search efficiency is diffable across
 PRs, next to the engine-throughput and sweep-prefix sections.  Run via
 pytest (``pytest -m dse benchmarks/bench_dse_search.py``) or as a script.
+
+A second benchmark measures the **parallel campaign** path: the same greedy
+campaign fanned across ``run_campaign(workers=N)`` evaluation-service
+workers, recording workers-vs-wallclock (section ``dse_parallel_campaign``)
+and asserting the Pareto front is identical — same points, bit-exact
+accuracies — to the serial run.  Speedup figures are honest for the host:
+on a single-core container the pool overhead typically *loses* to serial,
+which the ledger records rather than hides.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -124,6 +133,70 @@ def _render(metrics: list[dict]) -> str:
             "",
         ]
     return "\n".join(lines)
+
+
+PARALLEL_WORKERS = (1, 4)
+
+
+def run_parallel_campaigns(trained, dataset, workers_list=PARALLEL_WORKERS) -> dict:
+    """One greedy campaign per worker count; fronts must be identical."""
+    runs: dict[int, dict] = {}
+    fronts = {}
+    for workers in workers_list:
+        start = time.perf_counter()
+        result = run_campaign(
+            trained,
+            dataset,
+            strategy="greedy",
+            max_loss=MAX_LOSS,
+            budget_evals=60,
+            calibration_images=64,
+            array_size=64,
+            workers=workers,
+        )
+        wall = time.perf_counter() - start
+        fronts[workers] = result.front.points()
+        runs[workers] = {
+            "wall_clock_s": wall,
+            "evaluations": result.stats["evaluations"],
+            "front_size": result.stats["front_size"],
+        }
+    baseline = fronts[workers_list[0]]
+    identical = all(front == baseline for front in fronts.values())
+    serial_wall = runs[workers_list[0]]["wall_clock_s"]
+    return {
+        "workers_vs_wallclock": {str(w): r["wall_clock_s"] for w, r in runs.items()},
+        "speedup_vs_serial": {
+            str(w): serial_wall / r["wall_clock_s"] for w, r in runs.items()
+        },
+        "front_identical_across_workers": identical,
+        "front_size": runs[workers_list[0]]["front_size"],
+        "evaluations": runs[workers_list[0]]["evaluations"],
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def test_dse_parallel_campaign_benchmark(results_dir):
+    """run_campaign(workers=N) fans candidate batches across the evaluation
+    service and lands on the identical Pareto front; workers-vs-wallclock
+    goes into the JSON ledger."""
+    trained, dataset = _setup()
+    metrics = run_parallel_campaigns(trained, dataset)
+    json_path = update_json_result(results_dir, "dse_parallel_campaign", metrics)
+    lines = [
+        "DSE parallel campaign: workers vs wall-clock (greedy, 60-eval budget)",
+        f"(host cpu_count={metrics['cpu_count']})",
+        "",
+    ]
+    for workers, wall in metrics["workers_vs_wallclock"].items():
+        speedup = metrics["speedup_vs_serial"][workers]
+        lines.append(f"  workers={workers}:  {wall:8.2f} s  ({speedup:.2f}x vs serial)")
+    rendered = "\n".join(lines)
+    print("\n" + rendered)
+    print(f"[workers-vs-wallclock written to {json_path}]")
+    # The acceptance bar: identical front regardless of worker count.
+    assert metrics["front_identical_across_workers"]
+    assert metrics["front_size"] > 0
 
 
 def test_dse_search_benchmark(results_dir):

@@ -9,12 +9,22 @@ regenerate the paper's headline artifacts without writing Python:
   from cache) one reference network and report its Table III row;
 * ``python -m repro sweep --models vgg13 resnet44`` — the multi-model
   Table III sweep (optionally multi-process via ``--workers``);
+* ``python -m repro table3 --workers 4`` — the full Table III benchmark
+  (every model x both datasets) served by one multi-model evaluation
+  session;
 * ``python -m repro dse --strategy greedy --max-loss 0.5`` — the automated
   per-layer design-space exploration: search the per-layer approximation
   mapping minimizing energy within an accuracy-loss budget and print the
-  resulting Pareto front (see :mod:`repro.dse`);
+  resulting Pareto front (see :mod:`repro.dse`); ``--workers N`` fans
+  candidate batches across N persistent worker processes and ``--models
+  all`` runs one campaign per reference network on one shared service;
 * ``python -m repro error-model --m 2`` — the closed-form vs Monte-Carlo
   convolution error statistics of Section III.
+
+``--workers`` has identical semantics across ``sweep``, ``table3`` and
+``dse`` — the worker-process count of the evaluation runtime
+(:mod:`repro.runtime`), 1 meaning in-process serial — and invalid values
+exit with status 2 and a clear message, like unknown backend names.
 
 Each sub-command prints an aligned text table to stdout (``repro backends
 --json`` and ``repro dse --json`` emit machine-readable JSON instead).
@@ -94,6 +104,33 @@ def _check_engine_backend(name: str | None) -> str | None:
             f"{', '.join(backend_names())} (see `repro backends`)"
         )
     return None
+
+
+def _check_workers(workers: int | None) -> str | None:
+    """Error message for an invalid ``--workers`` value, or ``None``.
+
+    One contract across every command that evaluates plans (``sweep``,
+    ``table3``, ``dse``): the flag is the worker-process count of the
+    evaluation service — ``1`` (the default) runs in-process, ``N > 1``
+    fans cells across ``N`` persistent worker processes, and anything
+    below ``1`` is a usage error.
+    """
+    if workers is not None and int(workers) < 1:
+        return f"--workers must be a positive integer, got {workers}"
+    return None
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--workers`` flag (identical semantics everywhere)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker process count of the evaluation service (1 = in-process "
+        "serial; N > 1 fans evaluation cells across N persistent worker "
+        "processes with models and datasets published once through shared "
+        "memory; results are bit-exact either way)",
+    )
 
 
 def _cmd_hardware(args: argparse.Namespace) -> int:
@@ -212,6 +249,50 @@ def _subsampled_eval(dataset, count: int, bank: SeedBank):
     return dataset.test_images[indices], dataset.test_labels[indices]
 
 
+def _dse_model_names(args: argparse.Namespace) -> list[str]:
+    """The models one ``repro dse`` invocation explores.
+
+    ``--models`` (a list, or the ``all`` sentinel) selects a multi-model
+    campaign served by one shared evaluation service; without it the
+    single ``--model`` is explored, exactly as before.
+    """
+    if not args.models:
+        return [args.model]
+    if "all" in args.models:
+        return list(MODEL_NAMES)
+    return list(dict.fromkeys(args.models))
+
+
+def _dse_json_payload(dataset, result) -> dict:
+    best = result.best()
+    return {
+        "dataset": dataset.name,
+        "strategy": result.strategy,
+        "max_loss": result.max_loss,
+        "baseline_accuracy": result.baseline_accuracy,
+        "accurate_energy_nj": result.accurate_energy_nj,
+        "energy_reduction_percent": result.energy_reduction_percent(),
+        "best": None
+        if best is None
+        else {
+            "label": best.label,
+            "energy_nj": best.energy_nj,
+            "accuracy": best.accuracy,
+            "accuracy_loss": best.accuracy_loss,
+        },
+        "front": [
+            {
+                "label": p.label,
+                "energy_nj": p.energy_nj,
+                "accuracy": p.accuracy,
+                "accuracy_loss": p.accuracy_loss,
+            }
+            for p in result.front.points()
+        ],
+        "stats": result.stats,
+    }
+
+
 def _cmd_dse(args: argparse.Namespace) -> int:
     # Late-validated names: clear one-line errors instead of tracebacks.
     from repro.dse import CampaignLedger, has_strategy, run_campaign, strategy_names
@@ -222,9 +303,9 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             f"unknown search strategy {args.strategy!r}; registered strategies: "
             f"{', '.join(strategy_names())}"
         )
-    backend_error = _check_engine_backend(args.engine_backend)
-    if backend_error is not None:
-        return _cli_error(backend_error)
+    for error in (_check_engine_backend(args.engine_backend), _check_workers(args.workers)):
+        if error is not None:
+            return _cli_error(error)
     if args.subsample_eval is not None:
         if args.max_eval_images is not None:
             return _cli_error(
@@ -243,84 +324,139 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     )
     cache = TrainedModelCache(cache_dir=args.cache_dir)
     settings = TrainingSettings(epochs=args.epochs)
-    trained = cache.load_or_train(args.model, dataset, settings, verbose=args.verbose)
+    model_names = _dse_model_names(args)
+    multi = len(model_names) > 1
+    trained_models = [
+        cache.load_or_train(name, dataset, settings, verbose=args.verbose)
+        for name in model_names
+    ]
 
     eval_images = eval_labels = None
     if args.subsample_eval is not None:
         eval_images, eval_labels = _subsampled_eval(dataset, args.subsample_eval, bank)
 
     if args.no_ledger:
-        ledger = CampaignLedger(path=None)
+        ledger_dir = None
     else:
         ledger_dir = args.ledger or os.path.join(
             args.cache_dir or default_cache_dir(), "dse-ledger"
         )
-        ledger = CampaignLedger(path=ledger_dir)
 
     library = (
         MultiplierLibrary.synthetic_evoapprox() if args.include_library > 0 else None
     )
-    try:
-        result = run_campaign(
-            trained,
+
+    # A multi-model campaign hosts every network in ONE evaluation service:
+    # models and datasets are published once and the worker pool (or the
+    # in-process serial state) is reused across the sequential campaigns.
+    # An eval subsample becomes the hosted dataset's test split inside
+    # build_campaign_service, keeping ledger context keys serial-identical.
+    service = None
+    if multi:
+        from repro.dse.engine import build_campaign_service
+
+        service = build_campaign_service(
+            trained_models,
             dataset,
-            strategy=args.strategy,
-            max_loss=args.max_loss,
-            budget_evals=args.budget_evals,
-            ledger=ledger,
-            resume=args.resume,
-            rng=bank.generator("nsga2"),
+            args.workers,
             max_eval_images=args.max_eval_images,
             calibration_images=args.calibration_images,
             engine_backend=args.engine_backend,
             reuse_prefix=not args.no_prefix_reuse,
             eval_images=eval_images,
             eval_labels=eval_labels,
-            array_size=args.array_size,
-            perforations=tuple(args.perforations),
-            library=library,
-            max_library_candidates=args.include_library,
         )
+
+    results = []
+    try:
+        for trained in trained_models:
+            rng_stream = f"nsga2-{trained.name}" if multi else "nsga2"
+            result = run_campaign(
+                trained,
+                dataset,
+                strategy=args.strategy,
+                max_loss=args.max_loss,
+                budget_evals=args.budget_evals,
+                ledger=CampaignLedger(path=ledger_dir),
+                resume=args.resume,
+                rng=bank.generator(rng_stream),
+                max_eval_images=args.max_eval_images,
+                calibration_images=args.calibration_images,
+                engine_backend=args.engine_backend,
+                reuse_prefix=not args.no_prefix_reuse,
+                # The shared service already hosts any eval subsample as
+                # its dataset's test split; passing the arrays alongside
+                # `service` is rejected by run_campaign.
+                eval_images=None if service is not None else eval_images,
+                eval_labels=None if service is not None else eval_labels,
+                workers=args.workers,
+                service=service,
+                array_size=args.array_size,
+                perforations=tuple(args.perforations),
+                library=library,
+                max_library_candidates=args.include_library,
+            )
+            results.append((trained, result))
     except ValueError as error:
         # Campaign-configuration errors (exhaustive search on an unbounded
         # space, bad budget, ...) are user errors, not tracebacks.
         return _cli_error(str(error))
+    finally:
+        if service is not None:
+            service.close()
 
+    if multi:
+        if args.json:
+            payload = {
+                "models": [
+                    {"model": trained.name, **_dse_json_payload(dataset, result)}
+                    for trained, result in results
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
+        table = Table(
+            title=f"DSE campaigns on {dataset.name} "
+            f"(strategy={results[0][1].strategy}, loss budget {args.max_loss:.2f}%, "
+            f"workers={args.workers})",
+            columns=[
+                "model",
+                "baseline acc",
+                "evals",
+                "front",
+                "best energy nJ",
+                "best loss %",
+                "energy saved %",
+            ],
+        )
+        for trained, result in results:
+            best = result.best()
+            reduction = result.energy_reduction_percent()
+            table.add_row(
+                trained.name,
+                result.baseline_accuracy,
+                result.stats["evaluations"],
+                result.stats["front_size"],
+                "-" if best is None else f"{best.energy_nj:.1f}",
+                "-" if best is None else f"{best.accuracy_loss:+.2f}",
+                "-" if reduction is None else f"{reduction:.1f}",
+            )
+        print(table.render(float_format="{:.3f}"))
+        return 0
+
+    result = results[0][1]
     best = result.best()
     if args.json:
         payload = {
-            "model": args.model,
-            "dataset": dataset.name,
-            "strategy": result.strategy,
-            "max_loss": result.max_loss,
-            "baseline_accuracy": result.baseline_accuracy,
-            "accurate_energy_nj": result.accurate_energy_nj,
-            "energy_reduction_percent": result.energy_reduction_percent(),
-            "best": None
-            if best is None
-            else {
-                "label": best.label,
-                "energy_nj": best.energy_nj,
-                "accuracy": best.accuracy,
-                "accuracy_loss": best.accuracy_loss,
-            },
-            "front": [
-                {
-                    "label": p.label,
-                    "energy_nj": p.energy_nj,
-                    "accuracy": p.accuracy,
-                    "accuracy_loss": p.accuracy_loss,
-                }
-                for p in result.front.points()
-            ],
-            "stats": result.stats,
+            "model": results[0][0].name,
+            **_dse_json_payload(dataset, result),
         }
         print(json.dumps(payload, indent=2))
         return 0
 
     stats = result.stats
     print(
-        f"{args.model} on {dataset.name}: strategy={result.strategy} "
+        f"{results[0][0].name} on {dataset.name}: strategy={result.strategy} "
         f"space={stats['space_size']} evaluations={stats['evaluations']} "
         f"ledger_replays={stats['ledger_replays']} "
         f"wall={stats['wall_clock_s']:.1f}s"
@@ -349,9 +485,9 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    backend_error = _check_engine_backend(args.engine_backend)
-    if backend_error is not None:
-        return _cli_error(backend_error)
+    for error in (_check_engine_backend(args.engine_backend), _check_workers(args.workers)):
+        if error is not None:
+            return _cli_error(error)
     bank = SeedBank(args.seed)
     dataset = experiment_dataset(
         num_classes=args.classes,
@@ -385,6 +521,76 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 m,
                 sweep.lookup(trained.name, dataset.name, m, True).accuracy_loss,
                 sweep.lookup(trained.name, dataset.name, m, False).accuracy_loss,
+            )
+    print(table.render(float_format="{:.3f}"))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    """The full Table III benchmark: every model x both datasets, one service.
+
+    All requested (model, dataset) combinations are trained (or loaded from
+    cache) and swept through ONE multi-model evaluation session:
+    :func:`~repro.simulation.campaign.parallel_sweep` publishes every
+    trained network and both datasets once and serves all cells from the
+    same worker pool.
+    """
+    for error in (_check_engine_backend(args.engine_backend), _check_workers(args.workers)):
+        if error is not None:
+            return _cli_error(error)
+    bank = SeedBank(args.seed)
+    cache = TrainedModelCache(cache_dir=args.cache_dir)
+    settings = TrainingSettings(epochs=args.epochs)
+    datasets = {}
+    trained_models = []
+    for classes in args.classes:
+        # Same seed stream as `sweep` and `dse` (num_classes already
+        # differentiates the generated data and the dataset name), so one
+        # --seed yields the same datasets — and therefore cache-hits the
+        # same trained models — across all three commands.
+        dataset = experiment_dataset(
+            num_classes=classes,
+            seed=bank.seed_for("dataset") if args.seed is not None else None,
+        )
+        datasets[dataset.name] = dataset
+        for name in args.models:
+            trained_models.append(
+                cache.load_or_train(name, dataset, settings, verbose=args.verbose)
+            )
+    sweep = parallel_sweep(
+        trained_models,
+        datasets,
+        perforations=tuple(args.perforations),
+        max_eval_images=args.max_eval_images,
+        max_workers=args.workers,
+        engine_backend=args.engine_backend,
+        reuse_prefix=not args.no_prefix_reuse,
+    )
+    table = Table(
+        title=f"Table III accuracy sweep ({len(args.models)} models x "
+        f"{len(datasets)} datasets, m = {', '.join(map(str, args.perforations))}, "
+        f"workers={args.workers})",
+        columns=["model", "dataset", "baseline acc", "m", "ours loss %", "w/o V loss %"],
+    )
+    for trained in trained_models:
+        for m in args.perforations:
+            table.add_row(
+                trained.name,
+                trained.dataset_name,
+                sweep.baselines[(trained.name, trained.dataset_name)],
+                m,
+                sweep.lookup(trained.name, trained.dataset_name, m, True).accuracy_loss,
+                sweep.lookup(trained.name, trained.dataset_name, m, False).accuracy_loss,
+            )
+    for dataset_name in datasets:
+        for m in args.perforations:
+            table.add_row(
+                "average",
+                dataset_name,
+                "",
+                m,
+                sweep.average_loss(dataset_name, m, True),
+                sweep.average_loss(dataset_name, m, False),
             )
     print(table.render(float_format="{:.3f}"))
     return 0
@@ -443,7 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--epochs", type=int, default=6)
     sweep.add_argument("--perforations", type=int, nargs="+", default=[1, 2, 3])
     sweep.add_argument("--max-eval-images", type=int, default=None)
-    sweep.add_argument("--workers", type=int, default=1, help="worker process count")
+    _add_workers_flag(sweep)
     sweep.add_argument(
         "--engine-backend",
         default=None,
@@ -462,12 +668,60 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verbose", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 
+    table3 = sub.add_parser(
+        "table3",
+        help="the full Table III benchmark: every model x both datasets "
+        "served by one multi-model evaluation session",
+    )
+    table3.add_argument(
+        "--models", nargs="+", choices=MODEL_NAMES, default=list(MODEL_NAMES)
+    )
+    table3.add_argument(
+        "--classes",
+        type=int,
+        nargs="+",
+        choices=(10, 100),
+        default=[10, 100],
+        help="dataset variants to sweep (default: both, as in the paper)",
+    )
+    table3.add_argument("--epochs", type=int, default=6)
+    table3.add_argument("--perforations", type=int, nargs="+", default=[1, 2, 3])
+    table3.add_argument("--max-eval-images", type=int, default=None)
+    _add_workers_flag(table3)
+    table3.add_argument(
+        "--engine-backend",
+        default=None,
+        help="engine backend name (validated against the registry; unknown "
+        "names exit with a clear error)",
+    )
+    table3.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed of every stochastic path (synthetic dataset "
+        "generation); distinct streams are derived per consumer",
+    )
+    table3.add_argument("--cache-dir", default=None)
+    table3.add_argument("--no-prefix-reuse", action="store_true")
+    table3.add_argument("--verbose", action="store_true")
+    table3.set_defaults(func=_cmd_table3)
+
     dse = sub.add_parser(
         "dse",
         help="automated design-space exploration of per-layer approximation "
         "(energy/accuracy Pareto front under a loss budget)",
     )
     dse.add_argument("--model", choices=MODEL_NAMES, default="vgg13")
+    dse.add_argument(
+        "--models",
+        nargs="+",
+        choices=MODEL_NAMES + ("all",),
+        default=None,
+        help="run one campaign per listed model (or 'all' for every "
+        "reference network), all served by ONE shared evaluation service "
+        "(models and datasets published once, one worker pool); overrides "
+        "--model",
+    )
     dse.add_argument("--classes", type=int, choices=(10, 100), default=10)
     dse.add_argument("--epochs", type=int, default=6)
     dse.add_argument(
@@ -531,6 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
         "from the --seed bank's eval-subsample stream)",
     )
     dse.add_argument("--calibration-images", type=int, default=128)
+    _add_workers_flag(dse)
     dse.add_argument(
         "--engine-backend",
         default=None,

@@ -14,18 +14,26 @@ substrate into that decision procedure:
 * :mod:`~repro.dse.pareto` — :class:`ParetoFront` with dominance pruning;
 * :mod:`~repro.dse.ledger` — :class:`CampaignLedger`: persistent,
   content-addressed records that make campaigns resumable and re-runs free;
-* :mod:`~repro.dse.evaluator` — :class:`PlanEvaluator`: accuracy scoring
-  through the executor's plan-context prefix reuse (bit-exact with
-  :func:`repro.simulation.campaign.plan_sweep`);
+* :mod:`~repro.dse.evaluator` — :class:`PlanEvaluator` (in-process) and
+  :class:`ServicePlanEvaluator` (fanned across a
+  :class:`repro.runtime.service.EvaluationService` worker pool): accuracy
+  scoring through the executor's plan-context prefix reuse, both bit-exact
+  with :func:`repro.simulation.campaign.plan_sweep`;
 * :mod:`~repro.dse.engine` — :func:`run_campaign` wiring it all together
-  (the CLI exposes it as ``python -m repro dse``).
+  (the CLI exposes it as ``python -m repro dse``, with ``--workers N``
+  selecting the parallel path and ``--models all`` a multi-model session).
 
 See the package ``README.md`` for the strategy registry and the ledger
 record format.
 """
 
-from repro.dse.engine import CampaignContext, DseResult, run_campaign
-from repro.dse.evaluator import PlanEvaluator
+from repro.dse.engine import (
+    CampaignContext,
+    DseResult,
+    build_campaign_service,
+    run_campaign,
+)
+from repro.dse.evaluator import PlanEvaluator, ServicePlanEvaluator
 from repro.dse.ledger import CampaignLedger, evaluation_context_key, plan_key
 from repro.dse.pareto import ParetoFront, ParetoPoint
 from repro.dse.space import Candidate, SearchSpace
@@ -53,8 +61,10 @@ __all__ = [
     "evaluation_context_key",
     "plan_key",
     "PlanEvaluator",
+    "ServicePlanEvaluator",
     "CampaignContext",
     "DseResult",
+    "build_campaign_service",
     "run_campaign",
     "BudgetExhausted",
     "SearchStrategy",

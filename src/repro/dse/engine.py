@@ -21,19 +21,23 @@
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.datasets.synthetic import Dataset
-from repro.dse.evaluator import PlanEvaluator
+from repro.dse.evaluator import PlanEvaluator, ServicePlanEvaluator
 from repro.dse.ledger import CampaignLedger, plan_key
 from repro.dse.pareto import ParetoFront, ParetoPoint
 from repro.dse.space import SearchSpace
 from repro.dse.strategies import BudgetExhausted, SearchStrategy, get_strategy
 from repro.simulation.campaign import TrainedModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.service import EvaluationService
 
 
 class CampaignContext:
@@ -240,6 +244,93 @@ class DseResult:
         return 100.0 * (1.0 - best.energy_nj / self.accurate_energy_nj)
 
 
+def build_campaign_service(
+    trained_models: "Sequence[TrainedModel]",
+    dataset: Dataset,
+    workers: int | None,
+    max_eval_images: int | None = None,
+    calibration_images: int = 128,
+    engine_backend: str | None = None,
+    reuse_prefix: bool = True,
+    eval_images: np.ndarray | None = None,
+    eval_labels: np.ndarray | None = None,
+) -> "EvaluationService":
+    """An :class:`EvaluationService` hosting campaign models on ``dataset``.
+
+    The one place the campaign measurement setup maps onto a service: an
+    explicit evaluation subset (the CLI's seeded eval subsampling) becomes
+    the hosted dataset's test split, so workers score exactly the arrays
+    the serial evaluator would — and the ledger context key, which hashes
+    the actual evaluation bytes, stays identical.  Used both for the
+    single-model service :func:`run_campaign` owns under ``workers=N`` and
+    for the multi-model service the CLI shares across ``--models``
+    campaigns.
+    """
+    from repro.runtime.service import EvaluationService
+
+    if (eval_images is None) != (eval_labels is None):
+        raise ValueError("eval_images and eval_labels must be given together")
+    if eval_images is not None:
+        dataset = dataclasses.replace(
+            dataset, test_images=eval_images, test_labels=eval_labels
+        )
+        max_eval_images = None
+    return EvaluationService(
+        list(trained_models),
+        {dataset.name: dataset},
+        max_workers=workers,
+        max_eval_images=max_eval_images,
+        calibration_images=calibration_images,
+        engine_backend=engine_backend,
+        reuse_prefix=reuse_prefix,
+    )
+
+
+def _check_service_setup(
+    service: "EvaluationService",
+    max_eval_images: int | None,
+    calibration_images: int,
+    engine_backend: str | None,
+    reuse_prefix: bool,
+    eval_images: np.ndarray | None,
+    eval_labels: np.ndarray | None,
+) -> None:
+    """Reject campaign knobs that silently diverge from an external service.
+
+    A :class:`ServicePlanEvaluator` measures with the *service's* setup;
+    any conflicting knob passed to :func:`run_campaign` alongside
+    ``service`` would otherwise be ignored without a trace — and the
+    resulting accuracies (and ledger context keys) would differ from the
+    documented serial equivalent.  Mirror the knobs onto the service (see
+    :func:`build_campaign_service`) instead.
+    """
+    if eval_images is not None or eval_labels is not None:
+        raise ValueError(
+            "eval_images/eval_labels cannot be combined with an external "
+            "service: host the subset as the service dataset's test split "
+            "(build_campaign_service does exactly that)"
+        )
+    mismatches = [
+        f"{name}={ours!r} (service has {theirs!r})"
+        for name, ours, theirs in (
+            ("max_eval_images", max_eval_images, service.max_eval_images),
+            ("calibration_images", int(calibration_images), service.calibration_images),
+            ("reuse_prefix", bool(reuse_prefix), service.reuse_prefix),
+        )
+        if ours != theirs
+    ]
+    if engine_backend is not None and engine_backend != service.engine_backend:
+        mismatches.append(
+            f"engine_backend={engine_backend!r} "
+            f"(service has {service.engine_backend!r})"
+        )
+    if mismatches:
+        raise ValueError(
+            "campaign measurement knobs conflict with the external service: "
+            + ", ".join(mismatches)
+        )
+
+
 def run_campaign(
     trained: TrainedModel,
     dataset: Dataset,
@@ -247,7 +338,7 @@ def run_campaign(
     max_loss: float = 0.5,
     budget_evals: int | None = None,
     space: SearchSpace | None = None,
-    evaluator: PlanEvaluator | None = None,
+    evaluator: "PlanEvaluator | ServicePlanEvaluator | None" = None,
     ledger: CampaignLedger | None = None,
     resume: bool = False,
     rng: np.random.Generator | None = None,
@@ -257,6 +348,8 @@ def run_campaign(
     reuse_prefix: bool = True,
     eval_images: np.ndarray | None = None,
     eval_labels: np.ndarray | None = None,
+    workers: int = 1,
+    service: "EvaluationService | None" = None,
     **space_kwargs,
 ) -> DseResult:
     """Run one design-space exploration campaign on a trained network.
@@ -276,8 +369,8 @@ def run_campaign(
     budget_evals:
         Cap on *fresh* accuracy evaluations; ledger replays are free.
     space / evaluator:
-        Prebuilt :class:`SearchSpace` / :class:`PlanEvaluator`; by default
-        both are built here (``space_kwargs`` forwards to
+        Prebuilt :class:`SearchSpace` / evaluator; by default both are
+        built here (``space_kwargs`` forwards to
         :meth:`SearchSpace.build`, e.g. ``array_size=...``,
         ``library=...``).
     ledger / resume:
@@ -287,9 +380,33 @@ def run_campaign(
     rng:
         Seeded generator for the stochastic strategies (NSGA-II); defaults
         to ``np.random.default_rng(0)`` for reproducibility.
+    workers:
+        Candidate batches are fanned across this many evaluation-service
+        worker processes (must be >= 1); the candidate generations of
+        NSGA-II and the frontier expansions of the greedy descent are
+        embarrassingly parallel, and every accuracy stays bit-exact with
+        the serial path — ``workers=N`` produces the identical Pareto
+        front and shares ledger records with ``workers=1``.
+    service:
+        A started (or startable) multi-model
+        :class:`~repro.runtime.service.EvaluationService` hosting
+        ``trained`` — the way several sequential campaigns (``repro dse
+        --models ...``) reuse one worker pool and one publish of models
+        and datasets.  The caller owns the service's lifecycle;
+        ``workers`` is ignored in its favor.
     """
     if budget_evals is not None and budget_evals < 1:
         raise ValueError("budget_evals must be at least 1 (the accurate baseline)")
+    if workers is None or int(workers) < 1:
+        raise ValueError(f"workers must be a positive integer, got {workers}")
+    if evaluator is not None and (service is not None or int(workers) > 1):
+        # An explicit evaluator fully determines the execution path; a
+        # service or worker count alongside it would be silently ignored.
+        raise ValueError(
+            "evaluator is mutually exclusive with workers/service: the "
+            "evaluator already fixes the execution path (pass a "
+            "ServicePlanEvaluator to use a service-backed one)"
+        )
     if space is None:
         space = SearchSpace.build(
             trained.model, dataset.image_shape, **space_kwargs
@@ -298,40 +415,79 @@ def run_campaign(
         strategy = get_strategy(strategy)
     # Validate the configuration before the expensive evaluator calibration.
     strategy.prepare(space, budget_evals)
-    if evaluator is None:
-        evaluator = PlanEvaluator(
-            trained,
-            dataset,
-            max_eval_images=max_eval_images,
-            calibration_images=calibration_images,
-            engine_backend=engine_backend,
-            reuse_prefix=reuse_prefix,
-            eval_images=eval_images,
-            eval_labels=eval_labels,
-        )
-    if ledger is None:
-        ledger = CampaignLedger(path=None)
-    if rng is None:
-        rng = np.random.default_rng(0)
-
-    ctx = CampaignContext(
-        space=space,
-        evaluator=evaluator,
-        ledger=ledger,
-        max_loss=max_loss,
-        budget_evals=budget_evals,
-        rng=rng,
-        resume=resume,
-    )
-    start = time.perf_counter()
-    # The all-accurate design anchors the baseline accuracy and the energy
-    # reference; scoring it first also guarantees it is always on record.
-    ctx.score([space.accurate_assignment()])
+    owned_service: "EvaluationService | None" = None
     try:
-        strategy.search(ctx)
-    except BudgetExhausted:
-        pass
-    wall_clock = time.perf_counter() - start
+        if evaluator is None:
+            if service is None and int(workers) > 1:
+                owned_service = build_campaign_service(
+                    [trained],
+                    dataset,
+                    int(workers),
+                    max_eval_images=max_eval_images,
+                    calibration_images=calibration_images,
+                    engine_backend=engine_backend,
+                    reuse_prefix=reuse_prefix,
+                    eval_images=eval_images,
+                    eval_labels=eval_labels,
+                )
+                service = owned_service
+            elif service is not None:
+                # External service: its measurement setup wins — reject
+                # conflicting knobs loudly instead of ignoring them.
+                _check_service_setup(
+                    service,
+                    max_eval_images,
+                    calibration_images,
+                    engine_backend,
+                    reuse_prefix,
+                    eval_images,
+                    eval_labels,
+                )
+            if service is not None:
+                evaluator = ServicePlanEvaluator(
+                    service,
+                    service.model_index(trained.name, trained.dataset_name),
+                )
+            else:
+                evaluator = PlanEvaluator(
+                    trained,
+                    dataset,
+                    max_eval_images=max_eval_images,
+                    calibration_images=calibration_images,
+                    engine_backend=engine_backend,
+                    reuse_prefix=reuse_prefix,
+                    eval_images=eval_images,
+                    eval_labels=eval_labels,
+                )
+        if ledger is None:
+            ledger = CampaignLedger(path=None)
+        if rng is None:
+            rng = np.random.default_rng(0)
+
+        ctx = CampaignContext(
+            space=space,
+            evaluator=evaluator,
+            ledger=ledger,
+            max_loss=max_loss,
+            budget_evals=budget_evals,
+            rng=rng,
+            resume=resume,
+        )
+        start = time.perf_counter()
+        # The all-accurate design anchors the baseline accuracy and the energy
+        # reference; scoring it first also guarantees it is always on record.
+        ctx.score([space.accurate_assignment()])
+        try:
+            strategy.search(ctx)
+        except BudgetExhausted:
+            pass
+        wall_clock = time.perf_counter() - start
+    finally:
+        # A KeyboardInterrupt (or any failure) lands here with every scored
+        # plan already ledgered — ledger writes are eager and atomic — so
+        # the only cleanup owed is the service's workers and shared blocks.
+        if owned_service is not None:
+            owned_service.close()
 
     return DseResult(
         strategy=strategy.name,
@@ -349,5 +505,12 @@ def run_campaign(
             "front_size": len(ctx.front),
             "wall_clock_s": wall_clock,
             "space_size": space.size(),
+            # Derived from the evaluator actually used, so an explicitly
+            # passed ServicePlanEvaluator reports its service's pool size.
+            "workers": (
+                evaluator.service.max_workers
+                if isinstance(evaluator, ServicePlanEvaluator)
+                else 1
+            ),
         },
     )

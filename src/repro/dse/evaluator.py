@@ -1,29 +1,34 @@
-"""Accuracy scoring of candidate batches through the prefix-reuse machinery.
+"""Accuracy scoring of candidate batches — in-process or service-backed.
 
-The evaluator owns one calibrated
-:class:`~repro.simulation.inference.ApproximateExecutor` for the whole
-campaign — exactly the executor a serial
-:func:`~repro.simulation.campaign.plan_sweep` worker would build — and
-scores each candidate batch the way the sweep does:
+Two interchangeable evaluators implement the campaign's scoring surface
+(``evaluate(plans)``, ``context_key()``, ``mac_layer_names()``,
+``evaluations``):
 
-* the batch's plan set is armed as the executor's plan context
-  (:meth:`~repro.simulation.inference.ApproximateExecutor.set_plan_context`),
-  so plan-shared layer prefixes are checkpointed and resumed;
-* plans are visited in :func:`~repro.simulation.inference.
-  plan_fingerprint_sort_key` order — the prefix-aware schedule of
-  :func:`~repro.simulation.campaign.order_plan_cells` — so consecutive
-  plans share the deepest possible prefix.
+* :class:`PlanEvaluator` owns one calibrated
+  :class:`~repro.simulation.inference.ApproximateExecutor` for the whole
+  campaign — exactly the executor a serial
+  :func:`~repro.simulation.campaign.plan_sweep` worker would build — and
+  scores each candidate batch the way the sweep does: the batch's plan set
+  is armed as the executor's plan context and plans are visited in the
+  prefix-aware fingerprint order of
+  :func:`~repro.runtime.scheduling.order_plan_cells`.
+* :class:`ServicePlanEvaluator` fans each batch across the persistent
+  worker pool of a :class:`~repro.runtime.service.EvaluationService`
+  instead — the parallel path behind ``run_campaign(workers=N)`` — while
+  reporting the *same* ledger context key, so serial and parallel
+  campaigns share records freely.
 
-Because both the executor construction and the reuse machinery are
-bit-exact, every accuracy the evaluator reports is identical to the value a
-hand-enumerated :func:`~repro.simulation.campaign.plan_sweep` (or a fresh
-executor with reuse disabled) would measure for the same plan — the
-acceptance bar of the DSE subsystem.
+Because the executor construction, the reuse machinery and the service
+workers are all bit-exact, every accuracy either evaluator reports is
+identical to the value a hand-enumerated
+:func:`~repro.simulation.campaign.plan_sweep` (or a fresh executor with
+reuse disabled) would measure for the same plan — the acceptance bar of
+the DSE subsystem.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -36,6 +41,27 @@ from repro.simulation.inference import (
     plan_fingerprint_sort_key,
 )
 from repro.simulation.metrics import accuracy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.service import EvaluationService
+
+
+def _resolve_eval_arrays(
+    dataset: Dataset,
+    max_eval_images: int | None,
+    eval_images: np.ndarray | None,
+    eval_labels: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The evaluation arrays a campaign scores against (explicit or capped)."""
+    if (eval_images is None) != (eval_labels is None):
+        raise ValueError("eval_images and eval_labels must be given together")
+    if eval_images is None:
+        eval_images = dataset.test_images
+        eval_labels = dataset.test_labels
+        if max_eval_images is not None:
+            eval_images = eval_images[:max_eval_images]
+            eval_labels = eval_labels[:max_eval_images]
+    return eval_images, eval_labels
 
 
 class PlanEvaluator:
@@ -68,16 +94,9 @@ class PlanEvaluator:
         self.calibration_images = int(calibration_images)
         self.batch_size = int(batch_size)
         self.reuse_prefix = bool(reuse_prefix)
-        if (eval_images is None) != (eval_labels is None):
-            raise ValueError("eval_images and eval_labels must be given together")
-        if eval_images is None:
-            eval_images = dataset.test_images
-            eval_labels = dataset.test_labels
-            if max_eval_images is not None:
-                eval_images = eval_images[:max_eval_images]
-                eval_labels = eval_labels[:max_eval_images]
-        self.eval_images = eval_images
-        self.eval_labels = eval_labels
+        self.eval_images, self.eval_labels = _resolve_eval_arrays(
+            dataset, max_eval_images, eval_images, eval_labels
+        )
         self.executor = ApproximateExecutor(
             trained.model,
             dataset.train_images[: self.calibration_images],
@@ -132,3 +151,85 @@ class PlanEvaluator:
             accuracies[index] = accuracy(predictions, self.eval_labels)
             self.evaluations += 1
         return [accuracies[index] for index in range(len(plans))]
+
+
+class ServicePlanEvaluator:
+    """Service-backed :class:`PlanEvaluator` drop-in for parallel campaigns.
+
+    Scoring fans each candidate batch across the persistent workers of an
+    :class:`~repro.runtime.service.EvaluationService` (which schedules the
+    batch prefix-aware and arms each worker's plan context); everything
+    else — evaluation arrays, calibration slice, batch size, and therefore
+    the ledger :meth:`context_key` — matches the in-process evaluator
+    exactly, so serial and parallel campaigns replay each other's ledger
+    records with zero duplicate evaluations.
+
+    The evaluator does **not** own the service: callers (or
+    :func:`~repro.dse.engine.run_campaign`) manage its lifecycle, which is
+    what lets one multi-model service back many sequential campaigns.
+
+    For the one-call baseline techniques — which drive an executor
+    directly rather than scoring plan batches — :attr:`executor` builds a
+    bit-exact in-process executor lazily on first access.
+    """
+
+    def __init__(self, service: "EvaluationService", model_index: int):
+        self.service = service
+        self.model_index = int(model_index)
+        self.trained = service.models[self.model_index]
+        self.dataset = service.datasets[self.trained.dataset_name]
+        self.max_eval_images = service.max_eval_images
+        self.calibration_images = service.calibration_images
+        self.batch_size = service.batch_size
+        self.reuse_prefix = service.reuse_prefix
+        self.engine_backend = service.engine_backend
+        self.eval_images, self.eval_labels = _resolve_eval_arrays(
+            self.dataset, self.max_eval_images, None, None
+        )
+        self.evaluations = 0
+        self._executor: ApproximateExecutor | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> ApproximateExecutor:
+        """Lazily built in-process executor (for baseline ``apply`` calls)."""
+        if self._executor is None:
+            self._executor = ApproximateExecutor(
+                self.trained.model,
+                self.dataset.train_images[: self.calibration_images],
+                engine_backend=self.engine_backend,
+                reuse_plan_invariant_acts=self.reuse_prefix,
+                reuse_plan_invariant_prefix=self.reuse_prefix,
+            )
+        return self._executor
+
+    def context_key(self) -> str:
+        """Ledger context digest — identical to the serial evaluator's."""
+        from repro.dse.ledger import evaluation_context_key
+
+        return evaluation_context_key(
+            self.trained.model,
+            self.eval_images,
+            self.eval_labels,
+            self.dataset.train_images[: self.calibration_images],
+            batch_size=self.batch_size,
+            tag=self.dataset.name,
+        )
+
+    def mac_layer_names(self) -> list[str]:
+        """MAC layer names of the hosted model, in execution order."""
+        return list(self.service.mac_names(self.model_index))
+
+    def evaluate(self, plans: Sequence[ExecutionPlan]) -> list[float]:
+        """Accuracies of ``plans``, scored across the service's workers.
+
+        Bit-exact with :meth:`PlanEvaluator.evaluate` (and with
+        :func:`~repro.simulation.campaign.plan_sweep`) — results come back
+        in input order.
+        """
+        plans = list(plans)
+        if not plans:
+            return []
+        accuracies = self.service.evaluate_plans(self.model_index, plans)
+        self.evaluations += len(plans)
+        return accuracies

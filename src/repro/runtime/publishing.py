@@ -1,0 +1,252 @@
+"""Publish-once shared-memory channel for trained models and datasets.
+
+The evaluation runtime never ships a private copy of every trained model —
+or of the evaluation datasets, which dwarf the weights for small models —
+to every worker process.  Both ride the generic
+:class:`repro.core.shared_store.SharedArrayStore` (one POSIX
+``multiprocessing.shared_memory`` block, memory-mapped temp file fallback):
+
+* :func:`publish_trained_models` pickles each model with its parameter
+  arrays replaced by persistent-id tokens, so the model *structure* travels
+  by pickle while the parameter *data* lives once in the shared block;
+* :func:`publish_datasets` tokenizes the train/test image and label arrays
+  of every dataset the same way.
+
+Workers attach **read-only views into the shared block**
+(:meth:`SharedTrainedModels.attach` / :meth:`SharedDatasets.attach`), so N
+workers hold one copy of the bytes instead of N.  The publishing process —
+in practice the :class:`~repro.runtime.service.EvaluationService` — calls
+``unlink`` exactly once, after all consumers are done.
+
+This module is the extraction of the publisher/pickler machinery that
+historically lived in :mod:`repro.simulation.campaign`; the campaign module
+re-exports every public name for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.core.shared_store import SharedArrayStore
+from repro.datasets.synthetic import Dataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.simulation.campaign import TrainedModel
+
+
+class _ParamPickler(pickle.Pickler):
+    """Pickler externalizing registered parameter arrays as persistent ids.
+
+    Arrays registered (by object identity) in ``tokens`` are emitted as a
+    token string instead of their bytes; everything else pickles normally.
+    This keeps the model *structure* in the pickle while the parameter
+    *data* lives once in the shared block.
+    """
+
+    def __init__(self, file, tokens: dict[int, str]):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._tokens = tokens
+
+    def persistent_id(self, obj):
+        if isinstance(obj, np.ndarray):
+            return self._tokens.get(id(obj))
+        return None
+
+
+class _ParamUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent-id tokens to views of a shared store."""
+
+    def __init__(self, file, store: SharedArrayStore):
+        super().__init__(file)
+        self._store = store
+
+    def persistent_load(self, token):
+        return self._store.get(token)
+
+
+class SharedTrainedModels:
+    """Trained models published once for zero-copy attachment by workers.
+
+    Produced by :func:`publish_trained_models`.  The parameter arrays of
+    every model live in one :class:`~repro.core.shared_store.SharedArrayStore`
+    block (POSIX shared memory, or a memory-mapped temp file as fallback —
+    see :attr:`kind`); the pickled models reference them via persistent-id
+    tokens.  :meth:`attach` rebuilds the :class:`TrainedModel` list with
+    parameters as read-only views into the block, never copying them.  The
+    publishing process must call :meth:`unlink` once all consumers are done.
+    """
+
+    def __init__(self, pickles: list[bytes], store: SharedArrayStore):
+        self.pickles = pickles
+        self.store = store
+        self._models: "list[TrainedModel] | None" = None
+
+    # Back-compat accessors mirroring the pre-SharedArrayStore attributes.
+    @property
+    def spec(self) -> dict[str, tuple[int, tuple, str]]:
+        return self.store.spec
+
+    @property
+    def kind(self) -> str:
+        return self.store.kind
+
+    @property
+    def name(self) -> str:
+        return self.store.name
+
+    @property
+    def size(self) -> int:
+        return self.store.size
+
+    def __getstate__(self):
+        # The per-process model cache never travels to workers.
+        state = self.__dict__.copy()
+        state["_models"] = None
+        return state
+
+    def attach(self) -> "list[TrainedModel]":
+        """Models with parameters viewing the shared block (cached per process)."""
+        if self._models is None:
+            self._models = [
+                _ParamUnpickler(io.BytesIO(blob), self.store).load()
+                for blob in self.pickles
+            ]
+        return self._models
+
+    def nbytes_shared(self) -> int:
+        """Total parameter bytes placed in the shared block."""
+        return self.store.nbytes_shared()
+
+    def unlink(self) -> None:
+        """Release the shared block (publisher side; idempotent)."""
+        self._models = None
+        self.store.unlink()
+
+
+def publish_trained_models(
+    trained_models: "Iterable[TrainedModel]",
+    prefer_shared_memory: bool = True,
+) -> SharedTrainedModels:
+    """Publish the parameter arrays of ``trained_models`` for worker attachment.
+
+    Every array returned by each model's ``state_dict`` (weights, biases,
+    batch-norm statistics) is copied once into a single shared block, and
+    each :class:`TrainedModel` is pickled with those arrays externalized.
+    Workers call :meth:`SharedTrainedModels.attach` to rebuild the models
+    with parameters as read-only views — no per-worker copies, no re-pickling
+    of parameter data.
+
+    POSIX shared memory is used when available; when it cannot be created
+    (or ``prefer_shared_memory`` is false) the block degrades to a
+    memory-mapped file in the temp directory, which workers map read-only.
+    """
+    models = list(trained_models)
+    # ``tokens`` keys arrays by id(); every keyed array is immediately
+    # pinned in ``arrays`` (which outlives the pickling below), so a
+    # tracked id can never be garbage-collected and recycled by a later,
+    # distinct array — the aliasing that plagued state_dict implementations
+    # returning fresh (otherwise unreferenced) arrays per call.
+    tokens: dict[int, str] = {}
+    arrays: dict[str, np.ndarray] = {}
+    for index, trained in enumerate(models):
+        for key, array in trained.model.state_dict().items():
+            if id(array) in tokens:  # array shared between models: store once
+                continue
+            token = f"{index}:{key}"
+            tokens[id(array)] = token
+            arrays[token] = array
+
+    store = SharedArrayStore.publish(arrays, prefer_shared_memory=prefer_shared_memory)
+    pickles: list[bytes] = []
+    for trained in models:
+        sink = io.BytesIO()
+        _ParamPickler(sink, tokens).dump(trained)
+        pickles.append(sink.getvalue())
+    return SharedTrainedModels(pickles, store)
+
+
+#: Dataset fields published to (and rebuilt from) the shared block.
+_DATASET_ARRAY_FIELDS = ("train_images", "train_labels", "test_images", "test_labels")
+
+
+class SharedDatasets:
+    """Evaluation datasets published once for zero-copy worker attachment.
+
+    Produced by :func:`publish_datasets`.  The image and label arrays of
+    every dataset live in one shared block; :meth:`attach` rebuilds the
+    ``{name: Dataset}`` mapping with those arrays as read-only views, so the
+    runtime's worker processes share one copy of the evaluation data.  The
+    publishing process must call :meth:`unlink` once all consumers are done.
+    """
+
+    def __init__(self, metas: dict[str, dict], store: SharedArrayStore):
+        self.metas = metas
+        self.store = store
+        self._datasets: dict[str, Dataset] | None = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_datasets"] = None
+        return state
+
+    def attach(self) -> dict[str, Dataset]:
+        """Datasets with arrays viewing the shared block (cached per process)."""
+        if self._datasets is None:
+            self._datasets = {
+                name: Dataset(
+                    name=name,
+                    num_classes=meta["num_classes"],
+                    **{
+                        field_name: self.store.get(token)
+                        for field_name, token in meta["arrays"].items()
+                    },
+                )
+                for name, meta in self.metas.items()
+            }
+        return self._datasets
+
+    def nbytes_shared(self) -> int:
+        """Total dataset bytes placed in the shared block."""
+        return self.store.nbytes_shared()
+
+    def unlink(self) -> None:
+        """Release the shared block (publisher side; idempotent)."""
+        self._datasets = None
+        self.store.unlink()
+
+
+def publish_datasets(
+    datasets: dict[str, Dataset],
+    prefer_shared_memory: bool = True,
+) -> SharedDatasets:
+    """Publish the train/test arrays of ``datasets`` for worker attachment.
+
+    The evaluation images dwarf the trained weights for small models, so a
+    multi-process session that ships datasets by pickle pays the dominant
+    memory cost once per worker.  Publishing moves those bytes into one
+    shared block; workers attach read-only views through
+    :meth:`SharedDatasets.attach`.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    metas: dict[str, dict] = {}
+    for name, dataset in datasets.items():
+        field_tokens: dict[str, str] = {}
+        for field_name in _DATASET_ARRAY_FIELDS:
+            token = f"{name}:{field_name}"
+            arrays[token] = getattr(dataset, field_name)
+            field_tokens[field_name] = token
+        metas[name] = {"num_classes": dataset.num_classes, "arrays": field_tokens}
+    store = SharedArrayStore.publish(arrays, prefer_shared_memory=prefer_shared_memory)
+    return SharedDatasets(metas, store)
+
+
+__all__ = [
+    "SharedTrainedModels",
+    "SharedDatasets",
+    "publish_trained_models",
+    "publish_datasets",
+]

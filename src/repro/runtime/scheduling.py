@@ -1,0 +1,111 @@
+"""Prefix-aware scheduling of evaluation cells.
+
+An evaluation *cell* is one ``(model, plan)`` pair.  Consecutive cells that
+share a per-layer fingerprint prefix let the executor's plan-context
+checkpoints resume mid-network instead of re-running the shared prefix
+(:meth:`repro.simulation.inference.ApproximateExecutor.set_plan_context`),
+so the order cells run in is a first-order performance knob.  This module
+owns that ordering:
+
+* :func:`order_plan_cells` — the classic sweep schedule over a
+  ``models x plans`` cross product, returning ``(model_index, plan_index)``
+  pairs grouped by model and sorted lexicographically by fingerprint;
+* :func:`schedule_cells` — the generalization the
+  :class:`~repro.runtime.service.EvaluationService` uses for *arbitrary*
+  submitted cell lists (any mix of models and plans), returning a
+  permutation of cell indices;
+* :func:`contiguous_chunks` — the worker-chunking contract: equal ceil-div
+  slices of the schedule, so each worker receives one contiguous block and
+  the adjacency arranged by the sort survives distribution.
+
+Sorting is stable everywhere: cells with identical fingerprints keep their
+input order, which the scheduler edge-case tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence, TypeVar
+
+from repro.simulation.inference import ExecutionPlan, plan_fingerprint_sort_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.simulation.campaign import TrainedModel
+
+T = TypeVar("T")
+
+
+def model_mac_names(trained: "TrainedModel") -> tuple[str, ...]:
+    """MAC (conv/dense) layer names of one trained model, in execution order.
+
+    The same key the executor's checkpoint-depth computation uses, so
+    schedule adjacency matches the checkpoint structure exactly.
+    """
+    return tuple(node.name for node in trained.model.conv_dense_nodes())
+
+
+def schedule_cells(
+    cells: Sequence[tuple[int, ExecutionPlan]],
+    mac_names_by_model: dict[int, tuple[str, ...]],
+) -> list[int]:
+    """Prefix-aware execution order of arbitrary ``(model_index, plan)`` cells.
+
+    Returns a permutation of ``range(len(cells))``: cells are grouped by
+    model (ascending index) and, within one model, ordered
+    lexicographically by the plan's per-MAC-layer fingerprint sequence —
+    plans sharing a layer prefix become adjacent.  The sort is stable, so
+    behaviorally identical plans keep their submission order.
+    """
+    keys: list[tuple[int, tuple[str, ...]]] = []
+    for model_index, plan in cells:
+        names = mac_names_by_model[model_index]
+        keys.append((model_index, plan_fingerprint_sort_key(plan.fingerprints(names))))
+    return sorted(range(len(cells)), key=keys.__getitem__)
+
+
+def order_plan_cells(
+    models: "list[TrainedModel]", plans: Sequence[tuple[str, ExecutionPlan]]
+) -> list[tuple[int, int]]:
+    """Prefix-aware cell schedule of a ``models x plans`` sweep.
+
+    Cells are grouped by model (one calibrated executor per model is kept
+    per worker), and within one model the plans are ordered
+    lexicographically by their per-MAC-layer fingerprint sequence.  Plans
+    sharing a layer prefix therefore become *adjacent*, which maximizes the
+    executor's prefix-checkpoint and activation-code cache hits when cells
+    run in schedule order.
+    """
+    cells: list[tuple[int, int]] = []
+    for model_index, trained in enumerate(models):
+        mac_names = model_mac_names(trained)
+        sort_keys = {
+            plan_index: plan_fingerprint_sort_key(plan.fingerprints(mac_names))
+            for plan_index, (_, plan) in enumerate(plans)
+        }
+        ordered = sorted(range(len(plans)), key=sort_keys.__getitem__)
+        cells.extend((model_index, plan_index) for plan_index in ordered)
+    return cells
+
+
+def contiguous_chunks(schedule: Sequence[T], max_chunks: int) -> list[list[T]]:
+    """Split ``schedule`` into at most ``max_chunks`` contiguous slices.
+
+    Equal ceil-div chunk sizes (the last chunk may be shorter) so the
+    chunks cover the schedule exactly, in order — each worker receives one
+    contiguous block and prefix-sharing neighbors stay on the same worker.
+    """
+    if not schedule:
+        return []
+    if max_chunks < 1:
+        raise ValueError("max_chunks must be a positive integer")
+    chunksize = -(-len(schedule) // max_chunks)  # ceil-div
+    return [
+        list(schedule[i : i + chunksize]) for i in range(0, len(schedule), chunksize)
+    ]
+
+
+__all__ = [
+    "model_mac_names",
+    "schedule_cells",
+    "order_plan_cells",
+    "contiguous_chunks",
+]

@@ -1,0 +1,402 @@
+"""`EvaluationService`: the persistent, prefix-aware evaluation runtime.
+
+Every sweep and DSE campaign in this repo reduces to the same operation —
+score many per-layer approximation plans against trained models.  The
+service is the one execution path behind all of them:
+
+* **publish once** — trained-model parameters and datasets are written
+  once into shared blocks (:mod:`repro.runtime.publishing`); workers
+  attach read-only views, so N workers hold one copy of the bytes;
+* **persistent workers** — one process pool outlives every submitted
+  batch: executors stay calibrated, kernels stay compiled, and successive
+  DSE generations or sweep batches pay zero per-batch setup;
+* **prefix-aware scheduling** — submitted cells are ordered with the
+  fingerprint schedule of :mod:`repro.runtime.scheduling` and distributed
+  as contiguous chunks, so plans sharing a layer prefix land adjacently on
+  one worker and resume from checkpoints instead of re-running the prefix;
+* **bit-exact** — every accuracy the service returns is identical to
+  evaluating the same plan on a fresh in-process executor with reuse
+  disabled (pinned by the parity suite).
+
+Lifecycle::
+
+    with EvaluationService(models, datasets, max_workers=4) as service:
+        accuracies = service.evaluate_plans(0, plans)        # blocking
+        batch = service.submit([(0, plan_a), (1, plan_b)])   # async
+        accuracies = batch.results()                          # input order
+
+``close()`` (or leaving the ``with`` block, normally *or* via an exception
+such as :class:`KeyboardInterrupt`) drains the workers, cancels queued
+chunks, and unlinks every shared block — no leaked ``/dev/shm`` segments,
+even when a worker failed mid-batch.
+
+``max_workers=1`` degenerates to a fully in-process serial path with no
+multiprocessing overhead (the same worker code runs against a service-
+private state dict), which keeps the service usable as the *only* execution
+path: callers never branch on worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.datasets.synthetic import Dataset
+from repro.runtime.publishing import (
+    SharedDatasets,
+    SharedTrainedModels,
+    publish_datasets,
+    publish_trained_models,
+)
+from repro.runtime.scheduling import contiguous_chunks, model_mac_names, schedule_cells
+from repro.runtime.worker import (
+    _eval_cell_chunk_task,
+    _init_pool_worker,
+    eval_cell_chunk,
+    init_worker_state,
+)
+from repro.simulation.inference import ExecutionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.simulation.campaign import TrainedModel
+
+
+class EvaluationBatch:
+    """Handle of one submitted cell batch; resolves to input-order accuracies.
+
+    Returned by :meth:`EvaluationService.submit`.  On the pool path the
+    chunks run asynchronously — :meth:`results` blocks until every chunk is
+    done, cancelling the rest of the batch on the first failure (including
+    :class:`KeyboardInterrupt`) so the service drains instead of churning
+    through doomed work.
+    """
+
+    def __init__(
+        self,
+        order: list[int],
+        chunk_results: list[list[float]] | None,
+        futures: "list[Future] | None",
+        num_cells: int,
+    ):
+        self._order = order
+        self._chunk_results = chunk_results
+        self._futures = futures
+        self._num_cells = num_cells
+
+    def __len__(self) -> int:
+        return self._num_cells
+
+    def results(self) -> list[float]:
+        """Accuracies in the *submission* order of the batch's cells."""
+        if self._chunk_results is None:
+            collected: list[list[float]] = []
+            try:
+                for future in self._futures:
+                    collected.append(future.result())
+            except BaseException:
+                # First failure (worker exception, KeyboardInterrupt, ...):
+                # stop feeding the pool — queued chunks are dead weight.
+                for future in self._futures:
+                    future.cancel()
+                raise
+            self._chunk_results = collected
+            self._futures = None
+        flat = [value for chunk in self._chunk_results for value in chunk]
+        ordered: list[float] = [0.0] * self._num_cells
+        for schedule_pos, cell_index in enumerate(self._order):
+            ordered[cell_index] = flat[schedule_pos]
+        return ordered
+
+
+class EvaluationService:
+    """Persistent prefix-aware worker service scoring ``(model, plan)`` cells.
+
+    Parameters
+    ----------
+    trained_models:
+        The models the session hosts; cells reference them by index (see
+        :meth:`model_index`).  A multi-model session (e.g. all six
+        reference networks x both datasets) publishes everything once and
+        serves every sweep and campaign from the same pool.
+    datasets:
+        ``{name: Dataset}`` covering every ``TrainedModel.dataset_name``
+        (calibration reads the train split's head, evaluation the test
+        split).
+    max_workers:
+        Worker process count; ``None`` uses ``os.cpu_count()``; ``1`` runs
+        fully in-process.  Must be a positive integer.
+    max_eval_images / calibration_images / engine_backend / reuse_prefix:
+        As in :func:`repro.simulation.campaign.plan_sweep` — they select
+        the (bit-exact) measurement setup every worker reproduces.
+    use_shared_memory:
+        ``None`` (default) publishes models and datasets exactly when
+        worker processes are used; ``True`` forces the publish/attach
+        round trip even in-process (useful for testing), ``False`` ships
+        them directly to the pool initializer.
+    batch_size:
+        Forward batch size of every evaluation (part of the measurement
+        setup: it is hashed into DSE ledger context keys).
+    """
+
+    def __init__(
+        self,
+        trained_models: "Iterable[TrainedModel]",
+        datasets: dict[str, Dataset],
+        *,
+        max_workers: int | None = None,
+        max_eval_images: int | None = None,
+        calibration_images: int = 128,
+        engine_backend: str | None = None,
+        reuse_prefix: bool = True,
+        use_shared_memory: bool | None = None,
+        batch_size: int = 256,
+    ):
+        self.models = list(trained_models)
+        if not self.models:
+            raise ValueError("EvaluationService needs at least one trained model")
+        self.datasets = dict(datasets)
+        missing = sorted(
+            {t.dataset_name for t in self.models} - set(self.datasets)
+        )
+        if missing:
+            raise ValueError(f"no dataset published for: {missing}")
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if int(max_workers) < 1:
+            raise ValueError(
+                f"max_workers must be a positive integer, got {max_workers}"
+            )
+        if int(batch_size) < 1:
+            raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
+        self.max_workers = int(max_workers)
+        self.max_eval_images = max_eval_images
+        self.calibration_images = int(calibration_images)
+        self.engine_backend = engine_backend
+        self.reuse_prefix = bool(reuse_prefix)
+        self.use_shared_memory = use_shared_memory
+        self.batch_size = int(batch_size)
+
+        self._mac_names = {
+            index: model_mac_names(trained)
+            for index, trained in enumerate(self.models)
+        }
+        self._pool: ProcessPoolExecutor | None = None
+        self._serial_state: dict | None = None
+        self._model_store: SharedTrainedModels | None = None
+        self._dataset_store: SharedDatasets | None = None
+        self._started = False
+        self._closed = False
+        self.cells_submitted = 0
+        self.batches_submitted = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def serial(self) -> bool:
+        """Whether the service runs fully in-process (``max_workers == 1``)."""
+        return self.max_workers == 1
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def start(self) -> "EvaluationService":
+        """Publish models/datasets and spawn the worker pool (idempotent)."""
+        if self._closed:
+            raise RuntimeError("EvaluationService is closed")
+        if self._started:
+            return self
+        share = (
+            (not self.serial)
+            if self.use_shared_memory is None
+            else bool(self.use_shared_memory)
+        )
+        try:
+            # Publish inside the try: if the second publish (or the pool
+            # spawn) fails, close() still unlinks the first block.
+            if share:
+                self._model_store = publish_trained_models(self.models)
+                self._dataset_store = publish_datasets(self.datasets)
+            initargs = (
+                self._model_store if self._model_store is not None else self.models,
+                self._dataset_store
+                if self._dataset_store is not None
+                else self.datasets,
+                self.max_eval_images,
+                self.calibration_images,
+                self.engine_backend,
+                self.reuse_prefix,
+                self.batch_size,
+            )
+            if self.serial:
+                self._serial_state = {}
+                init_worker_state(self._serial_state, *initargs)
+            else:
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=context,
+                    initializer=_init_pool_worker,
+                    initargs=initargs,
+                )
+        except BaseException:
+            self._started = True  # let close() tear down the partial state
+            self.close()
+            raise
+        self._started = True
+        return self
+
+    def __enter__(self) -> "EvaluationService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain workers, cancel queued chunks, unlink shared blocks.
+
+        Idempotent, and safe to call at any point of the lifecycle —
+        including from an exception path such as :class:`KeyboardInterrupt`
+        or after a worker failure: running chunks are waited out, queued
+        chunks are cancelled, and every published block is released.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if self._serial_state is not None:
+            # Drop the in-process executors/views before unlinking below.
+            self._serial_state.clear()
+            self._serial_state = None
+        stores = (self._model_store, self._dataset_store)
+        self._model_store = self._dataset_store = None
+        for store in stores:
+            if store is not None:
+                store.unlink()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def model_index(self, name: str, dataset_name: str | None = None) -> int:
+        """Index of one hosted model by name (and dataset, when ambiguous)."""
+        matches = [
+            index
+            for index, trained in enumerate(self.models)
+            if trained.name == name
+            and (dataset_name is None or trained.dataset_name == dataset_name)
+        ]
+        if not matches:
+            raise KeyError(f"service hosts no model {name!r} (dataset={dataset_name!r})")
+        if len(matches) > 1:
+            raise KeyError(
+                f"model {name!r} is hosted for several datasets; pass dataset_name"
+            )
+        return matches[0]
+
+    def mac_names(self, model_index: int) -> tuple[str, ...]:
+        """MAC layer names of one hosted model, in execution order."""
+        return self._mac_names[model_index]
+
+    def shared_store_handles(self) -> list[tuple[str, str]]:
+        """``(kind, name)`` of every published block (for leak diagnostics)."""
+        return [
+            (store.store.kind, store.store.name)
+            for store in (self._model_store, self._dataset_store)
+            if store is not None
+        ]
+
+    def nbytes_shared(self) -> int:
+        """Total bytes placed in shared blocks (0 when shipping by pickle)."""
+        return sum(
+            store.nbytes_shared()
+            for store in (self._model_store, self._dataset_store)
+            if store is not None
+        )
+
+    def stats(self) -> dict:
+        """Counters of the session so far."""
+        stats = {
+            "workers": self.max_workers,
+            "models": len(self.models),
+            "datasets": len(self.datasets),
+            "batches_submitted": self.batches_submitted,
+            "cells_submitted": self.cells_submitted,
+            "nbytes_shared": self.nbytes_shared(),
+        }
+        if self._serial_state is not None:
+            stats["executor_builds"] = self._serial_state.get("executor_builds", 0)
+            stats["cells_evaluated"] = self._serial_state.get("cells_evaluated", 0)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _validate_cells(
+        self, cells: Sequence[tuple[int, ExecutionPlan]]
+    ) -> list[tuple[int, ExecutionPlan]]:
+        validated: list[tuple[int, ExecutionPlan]] = []
+        for model_index, plan in cells:
+            model_index = int(model_index)
+            if not 0 <= model_index < len(self.models):
+                raise IndexError(
+                    f"model index {model_index} out of range "
+                    f"(service hosts {len(self.models)} models)"
+                )
+            if not isinstance(plan, ExecutionPlan):
+                raise TypeError(f"cell plan must be an ExecutionPlan, got {plan!r}")
+            validated.append((model_index, plan))
+        return validated
+
+    def submit(self, cells: Sequence[tuple[int, ExecutionPlan]]) -> EvaluationBatch:
+        """Schedule a batch of ``(model_index, plan)`` cells; returns a handle.
+
+        Cells are ordered with the prefix-aware fingerprint schedule,
+        split into contiguous chunks (at most one per worker), and — on the
+        pool path — dispatched asynchronously.  ``batch.results()``
+        resolves to accuracies in the cells' *submission* order.  The
+        service auto-starts on first submission.
+        """
+        if self._closed:
+            raise RuntimeError("EvaluationService is closed")
+        if not self._started:
+            self.start()
+        cells = self._validate_cells(cells)
+        self.batches_submitted += 1
+        self.cells_submitted += len(cells)
+        if not cells:
+            return EvaluationBatch([], [], None, 0)
+        order = schedule_cells(cells, self._mac_names)
+        schedule = [cells[index] for index in order]
+        chunks = contiguous_chunks(schedule, self.max_workers)
+        if self.serial:
+            chunk_results = [
+                eval_cell_chunk(self._serial_state, chunk) for chunk in chunks
+            ]
+            return EvaluationBatch(order, chunk_results, None, len(cells))
+        futures = [self._pool.submit(_eval_cell_chunk_task, chunk) for chunk in chunks]
+        return EvaluationBatch(order, None, futures, len(cells))
+
+    def evaluate_cells(self, cells: Sequence[tuple[int, ExecutionPlan]]) -> list[float]:
+        """Blocking convenience: ``submit(cells).results()``."""
+        return self.submit(cells).results()
+
+    def evaluate_plans(
+        self, model_index: int, plans: Sequence[ExecutionPlan]
+    ) -> list[float]:
+        """Accuracies of ``plans`` on one hosted model, in input order."""
+        return self.evaluate_cells([(model_index, plan) for plan in plans])
+
+
+__all__ = ["EvaluationService", "EvaluationBatch"]

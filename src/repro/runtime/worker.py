@@ -1,0 +1,178 @@
+"""Per-process worker state and cell evaluation of the evaluation runtime.
+
+One worker process hosts:
+
+* the attached trained models and datasets (read-only views into the
+  service's shared blocks when publication is on — see
+  :mod:`repro.runtime.publishing`);
+* a **single-slot executor cache**: the calibrated
+  :class:`~repro.simulation.inference.ApproximateExecutor` of the most
+  recently evaluated model.  Schedules group cells by model
+  (:mod:`repro.runtime.scheduling`), so this preserves reuse across a
+  model's cells while bounding peak memory to one executor (kernel caches,
+  activation buffers and quantized weights included);
+* the plan-context arming: every chunk a worker receives carries its plans,
+  and the executor's plan-invariant prefix reuse is armed with exactly that
+  chunk's plan set before evaluation (bit-exact — checkpoints are only
+  substituted on exact fingerprint-prefix matches).
+
+The same functions back both execution modes of the
+:class:`~repro.runtime.service.EvaluationService`: worker processes operate
+on the module-global :data:`_WORKER_STATE` (populated by the pool
+initializer), while the serial in-process path passes the service's own
+private state dict, so two live services in one process never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.runtime.publishing import SharedDatasets, SharedTrainedModels
+from repro.simulation.inference import ApproximateExecutor, ExecutionPlan
+from repro.simulation.metrics import accuracy
+
+#: Pool-worker process state (set by :func:`_init_pool_worker`).  The serial
+#: path never touches it — each in-process service owns a private dict.
+_WORKER_STATE: dict = {}
+
+
+def init_worker_state(
+    state: dict,
+    trained_models,
+    datasets,
+    max_eval_images: int | None,
+    calibration_images: int,
+    engine_backend: str | None = None,
+    reuse_prefix: bool = True,
+    batch_size: int = 256,
+) -> None:
+    """(Re)initialize one worker's state dict, attaching shared blocks."""
+    if isinstance(trained_models, SharedTrainedModels):
+        # Attach to the published parameter block: the models rebuilt here
+        # hold read-only views into shared memory, not private copies.
+        trained_models = trained_models.attach()
+    if isinstance(datasets, SharedDatasets):
+        # Same for the evaluation data — images dwarf the weights for small
+        # models, so this is where most of the per-worker RSS would go.
+        datasets = datasets.attach()
+    state.clear()
+    state.update(
+        models=list(trained_models),
+        datasets=dict(datasets),
+        max_eval_images=max_eval_images,
+        calibration_images=calibration_images,
+        engine_backend=engine_backend,
+        reuse_prefix=bool(reuse_prefix),
+        batch_size=int(batch_size),
+        executors={},
+        executor_builds=0,
+        cells_evaluated=0,
+    )
+
+
+def _init_pool_worker(*initargs) -> None:
+    """Pool initializer: populate the process-global worker state."""
+    init_worker_state(_WORKER_STATE, *initargs)
+
+
+def executor_for(
+    state: dict, model_index: int, plans: "Sequence[ExecutionPlan] | None" = None
+) -> ApproximateExecutor:
+    """Calibrated executor of one model, cached per worker (single slot).
+
+    Only the most recent model's executor is kept: schedules group cells by
+    model, so this preserves reuse across a model's cells while bounding
+    peak memory to one executor — matching the serial sweep's profile.
+    When ``plans`` is given (and reuse is on) the executor's plan-invariant
+    prefix reuse is armed with that plan set, replacing any previous
+    context; consecutive cells of the chunk then resume at the deepest
+    matching checkpoint instead of re-running shared layer prefixes.
+    """
+    executor = state["executors"].get(model_index)
+    if executor is None:
+        trained = state["models"][model_index]
+        dataset = state["datasets"][trained.dataset_name]
+        calib = dataset.train_images[: state["calibration_images"]]
+        reuse = state.get("reuse_prefix", True)
+        executor = ApproximateExecutor(
+            trained.model,
+            calib,
+            engine_backend=state["engine_backend"],
+            reuse_plan_invariant_acts=reuse,
+            reuse_plan_invariant_prefix=reuse,
+        )
+        state["executors"].clear()
+        state["executors"][model_index] = executor
+        state["executor_builds"] += 1
+    if plans and state.get("reuse_prefix", True):
+        executor.set_plan_context(list(plans))
+    return executor
+
+
+def eval_arrays(state: dict, trained) -> tuple[np.ndarray, np.ndarray]:
+    """The (possibly capped) evaluation images and labels of one model."""
+    dataset = state["datasets"][trained.dataset_name]
+    test_images = dataset.test_images
+    test_labels = dataset.test_labels
+    max_eval = state["max_eval_images"]
+    if max_eval is not None:
+        test_images = test_images[:max_eval]
+        test_labels = test_labels[:max_eval]
+    return test_images, test_labels
+
+
+def eval_plan_cell(state: dict, model_index: int, plan: ExecutionPlan) -> float:
+    """Accuracy of one model under one plan, using the cached executor."""
+    trained = state["models"][model_index]
+    test_images, test_labels = eval_arrays(state, trained)
+    executor = executor_for(state, model_index)
+    predictions = executor.predict(test_images, plan, batch_size=state["batch_size"])
+    state["cells_evaluated"] += 1
+    return accuracy(predictions, test_labels)
+
+
+def eval_cell_chunk(
+    state: dict, chunk: Sequence[tuple[int, ExecutionPlan]]
+) -> list[float]:
+    """Accuracies of one contiguous schedule chunk, in chunk order.
+
+    Consecutive cells of the same model are grouped: the group's plan set
+    is armed as the executor's plan context once, then each plan is
+    evaluated in schedule order — so the prefix adjacency arranged by the
+    scheduler turns into checkpoint hits here.
+    """
+    results: list[float] = []
+    start = 0
+    while start < len(chunk):
+        stop = start
+        model_index = chunk[start][0]
+        while stop < len(chunk) and chunk[stop][0] == model_index:
+            stop += 1
+        trained = state["models"][model_index]
+        plans = [plan for _, plan in chunk[start:stop]]
+        executor = executor_for(state, model_index, plans=plans)
+        test_images, test_labels = eval_arrays(state, trained)
+        for plan in plans:
+            predictions = executor.predict(
+                test_images, plan, batch_size=state["batch_size"]
+            )
+            results.append(accuracy(predictions, test_labels))
+            state["cells_evaluated"] += 1
+        start = stop
+    return results
+
+
+def _eval_cell_chunk_task(chunk: Sequence[tuple[int, ExecutionPlan]]) -> list[float]:
+    """Pool task: evaluate one chunk against the process-global state."""
+    return eval_cell_chunk(_WORKER_STATE, chunk)
+
+
+__all__ = [
+    "init_worker_state",
+    "executor_for",
+    "eval_arrays",
+    "eval_plan_cell",
+    "eval_cell_chunk",
+]

@@ -14,7 +14,11 @@
   datasets, m = 1..3, with/without V), its multi-process variant
   :func:`~repro.simulation.campaign.parallel_sweep`, and the trained-model
   cache (keyed by the full training settings) that keeps benches fast and
-  deterministic.
+  deterministic.  Both sweeps execute through the unified evaluation
+  runtime (:mod:`repro.runtime`): one
+  :class:`~repro.runtime.service.EvaluationService` publishes models and
+  datasets once through shared memory and schedules cells prefix-aware
+  across persistent workers.
 """
 
 from repro.simulation.inference import (

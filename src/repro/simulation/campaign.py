@@ -14,63 +14,62 @@ This module provides the machinery behind the Table III benchmark:
   requested perforation value with and without the control variate,
   producing one :class:`AccuracyRecord` per cell of Table III;
 * :func:`parallel_sweep` fans the (model, m, control-variate) cells of the
-  sweep across worker processes, each worker building its calibrated
-  :class:`~repro.simulation.inference.ApproximateExecutor` (with its
-  compiled product kernels) once per model and reusing it for every cell it
-  evaluates.  Results are bit-identical to the serial sweep.
+  sweep across worker processes; results are bit-identical to the serial
+  sweep;
 * :func:`plan_sweep` generalizes the cells to arbitrary labeled
   :class:`~repro.simulation.inference.ExecutionPlan` sets (per-layer
-  approximation, LUT multipliers, ...), arms each worker executor's
-  plan-invariant prefix reuse with the full plan set, and orders cells with
-  the prefix-aware scheduler :func:`order_plan_cells` so consecutive cells
-  share the deepest possible prefix.
+  approximation, LUT multipliers, ...).
 
-Shared-memory publication
--------------------------
-The multi-process sweep does **not** ship a private copy of every trained
-model — or of the evaluation datasets, which dwarf the weights for small
-models — to every worker.  Both ride the generic
-:class:`repro.core.shared_store.SharedArrayStore` (one POSIX
-``multiprocessing.shared_memory`` block, memory-mapped temp file fallback):
-:func:`publish_trained_models` pickles each model with its parameter arrays
-replaced by persistent-id tokens, and :func:`publish_datasets` tokenizes the
-train/test image and label arrays of every dataset.  Workers attach
-**read-only views into the shared block**, so N workers hold one copy of
-the bytes instead of N.  Workers never train — they attach to
-already-trained parameters — and the engine backend used to compile product
-kernels is forwarded via ``engine_backend``.
+Execution runtime
+-----------------
+Both sweeps are thin clients of the unified evaluation runtime
+(:mod:`repro.runtime`): a :class:`repro.runtime.service.EvaluationService`
+publishes the trained models and datasets once through shared memory
+(:mod:`repro.runtime.publishing` — re-exported here for backward
+compatibility), spawns a persistent worker pool, orders the submitted
+cells with the prefix-aware scheduler
+(:func:`repro.runtime.scheduling.order_plan_cells`) and hands each worker
+one contiguous chunk of the schedule.  Workers never train — they attach
+to already-trained parameters — and the engine backend used to compile
+product kernels is forwarded via ``engine_backend``.  The DSE engine's
+``run_campaign(workers=N)`` rides the very same service.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
-import io
 import json
-import multiprocessing
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.shared_store import SharedArrayStore
 from repro.datasets.synthetic import Dataset
 from repro.models.zoo import build_model
 from repro.nn.graph import Graph
 from repro.nn.optimizers import SGD
 from repro.nn.serialization import load_params, save_params
 from repro.nn.training import Trainer, evaluate_accuracy
+
+# Backward-compatible re-exports: the publishing machinery and the
+# prefix-aware scheduler historically lived in this module and are part of
+# its public API (``repro.simulation`` re-exports them in turn).
+from repro.runtime.publishing import (  # noqa: F401  (re-exported)
+    SharedDatasets,
+    SharedTrainedModels,
+    publish_datasets,
+    publish_trained_models,
+)
+from repro.runtime.scheduling import order_plan_cells  # noqa: F401  (re-exported)
+from repro.runtime.service import EvaluationService
 from repro.simulation.inference import (
     AccurateProduct,
-    ApproximateExecutor,
     ExecutionPlan,
     PerforatedProduct,
-    plan_fingerprint_sort_key,
 )
-from repro.simulation.metrics import accuracy, accuracy_loss_percent
+from repro.simulation.metrics import accuracy_loss_percent
 
 
 def default_cache_dir() -> str:
@@ -334,322 +333,130 @@ class SweepResult:
         return float(np.mean(losses))
 
 
-# ----------------------------------------------------------------------
-# Shared-memory publication of trained models and datasets
-# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanAccuracyRecord:
+    """One cell of a :func:`plan_sweep`: one model evaluated under one plan."""
+
+    model: str
+    dataset: str
+    plan_label: str
+    accuracy: float
 
 
-class _ParamPickler(pickle.Pickler):
-    """Pickler externalizing registered parameter arrays as persistent ids.
-
-    Arrays registered (by object identity) in ``tokens`` are emitted as a
-    token string instead of their bytes; everything else pickles normally.
-    This keeps the model *structure* in the pickle while the parameter
-    *data* lives once in the shared block.
-    """
-
-    def __init__(self, file, tokens: dict[int, str]):
-        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
-        self._tokens = tokens
-
-    def persistent_id(self, obj):
-        if isinstance(obj, np.ndarray):
-            return self._tokens.get(id(obj))
-        return None
-
-
-class _ParamUnpickler(pickle.Unpickler):
-    """Unpickler resolving persistent-id tokens to views of a shared store."""
-
-    def __init__(self, file, store: SharedArrayStore):
-        super().__init__(file)
-        self._store = store
-
-    def persistent_load(self, token):
-        return self._store.get(token)
-
-
-class SharedTrainedModels:
-    """Trained models published once for zero-copy attachment by workers.
-
-    Produced by :func:`publish_trained_models`.  The parameter arrays of
-    every model live in one :class:`~repro.core.shared_store.SharedArrayStore`
-    block (POSIX shared memory, or a memory-mapped temp file as fallback —
-    see :attr:`kind`); the pickled models reference them via persistent-id
-    tokens.  :meth:`attach` rebuilds the :class:`TrainedModel` list with
-    parameters as read-only views into the block, never copying them.  The
-    publishing process must call :meth:`unlink` once all consumers are done.
-    """
-
-    def __init__(self, pickles: list[bytes], store: SharedArrayStore):
-        self.pickles = pickles
-        self.store = store
-        self._models: list[TrainedModel] | None = None
-
-    # Back-compat accessors mirroring the pre-SharedArrayStore attributes.
-    @property
-    def spec(self) -> dict[str, tuple[int, tuple, str]]:
-        return self.store.spec
-
-    @property
-    def kind(self) -> str:
-        return self.store.kind
-
-    @property
-    def name(self) -> str:
-        return self.store.name
-
-    @property
-    def size(self) -> int:
-        return self.store.size
-
-    def __getstate__(self):
-        # The per-process model cache never travels to workers.
-        state = self.__dict__.copy()
-        state["_models"] = None
-        return state
-
-    def attach(self) -> list[TrainedModel]:
-        """Models with parameters viewing the shared block (cached per process)."""
-        if self._models is None:
-            self._models = [
-                _ParamUnpickler(io.BytesIO(blob), self.store).load()
-                for blob in self.pickles
-            ]
-        return self._models
-
-    def nbytes_shared(self) -> int:
-        """Total parameter bytes placed in the shared block."""
-        return self.store.nbytes_shared()
-
-    def unlink(self) -> None:
-        """Release the shared block (publisher side; idempotent)."""
-        self._models = None
-        self.store.unlink()
-
-
-def publish_trained_models(
-    trained_models: Iterable[TrainedModel],
-    prefer_shared_memory: bool = True,
-) -> SharedTrainedModels:
-    """Publish the parameter arrays of ``trained_models`` for worker attachment.
-
-    Every array returned by each model's ``state_dict`` (weights, biases,
-    batch-norm statistics) is copied once into a single shared block, and
-    each :class:`TrainedModel` is pickled with those arrays externalized.
-    Workers call :meth:`SharedTrainedModels.attach` to rebuild the models
-    with parameters as read-only views — no per-worker copies, no re-pickling
-    of parameter data.
-
-    POSIX shared memory is used when available; when it cannot be created
-    (or ``prefer_shared_memory`` is false) the block degrades to a
-    memory-mapped file in the temp directory, which workers map read-only.
-    """
-    models = list(trained_models)
-    # ``tokens`` keys arrays by id(); every keyed array is immediately
-    # pinned in ``arrays`` (which outlives the pickling below), so a
-    # tracked id can never be garbage-collected and recycled by a later,
-    # distinct array — the aliasing that plagued state_dict implementations
-    # returning fresh (otherwise unreferenced) arrays per call.
-    tokens: dict[int, str] = {}
-    arrays: dict[str, np.ndarray] = {}
-    for index, trained in enumerate(models):
-        for key, array in trained.model.state_dict().items():
-            if id(array) in tokens:  # array shared between models: store once
-                continue
-            token = f"{index}:{key}"
-            tokens[id(array)] = token
-            arrays[token] = array
-
-    store = SharedArrayStore.publish(arrays, prefer_shared_memory=prefer_shared_memory)
-    pickles: list[bytes] = []
-    for trained in models:
-        sink = io.BytesIO()
-        _ParamPickler(sink, tokens).dump(trained)
-        pickles.append(sink.getvalue())
-    return SharedTrainedModels(pickles, store)
-
-
-#: Dataset fields published to (and rebuilt from) the shared block.
-_DATASET_ARRAY_FIELDS = ("train_images", "train_labels", "test_images", "test_labels")
-
-
-class SharedDatasets:
-    """Evaluation datasets published once for zero-copy worker attachment.
-
-    Produced by :func:`publish_datasets`.  The image and label arrays of
-    every dataset live in one shared block; :meth:`attach` rebuilds the
-    ``{name: Dataset}`` mapping with those arrays as read-only views, so a
-    sweep's worker processes share one copy of the evaluation data.  The
-    publishing process must call :meth:`unlink` once all consumers are done.
-    """
-
-    def __init__(self, metas: dict[str, dict], store: SharedArrayStore):
-        self.metas = metas
-        self.store = store
-        self._datasets: dict[str, Dataset] | None = None
-
-    def __getstate__(self):
-        state = self.__dict__.copy()
-        state["_datasets"] = None
-        return state
-
-    def attach(self) -> dict[str, Dataset]:
-        """Datasets with arrays viewing the shared block (cached per process)."""
-        if self._datasets is None:
-            self._datasets = {
-                name: Dataset(
-                    name=name,
-                    num_classes=meta["num_classes"],
-                    **{
-                        field_name: self.store.get(token)
-                        for field_name, token in meta["arrays"].items()
-                    },
-                )
-                for name, meta in self.metas.items()
-            }
-        return self._datasets
-
-    def nbytes_shared(self) -> int:
-        """Total dataset bytes placed in the shared block."""
-        return self.store.nbytes_shared()
-
-    def unlink(self) -> None:
-        """Release the shared block (publisher side; idempotent)."""
-        self._datasets = None
-        self.store.unlink()
-
-
-def publish_datasets(
+def _sweep_service(
+    models: list[TrainedModel],
     datasets: dict[str, Dataset],
-    prefer_shared_memory: bool = True,
-) -> SharedDatasets:
-    """Publish the train/test arrays of ``datasets`` for worker attachment.
-
-    The evaluation images dwarf the trained weights for small models, so a
-    multi-process sweep that ships datasets by pickle pays the dominant
-    memory cost once per worker.  Publishing moves those bytes into one
-    shared block; workers attach read-only views through
-    :meth:`SharedDatasets.attach`.
-    """
-    arrays: dict[str, np.ndarray] = {}
-    metas: dict[str, dict] = {}
-    for name, dataset in datasets.items():
-        field_tokens: dict[str, str] = {}
-        for field_name in _DATASET_ARRAY_FIELDS:
-            token = f"{name}:{field_name}"
-            arrays[token] = getattr(dataset, field_name)
-            field_tokens[field_name] = token
-        metas[name] = {"num_classes": dataset.num_classes, "arrays": field_tokens}
-    store = SharedArrayStore.publish(arrays, prefer_shared_memory=prefer_shared_memory)
-    return SharedDatasets(metas, store)
-
-
-#: Per-process worker state of :func:`parallel_sweep` / :func:`plan_sweep`
-#: (set by the pool initializer; also used by the in-process serial path).
-_SWEEP_STATE: dict = {}
-
-
-def _init_sweep_worker(
-    trained_models: "list[TrainedModel] | SharedTrainedModels",
-    datasets: "dict[str, Dataset] | SharedDatasets",
+    num_cells: int,
     max_eval_images: int | None,
     calibration_images: int,
-    engine_backend: str | None = None,
-    plans: "Sequence[tuple[str, ExecutionPlan]] | None" = None,
-    reuse_prefix: bool = True,
-) -> None:
-    if isinstance(trained_models, SharedTrainedModels):
-        # Attach to the published parameter block: the models rebuilt here
-        # hold read-only views into shared memory, not private copies.
-        trained_models = trained_models.attach()
-    if isinstance(datasets, SharedDatasets):
-        # Same for the evaluation data — images dwarf the weights for small
-        # models, so this is where most of the per-worker RSS would go.
-        datasets = datasets.attach()
-    _SWEEP_STATE.clear()
-    _SWEEP_STATE.update(
-        models=trained_models,
-        datasets=datasets,
+    max_workers: int | None,
+    engine_backend: str | None,
+    use_shared_memory: bool | None,
+    reuse_prefix: bool,
+) -> EvaluationService:
+    """One ephemeral :class:`EvaluationService` sized for a sweep's cells."""
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    # Never spawn more workers than there are cells to score.
+    max_workers = max(1, min(int(max_workers), num_cells))
+    return EvaluationService(
+        models,
+        datasets,
+        max_workers=max_workers,
         max_eval_images=max_eval_images,
         calibration_images=calibration_images,
         engine_backend=engine_backend,
-        plans=list(plans) if plans is not None else None,
-        reuse_prefix=bool(reuse_prefix),
-        executors={},
-        executor_builds=0,
+        reuse_prefix=reuse_prefix,
+        use_shared_memory=use_shared_memory,
     )
 
 
-def _sweep_executor(model_index: int) -> ApproximateExecutor:
-    """Calibrated executor of one trained model, cached per worker process.
+def plan_sweep(
+    trained_models: Iterable[TrainedModel],
+    datasets: "dict[str, Dataset]",
+    plans: Sequence[tuple[str, ExecutionPlan]],
+    max_eval_images: int | None = None,
+    calibration_images: int = 128,
+    max_workers: int | None = None,
+    engine_backend: str | None = None,
+    use_shared_memory: bool | None = None,
+    reuse_prefix: bool = True,
+) -> list[PlanAccuracyRecord]:
+    """Evaluate every trained model under every labeled execution plan.
 
-    Only the most recent model's executor is kept: cells are grouped by
-    model, so this preserves reuse across a model's cells while bounding
-    peak memory to one executor (kernel caches, activation buffers and
-    quantized weights included) — matching the old serial sweep's profile.
-    The executor's own cross-plan caches then make consecutive cells of one
-    model skip re-quantizing the first MAC layer's inputs, and — for a
-    :func:`plan_sweep` whose plan set is armed as the executor's plan
-    context — skip re-running the whole plan-invariant layer prefix.
+    The generalization of :func:`parallel_sweep` behind per-layer
+    approximation studies, now a thin client of the evaluation runtime:
+    each ``(label, plan)`` pair is one cell per model, the service orders
+    cells with the prefix-aware scheduler (so consecutive cells share the
+    deepest possible prefix, armed as each worker executor's plan context)
+    and publishes trained parameters and datasets once through shared
+    memory instead of copying them per worker.  Results are returned in
+    ``(model, plan)`` input order and are bit-identical to evaluating each
+    plan on a fresh executor with reuse disabled.
+
+    Parameters not shared with :func:`parallel_sweep`:
+
+    plans:
+        Labeled :class:`~repro.simulation.inference.ExecutionPlan` objects;
+        labels key the returned records.
+    reuse_prefix:
+        Arm cross-plan reuse (activation codes and the plan-invariant
+        layer prefix) in every worker executor.  Disable to force full
+        re-execution per cell — the escape hatch the CLI exposes as
+        ``--no-prefix-reuse``.
     """
-    executor = _SWEEP_STATE["executors"].get(model_index)
-    if executor is None:
-        trained = _SWEEP_STATE["models"][model_index]
-        dataset = _SWEEP_STATE["datasets"][trained.dataset_name]
-        calib = dataset.train_images[: _SWEEP_STATE["calibration_images"]]
-        reuse = _SWEEP_STATE.get("reuse_prefix", True)
-        executor = ApproximateExecutor(
-            trained.model,
-            calib,
-            engine_backend=_SWEEP_STATE["engine_backend"],
-            reuse_plan_invariant_acts=reuse,
-            reuse_plan_invariant_prefix=reuse,
+    models = list(trained_models)
+    plans = list(plans)
+    if not plans:
+        raise ValueError("plan_sweep requires at least one plan")
+    cells = [
+        (model_index, plan)
+        for model_index in range(len(models))
+        for _, plan in plans
+    ]
+    service = _sweep_service(
+        models,
+        datasets,
+        len(cells),
+        max_eval_images,
+        calibration_images,
+        max_workers,
+        engine_backend,
+        use_shared_memory,
+        reuse_prefix,
+    )
+    with service:
+        accuracies = service.evaluate_cells(cells)
+    return [
+        PlanAccuracyRecord(
+            model=models[model_index].name,
+            dataset=models[model_index].dataset_name,
+            plan_label=plans[plan_index][0],
+            accuracy=accuracies[model_index * len(plans) + plan_index],
         )
-        plans = _SWEEP_STATE.get("plans")
-        if plans and reuse:
-            executor.set_plan_context([plan for _, plan in plans])
-        _SWEEP_STATE["executors"].clear()
-        _SWEEP_STATE["executors"][model_index] = executor
-        _SWEEP_STATE["executor_builds"] += 1
-    return executor
+        for model_index in range(len(models))
+        for plan_index in range(len(plans))
+    ]
 
 
-def _sweep_eval_arrays(trained: TrainedModel) -> tuple[np.ndarray, np.ndarray]:
-    """The (possibly capped) evaluation images and labels of one model."""
-    dataset = _SWEEP_STATE["datasets"][trained.dataset_name]
-    test_images = dataset.test_images
-    test_labels = dataset.test_labels
-    max_eval = _SWEEP_STATE["max_eval_images"]
-    if max_eval is not None:
-        test_images = test_images[:max_eval]
-        test_labels = test_labels[:max_eval]
-    return test_images, test_labels
+def _sweep_cell_specs(
+    models: list[TrainedModel], perforations: Sequence[int]
+) -> list[tuple[int, int | None, bool]]:
+    """The (model, m, cv) cells of a Table III sweep; ``m is None`` = baseline."""
+    specs: list[tuple[int, int | None, bool]] = []
+    for index in range(len(models)):
+        specs.append((index, None, False))
+        for m in perforations:
+            for with_cv in (True, False):
+                specs.append((index, m, with_cv))
+    return specs
 
 
-def _eval_sweep_cell(cell: tuple[int, int | None, bool]) -> tuple[int, int | None, bool, float]:
-    """Evaluate one (model, m, cv) cell; ``m is None`` is the accurate baseline."""
-    model_index, m, with_cv = cell
-    trained = _SWEEP_STATE["models"][model_index]
-    test_images, test_labels = _sweep_eval_arrays(trained)
-    executor = _sweep_executor(model_index)
+def _spec_plan(m: int | None, with_cv: bool) -> ExecutionPlan:
+    """The uniform execution plan of one (m, cv) sweep cell."""
     if m is None:
-        plan = ExecutionPlan.uniform(AccurateProduct())
-    else:
-        plan = ExecutionPlan.uniform(PerforatedProduct(m, use_control_variate=with_cv))
-    acc = accuracy(executor.predict(test_images, plan), test_labels)
-    return model_index, m, with_cv, acc
-
-
-def _eval_plan_cell(cell: tuple[int, int]) -> tuple[int, int, float]:
-    """Evaluate one (model, plan) cell of a :func:`plan_sweep`."""
-    model_index, plan_index = cell
-    trained = _SWEEP_STATE["models"][model_index]
-    test_images, test_labels = _sweep_eval_arrays(trained)
-    executor = _sweep_executor(model_index)
-    _, plan = _SWEEP_STATE["plans"][plan_index]
-    acc = accuracy(executor.predict(test_images, plan), test_labels)
-    return model_index, plan_index, acc
+        return ExecutionPlan.uniform(AccurateProduct())
+    return ExecutionPlan.uniform(PerforatedProduct(m, use_control_variate=with_cv))
 
 
 def _assemble_sweep_result(
@@ -683,186 +490,6 @@ def _assemble_sweep_result(
     return result
 
 
-def _sweep_cells(
-    models: list[TrainedModel], perforations: Sequence[int]
-) -> list[tuple[int, int | None, bool]]:
-    cells: list[tuple[int, int | None, bool]] = []
-    for index in range(len(models)):
-        cells.append((index, None, False))
-        for m in perforations:
-            for with_cv in (True, False):
-                cells.append((index, m, with_cv))
-    return cells
-
-
-@dataclass(frozen=True)
-class PlanAccuracyRecord:
-    """One cell of a :func:`plan_sweep`: one model evaluated under one plan."""
-
-    model: str
-    dataset: str
-    plan_label: str
-    accuracy: float
-
-
-def order_plan_cells(
-    models: list[TrainedModel], plans: Sequence[tuple[str, ExecutionPlan]]
-) -> list[tuple[int, int]]:
-    """Prefix-aware cell schedule of a :func:`plan_sweep`.
-
-    Cells are grouped by model (one calibrated executor per model is kept
-    per worker), and within one model the plans are ordered
-    lexicographically by their per-MAC-layer fingerprint sequence.  Plans
-    sharing a layer prefix therefore become *adjacent*, which maximizes the
-    executor's prefix-checkpoint and activation-code cache hits when cells
-    run in schedule order.
-    """
-    cells: list[tuple[int, int]] = []
-    for model_index, trained in enumerate(models):
-        mac_names = [node.name for node in trained.model.conv_dense_nodes()]
-        # Same key as the executor's checkpoint-depth computation, so
-        # schedule adjacency matches the checkpoint structure exactly.
-        sort_keys = {
-            plan_index: plan_fingerprint_sort_key(plan.fingerprints(mac_names))
-            for plan_index, (_, plan) in enumerate(plans)
-        }
-        ordered = sorted(range(len(plans)), key=sort_keys.__getitem__)
-        cells.extend((model_index, plan_index) for plan_index in ordered)
-    return cells
-
-
-def _run_sweep(
-    models: list[TrainedModel],
-    datasets: "dict[str, Dataset]",
-    cells: list,
-    eval_cell,
-    max_eval_images: int | None,
-    calibration_images: int,
-    max_workers: int | None,
-    engine_backend: str | None,
-    use_shared_memory: bool | None,
-    plans: "Sequence[tuple[str, ExecutionPlan]] | None" = None,
-    reuse_prefix: bool = True,
-    contiguous_chunks: bool = False,
-) -> list:
-    """Shared orchestration of :func:`parallel_sweep` and :func:`plan_sweep`.
-
-    Publishes models (and datasets) through shared memory when sharing is
-    on, dispatches ``cells`` to ``eval_cell`` either in-process (serial) or
-    across a worker pool, and always unlinks the shared blocks.
-    ``contiguous_chunks`` hands each worker one contiguous block of the
-    schedule, preserving prefix-cache adjacency arranged by the scheduler.
-    """
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    serial = max_workers <= 1 or len(cells) <= 1
-    share = (not serial) if use_shared_memory is None else bool(use_shared_memory)
-    model_store = dataset_store = None
-    try:
-        # Publish inside the try: if the second publish fails, the finally
-        # still unlinks the first block instead of leaking it.
-        if share:
-            model_store = publish_trained_models(models)
-            dataset_store = publish_datasets(datasets)
-        initargs = (
-            model_store if model_store is not None else models,
-            dataset_store if dataset_store is not None else datasets,
-            max_eval_images,
-            calibration_images,
-            engine_backend,
-            plans,
-            reuse_prefix,
-        )
-        if serial:
-            _init_sweep_worker(*initargs)
-            try:
-                return [eval_cell(cell) for cell in cells]
-            finally:
-                _SWEEP_STATE.clear()
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            mp_context=context,
-            initializer=_init_sweep_worker,
-            initargs=initargs,
-        ) as pool:
-            chunksize = -(-len(cells) // max_workers) if contiguous_chunks else 1
-            return list(pool.map(eval_cell, cells, chunksize=chunksize))
-    finally:
-        if model_store is not None:
-            model_store.unlink()
-        if dataset_store is not None:
-            dataset_store.unlink()
-
-
-def plan_sweep(
-    trained_models: Iterable[TrainedModel],
-    datasets: "dict[str, Dataset]",
-    plans: Sequence[tuple[str, ExecutionPlan]],
-    max_eval_images: int | None = None,
-    calibration_images: int = 128,
-    max_workers: int | None = None,
-    engine_backend: str | None = None,
-    use_shared_memory: bool | None = None,
-    reuse_prefix: bool = True,
-) -> list[PlanAccuracyRecord]:
-    """Evaluate every trained model under every labeled execution plan.
-
-    The generalization of :func:`parallel_sweep` behind per-layer
-    approximation studies: each ``(label, plan)`` pair is one cell per
-    model, workers arm their executors' plan-invariant prefix reuse with
-    the full plan set, cells are ordered by :func:`order_plan_cells` so
-    consecutive cells share the deepest possible prefix, and — like
-    :func:`parallel_sweep` — trained parameters and datasets are published
-    once through shared memory instead of being copied per worker.
-    Results are returned in ``(model, plan)`` input order and are
-    bit-identical to evaluating each plan on a fresh executor with reuse
-    disabled.
-
-    Parameters not shared with :func:`parallel_sweep`:
-
-    plans:
-        Labeled :class:`~repro.simulation.inference.ExecutionPlan` objects;
-        labels key the returned records.
-    reuse_prefix:
-        Arm cross-plan reuse (activation codes and the plan-invariant
-        layer prefix) in every worker executor.  Disable to force full
-        re-execution per cell — the escape hatch the CLI exposes as
-        ``--no-prefix-reuse``.
-    """
-    models = list(trained_models)
-    plans = list(plans)
-    if not plans:
-        raise ValueError("plan_sweep requires at least one plan")
-    cells = order_plan_cells(models, plans)
-    results = _run_sweep(
-        models,
-        datasets,
-        cells,
-        _eval_plan_cell,
-        max_eval_images,
-        calibration_images,
-        max_workers,
-        engine_backend,
-        use_shared_memory,
-        plans=plans,
-        reuse_prefix=reuse_prefix,
-        contiguous_chunks=True,
-    )
-    by_cell = {(model_index, plan_index): acc for model_index, plan_index, acc in results}
-    return [
-        PlanAccuracyRecord(
-            model=trained.name,
-            dataset=trained.dataset_name,
-            plan_label=plans[plan_index][0],
-            accuracy=by_cell[(model_index, plan_index)],
-        )
-        for model_index, trained in enumerate(models)
-        for plan_index in range(len(plans))
-    ]
-
-
 def parallel_sweep(
     trained_models: Iterable[TrainedModel],
     datasets: dict[str, Dataset],
@@ -874,15 +501,16 @@ def parallel_sweep(
     use_shared_memory: bool | None = None,
     reuse_prefix: bool = True,
 ) -> SweepResult:
-    """:func:`accuracy_sweep` fanned across worker processes.
+    """:func:`accuracy_sweep` fanned across the evaluation runtime's workers.
 
     Every (model, m, control-variate) cell — plus one accurate-baseline cell
-    per model — is an independent task.  Workers cache one calibrated
-    executor per model, so a worker that receives several cells of the same
-    model pays calibration and kernel compilation once.  The result is
-    bit-identical to the serial sweep; ``max_workers=1`` (or a single CPU)
-    degenerates to the in-process serial path with no multiprocessing
-    overhead.
+    per model — is one plan cell submitted to an
+    :class:`~repro.runtime.service.EvaluationService`.  Workers cache one
+    calibrated executor per model, so a worker that receives several cells
+    of the same model pays calibration and kernel compilation once.  The
+    result is bit-identical to the serial sweep; ``max_workers=1`` (or a
+    single CPU) degenerates to the in-process serial path with no
+    multiprocessing overhead.
 
     Parameters
     ----------
@@ -907,19 +535,27 @@ def parallel_sweep(
         ``--no-prefix-reuse``) to force full re-execution per cell.
     """
     models = list(trained_models)
-    cells = _sweep_cells(models, perforations)
-    results = _run_sweep(
+    specs = _sweep_cell_specs(models, perforations)
+    cells = [
+        (model_index, _spec_plan(m, with_cv)) for model_index, m, with_cv in specs
+    ]
+    service = _sweep_service(
         models,
         datasets,
-        cells,
-        _eval_sweep_cell,
+        len(cells),
         max_eval_images,
         calibration_images,
         max_workers,
         engine_backend,
         use_shared_memory,
-        reuse_prefix=reuse_prefix,
+        reuse_prefix,
     )
+    with service:
+        accuracies = service.evaluate_cells(cells)
+    results = [
+        (model_index, m, with_cv, acc)
+        for (model_index, m, with_cv), acc in zip(specs, accuracies)
+    ]
     return _assemble_sweep_result(models, perforations, results)
 
 

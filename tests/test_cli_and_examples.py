@@ -172,6 +172,16 @@ class TestCliErrorPaths:
         assert main(["dse", "--subsample-eval", "0"]) == 2
         assert "must be positive" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("command", ["sweep", "table3", "dse"])
+    def test_invalid_workers_rejected_uniformly(self, command, capsys):
+        """One --workers contract across every evaluating command: values
+        below 1 exit 2 with the same clear message."""
+        for bad in ("0", "-4"):
+            assert main([command, "--workers", bad]) == 2
+            err = capsys.readouterr().err
+            assert "--workers must be a positive integer" in err
+            assert bad in err
+
 
 class TestSweepCommand:
     def test_sweep_command_small(self, capsys, tmp_path):
@@ -199,6 +209,33 @@ class TestSweepCommand:
         )
         out = capsys.readouterr().out
         assert "ours loss" in out and "vgg13" in out
+
+    def test_table3_command_small(self, capsys, tmp_path):
+        """table3 runs the multi-model session end to end (subset config)."""
+        assert (
+            main(
+                [
+                    "table3",
+                    "--models",
+                    "vgg13",
+                    "--classes",
+                    "10",
+                    "--epochs",
+                    "1",
+                    "--perforations",
+                    "1",
+                    "--max-eval-images",
+                    "16",
+                    "--workers",
+                    "2",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table III" in out and "average" in out and "vgg13" in out
 
 
 class TestDseCommand:
@@ -279,6 +316,70 @@ class TestDseCommand:
         second = json.loads(capsys.readouterr().out)
         assert first["front"] == second["front"]
         assert first["baseline_accuracy"] == second["baseline_accuracy"]
+
+    def test_dse_workers_matches_serial_front(self, capsys, tmp_path):
+        """--workers N is bit-exact with the serial path: identical fronts."""
+        import json
+
+        args = [
+            "dse",
+            "--classes",
+            "10",
+            "--epochs",
+            "1",
+            "--strategy",
+            "greedy",
+            "--budget-evals",
+            "8",
+            "--max-eval-images",
+            "16",
+            "--seed",
+            "0",
+            "--cache-dir",
+            str(tmp_path),
+            "--no-ledger",
+            "--json",
+        ]
+        assert main(args + ["--workers", "1"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["front"] == serial["front"]
+        assert parallel["baseline_accuracy"] == serial["baseline_accuracy"]
+        assert parallel["stats"]["workers"] == 2
+
+    def test_dse_multi_model_shared_service(self, capsys, tmp_path):
+        """--models runs one campaign per model on one shared service."""
+        import json
+
+        args = [
+            "dse",
+            "--models",
+            "vgg13",
+            "resnet44",
+            "--classes",
+            "10",
+            "--epochs",
+            "1",
+            "--strategy",
+            "greedy",
+            "--budget-evals",
+            "4",
+            "--max-eval-images",
+            "16",
+            "--seed",
+            "0",
+            "--cache-dir",
+            str(tmp_path),
+            "--no-ledger",
+            "--json",
+        ]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["model"] for entry in payload["models"]] == ["vgg13", "resnet44"]
+        for entry in payload["models"]:
+            assert entry["front"], f"no front for {entry['model']}"
+            assert entry["stats"]["evaluations"] <= 4
 
 
 class TestExamples:

@@ -1,0 +1,440 @@
+"""Tests of the unified evaluation runtime (:mod:`repro.runtime`).
+
+The acceptance criteria of the subsystem live here:
+
+* **service-vs-serial parity** — randomized plan sets scored through an
+  :class:`~repro.runtime.service.EvaluationService` are bit-exact with the
+  in-process :meth:`~repro.dse.evaluator.PlanEvaluator.evaluate` and with
+  :func:`~repro.simulation.campaign.plan_sweep`, across multiple engine
+  backends;
+* **graceful shutdown** — a forced worker failure (and a
+  ``KeyboardInterrupt`` on the serial path) still drains the workers and
+  unlinks every shared-memory block: no leaked ``/dev/shm`` segments;
+* **parallel DSE campaigns** — ``run_campaign(workers=N)`` produces a
+  Pareto front identical (same points, bit-exact accuracies) to the
+  serial campaign, and shares ledger records with it (resume performs
+  zero duplicate evaluations);
+* **multi-model sessions** — one service hosting several models serves
+  cells of all of them, bit-exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.shared_store import SharedArrayStore
+from repro.dse import CampaignLedger, PlanEvaluator, ServicePlanEvaluator, run_campaign
+from repro.runtime import EvaluationService, contiguous_chunks, schedule_cells
+from repro.simulation.campaign import TrainedModel, plan_sweep
+from repro.simulation.inference import (
+    AccurateProduct,
+    ExecutionPlan,
+    PerforatedProduct,
+    ProductModel,
+)
+
+pytestmark = pytest.mark.runtime
+
+
+class ExplodingProduct(ProductModel):
+    """Product model whose evaluation always fails — forces a worker failure.
+
+    Module-level so it pickles into pool workers; the failure happens at
+    product-sum time, i.e. inside a worker process on the pool path.
+    """
+
+    def product_sums(self, act_codes, weight_codes, control_variate):
+        raise RuntimeError("forced worker failure")
+
+    def fingerprint(self) -> tuple:
+        return ("exploding",)
+
+
+class InterruptingProduct(ProductModel):
+    """Product model raising KeyboardInterrupt mid-batch (serial path only)."""
+
+    def product_sums(self, act_codes, weight_codes, control_variate):
+        raise KeyboardInterrupt
+
+    def fingerprint(self) -> tuple:
+        return ("interrupting",)
+
+
+@pytest.fixture(scope="module")
+def trained(trained_tiny_model, tiny_dataset):
+    return TrainedModel(
+        name="vgg13",
+        dataset_name=tiny_dataset.name,
+        model=trained_tiny_model,
+        float_accuracy=0.0,
+    )
+
+
+def _random_plans(trained, count: int, seed: int) -> list[ExecutionPlan]:
+    """Randomized per-layer plan set (the shapes a DSE batch produces)."""
+    rng = np.random.default_rng(seed)
+    mac_names = [node.name for node in trained.model.conv_dense_nodes()]
+    menu = [
+        None,  # accurate
+        PerforatedProduct(1),
+        PerforatedProduct(2),
+        PerforatedProduct(2, use_control_variate=False),
+        PerforatedProduct(3),
+    ]
+    plans = [ExecutionPlan.uniform(AccurateProduct())]
+    while len(plans) < count:
+        plan = ExecutionPlan.uniform(AccurateProduct())
+        for name in mac_names:
+            choice = menu[int(rng.integers(0, len(menu)))]
+            if choice is not None:
+                plan = plan.with_layer(name, choice)
+        plans.append(plan)
+    return plans
+
+
+def _assert_no_leaked_stores(handles: list[tuple[str, str]]) -> None:
+    """Every published block must be gone after close()."""
+    assert handles, "service published no shared blocks"
+    for kind, name in handles:
+        if kind == "shm":
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        else:
+            assert not os.path.exists(name)
+
+
+class TestServiceParity:
+    @pytest.mark.parametrize("engine_backend", ["numpy", "lowmem"])
+    def test_service_bit_exact_with_evaluator_and_plan_sweep(
+        self, trained, tiny_dataset, engine_backend
+    ):
+        """Randomized plan sets: service == in-process evaluator == plan_sweep."""
+        plans = _random_plans(trained, count=6, seed=11)
+        datasets = {tiny_dataset.name: tiny_dataset}
+        kwargs = dict(
+            max_eval_images=24, calibration_images=32, engine_backend=engine_backend
+        )
+        with EvaluationService(
+            [trained], datasets, max_workers=2, use_shared_memory=True, **kwargs
+        ) as service:
+            via_service = service.evaluate_plans(0, plans)
+        serial = PlanEvaluator(trained, tiny_dataset, **kwargs).evaluate(plans)
+        swept = plan_sweep(
+            [trained],
+            datasets,
+            [(f"p{i}", plan) for i, plan in enumerate(plans)],
+            max_workers=1,
+            **kwargs,
+        )
+        assert via_service == serial  # bit-exact, no tolerance
+        assert via_service == [record.accuracy for record in swept]
+
+    def test_service_evaluator_drop_in_matches_plan_evaluator(
+        self, trained, tiny_dataset
+    ):
+        """ServicePlanEvaluator mirrors PlanEvaluator: accuracies, context
+        key (ledger compatibility) and MAC layer names."""
+        plans = _random_plans(trained, count=4, seed=3)
+        kwargs = dict(max_eval_images=24, calibration_images=32)
+        serial = PlanEvaluator(trained, tiny_dataset, **kwargs)
+        with EvaluationService(
+            [trained], {tiny_dataset.name: tiny_dataset}, max_workers=2, **kwargs
+        ) as service:
+            backed = ServicePlanEvaluator(service, 0)
+            assert backed.context_key() == serial.context_key()
+            assert backed.mac_layer_names() == serial.mac_layer_names()
+            assert backed.evaluate(plans) == serial.evaluate(plans)
+            assert backed.evaluations == serial.evaluations == len(plans)
+
+    def test_multi_model_session(self, trained, tiny_dataset):
+        """One service hosting several models serves cells of all of them."""
+        second = TrainedModel(
+            name="vgg13-bis",
+            dataset_name=tiny_dataset.name,
+            model=trained.model,
+            float_accuracy=0.0,
+        )
+        plans = _random_plans(trained, count=3, seed=7)
+        cells = [(index, plan) for index in (0, 1) for plan in plans]
+        kwargs = dict(max_eval_images=24, calibration_images=32)
+        with EvaluationService(
+            [trained, second],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=2,
+            use_shared_memory=True,
+            **kwargs,
+        ) as service:
+            assert service.model_index("vgg13-bis") == 1
+            accuracies = service.evaluate_cells(cells)
+        expected = PlanEvaluator(trained, tiny_dataset, **kwargs).evaluate(plans)
+        assert accuracies == expected + expected  # both hosted models agree
+
+    def test_empty_and_single_cell_batches(self, trained, tiny_dataset):
+        with EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=1,
+            max_eval_images=8,
+            calibration_images=16,
+        ) as service:
+            assert service.evaluate_cells([]) == []
+            only = service.evaluate_plans(
+                0, [ExecutionPlan.uniform(PerforatedProduct(2))]
+            )
+            assert len(only) == 1 and 0.0 <= only[0] <= 1.0
+
+
+class TestServiceLifecycle:
+    def test_close_is_idempotent_and_rejects_new_work(self, trained, tiny_dataset):
+        service = EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=1,
+            max_eval_images=8,
+            calibration_images=16,
+            use_shared_memory=True,
+        )
+        service.start()
+        handles = service.shared_store_handles()
+        assert service.nbytes_shared() > 0
+        service.close()
+        service.close()  # idempotent
+        _assert_no_leaked_stores(handles)
+        with pytest.raises(RuntimeError):
+            service.submit([(0, ExecutionPlan.uniform(AccurateProduct()))])
+        with pytest.raises(RuntimeError):
+            service.start()
+
+    def test_validation_errors(self, trained, tiny_dataset):
+        datasets = {tiny_dataset.name: tiny_dataset}
+        with pytest.raises(ValueError, match="positive integer"):
+            EvaluationService([trained], datasets, max_workers=0)
+        with pytest.raises(ValueError, match="at least one trained model"):
+            EvaluationService([], datasets)
+        with pytest.raises(ValueError, match="no dataset published"):
+            EvaluationService([trained], {})
+        with EvaluationService(
+            [trained], datasets, max_workers=1, max_eval_images=8
+        ) as service:
+            with pytest.raises(IndexError):
+                service.evaluate_plans(5, [ExecutionPlan.uniform(AccurateProduct())])
+            with pytest.raises(KeyError):
+                service.model_index("resnet44")
+
+    def test_forced_worker_failure_propagates_and_unlinks(
+        self, trained, tiny_dataset
+    ):
+        """A worker dying mid-batch surfaces the error; close() still drains
+        the pool and unlinks every shared block (no /dev/shm leak)."""
+        poison = ExecutionPlan.uniform(AccurateProduct()).with_layer(
+            trained.model.conv_dense_nodes()[0].name, ExplodingProduct()
+        )
+        healthy = ExecutionPlan.uniform(PerforatedProduct(2))
+        service = EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=2,
+            max_eval_images=8,
+            calibration_images=16,
+            use_shared_memory=True,
+        )
+        try:
+            service.start()
+            handles = service.shared_store_handles()
+            with pytest.raises(RuntimeError, match="forced worker failure"):
+                service.evaluate_plans(0, [healthy, poison])
+        finally:
+            service.close()
+        _assert_no_leaked_stores(handles)
+        # The pool survives a clean close after the failure: a fresh service
+        # can publish into shared memory again (names never collided).
+        with EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=1,
+            max_eval_images=8,
+            calibration_images=16,
+        ) as fresh:
+            assert fresh.evaluate_plans(0, [healthy])
+
+    def test_keyboard_interrupt_in_sweep_unlinks_stores(
+        self, trained, tiny_dataset, monkeypatch
+    ):
+        """KeyboardInterrupt mid-sweep still tears the service down: every
+        published block is unlinked on the way out."""
+        unlinked: list[SharedArrayStore] = []
+        original = SharedArrayStore.unlink
+
+        def tracking_unlink(self):
+            unlinked.append(self)
+            return original(self)
+
+        monkeypatch.setattr(SharedArrayStore, "unlink", tracking_unlink)
+        poison = ExecutionPlan.uniform(AccurateProduct()).with_layer(
+            trained.model.conv_dense_nodes()[0].name, InterruptingProduct()
+        )
+        with pytest.raises(KeyboardInterrupt):
+            plan_sweep(
+                [trained],
+                {tiny_dataset.name: tiny_dataset},
+                [("poison", poison)],
+                max_workers=1,
+                use_shared_memory=True,  # serial path, publish forced on
+                max_eval_images=8,
+                calibration_images=16,
+            )
+        # Both blocks (models + datasets) released despite the interrupt.
+        assert len(unlinked) >= 2
+        for store in unlinked:
+            if store.kind == "shm":
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=store.name)
+            else:
+                assert not os.path.exists(store.name)
+
+
+class TestParallelCampaign:
+    def test_workers_produce_identical_front_and_share_ledger(
+        self, trained, tiny_dataset, tmp_path
+    ):
+        """run_campaign(workers=2) == workers=1: same Pareto points with
+        bit-exact accuracies, and the parallel path writes ledger records
+        the serial path replays verbatim (context keys match)."""
+        kwargs = dict(
+            strategy="greedy",
+            max_loss=0.5,
+            budget_evals=10,
+            max_eval_images=24,
+            calibration_images=32,
+            array_size=64,
+        )
+        serial = run_campaign(
+            trained,
+            tiny_dataset,
+            ledger=CampaignLedger(str(tmp_path / "serial")),
+            workers=1,
+            **kwargs,
+        )
+        parallel = run_campaign(
+            trained,
+            tiny_dataset,
+            ledger=CampaignLedger(str(tmp_path / "parallel")),
+            workers=2,
+            **kwargs,
+        )
+        assert parallel.front.points() == serial.front.points()
+        assert parallel.baseline_accuracy == serial.baseline_accuracy
+        assert parallel.stats["evaluations"] == serial.stats["evaluations"]
+        assert parallel.stats["workers"] == 2
+        # Ledger compatibility: a serial resume over the parallel run's
+        # ledger replays every parallel record — the context keys of both
+        # evaluators are identical.
+        resumed = run_campaign(
+            trained,
+            tiny_dataset,
+            ledger=CampaignLedger(str(tmp_path / "parallel")),
+            workers=1,
+            resume=True,
+            **kwargs,
+        )
+        assert resumed.stats["ledger_replays"] == parallel.stats["evaluations"]
+
+    def test_external_multi_model_service_backs_campaigns(
+        self, trained, tiny_dataset
+    ):
+        """Sequential campaigns share one externally managed service pool."""
+        second = TrainedModel(
+            name="vgg13-bis",
+            dataset_name=tiny_dataset.name,
+            model=trained.model,
+            float_accuracy=0.0,
+        )
+        kwargs = dict(
+            strategy="greedy",
+            max_loss=0.5,
+            budget_evals=6,
+            max_eval_images=24,
+            calibration_images=32,
+            array_size=64,
+        )
+        with EvaluationService(
+            [trained, second],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=2,
+            max_eval_images=24,
+            calibration_images=32,
+        ) as service:
+            first = run_campaign(trained, tiny_dataset, service=service, **kwargs)
+            bis = run_campaign(second, tiny_dataset, service=service, **kwargs)
+            assert service.batches_submitted >= 2
+        assert service.closed
+        # Identical model + dataset: the campaigns must agree bit-exactly.
+        assert first.front.points() == bis.front.points()
+
+    def test_invalid_workers_rejected(self, trained, tiny_dataset):
+        with pytest.raises(ValueError, match="positive integer"):
+            run_campaign(trained, tiny_dataset, workers=0, array_size=64)
+
+    def test_external_service_rejects_conflicting_knobs(self, trained, tiny_dataset):
+        """Knobs that would silently diverge from the external service's
+        measurement setup are rejected loudly instead of ignored."""
+        kwargs = dict(strategy="greedy", max_loss=0.5, budget_evals=2, array_size=64)
+        with EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=1,
+            max_eval_images=24,
+            calibration_images=32,
+        ) as service:
+            with pytest.raises(ValueError, match="conflict"):
+                run_campaign(
+                    trained,
+                    tiny_dataset,
+                    service=service,
+                    max_eval_images=8,  # != the service's 24
+                    calibration_images=32,
+                    **kwargs,
+                )
+            with pytest.raises(ValueError, match="eval_images"):
+                run_campaign(
+                    trained,
+                    tiny_dataset,
+                    service=service,
+                    max_eval_images=24,
+                    calibration_images=32,
+                    eval_images=tiny_dataset.test_images[:8],
+                    eval_labels=tiny_dataset.test_labels[:8],
+                    **kwargs,
+                )
+
+
+class TestScheduling:
+    def test_schedule_cells_groups_models_and_is_stable(self, trained):
+        plans = _random_plans(trained, count=5, seed=2)
+        mac_names = {
+            0: tuple(n.name for n in trained.model.conv_dense_nodes()),
+            1: tuple(n.name for n in trained.model.conv_dense_nodes()),
+        }
+        cells = [(index, plan) for plan in plans for index in (1, 0)]
+        order = schedule_cells(cells, mac_names)
+        assert sorted(order) == list(range(len(cells)))
+        models_in_order = [cells[i][0] for i in order]
+        assert models_in_order == sorted(models_in_order)
+        # Identical plans keep submission order within a model (stable sort).
+        duplicates = [(0, plans[0]), (0, plans[0])]
+        dup_order = schedule_cells(duplicates, mac_names)
+        assert dup_order == [0, 1]
+
+    def test_contiguous_chunks_cover_schedule_in_order(self):
+        schedule = list(range(17))
+        for max_chunks in (1, 2, 3, 5, 17, 40):
+            chunks = contiguous_chunks(schedule, max_chunks)
+            assert sum(chunks, []) == schedule
+            assert len(chunks) <= max_chunks
+        assert contiguous_chunks([], 4) == []
+        with pytest.raises(ValueError):
+            contiguous_chunks(schedule, 0)

@@ -348,16 +348,19 @@ class TestCampaign:
 
         # Cache-hit assertion: every cell of a model reuses one calibrated
         # executor — the worker builds it exactly once.
+        from repro.runtime import worker
+
         store = campaign.publish_trained_models([reloaded])
+        state: dict = {}
         try:
-            campaign._init_sweep_worker(store, datasets, 16, 128, None)
-            cells = campaign._sweep_cells([reloaded], (1, 2))
-            assert len(cells) > 1
-            for cell in cells:
-                campaign._eval_sweep_cell(cell)
-            assert campaign._SWEEP_STATE["executor_builds"] == 1
+            worker.init_worker_state(state, store, datasets, 16, 128, None)
+            specs = campaign._sweep_cell_specs([reloaded], (1, 2))
+            assert len(specs) > 1
+            for _, m, with_cv in specs:
+                worker.eval_plan_cell(state, 0, campaign._spec_plan(m, with_cv))
+            assert state["executor_builds"] == 1
         finally:
-            campaign._SWEEP_STATE.clear()
+            state.clear()
             store.unlink()
 
     def test_publish_trained_models_zero_copy_views(self, small_dataset, tmp_path):
