@@ -1,16 +1,25 @@
 # CI-style entry points.  `make check` is the gate a PR must pass: the
 # tier-1 suite, the engine parity/throughput suite, the DSE search suite +
-# benchmark and the DSE CLI smoke (the perf-tracking benches merge their
-# metrics into results/BENCH_engine.json so the perf trajectory is diffable
-# across PRs), with any unregistered-marker warning promoted to an error
-# (markers are registered once, in pyproject.toml).
+# benchmark, the DSE CLI smoke, and the provenance regression gate
+# (verify-results), which replays the deterministic golden workload and
+# compares the freshly merged results/BENCH_engine.json against the
+# checked-in baselines under results/golden/.  The perf-tracking benches
+# merge their metrics into results/BENCH_engine.json so the perf trajectory
+# is diffable across PRs.  Any unregistered-marker warning is promoted to an
+# error (markers are registered once, in pyproject.toml).
+#
+# Intentional baseline changes: run `make bench-refresh` to rewrite
+# results/golden/ from the current tree, review the diff, and commit it.
+# `SKIP_REGRESSION=1 make check` skips only the verify-results gate.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest -W error::pytest.PytestUnknownMarkWarning
 
-.PHONY: check tier1 engine dse dse-smoke runtime-smoke
+.PHONY: check tier1 engine dse dse-smoke runtime-smoke verify-results bench-refresh
 
-check: tier1 engine dse runtime-smoke dse-smoke
+# verify-results runs LAST so it judges the bench ledger the engine/dse
+# targets just rewrote, not a stale one.
+check: tier1 engine dse runtime-smoke dse-smoke verify-results
 
 tier1:
 	$(PYTEST) -x -q
@@ -36,3 +45,15 @@ dse-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro dse --strategy greedy --classes 10 \
 	  --epochs 1 --max-loss 0.5 --budget-evals 60 --max-eval-images 64 \
 	  --seed 0 --cache-dir $(DSE_SMOKE_DIR) --ledger $(DSE_SMOKE_DIR)/ledger
+
+# Provenance regression gate: replay the deterministic golden workload and
+# compare fresh results against results/golden/.  Honors SKIP_REGRESSION=1
+# (skip entirely) and REPRO_REGRESSION_TOL (throughput tolerance band).
+verify-results:
+	PYTHONPATH=src $(PYTHON) -m repro verify-results
+
+# Re-baseline: rewrite results/golden/ from the current tree (golden
+# workload payloads + a canonicalized copy of results/BENCH_engine.json).
+# Review the diff before committing.
+bench-refresh:
+	PYTHONPATH=src $(PYTHON) -m repro verify-results --refresh

@@ -11,7 +11,7 @@ prediction of eq. (10) against the simulation.
 from __future__ import annotations
 
 import numpy as np
-from conftest import write_result
+from conftest import record_bench, write_result
 
 from repro.analysis.reporting import Table
 from repro.core.error_model import convolution_error_stats, simulate_convolution_error
@@ -71,8 +71,18 @@ def test_ablation_control_constant(benchmark, results_dir):
     table = _build_table(rows)
     rendered = table.render(float_format="{:.1f}")
     path = write_result(results_dir, "ablation_control_constant.txt", rendered)
+    manifest_path = record_bench(
+        "ablation_control_constant",
+        inputs={"perforation": PERFORATION, "taps": TAPS, "filters": FILTERS},
+        outputs={
+            "rows": [
+                {"label": label, "measured_std": measured, "predicted_std": predicted}
+                for label, measured, predicted in rows
+            ]
+        },
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path}]")
+    print(f"\n[written to {path}; manifest {manifest_path}]")
 
     by_label = {label: (measured, predicted) for label, measured, predicted in rows}
     paper_choice = by_label["C = filter mean (paper)"][0]

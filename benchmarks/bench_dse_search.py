@@ -31,7 +31,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import update_json_result, write_result
+from conftest import record_bench, update_json_result, write_result
 
 from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
 from repro.dse import get_strategy, run_campaign
@@ -191,9 +191,21 @@ def test_dse_parallel_campaign_benchmark(results_dir):
     for workers, wall in metrics["workers_vs_wallclock"].items():
         speedup = metrics["speedup_vs_serial"][workers]
         lines.append(f"  workers={workers}:  {wall:8.2f} s  ({speedup:.2f}x vs serial)")
+    from repro.provenance import dataset_digest, model_digest
+
+    manifest_path = record_bench(
+        "dse_parallel_campaign",
+        inputs={
+            "model_digest": model_digest(trained.model),
+            "dataset_digest": dataset_digest(dataset),
+            "workers_list": list(PARALLEL_WORKERS),
+            "budget_evals": 60,
+        },
+        outputs=metrics,
+    )
     rendered = "\n".join(lines)
     print("\n" + rendered)
-    print(f"[workers-vs-wallclock written to {json_path}]")
+    print(f"[workers-vs-wallclock written to {json_path}; manifest {manifest_path}]")
     # The acceptance bar: identical front regardless of worker count.
     assert metrics["front_identical_across_workers"]
     assert metrics["front_size"] > 0
@@ -219,8 +231,23 @@ def test_dse_search_benchmark(results_dir):
         "dse_search",
         {m["strategy"]: {k: v for k, v in m.items() if k != "strategy"} for m in metrics},
     )
+    from repro.provenance import dataset_digest, model_digest
+
+    manifest_path = record_bench(
+        "dse_search",
+        inputs={
+            "model_digest": model_digest(trained.model),
+            "dataset_digest": dataset_digest(dataset),
+            "max_loss": MAX_LOSS,
+            "nsga_budget": NSGA_BUDGET,
+        },
+        outputs={
+            m["strategy"]: {k: v for k, v in m.items() if k != "strategy"}
+            for m in metrics
+        },
+    )
     print("\n" + rendered)
-    print(f"[written to {path} and {json_path}]")
+    print(f"[written to {path} and {json_path}; manifest {manifest_path}]")
 
     for m in metrics:
         # The explorer must touch only a vanishing fraction of the space...

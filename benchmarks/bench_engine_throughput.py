@@ -29,7 +29,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import update_json_result, write_result
+from conftest import record_bench, update_json_result, write_result
 
 from repro.core.approx_conv import (
     accurate_product_sums,
@@ -248,8 +248,20 @@ def test_engine_throughput(results_dir):
             "sweep_compiled_vs_legacy": sweep,
         },
     )
+    manifest_path = record_bench(
+        "engine_throughput",
+        inputs={
+            "workload": {"patches": PATCHES, "taps": TAPS, "filters": FILTERS},
+            "min_speedups": {"lut": LUT_MIN_SPEEDUP, "sweep": SWEEP_MIN_SPEEDUP},
+        },
+        outputs={
+            "lut": lut,
+            "backends": backends,
+            "sweep_compiled_vs_legacy": sweep,
+        },
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path} and {json_path}]")
+    print(f"\n[written to {path} and {json_path}; manifest {manifest_path}]")
     assert lut["speedup"] >= LUT_MIN_SPEEDUP
     assert sweep["speedup"] >= SWEEP_MIN_SPEEDUP
     by_name = {row["backend"]: row for row in backends}

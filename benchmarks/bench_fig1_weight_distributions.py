@@ -12,7 +12,7 @@ factor at m = 2.
 from __future__ import annotations
 
 import numpy as np
-from conftest import bench_epochs, write_result
+from conftest import bench_epochs, record_bench, write_result
 
 from repro.analysis.reporting import Table
 from repro.analysis.statistics import model_weight_distributions
@@ -62,8 +62,26 @@ def test_fig1_weight_distributions(benchmark, results_dir):
     table = benchmark.pedantic(_build_table, rounds=1, iterations=1)
     rendered = table.render(float_format="{:.1f}")
     path = write_result(results_dir, "fig1_weight_distributions.txt", rendered)
+    manifest_path = record_bench(
+        "fig1_weight_distributions",
+        inputs={"models": list(FIG1_MODELS), "epochs": bench_epochs()},
+        outputs={
+            "filters": [
+                {
+                    "network": row[0],
+                    "layer": row[1],
+                    "filter": row[2],
+                    "mean_code": row[3],
+                    "std_code": row[4],
+                    "within_1_std_percent": row[5],
+                    "variance_reduction_m2": row[6],
+                }
+                for row in table.rows
+            ]
+        },
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path}]")
+    print(f"\n[written to {path}; manifest {manifest_path}]")
 
     # Concentrated distributions: the majority of weights within one std of the
     # mean and a variance-reduction factor comfortably above 1 for every panel.

@@ -11,7 +11,7 @@ m=3; both nearly independent of N.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import record_bench, write_result
 
 from repro.analysis.reporting import Table
 from repro.core.accelerator_model import AcceleratorConfig
@@ -40,8 +40,21 @@ def test_fig4_area_power(benchmark, results_dir):
     table = benchmark(_build_table)
     rendered = table.render(float_format="{:.3f}")
     path = write_result(results_dir, "fig4_area_power.txt", rendered)
+    manifest_path = record_bench(
+        "fig4_area_power",
+        inputs={"array_sizes": list(ARRAY_SIZES), "perforations": list(PERFORATIONS)},
+        outputs={
+            f"m={row[0]}/N={row[1]}": {
+                "normalized_power": row[2],
+                "power_reduction_percent": row[3],
+                "normalized_area": row[4],
+                "area_reduction_percent": row[5],
+            }
+            for row in table.rows
+        },
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path}]")
+    print(f"\n[written to {path}; manifest {manifest_path}]")
 
     by_key = {(row[0], row[1]): row for row in table.rows}
     # Shape checks mirroring the paper's observations.

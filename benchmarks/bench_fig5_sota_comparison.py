@@ -22,7 +22,7 @@ datasets, as the paper does.
 
 from __future__ import annotations
 
-from conftest import bench_epochs, full_scale, write_result
+from conftest import bench_epochs, full_scale, record_bench, write_result
 
 from repro.accelerator.energy import network_energy
 from repro.accelerator.scheduling import layer_shapes_of_model
@@ -128,8 +128,20 @@ def test_fig5_sota_comparison(benchmark, results_dir):
     table = _build_table(per_technique)
     rendered = table.render(float_format="{:.2f}")
     path = write_result(results_dir, "fig5_sota_comparison.txt", rendered)
+    manifest_path = record_bench(
+        "fig5_sota_comparison",
+        inputs={
+            "workloads": [list(pair) for pair in _workloads()],
+            "array_size": ARRAY_SIZE,
+            "ours_m": OURS_M,
+            "accuracy_budget": ACCURACY_BUDGET,
+            "epochs": bench_epochs(),
+            "full_scale": full_scale(),
+        },
+        outputs={"per_technique": per_technique},
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path}]")
+    print(f"\n[written to {path}; manifest {manifest_path}]")
 
     reductions = {
         name: sum(d["energy_reduction"]) / len(d["energy_reduction"])

@@ -31,7 +31,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import update_json_result, write_result
+from conftest import record_bench, update_json_result, write_result
 
 from repro.datasets.synthetic import SyntheticCifarConfig, make_synthetic_cifar
 from repro.models.zoo import build_model
@@ -224,8 +224,23 @@ def test_sweep_prefix_benchmark(results_dir):
     json_path = update_json_result(
         results_dir, "sweep_prefix", {"sweep": sweep, "footprint": footprint}
     )
+    from repro.provenance import dataset_digest, model_digest
+
+    manifest_path = record_bench(
+        "sweep_prefix",
+        inputs={
+            "model_digest": model_digest(trained.model),
+            "dataset_digests": {
+                name: dataset_digest(ds) for name, ds in datasets.items()
+            },
+            "plans": len(plans),
+            "min_speedup": PREFIX_MIN_SPEEDUP,
+            "min_payload_reduction": PAYLOAD_MIN_REDUCTION,
+        },
+        outputs={"sweep": sweep, "footprint": footprint},
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path} and {json_path}]")
+    print(f"\n[written to {path} and {json_path}; manifest {manifest_path}]")
     assert sweep["speedup"] >= PREFIX_MIN_SPEEDUP
     assert footprint["payload_reduction"] >= PAYLOAD_MIN_REDUCTION
 

@@ -9,7 +9,7 @@ paper's numbers).
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import record_bench, write_result
 
 from repro.analysis.reporting import Table
 from repro.hardware.full_adders import table_i
@@ -36,8 +36,19 @@ def test_table1_full_adders(benchmark, results_dir):
     table = benchmark(_build_table)
     rendered = table.render()
     path = write_result(results_dir, "table1_full_adders.txt", rendered)
+    manifest_path = record_bench(
+        "table1_full_adders",
+        outputs={
+            f"m={row[0]}/N={row[1]}": {
+                "mac_star_decrease": row[2],
+                "mac_plus_increase": row[3],
+                "total_decrease": row[4],
+            }
+            for row in table.rows
+        },
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path}]")
+    print(f"\n[written to {path}; manifest {manifest_path}]")
     # Spot-check the headline cells against the paper.
     rows = {(r[0], r[1]): r for r in table.rows}
     assert rows[(1, 64)][4] == 10272

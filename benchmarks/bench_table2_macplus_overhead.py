@@ -9,7 +9,7 @@ as the array grows.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import record_bench, write_result
 
 from repro.analysis.reporting import Table
 from repro.core.accelerator_model import AcceleratorConfig
@@ -38,8 +38,19 @@ def test_table2_macplus_overhead(benchmark, results_dir):
     table = benchmark(_build_table)
     rendered = table.render(float_format="{:.2f}")
     path = write_result(results_dir, "table2_macplus_overhead.txt", rendered)
+    manifest_path = record_bench(
+        "table2_macplus_overhead",
+        inputs={"array_sizes": list(ARRAY_SIZES), "perforations": list(PERFORATIONS)},
+        outputs={
+            f"m={row[0]}/N={row[1]}": {
+                "area_share_percent": row[2],
+                "power_share_percent": row[3],
+            }
+            for row in table.rows
+        },
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path}]")
+    print(f"\n[written to {path}; manifest {manifest_path}]")
 
     by_key = {(row[0], row[1]): row for row in table.rows}
     for m in PERFORATIONS:

@@ -15,7 +15,7 @@ DESIGN.md / EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from conftest import bench_epochs, write_result
+from conftest import bench_epochs, record_bench, write_result
 
 from repro.analysis.reporting import Table
 from repro.models.zoo import MODEL_NAMES
@@ -72,8 +72,34 @@ def test_table3_accuracy(benchmark, results_dir):
     rendered = table.render(float_format="{:.2f}")
     path = write_result(results_dir, "table3_accuracy.txt", rendered)
     csv_path = write_result(results_dir, "table3_accuracy.csv", table.to_csv())
+    from repro.provenance import dataset_digest
+
+    manifest_path = record_bench(
+        "table3_accuracy",
+        inputs={
+            "epochs": bench_epochs(),
+            "perforations": list(PERFORATIONS),
+            "dataset_digests": {
+                name: dataset_digest(ds) for name, ds in datasets.items()
+            },
+        },
+        outputs={
+            "baselines": {
+                f"{model}@{dataset}": accuracy
+                for (model, dataset), accuracy in sweep.baselines.items()
+            },
+            "average_loss": {
+                f"{dataset_name}/m={m}/cv={with_cv}": sweep.average_loss(
+                    dataset_name, m, with_cv
+                )
+                for dataset_name in datasets
+                for m in PERFORATIONS
+                for with_cv in (True, False)
+            },
+        },
+    )
     print("\n" + rendered)
-    print(f"\n[written to {path} and {csv_path}]")
+    print(f"\n[written to {path} and {csv_path}; manifest {manifest_path}]")
 
     for dataset_name in datasets:
         # The control variate never hurts on average and the damage of the

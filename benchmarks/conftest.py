@@ -7,27 +7,39 @@ accuracy benches trains the networks with the numpy engine and later runs
 reuse them.  Each bench writes its regenerated table to ``results/`` next to
 this directory and prints it to the terminal section of the pytest output.
 
+Provenance: every write goes through the atomic writers of
+:mod:`repro.provenance` (temp file + rename — an interrupted bench can
+never truncate the shared ``BENCH_engine.json`` ledger), and every bench
+records a :class:`~repro.provenance.manifest.RunManifest` via
+:func:`record_bench`, embedding the full runtime environment (package
+versions, backend availability *with import-failure reasons*, host facts)
+next to its metrics under ``results/manifests/``.
+
 Environment knobs:
 
 * ``REPRO_BENCH_EPOCHS`` — training epochs of the reference models (default 6);
 * ``REPRO_BENCH_FULL`` — set to ``1`` to run the Fig. 5 comparison on all six
   networks and both datasets (default: a representative subset, because the
   ALWANN baseline's library search is expensive in pure numpy);
-* ``REPRO_CACHE_DIR`` — where trained models are cached.
+* ``REPRO_CACHE_DIR`` — where trained models are cached;
+* ``REPRO_MANIFEST_DIR`` — where run manifests land (default:
+  ``results/manifests``).
 """
 
 from __future__ import annotations
 
-import json
 import os
 
 import pytest
+
+from repro.provenance import record_run, update_json_atomic, write_text_atomic
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 
 #: Machine-readable benchmark ledger: every perf-tracking bench merges its
 #: metrics into one JSON file under its own section, so the perf trajectory
-#: of the engine is diffable across PRs.
+#: of the engine is diffable across PRs (and regression-gated against
+#: ``results/golden/`` by ``repro verify-results``).
 BENCH_JSON = "BENCH_engine.json"
 
 
@@ -50,10 +62,9 @@ def results_dir() -> str:
 
 
 def write_result(results_dir: str, name: str, content: str) -> str:
-    """Write one regenerated table to ``results/<name>`` and return its path."""
+    """Atomically write one regenerated table to ``results/<name>``."""
     path = os.path.join(results_dir, name)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(content + "\n")
+    write_text_atomic(path, content + "\n")
     return path
 
 
@@ -61,19 +72,28 @@ def update_json_result(results_dir: str, section: str, payload: dict) -> str:
     """Merge ``payload`` under ``section`` of ``results/BENCH_engine.json``.
 
     Each bench owns one section and overwrites only it, so running benches
-    in any order (or individually) keeps the other sections intact.
+    in any order (or individually) keeps the other sections intact.  The
+    merge is atomic (temp file + rename): an interrupt mid-write leaves
+    the previous complete ledger in place instead of a truncated file.
     Returns the file path.
     """
     path = os.path.join(results_dir, BENCH_JSON)
-    data: dict = {}
-    if os.path.exists(path):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            data = {}
-    data[section] = payload
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    update_json_atomic(path, section, payload)
     return path
+
+
+def record_bench(
+    name: str, inputs: dict | None = None, outputs: dict | None = None
+) -> str:
+    """Write the :class:`RunManifest` of one benchmark.
+
+    ``inputs`` is whatever identifies the measured configuration (workload
+    shape, epochs, model/dataset digests where available); ``outputs`` the
+    measured metrics — typically the same payload merged into the
+    ``BENCH_JSON`` ledger section.  The provenance environment block
+    (including e.g. *why* numba is unavailable) is stamped automatically.
+    Returns the manifest path.
+    """
+    with record_run("bench", label=name, inputs=inputs) as manifest:
+        manifest.outputs.update(outputs or {})
+    return manifest.path

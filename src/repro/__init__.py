@@ -17,6 +17,6 @@ Quick start::
 see ``examples/quickstart.py`` for an end-to-end walkthrough.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.3.0"
 
 __all__ = ["__version__"]

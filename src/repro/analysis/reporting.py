@@ -80,6 +80,34 @@ def pareto_front_table(
     return table
 
 
+def regression_report_table(
+    findings: "Iterable[object]",
+    title: str = "Regression verification findings",
+) -> Table:
+    """Tabulate regression findings for ``repro verify-results``.
+
+    ``findings`` are :class:`repro.provenance.regression.Finding`-shaped
+    objects (``severity``, ``section``, ``path``, ``kind``, ``message``);
+    failures sort before warnings so the actionable rows lead.
+    """
+    table = Table(
+        title=title,
+        columns=["severity", "section", "path", "kind", "detail"],
+    )
+    ordered = sorted(
+        findings, key=lambda f: (f.severity != "fail", f.section, f.path)
+    )
+    for finding in ordered:
+        table.add_row(
+            finding.severity,
+            finding.section,
+            finding.path or "-",
+            finding.kind,
+            finding.message,
+        )
+    return table
+
+
 def format_table(
     title: str,
     columns: Sequence[str],

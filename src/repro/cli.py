@@ -82,7 +82,55 @@ from repro.simulation.campaign import (
     default_cache_dir,
     experiment_dataset,
     parallel_sweep,
+    trained_cache_stem,
 )
+
+
+def _model_manifest_entries(trained_models, settings: TrainingSettings) -> list[dict]:
+    """Per-model input identity for a run manifest.
+
+    ``model_digest`` hashes the trained parameter bytes with the ledger's
+    array recipe; ``trained_cache_stem`` is byte-identical to the
+    :class:`TrainedModelCache` entry the parameters came from — so the
+    manifest's identity block reproduces both key schemes already used by
+    the caching layers.
+    """
+    from repro.provenance import model_digest
+
+    return [
+        {
+            "name": trained.name,
+            "dataset": trained.dataset_name,
+            "float_accuracy": trained.float_accuracy,
+            "model_digest": model_digest(trained.model),
+            "trained_cache_stem": trained_cache_stem(
+                trained.name, trained.dataset_name, settings
+            ),
+        }
+        for trained in trained_models
+    ]
+
+
+def _sweep_manifest_outputs(sweep) -> dict:
+    """A :class:`SweepResult` as the outputs block of a run manifest."""
+    return {
+        "baselines": {
+            f"{model}@{dataset}": accuracy
+            for (model, dataset), accuracy in sweep.baselines.items()
+        },
+        "records": [
+            {
+                "model": record.model,
+                "dataset": record.dataset,
+                "m": record.m,
+                "with_control_variate": record.with_control_variate,
+                "baseline_accuracy": record.baseline_accuracy,
+                "approximate_accuracy": record.approximate_accuracy,
+                "accuracy_loss": record.accuracy_loss,
+            }
+            for record in sweep.records
+        ],
+    }
 
 
 def _cli_error(message: str) -> int:
@@ -317,93 +365,145 @@ def _cmd_dse(args: argparse.Namespace) -> int:
                 f"--subsample-eval must be positive, got {args.subsample_eval}"
             )
 
-    bank = SeedBank(args.seed)
-    dataset = experiment_dataset(
-        num_classes=args.classes,
-        seed=bank.seed_for("dataset") if args.seed is not None else None,
-    )
-    cache = TrainedModelCache(cache_dir=args.cache_dir)
-    settings = TrainingSettings(epochs=args.epochs)
-    model_names = _dse_model_names(args)
-    multi = len(model_names) > 1
-    trained_models = [
-        cache.load_or_train(name, dataset, settings, verbose=args.verbose)
-        for name in model_names
-    ]
+    from repro.dse.engine import front_payload
+    from repro.provenance import dataset_digest, record_run
 
-    eval_images = eval_labels = None
-    if args.subsample_eval is not None:
-        eval_images, eval_labels = _subsampled_eval(dataset, args.subsample_eval, bank)
+    with record_run("dse", label="-".join(_dse_model_names(args))) as manifest:
+        bank = SeedBank(args.seed)
+        dataset = experiment_dataset(
+            num_classes=args.classes,
+            seed=bank.seed_for("dataset") if args.seed is not None else None,
+        )
+        cache = TrainedModelCache(cache_dir=args.cache_dir)
+        settings = TrainingSettings(epochs=args.epochs)
+        model_names = _dse_model_names(args)
+        multi = len(model_names) > 1
+        trained_models = [
+            cache.load_or_train(name, dataset, settings, verbose=args.verbose)
+            for name in model_names
+        ]
 
-    if args.no_ledger:
-        ledger_dir = None
-    else:
-        ledger_dir = args.ledger or os.path.join(
-            args.cache_dir or default_cache_dir(), "dse-ledger"
+        eval_images = eval_labels = None
+        if args.subsample_eval is not None:
+            eval_images, eval_labels = _subsampled_eval(
+                dataset, args.subsample_eval, bank
+            )
+
+        if args.no_ledger:
+            ledger_dir = None
+        else:
+            ledger_dir = args.ledger or os.path.join(
+                args.cache_dir or default_cache_dir(), "dse-ledger"
+            )
+
+        manifest.inputs.update(
+            {
+                "dataset": dataset.name,
+                "dataset_digest": dataset_digest(dataset),
+                "models": _model_manifest_entries(trained_models, settings),
+                "seed": args.seed,
+                "strategy": args.strategy,
+                "max_loss": args.max_loss,
+                "budget_evals": args.budget_evals,
+                "perforations": list(args.perforations),
+                "array_size": args.array_size,
+                "max_eval_images": args.max_eval_images,
+                "subsample_eval": args.subsample_eval,
+                "calibration_images": args.calibration_images,
+                "engine_backend": args.engine_backend,
+                "workers": args.workers,
+                "reuse_prefix": not args.no_prefix_reuse,
+                "ledger_dir": ledger_dir,
+                "resume": args.resume,
+            }
         )
 
-    library = (
-        MultiplierLibrary.synthetic_evoapprox() if args.include_library > 0 else None
-    )
-
-    # A multi-model campaign hosts every network in ONE evaluation service:
-    # models and datasets are published once and the worker pool (or the
-    # in-process serial state) is reused across the sequential campaigns.
-    # An eval subsample becomes the hosted dataset's test split inside
-    # build_campaign_service, keeping ledger context keys serial-identical.
-    service = None
-    if multi:
-        from repro.dse.engine import build_campaign_service
-
-        service = build_campaign_service(
-            trained_models,
-            dataset,
-            args.workers,
-            max_eval_images=args.max_eval_images,
-            calibration_images=args.calibration_images,
-            engine_backend=args.engine_backend,
-            reuse_prefix=not args.no_prefix_reuse,
-            eval_images=eval_images,
-            eval_labels=eval_labels,
+        library = (
+            MultiplierLibrary.synthetic_evoapprox()
+            if args.include_library > 0
+            else None
         )
 
-    results = []
-    try:
-        for trained in trained_models:
-            rng_stream = f"nsga2-{trained.name}" if multi else "nsga2"
-            result = run_campaign(
-                trained,
+        # A multi-model campaign hosts every network in ONE evaluation
+        # service: models and datasets are published once and the worker
+        # pool (or the in-process serial state) is reused across the
+        # sequential campaigns.  An eval subsample becomes the hosted
+        # dataset's test split inside build_campaign_service, keeping
+        # ledger context keys serial-identical.
+        service = None
+        if multi:
+            from repro.dse.engine import build_campaign_service
+
+            service = build_campaign_service(
+                trained_models,
                 dataset,
-                strategy=args.strategy,
-                max_loss=args.max_loss,
-                budget_evals=args.budget_evals,
-                ledger=CampaignLedger(path=ledger_dir),
-                resume=args.resume,
-                rng=bank.generator(rng_stream),
+                args.workers,
                 max_eval_images=args.max_eval_images,
                 calibration_images=args.calibration_images,
                 engine_backend=args.engine_backend,
                 reuse_prefix=not args.no_prefix_reuse,
-                # The shared service already hosts any eval subsample as
-                # its dataset's test split; passing the arrays alongside
-                # `service` is rejected by run_campaign.
-                eval_images=None if service is not None else eval_images,
-                eval_labels=None if service is not None else eval_labels,
-                workers=args.workers,
-                service=service,
-                array_size=args.array_size,
-                perforations=tuple(args.perforations),
-                library=library,
-                max_library_candidates=args.include_library,
+                eval_images=eval_images,
+                eval_labels=eval_labels,
             )
-            results.append((trained, result))
-    except ValueError as error:
-        # Campaign-configuration errors (exhaustive search on an unbounded
-        # space, bad budget, ...) are user errors, not tracebacks.
-        return _cli_error(str(error))
-    finally:
-        if service is not None:
-            service.close()
+
+        results = []
+        try:
+            for trained in trained_models:
+                rng_stream = f"nsga2-{trained.name}" if multi else "nsga2"
+                result = run_campaign(
+                    trained,
+                    dataset,
+                    strategy=args.strategy,
+                    max_loss=args.max_loss,
+                    budget_evals=args.budget_evals,
+                    ledger=CampaignLedger(path=ledger_dir),
+                    resume=args.resume,
+                    rng=bank.generator(rng_stream),
+                    max_eval_images=args.max_eval_images,
+                    calibration_images=args.calibration_images,
+                    engine_backend=args.engine_backend,
+                    reuse_prefix=not args.no_prefix_reuse,
+                    # The shared service already hosts any eval subsample as
+                    # its dataset's test split; passing the arrays alongside
+                    # `service` is rejected by run_campaign.
+                    eval_images=None if service is not None else eval_images,
+                    eval_labels=None if service is not None else eval_labels,
+                    workers=args.workers,
+                    service=service,
+                    array_size=args.array_size,
+                    perforations=tuple(args.perforations),
+                    library=library,
+                    max_library_candidates=args.include_library,
+                )
+                results.append((trained, result))
+        except ValueError as error:
+            # Campaign-configuration errors (exhaustive search on an
+            # unbounded space, bad budget, ...) are user errors, not
+            # tracebacks.
+            manifest.status = "error"
+            manifest.error = f"{type(error).__name__}: {error}"
+            return _cli_error(str(error))
+        finally:
+            if service is not None:
+                # The session context goes into the manifest while the
+                # service is still alive (shared-block sizes and all).
+                manifest.inputs["service"] = service.session_context()
+                service.close()
+
+        # Each campaign's outputs: the front with its ledger record keys
+        # and the stats block, whose context_key is the exact digest the
+        # CampaignLedger keyed this campaign's records under.
+        manifest.outputs["models"] = [
+            {
+                "model": trained.name,
+                "baseline_accuracy": result.baseline_accuracy,
+                "accurate_energy_nj": result.accurate_energy_nj,
+                "energy_reduction_percent": result.energy_reduction_percent(),
+                "front": front_payload(result),
+                "stats": result.stats,
+            }
+            for trained, result in results
+        ]
 
     if multi:
         if args.json:
@@ -488,26 +588,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for error in (_check_engine_backend(args.engine_backend), _check_workers(args.workers)):
         if error is not None:
             return _cli_error(error)
-    bank = SeedBank(args.seed)
-    dataset = experiment_dataset(
-        num_classes=args.classes,
-        seed=bank.seed_for("dataset") if args.seed is not None else None,
-    )
-    cache = TrainedModelCache(cache_dir=args.cache_dir)
-    settings = TrainingSettings(epochs=args.epochs)
-    trained_models = [
-        cache.load_or_train(name, dataset, settings, verbose=args.verbose)
-        for name in args.models
-    ]
-    sweep = parallel_sweep(
-        trained_models,
-        {dataset.name: dataset},
-        perforations=tuple(args.perforations),
-        max_eval_images=args.max_eval_images,
-        max_workers=args.workers,
-        engine_backend=args.engine_backend,
-        reuse_prefix=not args.no_prefix_reuse,
-    )
+    from repro.provenance import dataset_digest, record_run
+
+    with record_run("sweep", label=f"c{args.classes}") as manifest:
+        bank = SeedBank(args.seed)
+        dataset = experiment_dataset(
+            num_classes=args.classes,
+            seed=bank.seed_for("dataset") if args.seed is not None else None,
+        )
+        cache = TrainedModelCache(cache_dir=args.cache_dir)
+        settings = TrainingSettings(epochs=args.epochs)
+        trained_models = [
+            cache.load_or_train(name, dataset, settings, verbose=args.verbose)
+            for name in args.models
+        ]
+        manifest.inputs.update(
+            {
+                "dataset": dataset.name,
+                "dataset_digest": dataset_digest(dataset),
+                "models": _model_manifest_entries(trained_models, settings),
+                "seed": args.seed,
+                "perforations": list(args.perforations),
+                "max_eval_images": args.max_eval_images,
+                "engine_backend": args.engine_backend,
+                "workers": args.workers,
+                "reuse_prefix": not args.no_prefix_reuse,
+            }
+        )
+        sweep = parallel_sweep(
+            trained_models,
+            {dataset.name: dataset},
+            perforations=tuple(args.perforations),
+            max_eval_images=args.max_eval_images,
+            max_workers=args.workers,
+            engine_backend=args.engine_backend,
+            reuse_prefix=not args.no_prefix_reuse,
+        )
+        manifest.outputs.update(_sweep_manifest_outputs(sweep))
     table = Table(
         title=f"Accuracy sweep on {dataset.name} "
         f"({len(args.models)} models, m = {', '.join(map(str, args.perforations))})",
@@ -538,34 +655,61 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     for error in (_check_engine_backend(args.engine_backend), _check_workers(args.workers)):
         if error is not None:
             return _cli_error(error)
-    bank = SeedBank(args.seed)
-    cache = TrainedModelCache(cache_dir=args.cache_dir)
-    settings = TrainingSettings(epochs=args.epochs)
-    datasets = {}
-    trained_models = []
-    for classes in args.classes:
-        # Same seed stream as `sweep` and `dse` (num_classes already
-        # differentiates the generated data and the dataset name), so one
-        # --seed yields the same datasets — and therefore cache-hits the
-        # same trained models — across all three commands.
-        dataset = experiment_dataset(
-            num_classes=classes,
-            seed=bank.seed_for("dataset") if args.seed is not None else None,
-        )
-        datasets[dataset.name] = dataset
-        for name in args.models:
-            trained_models.append(
-                cache.load_or_train(name, dataset, settings, verbose=args.verbose)
+    from repro.provenance import dataset_digest, record_run
+
+    with record_run("table3") as manifest:
+        bank = SeedBank(args.seed)
+        cache = TrainedModelCache(cache_dir=args.cache_dir)
+        settings = TrainingSettings(epochs=args.epochs)
+        datasets = {}
+        trained_models = []
+        for classes in args.classes:
+            # Same seed stream as `sweep` and `dse` (num_classes already
+            # differentiates the generated data and the dataset name), so one
+            # --seed yields the same datasets — and therefore cache-hits the
+            # same trained models — across all three commands.
+            dataset = experiment_dataset(
+                num_classes=classes,
+                seed=bank.seed_for("dataset") if args.seed is not None else None,
             )
-    sweep = parallel_sweep(
-        trained_models,
-        datasets,
-        perforations=tuple(args.perforations),
-        max_eval_images=args.max_eval_images,
-        max_workers=args.workers,
-        engine_backend=args.engine_backend,
-        reuse_prefix=not args.no_prefix_reuse,
-    )
+            datasets[dataset.name] = dataset
+            for name in args.models:
+                trained_models.append(
+                    cache.load_or_train(name, dataset, settings, verbose=args.verbose)
+                )
+        manifest.inputs.update(
+            {
+                "datasets": {
+                    name: dataset_digest(dataset)
+                    for name, dataset in datasets.items()
+                },
+                "models": _model_manifest_entries(trained_models, settings),
+                "seed": args.seed,
+                "perforations": list(args.perforations),
+                "max_eval_images": args.max_eval_images,
+                "engine_backend": args.engine_backend,
+                "workers": args.workers,
+                "reuse_prefix": not args.no_prefix_reuse,
+            }
+        )
+        sweep = parallel_sweep(
+            trained_models,
+            datasets,
+            perforations=tuple(args.perforations),
+            max_eval_images=args.max_eval_images,
+            max_workers=args.workers,
+            engine_backend=args.engine_backend,
+            reuse_prefix=not args.no_prefix_reuse,
+        )
+        manifest.outputs.update(_sweep_manifest_outputs(sweep))
+        manifest.outputs["averages"] = {
+            f"{dataset_name}/m={m}/cv={with_cv}": sweep.average_loss(
+                dataset_name, m, with_cv
+            )
+            for dataset_name in datasets
+            for m in args.perforations
+            for with_cv in (True, False)
+        }
     table = Table(
         title=f"Table III accuracy sweep ({len(args.models)} models x "
         f"{len(datasets)} datasets, m = {', '.join(map(str, args.perforations))}, "
@@ -594,6 +738,159 @@ def _cmd_table3(args: argparse.Namespace) -> int:
             )
     print(table.render(float_format="{:.3f}"))
     return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    """Print the provenance environment block (the one inside every manifest)."""
+    from repro.provenance import provenance_environment
+
+    env = provenance_environment()
+    if args.json:
+        print(json.dumps(env, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{env['package']['name']} {env['package']['version']} — "
+        f"python {env['python']} ({env['implementation']}) on {env['platform']}, "
+        f"{env['cpu_count']} cpu(s)"
+    )
+    table = Table(title="Probed packages", columns=["package", "available", "version / reason"])
+    for name, probe in env["packages"].items():
+        table.add_row(
+            name,
+            "yes" if probe["available"] else "no",
+            probe["version"] if probe["available"] else probe["reason"],
+        )
+    print()
+    print(table.render())
+    table = Table(title="Engine backends", columns=["name", "available", "default", "reason"])
+    for row in env["engine_backends"]:
+        table.add_row(
+            row["name"],
+            "yes" if row["available"] else "no",
+            "*" if row["default"] else "",
+            row["reason"] or "",
+        )
+    print()
+    print(table.render())
+    print()
+    print(
+        "seed defaults: "
+        + ", ".join(f"{key}={value}" for key, value in env["seed_defaults"].items())
+    )
+    return 0
+
+
+def _cmd_verify_results(args: argparse.Namespace) -> int:
+    """Golden-baseline verification (the `make check` regression gate).
+
+    Without ``--refresh``: re-run the deterministic golden workload
+    (unless ``--skip-workload``), compare it and the fresh bench ledger
+    against ``results/golden/``, and exit 1 on any failure.  With
+    ``--refresh``: rewrite the goldens from the current code and results —
+    the deliberate re-baselining escape hatch behind ``make bench-refresh``.
+    ``SKIP_REGRESSION=1`` skips the gate entirely (known-divergent
+    environments).
+    """
+    from repro.analysis.reporting import regression_report_table
+    from repro.provenance import (
+        compare_bench_ledgers,
+        load_json,
+        record_run,
+        write_json_atomic,
+    )
+    from repro.provenance.regression import (
+        DEFAULT_TOLERANCE,
+        Finding,
+        RegressionReport,
+    )
+    from repro.provenance.workload import (
+        run_golden_workload,
+        verify_goldens,
+        write_goldens,
+    )
+
+    if os.environ.get("SKIP_REGRESSION"):
+        print("verify-results: skipped (SKIP_REGRESSION is set)")
+        return 0
+    tolerance = args.tolerance
+    if tolerance is None:
+        env_tolerance = os.environ.get("REPRO_REGRESSION_TOL")
+        tolerance = float(env_tolerance) if env_tolerance else DEFAULT_TOLERANCE
+    if tolerance < 0:
+        return _cli_error(f"--tolerance must be non-negative, got {tolerance}")
+    fresh_ledger_path = os.path.join(args.results, "BENCH_engine.json")
+    golden_ledger_path = os.path.join(args.golden, "BENCH_engine.json")
+
+    if args.refresh:
+        written = []
+        if not args.skip_workload:
+            written += write_goldens(run_golden_workload(), args.golden)
+        if os.path.exists(fresh_ledger_path):
+            # Canonicalized rewrite (sorted keys, atomic), so refreshing
+            # twice from the same results is byte-identical.
+            write_json_atomic(golden_ledger_path, load_json(fresh_ledger_path))
+            written.append(golden_ledger_path)
+        for path in written:
+            print(f"refreshed {path}")
+        if not written:
+            print("nothing to refresh (no fresh results found)")
+        return 0
+
+    if not os.path.isdir(args.golden):
+        return _cli_error(
+            f"golden directory {args.golden!r} does not exist — "
+            "run `make bench-refresh` to create the baselines"
+        )
+    with record_run("verify-results") as manifest:
+        manifest.inputs.update(
+            {
+                "golden_dir": args.golden,
+                "results_dir": args.results,
+                "tolerance": tolerance,
+                "skip_workload": bool(args.skip_workload),
+            }
+        )
+        report = RegressionReport(tolerance=tolerance)
+        if os.path.exists(golden_ledger_path):
+            if os.path.exists(fresh_ledger_path):
+                report.extend(
+                    compare_bench_ledgers(
+                        load_json(golden_ledger_path),
+                        load_json(fresh_ledger_path),
+                        tolerance,
+                    ).findings
+                )
+            else:
+                report.findings.append(
+                    Finding(
+                        "BENCH_engine",
+                        "",
+                        "missing",
+                        "fail",
+                        f"fresh bench ledger {fresh_ledger_path} not found — "
+                        "run the benches (`make engine dse`) first",
+                    )
+                )
+        if not args.skip_workload:
+            report.extend(verify_goldens(run_golden_workload(), args.golden, tolerance))
+        manifest.outputs.update(report.to_payload())
+        manifest.status = "ok" if report.ok else "error"
+
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2))
+        return 0 if report.ok else 1
+    if report.findings:
+        print(regression_report_table(report.findings).render())
+        print()
+    verdict = "PASS" if report.ok else "FAIL"
+    print(
+        f"verify-results: {verdict} — {len(report.failures)} failure(s), "
+        f"{len(report.warnings)} warning(s) against {args.golden} "
+        f"(tolerance {tolerance:g})"
+    )
+    if not report.ok:
+        print("re-baseline deliberately with `make bench-refresh`", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -799,6 +1096,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--verbose", action="store_true")
     dse.set_defaults(func=_cmd_dse)
+
+    info = sub.add_parser(
+        "info",
+        help="print the provenance environment block (package versions, "
+        "backend availability with failure reasons, seed defaults) — the "
+        "block embedded verbatim in every run manifest",
+    )
+    info.add_argument(
+        "--json", action="store_true", help="emit the block as machine-readable JSON"
+    )
+    info.set_defaults(func=_cmd_info)
+
+    verify = sub.add_parser(
+        "verify-results",
+        help="compare fresh results against the committed golden baselines "
+        "in results/golden/ (exact for accuracy tables and Pareto fronts, "
+        "tolerance bands for throughput); non-zero exit on regression",
+    )
+    verify.add_argument(
+        "--results",
+        default="results",
+        help="directory holding the fresh results tree (default: results)",
+    )
+    verify.add_argument(
+        "--golden",
+        default=os.path.join("results", "golden"),
+        help="directory holding the committed golden baselines "
+        "(default: results/golden)",
+    )
+    verify.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative tolerance for throughput/speedup floors and size "
+        "bands (default: $REPRO_REGRESSION_TOL or 0.5; exact-match "
+        "sections ignore it)",
+    )
+    verify.add_argument(
+        "--refresh",
+        action="store_true",
+        help="rewrite the golden baselines from the current code and "
+        "results instead of comparing (the `make bench-refresh` escape "
+        "hatch)",
+    )
+    verify.add_argument(
+        "--skip-workload",
+        action="store_true",
+        help="skip re-running the deterministic golden workload (compare "
+        "the bench ledger only)",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="emit the report as machine-readable JSON"
+    )
+    verify.set_defaults(func=_cmd_verify_results)
 
     error_model = sub.add_parser("error-model", help="closed-form vs Monte-Carlo error statistics")
     error_model.add_argument("--m", type=int, default=2)

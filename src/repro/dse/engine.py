@@ -244,6 +244,27 @@ class DseResult:
         return 100.0 * (1.0 - best.energy_nj / self.accurate_energy_nj)
 
 
+def front_payload(result: "DseResult") -> list[dict]:
+    """The Pareto front as JSON-able dicts, each point with its ledger key.
+
+    The ``ledger_key`` is the content-addressed :func:`~repro.dse.ledger.
+    plan_key` the point's evaluation was recorded under (``None`` for
+    external baseline points, which are not ledgered) — embedding it in run
+    manifests and golden files makes a front traceable to the exact ledger
+    records that produced it.
+    """
+    return [
+        {
+            "label": point.label,
+            "energy_nj": point.energy_nj,
+            "accuracy": point.accuracy,
+            "accuracy_loss": point.accuracy_loss,
+            "ledger_key": point.meta.get("key"),
+        }
+        for point in result.front.points()
+    ]
+
+
 def build_campaign_service(
     trained_models: "Sequence[TrainedModel]",
     dataset: Dataset,
@@ -505,6 +526,10 @@ def run_campaign(
             "front_size": len(ctx.front),
             "wall_clock_s": wall_clock,
             "space_size": space.size(),
+            # The evaluation-context digest every ledger record of this
+            # campaign is keyed under — run manifests embed it so a front
+            # is traceable to its ledger records by hash alone.
+            "context_key": ctx.context_key,
             # Derived from the evaluator actually used, so an explicitly
             # passed ServicePlanEvaluator reports its service's pool size.
             "workers": (

@@ -1,0 +1,108 @@
+"""The self-describing provenance environment block.
+
+One dictionary answers "what machine, what software, what defaults produced
+this number?" — it is embedded verbatim in every :class:`RunManifest` and
+printed by ``repro info --json``.  Two properties matter:
+
+* **failure reasons are recorded, not discarded** — an optional package
+  (numba) that fails to import contributes its import-error message, so a
+  results file claiming ``"numba": {"available": false}`` explains *why*
+  (the ROADMAP PR-2 carryover: stale hardware claims must be
+  self-describing);
+* **determinism** — given one interpreter on one host the block is stable,
+  so manifests of repeated runs differ only where the measurement differs.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import platform
+
+from repro import __version__
+
+
+#: Optional/load-bearing packages probed for the environment block.  numpy
+#: is required, scipy accelerates the LUT decomposition (the engine degrades
+#: without it), numba backs the JIT engine backend.
+PROBED_PACKAGES = ("numpy", "scipy", "numba")
+
+
+def probe_package(name: str) -> dict:
+    """``{available, version, reason}`` of one importable package.
+
+    ``reason`` carries the import failure (exception type + message) when
+    the package is unavailable, ``None`` otherwise.
+    """
+    try:
+        module = importlib.import_module(name)
+    except Exception as error:  # noqa: BLE001 - any import failure is a reason
+        return {
+            "available": False,
+            "version": None,
+            "reason": f"{type(error).__name__}: {error}",
+        }
+    return {
+        "available": True,
+        "version": getattr(module, "__version__", None),
+        "reason": None,
+    }
+
+
+def _engine_backend_rows() -> list[dict]:
+    """Availability of every registered engine backend (with reasons)."""
+    from repro.core.backends import DEFAULT_BACKEND, backend_names, get_backend
+
+    rows = []
+    for name in backend_names():
+        backend = get_backend(name)
+        available, reason = backend.availability()
+        rows.append(
+            {
+                "name": name,
+                "available": available,
+                "default": name == DEFAULT_BACKEND,
+                "reason": None if available else reason,
+            }
+        )
+    return rows
+
+
+def _seed_defaults() -> dict:
+    """The root seeds every stochastic path defaults to without ``--seed``."""
+    from repro.simulation.campaign import TrainingSettings
+
+    return {
+        # The CLI's --seed default: None means the built-in stream seeds below.
+        "cli_seed": None,
+        "training_seed": TrainingSettings().seed,
+        # run_campaign's default NSGA-II / strategy generator.
+        "campaign_rng_seed": 0,
+        # experiment_dataset's built-in synthetic generator seeds.
+        "dataset_seed_10_classes": 10,
+        "dataset_seed_100_classes": 100,
+    }
+
+
+def provenance_environment() -> dict:
+    """The environment block embedded in every manifest.
+
+    Keys: ``package`` (this distribution), ``python`` / ``platform`` /
+    ``machine`` / ``cpu_count`` (host facts), ``packages`` (probe results
+    incl. import-failure reasons), ``engine_backends`` (registry
+    availability with reasons), ``seed_defaults``.
+    """
+    return {
+        "package": {"name": "repro-dac21", "version": __version__},
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "packages": {name: probe_package(name) for name in PROBED_PACKAGES},
+        "engine_backends": _engine_backend_rows(),
+        "seed_defaults": _seed_defaults(),
+    }
+
+
+__all__ = ["provenance_environment", "probe_package", "PROBED_PACKAGES"]

@@ -1,0 +1,331 @@
+"""Golden-baseline regression comparison behind ``repro verify-results``.
+
+The policy in one sentence: **deterministic artifacts must match exactly,
+timing-derived artifacts must not regress beyond a tolerance, pure
+wall-clock noise is ignored** — so a PR that perturbs an accuracy table or
+Pareto front fails loudly, a PR that halves throughput fails loudly, and a
+PR that merely ran on a slower afternoon does not.
+
+Every leaf of a compared document is classified by its key name:
+
+``ignore``
+    Wall-clock noise and host facts that legitimately drift between runs
+    and machines: ``wall_clock_s``, ``*_time``, ``cpu_count``,
+    ``workers_vs_wallclock``, the per-backend throughput ``backends``
+    subtree, ``worker_private_kib_*``, ``reason``.
+``floor``
+    Higher-is-better throughput metrics — ``*speedup*``, ``*_pps``,
+    ``*_ips``, ``payload_reduction``.  Fail when
+    ``fresh < golden * (1 - tolerance)``; improvements never fail.  Floors
+    are not enforced when the golden value is already below 1.0 (a
+    sub-unity parallel "speedup" recorded on a starved box is an
+    environment artifact, not a baseline worth defending).
+``band``
+    Size-like metrics (``*bytes*``): fail when
+    ``|fresh - golden| > tolerance * max(|golden|, 1)``.
+``exact``
+    Everything else — accuracies, losses, energies, eval counts, fronts.
+    These are bit-exact by construction (seeded training, content-addressed
+    ledger), so any difference is a real behavior change.  Lists compare as
+    *multisets* of canonical JSON: a Pareto front reordered but otherwise
+    equal passes, any perturbed value fails.
+
+Sections present in the golden but missing from the fresh results are
+failures (a result silently stopped being produced); fresh sections with no
+golden are warnings (unbaselined — run ``make bench-refresh``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.provenance.manifest import canonical_json
+
+#: Default relative tolerance for floor/band comparisons.  Generous on
+#: purpose: single-run timings on a shared 1-CPU box jitter far more than a
+#: genuine optimisation regresses.  Override with ``--tolerance`` or
+#: ``REPRO_REGRESSION_TOL``.
+DEFAULT_TOLERANCE = 0.5
+
+_IGNORED_KEYS = {"wall_clock_s", "cpu_count", "workers_vs_wallclock", "backends", "reason"}
+_FLOOR_KEYS = {"payload_reduction"}
+
+
+def classify_key(key: str) -> str:
+    """The comparison policy of one key: ignore / floor / band / exact."""
+    if key in _IGNORED_KEYS or key.endswith("_time") or key.startswith("worker_private_kib"):
+        return "ignore"
+    if "speedup" in key or key.endswith(("_pps", "_ips")) or key in _FLOOR_KEYS:
+        return "floor"
+    if "bytes" in key:
+        return "band"
+    return "exact"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One divergence (or advisory) between golden and fresh results."""
+
+    section: str
+    path: str
+    kind: str  # "exact" | "floor" | "band" | "missing" | "unbaselined" | "type"
+    severity: str  # "fail" | "warn"
+    message: str
+    golden: object = None
+    fresh: object = None
+
+    def describe(self) -> str:
+        location = f"{self.section}:{self.path}" if self.path else self.section
+        return f"[{self.severity}] {location} — {self.message}"
+
+
+@dataclass
+class RegressionReport:
+    """All findings of one verification run."""
+
+    tolerance: float = DEFAULT_TOLERANCE
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.severity == "fail"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.severity == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def extend(self, findings: "list[Finding]") -> None:
+        self.findings.extend(findings)
+
+    def to_payload(self) -> dict:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "failures": [finding.describe() for finding in self.failures],
+            "warnings": [finding.describe() for finding in self.warnings],
+        }
+
+
+def _join(path: str, key: str) -> str:
+    return f"{path}.{key}" if path else key
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _compare_leaf(
+    section: str, path: str, key: str, golden: object, fresh: object, tolerance: float
+) -> list[Finding]:
+    policy = classify_key(key)
+    if policy in ("floor", "band") and _is_number(golden) and _is_number(fresh):
+        if policy == "floor":
+            if golden < 1.0:
+                return []  # sub-unity baseline: environment artifact, no floor
+            floor = golden * (1.0 - tolerance)
+            if fresh < floor:
+                return [
+                    Finding(
+                        section,
+                        path,
+                        "floor",
+                        "fail",
+                        f"regressed beyond tolerance: {fresh:.6g} < "
+                        f"{golden:.6g} × (1 − {tolerance:g}) = {floor:.6g}",
+                        golden,
+                        fresh,
+                    )
+                ]
+            return []
+        band = tolerance * max(abs(float(golden)), 1.0)
+        if abs(float(fresh) - float(golden)) > band:
+            return [
+                Finding(
+                    section,
+                    path,
+                    "band",
+                    "fail",
+                    f"outside tolerance band: |{fresh:.6g} − {golden:.6g}| > {band:.6g}",
+                    golden,
+                    fresh,
+                )
+            ]
+        return []
+    # Exact policy (also floor/band leaves of non-numeric type).
+    if canonical_json(golden) != canonical_json(fresh):
+        return [
+            Finding(
+                section,
+                path,
+                "exact",
+                "fail",
+                f"exact-match value changed: golden {golden!r} != fresh {fresh!r}",
+                golden,
+                fresh,
+            )
+        ]
+    return []
+
+
+def _compare_nodes(
+    section: str, path: str, key: str, golden: object, fresh: object, tolerance: float
+) -> list[Finding]:
+    if classify_key(key) == "ignore":
+        return []
+    if isinstance(golden, dict) and isinstance(fresh, dict):
+        findings: list[Finding] = []
+        for child in golden:
+            child_path = _join(path, child)
+            if child not in fresh:
+                if classify_key(child) == "ignore":
+                    continue
+                findings.append(
+                    Finding(
+                        section,
+                        child_path,
+                        "missing",
+                        "fail",
+                        "present in golden but missing from fresh results",
+                        golden[child],
+                        None,
+                    )
+                )
+                continue
+            findings.extend(
+                _compare_nodes(
+                    section, child_path, child, golden[child], fresh[child], tolerance
+                )
+            )
+        for child in fresh:
+            if child not in golden and classify_key(child) != "ignore":
+                findings.append(
+                    Finding(
+                        section,
+                        _join(path, child),
+                        "unbaselined",
+                        "warn",
+                        "fresh result has no golden baseline (run `make bench-refresh`)",
+                        None,
+                        fresh[child],
+                    )
+                )
+        return findings
+    if isinstance(golden, list) and isinstance(fresh, list):
+        # Order-insensitive multiset comparison: a Pareto front reordered
+        # but otherwise equal is the same front; any perturbed element is
+        # a different multiset.
+        golden_items = Counter(canonical_json(item) for item in golden)
+        fresh_items = Counter(canonical_json(item) for item in fresh)
+        if golden_items != fresh_items:
+            lost = list((golden_items - fresh_items).elements())
+            gained = list((fresh_items - golden_items).elements())
+            detail = "; ".join(
+                part
+                for part in (
+                    f"missing from fresh: {lost[:3]}" if lost else "",
+                    f"not in golden: {gained[:3]}" if gained else "",
+                )
+                if part
+            )
+            return [
+                Finding(
+                    section,
+                    path,
+                    "exact",
+                    "fail",
+                    f"list content changed ({len(golden)} golden vs "
+                    f"{len(fresh)} fresh items): {detail}",
+                    golden,
+                    fresh,
+                )
+            ]
+        return []
+    if type(golden) is not type(fresh) and not (
+        _is_number(golden) and _is_number(fresh)
+    ):
+        return [
+            Finding(
+                section,
+                path,
+                "type",
+                "fail",
+                f"type changed: golden {type(golden).__name__} != "
+                f"fresh {type(fresh).__name__}",
+                golden,
+                fresh,
+            )
+        ]
+    return _compare_leaf(section, path, key, golden, fresh, tolerance)
+
+
+def compare_golden_payloads(
+    name: str, golden: object, fresh: object, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Finding]:
+    """Compare one golden document against its fresh counterpart.
+
+    ``name`` labels the findings (e.g. the golden file's stem).  The
+    key-classification policy applies from the root; for the workload
+    goldens (accuracy table, Pareto front) every key is ``exact`` so this
+    degenerates to bit-exact comparison with order-insensitive fronts.
+    """
+    return _compare_nodes(name, "", name, golden, fresh, tolerance)
+
+
+def compare_bench_ledgers(
+    golden: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> RegressionReport:
+    """Compare the full bench ledger (``BENCH_engine.json``) section-wise.
+
+    Golden sections missing from the fresh ledger fail (a benchmark
+    silently stopped producing its section); fresh sections without a
+    golden warn (unbaselined).
+    """
+    report = RegressionReport(tolerance=tolerance)
+    for section in golden:
+        if section not in fresh:
+            report.findings.append(
+                Finding(
+                    section,
+                    "",
+                    "missing",
+                    "fail",
+                    "golden section missing from fresh results",
+                    golden[section],
+                    None,
+                )
+            )
+            continue
+        report.extend(
+            _compare_nodes(
+                section, "", section, golden[section], fresh[section], tolerance
+            )
+        )
+    for section in fresh:
+        if section not in golden:
+            report.findings.append(
+                Finding(
+                    section,
+                    "",
+                    "unbaselined",
+                    "warn",
+                    "fresh section has no golden baseline (run `make bench-refresh`)",
+                    None,
+                    fresh[section],
+                )
+            )
+    return report
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "classify_key",
+    "Finding",
+    "RegressionReport",
+    "compare_golden_payloads",
+    "compare_bench_ledgers",
+]

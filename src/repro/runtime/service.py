@@ -325,6 +325,31 @@ class EvaluationService:
             if store is not None
         )
 
+    def session_context(self) -> dict:
+        """The measurement setup of this session, for run manifests.
+
+        Everything that selects *what* the service measures (hosted models
+        and datasets, eval caps, calibration size, backend, batch size —
+        the knobs hashed into DSE ledger context keys) plus how it executes
+        (workers, shared memory).  JSON-able by construction.
+        """
+        return {
+            "workers": self.max_workers,
+            "serial": self.serial,
+            "models": [
+                {"name": trained.name, "dataset": trained.dataset_name}
+                for trained in self.models
+            ],
+            "datasets": sorted(self.datasets),
+            "max_eval_images": self.max_eval_images,
+            "calibration_images": self.calibration_images,
+            "engine_backend": self.engine_backend,
+            "reuse_prefix": self.reuse_prefix,
+            "use_shared_memory": self.use_shared_memory,
+            "batch_size": self.batch_size,
+            "nbytes_shared": self.nbytes_shared(),
+        }
+
     def stats(self) -> dict:
         """Counters of the session so far."""
         stats = {

@@ -196,6 +196,21 @@ def settings_fingerprint(settings: TrainingSettings) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
 
+def trained_cache_stem(
+    model_name: str, dataset_name: str, settings: TrainingSettings
+) -> str:
+    """The cache-entry stem of one (model, dataset, training-settings) triple.
+
+    Public so run manifests can state *which* cache entry a result came
+    from: the stem a manifest records is byte-identical to the one
+    :class:`TrainedModelCache` names its files with.
+    """
+    return (
+        f"{model_name}__{dataset_name}__seed{settings.seed}"
+        f"__cfg{settings_fingerprint(settings)}"
+    )
+
+
 class TrainedModelCache:
     """Disk cache of trained models keyed by (model, dataset, training settings).
 
@@ -211,10 +226,7 @@ class TrainedModelCache:
     def _paths(
         self, model_name: str, dataset_name: str, settings: TrainingSettings
     ) -> tuple[str, str]:
-        stem = (
-            f"{model_name}__{dataset_name}__seed{settings.seed}"
-            f"__cfg{settings_fingerprint(settings)}"
-        )
+        stem = trained_cache_stem(model_name, dataset_name, settings)
         return (
             os.path.join(self.cache_dir, f"{stem}.npz"),
             os.path.join(self.cache_dir, f"{stem}.json"),
