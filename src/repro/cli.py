@@ -485,10 +485,16 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             return _cli_error(str(error))
         finally:
             if service is not None:
-                # The session context goes into the manifest while the
-                # service is still alive (shared-block sizes and all).
-                manifest.inputs["service"] = service.session_context()
-                service.close()
+                try:
+                    # The session context goes into the manifest while the
+                    # service is still alive (shared-block sizes and all).
+                    # Best effort: a partially-started service may not have
+                    # one, and that must not skip close() below.
+                    manifest.inputs["service"] = service.session_context()
+                except Exception:
+                    pass
+                finally:
+                    service.close()
 
         # Each campaign's outputs: the front with its ledger record keys
         # and the stats block, whose context_key is the exact digest the

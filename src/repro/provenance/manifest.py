@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import re
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -135,6 +136,12 @@ def write_text_atomic(path: str, text: str) -> None:
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
+        # mkstemp creates 0600 files and os.replace preserves that; restore
+        # umask-default permissions so results stay group/world readable.
+        umask = os.umask(0)
+        os.umask(umask)
+        with contextlib.suppress(OSError, AttributeError):
+            os.fchmod(fd, 0o666 & ~umask)
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
         os.replace(tmp, path)
@@ -284,7 +291,8 @@ def record_run(
     exit, where ``status`` flips to ``"error"`` and the exception is
     re-raised — the wall clock and environment block are stamped and the
     manifest is written atomically to ``directory`` (resolved through
-    :func:`resolve_manifest_dir`).
+    :func:`resolve_manifest_dir`).  A manifest-write failure degrades to a
+    stderr warning: provenance never crashes the run it describes.
     """
     from repro.provenance.environment import provenance_environment
 
@@ -300,7 +308,16 @@ def record_run(
         manifest.wall_clock_s = time.perf_counter() - start
         if not manifest.environment:
             manifest.environment = provenance_environment()
-        manifest.write(directory)
+        try:
+            manifest.write(directory)
+        except OSError as error:
+            # An unwritable manifest directory must not crash a successful
+            # run at exit, nor replace an in-flight exception on the error
+            # path — the manifest is provenance, not the result itself.
+            print(
+                f"warning: could not write run manifest for {manifest.kind!r}: {error}",
+                file=sys.stderr,
+            )
 
 
 __all__ = [

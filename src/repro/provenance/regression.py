@@ -6,7 +6,10 @@ wall-clock noise is ignored** — so a PR that perturbs an accuracy table or
 Pareto front fails loudly, a PR that halves throughput fails loudly, and a
 PR that merely ran on a slower afternoon does not.
 
-Every leaf of a compared document is classified by its key name:
+Every leaf of a compared document is classified by its key *path*: a key
+names its own policy, and a bare-index key (a worker count like ``"4"``
+under ``speedup_vs_serial``) inherits its parent's policy, so
+timing-derived values keyed by index are still floors, not exact matches:
 
 ``ignore``
     Wall-clock noise and host facts that legitimately drift between runs
@@ -37,6 +40,7 @@ golden are warnings (unbaselined — run ``make bench-refresh``).
 
 from __future__ import annotations
 
+import re
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -50,16 +54,25 @@ DEFAULT_TOLERANCE = 0.5
 
 _IGNORED_KEYS = {"wall_clock_s", "cpu_count", "workers_vs_wallclock", "backends", "reason"}
 _FLOOR_KEYS = {"payload_reduction"}
+_BARE_INDEX = re.compile(r"\d+")
 
 
-def classify_key(key: str) -> str:
-    """The comparison policy of one key: ignore / floor / band / exact."""
+def classify_key(key: str, parent: str = "exact") -> str:
+    """The comparison policy of one key: ignore / floor / band / exact.
+
+    ``parent`` is the policy of the enclosing container.  A bare-index key
+    (all digits — a worker count, a layer index) carries no policy of its
+    own and inherits ``parent``, so ``speedup_vs_serial.4`` is a floor even
+    though ``"4"`` alone would classify as exact.
+    """
     if key in _IGNORED_KEYS or key.endswith("_time") or key.startswith("worker_private_kib"):
         return "ignore"
     if "speedup" in key or key.endswith(("_pps", "_ips")) or key in _FLOOR_KEYS:
         return "floor"
     if "bytes" in key:
         return "band"
+    if _BARE_INDEX.fullmatch(key):
+        return parent
     return "exact"
 
 
@@ -120,9 +133,8 @@ def _is_number(value: object) -> bool:
 
 
 def _compare_leaf(
-    section: str, path: str, key: str, golden: object, fresh: object, tolerance: float
+    section: str, path: str, policy: str, golden: object, fresh: object, tolerance: float
 ) -> list[Finding]:
-    policy = classify_key(key)
     if policy in ("floor", "band") and _is_number(golden) and _is_number(fresh):
         if policy == "floor":
             if golden < 1.0:
@@ -173,16 +185,23 @@ def _compare_leaf(
 
 
 def _compare_nodes(
-    section: str, path: str, key: str, golden: object, fresh: object, tolerance: float
+    section: str,
+    path: str,
+    key: str,
+    golden: object,
+    fresh: object,
+    tolerance: float,
+    parent_policy: str = "exact",
 ) -> list[Finding]:
-    if classify_key(key) == "ignore":
+    policy = classify_key(key, parent_policy)
+    if policy == "ignore":
         return []
     if isinstance(golden, dict) and isinstance(fresh, dict):
         findings: list[Finding] = []
         for child in golden:
             child_path = _join(path, child)
             if child not in fresh:
-                if classify_key(child) == "ignore":
+                if classify_key(child, policy) == "ignore":
                     continue
                 findings.append(
                     Finding(
@@ -198,11 +217,17 @@ def _compare_nodes(
                 continue
             findings.extend(
                 _compare_nodes(
-                    section, child_path, child, golden[child], fresh[child], tolerance
+                    section,
+                    child_path,
+                    child,
+                    golden[child],
+                    fresh[child],
+                    tolerance,
+                    parent_policy=policy,
                 )
             )
         for child in fresh:
-            if child not in golden and classify_key(child) != "ignore":
+            if child not in golden and classify_key(child, policy) != "ignore":
                 findings.append(
                     Finding(
                         section,
@@ -260,7 +285,7 @@ def _compare_nodes(
                 fresh,
             )
         ]
-    return _compare_leaf(section, path, key, golden, fresh, tolerance)
+    return _compare_leaf(section, path, policy, golden, fresh, tolerance)
 
 
 def compare_golden_payloads(
