@@ -15,7 +15,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest -W error::pytest.PytestUnknownMarkWarning
 
-.PHONY: check tier1 engine dse dse-smoke runtime-smoke verify-results bench-refresh
+.PHONY: check tier1 engine dse dse-smoke runtime-smoke scheduler-unit verify-results bench-refresh
 
 # verify-results runs LAST so it judges the bench ledger the engine/dse
 # targets just rewrote, not a stale one.
@@ -31,9 +31,16 @@ engine:
 dse:
 	$(PYTEST) -q -m dse tests benchmarks/bench_dse_search.py
 
-# Evaluation-runtime suite: EvaluationService lifecycle and graceful
-# shutdown, service-vs-serial bit-exact parity, parallel DSE campaigns.
-runtime-smoke:
+# Scheduler unit subset: model-free tests of the cost model, the balanced
+# and cost-balanced chunking contracts and the pool-sizing policy — runs in
+# about a second, the first thing to reach for when touching the scheduler.
+scheduler-unit:
+	$(PYTEST) -q tests/test_runtime_scheduling.py
+
+# Evaluation-runtime suite: scheduler units plus EvaluationService lifecycle
+# and graceful shutdown, service-vs-serial bit-exact parity, work stealing,
+# parallel DSE campaigns.
+runtime-smoke: scheduler-unit
 	$(PYTEST) -q -m runtime tests
 
 # End-to-end greedy exploration on the synthetic workload (< 60 s; trains a

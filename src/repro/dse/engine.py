@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -34,10 +35,93 @@ from repro.dse.ledger import CampaignLedger, plan_key
 from repro.dse.pareto import ParetoFront, ParetoPoint
 from repro.dse.space import SearchSpace
 from repro.dse.strategies import BudgetExhausted, SearchStrategy, get_strategy
+from repro.runtime.sizing import resolve_worker_count
 from repro.simulation.campaign import TrainedModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.service import EvaluationService
+
+
+class PendingScore:
+    """Handle of one in-flight :meth:`CampaignContext.score_async` batch.
+
+    Holds the evaluator's submission handle plus everything needed to
+    record the batch once its accuracies land: the ledger keys of the whole
+    batch (in input order) and the fresh ``(key, assignment)`` pairs that
+    were actually dispatched.  Collection is FIFO: resolving this handle
+    first resolves every batch submitted before it, so ledger writes,
+    baseline anchoring and Pareto admissions happen in submission order —
+    exactly the order the blocking :meth:`~CampaignContext.score` would
+    have produced.
+    """
+
+    def __init__(
+        self,
+        ctx: "CampaignContext",
+        keys: list[str],
+        pending: list[tuple[str, tuple[int, ...]]],
+        handle,
+        truncated: bool,
+    ):
+        self._ctx = ctx
+        self._keys = keys
+        self._pending = pending
+        self._handle = handle
+        self._truncated = truncated
+        self.collected = False
+
+    def _collect(self) -> None:
+        """Record this batch's fresh results (idempotent; called in FIFO)."""
+        if self.collected:
+            return
+        self.collected = True
+        ctx = self._ctx
+        try:
+            if self._handle is None:
+                return
+            accuracies = self._handle.results()
+            if ctx._baseline_accuracy is None and accuracies:
+                # The engine scores the all-accurate assignment first, so
+                # the first fresh accuracy is the quantized baseline.
+                ctx._baseline_accuracy = accuracies[0]
+            for (key, assignment), acc in zip(self._pending, accuracies):
+                point = ParetoPoint(
+                    label=ctx.space.label(assignment),
+                    energy_nj=ctx.space.energy_nj(assignment),
+                    accuracy=acc,
+                    accuracy_loss=ctx.loss_percent(acc),
+                    meta={"assignment": assignment, "key": key},
+                )
+                ctx.ledger.put(
+                    key,
+                    {
+                        "label": point.label,
+                        "assignment": list(assignment),
+                        "layers": ctx.space.describe(assignment),
+                        "accuracy": point.accuracy,
+                        "accuracy_loss": point.accuracy_loss,
+                        "baseline_accuracy": ctx.baseline_accuracy,
+                        "energy_nj": point.energy_nj,
+                        "context": ctx._context_key,
+                    },
+                )
+                ctx._admit(key, point)
+        finally:
+            ctx._pending_keys.difference_update(key for key, _ in self._pending)
+
+    def points(self) -> list[ParetoPoint]:
+        """Resolve to points in the batch's input order (blocking).
+
+        Raises :class:`BudgetExhausted` when the batch was truncated at
+        submission — after recording whatever part of it still fit, the
+        same contract as the blocking :meth:`~CampaignContext.score`.
+        """
+        self._ctx._drain_through(self)
+        if self._truncated:
+            raise BudgetExhausted(
+                f"evaluation budget of {self._ctx.budget_evals} reached"
+            )
+        return [self._ctx.points[key] for key in self._keys]
 
 
 class CampaignContext:
@@ -45,9 +129,14 @@ class CampaignContext:
 
     Strategies call :meth:`score` with assignment batches and read
     :attr:`space`, :attr:`max_loss`, :attr:`rng` and
-    :attr:`remaining_evals`.  Baseline adapters additionally reach the
-    shared :attr:`evaluator` (for technique ``apply`` calls) and publish
-    their result through :meth:`add_external_point`.
+    :attr:`remaining_evals`.  Pipelining strategies use
+    :meth:`score_async` instead — submission dispatches the fresh plans to
+    the evaluator immediately (on a service-backed campaign the pool
+    starts evaluating while the strategy keeps breeding candidates) and
+    the returned :class:`PendingScore` resolves them later.  Baseline
+    adapters additionally reach the shared :attr:`evaluator` (for
+    technique ``apply`` calls) and publish their result through
+    :meth:`add_external_point`.
     """
 
     def __init__(
@@ -74,6 +163,8 @@ class CampaignContext:
         self.dedup_hits = 0
         self._context_key = evaluator.context_key()
         self._baseline_accuracy: float | None = None
+        self._outstanding: "deque[PendingScore]" = deque()
+        self._pending_keys: set[str] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -117,15 +208,19 @@ class CampaignContext:
         self.points[key] = point
         self.front.add(point)
 
-    def score(self, assignments: Sequence[Sequence[int]]) -> list[ParetoPoint]:
-        """Evaluate a batch of assignments, returning points in input order.
+    def score_async(self, assignments: Sequence[Sequence[int]]) -> PendingScore:
+        """Dispatch a batch of assignments, returning an in-flight handle.
 
-        Ledger and in-run duplicates are replayed without touching the
-        evaluator or the budget; the first fresh assignment ever scored
-        fixes the campaign's baseline accuracy (the engine guarantees it is
-        the all-accurate one).  Raises :class:`BudgetExhausted` when fresh
-        work would exceed the evaluation budget — after recording whatever
-        part of the batch still fit.
+        Ledger and in-run duplicates (including keys already *in flight*
+        from earlier uncollected batches) are resolved without touching the
+        evaluator or the budget.  Fresh plans are submitted to the
+        evaluator immediately — on a service-backed campaign the worker
+        pool starts on them while the strategy keeps generating candidates
+        — and charged against the budget at submission.  Ledger writes,
+        baseline anchoring and Pareto admissions happen at *collection*
+        (:meth:`PendingScore.points`), strictly in submission order, so the
+        observable campaign state is identical to blocking :meth:`score`
+        calls in the same order.
         """
         normalized = [self.space.validate(a) for a in assignments]
         keys: list[str] = []
@@ -137,7 +232,7 @@ class CampaignContext:
                 self.space.layer_names,
             )
             keys.append(key)
-            if key in self.points:
+            if key in self.points or key in self._pending_keys:
                 self.dedup_hits += 1
                 continue
             if key in fresh:
@@ -159,41 +254,47 @@ class CampaignContext:
         if pending and self.remaining_evals < len(pending):
             pending = pending[: int(self.remaining_evals)]
             truncated = True
+        handle = None
         if pending:
             plans = [self.space.plan(assignment) for _, assignment in pending]
-            accuracies = self.evaluator.evaluate(plans)
+            handle = self.evaluator.submit(plans)
             self.evaluations += len(plans)
-            if self._baseline_accuracy is None:
-                # The engine scores the all-accurate assignment first, so
-                # the first fresh accuracy is the quantized baseline.
-                self._baseline_accuracy = accuracies[0]
-            for (key, assignment), acc in zip(pending, accuracies):
-                point = ParetoPoint(
-                    label=self.space.label(assignment),
-                    energy_nj=self.space.energy_nj(assignment),
-                    accuracy=acc,
-                    accuracy_loss=self.loss_percent(acc),
-                    meta={"assignment": assignment, "key": key},
-                )
-                self.ledger.put(
-                    key,
-                    {
-                        "label": point.label,
-                        "assignment": list(assignment),
-                        "layers": self.space.describe(assignment),
-                        "accuracy": point.accuracy,
-                        "accuracy_loss": point.accuracy_loss,
-                        "baseline_accuracy": self.baseline_accuracy,
-                        "energy_nj": point.energy_nj,
-                        "context": self._context_key,
-                    },
-                )
-                self._admit(key, point)
-        if truncated:
-            raise BudgetExhausted(
-                f"evaluation budget of {self.budget_evals} reached"
-            )
-        return [self.points[key] for key in keys]
+            self._pending_keys.update(key for key, _ in pending)
+        score = PendingScore(self, keys, pending, handle, truncated)
+        self._outstanding.append(score)
+        return score
+
+    def score(self, assignments: Sequence[Sequence[int]]) -> list[ParetoPoint]:
+        """Evaluate a batch of assignments, returning points in input order.
+
+        Ledger and in-run duplicates are replayed without touching the
+        evaluator or the budget; the first fresh assignment ever scored
+        fixes the campaign's baseline accuracy (the engine guarantees it is
+        the all-accurate one).  Raises :class:`BudgetExhausted` when fresh
+        work would exceed the evaluation budget — after recording whatever
+        part of the batch still fit.
+        """
+        return self.score_async(assignments).points()
+
+    def _drain_through(self, target: PendingScore) -> None:
+        """Collect outstanding batches in FIFO order up to ``target``."""
+        if target.collected:
+            return
+        while self._outstanding:
+            head = self._outstanding.popleft()
+            head._collect()
+            if head is target:
+                return
+
+    def finish(self) -> None:
+        """Collect every outstanding :meth:`score_async` batch.
+
+        The engine calls this after the strategy returns so no in-flight
+        evaluation is dropped unrecorded; a well-behaved strategy has
+        already collected everything and this is a no-op.
+        """
+        while self._outstanding:
+            self._outstanding.popleft()._collect()
 
     def add_external_point(
         self,
@@ -285,12 +386,16 @@ def build_campaign_service(
     the actual evaluation bytes, stays identical.  Used both for the
     single-model service :func:`run_campaign` owns under ``workers=N`` and
     for the multi-model service the CLI shares across ``--models``
-    campaigns.
+    campaigns.  ``workers`` passes through the degrade-to-serial clamp of
+    :func:`~repro.runtime.sizing.resolve_worker_count` (``None`` =
+    auto-size); the resulting service runs in-process when only one CPU is
+    schedulable.
     """
     from repro.runtime.service import EvaluationService
 
     if (eval_images is None) != (eval_labels is None):
         raise ValueError("eval_images and eval_labels must be given together")
+    workers = resolve_worker_count(workers)
     if eval_images is not None:
         dataset = dataclasses.replace(
             dataset, test_images=eval_images, test_labels=eval_labels
@@ -369,7 +474,7 @@ def run_campaign(
     reuse_prefix: bool = True,
     eval_images: np.ndarray | None = None,
     eval_labels: np.ndarray | None = None,
-    workers: int = 1,
+    workers: int | None = 1,
     service: "EvaluationService | None" = None,
     **space_kwargs,
 ) -> DseResult:
@@ -403,11 +508,17 @@ def run_campaign(
         to ``np.random.default_rng(0)`` for reproducibility.
     workers:
         Candidate batches are fanned across this many evaluation-service
-        worker processes (must be >= 1); the candidate generations of
-        NSGA-II and the frontier expansions of the greedy descent are
-        embarrassingly parallel, and every accuracy stays bit-exact with
-        the serial path — ``workers=N`` produces the identical Pareto
-        front and shares ledger records with ``workers=1``.
+        worker processes (must be >= 1; ``None`` auto-sizes from the
+        schedulable CPUs and host load).  The request is clamped to the
+        schedulable-CPU count
+        (:func:`repro.runtime.sizing.resolve_worker_count`): ``workers=4``
+        on a 1-CPU box degrades to the serial in-process path — 1.0x the
+        serial wall-clock instead of four contending processes.  The
+        candidate generations of NSGA-II and the frontier expansions of
+        the greedy descent are embarrassingly parallel, and every accuracy
+        stays bit-exact with the serial path — ``workers=N`` produces the
+        identical Pareto front and shares ledger records with
+        ``workers=1``.
     service:
         A started (or startable) multi-model
         :class:`~repro.runtime.service.EvaluationService` hosting
@@ -418,9 +529,17 @@ def run_campaign(
     """
     if budget_evals is not None and budget_evals < 1:
         raise ValueError("budget_evals must be at least 1 (the accurate baseline)")
-    if workers is None or int(workers) < 1:
+    if workers is not None and int(workers) < 1:
         raise ValueError(f"workers must be a positive integer, got {workers}")
-    if evaluator is not None and (service is not None or int(workers) > 1):
+    requested_workers = workers if workers is None else int(workers)
+    # The degrade-to-serial clamp: never more workers than schedulable CPUs
+    # (a 4-worker request on a 1-CPU box runs the serial path at 1.0x
+    # serial, not 4 time-slicing processes at ~0.5x).
+    effective_workers = resolve_worker_count(workers)
+    if evaluator is not None and (
+        service is not None
+        or (requested_workers is not None and requested_workers > 1)
+    ):
         # An explicit evaluator fully determines the execution path; a
         # service or worker count alongside it would be silently ignored.
         raise ValueError(
@@ -439,11 +558,11 @@ def run_campaign(
     owned_service: "EvaluationService | None" = None
     try:
         if evaluator is None:
-            if service is None and int(workers) > 1:
+            if service is None and effective_workers > 1:
                 owned_service = build_campaign_service(
                     [trained],
                     dataset,
-                    int(workers),
+                    effective_workers,
                     max_eval_images=max_eval_images,
                     calibration_images=calibration_images,
                     engine_backend=engine_backend,
@@ -500,8 +619,14 @@ def run_campaign(
         ctx.score([space.accurate_assignment()])
         try:
             strategy.search(ctx)
+            # Pipelining strategies may leave in-flight batches; collect
+            # them so nothing evaluated goes unrecorded.
+            ctx.finish()
         except BudgetExhausted:
-            pass
+            try:
+                ctx.finish()
+            except BudgetExhausted:  # pragma: no cover - defensive
+                pass
         wall_clock = time.perf_counter() - start
     finally:
         # A KeyboardInterrupt (or any failure) lands here with every scored
@@ -531,11 +656,14 @@ def run_campaign(
             # is traceable to its ledger records by hash alone.
             "context_key": ctx.context_key,
             # Derived from the evaluator actually used, so an explicitly
-            # passed ServicePlanEvaluator reports its service's pool size.
+            # passed ServicePlanEvaluator reports its service's pool size;
+            # requested_workers keeps the pre-clamp request visible (None
+            # when the caller asked for auto-sizing).
             "workers": (
                 evaluator.service.max_workers
                 if isinstance(evaluator, ServicePlanEvaluator)
                 else 1
             ),
+            "requested_workers": requested_workers,
         },
     )

@@ -1,8 +1,8 @@
 """Accuracy scoring of candidate batches — in-process or service-backed.
 
 Two interchangeable evaluators implement the campaign's scoring surface
-(``evaluate(plans)``, ``context_key()``, ``mac_layer_names()``,
-``evaluations``):
+(``evaluate(plans)``, ``submit(plans)`` returning a ``results()`` handle,
+``context_key()``, ``mac_layer_names()``, ``evaluations``):
 
 * :class:`PlanEvaluator` owns one calibrated
   :class:`~repro.simulation.inference.ApproximateExecutor` for the whole
@@ -62,6 +62,26 @@ def _resolve_eval_arrays(
             eval_images = eval_images[:max_eval_images]
             eval_labels = eval_labels[:max_eval_images]
     return eval_images, eval_labels
+
+
+class ResolvedBatch:
+    """Already-evaluated :meth:`PlanEvaluator.submit` handle.
+
+    The in-process evaluator has no asynchrony to expose, so ``submit``
+    evaluates eagerly and wraps the accuracies; the handle exists so the
+    campaign engine drives one interface (``submit(...).results()``)
+    regardless of execution path.
+    """
+
+    def __init__(self, accuracies: list[float]):
+        self._accuracies = list(accuracies)
+
+    def __len__(self) -> int:
+        return len(self._accuracies)
+
+    def results(self) -> list[float]:
+        """Accuracies in the submitted plans' input order."""
+        return list(self._accuracies)
 
 
 class PlanEvaluator:
@@ -152,6 +172,15 @@ class PlanEvaluator:
             self.evaluations += 1
         return [accuracies[index] for index in range(len(plans))]
 
+    def submit(self, plans: Sequence[ExecutionPlan]) -> ResolvedBatch:
+        """Async-shaped scoring surface (eager here — no workers to overlap).
+
+        Mirrors :meth:`ServicePlanEvaluator.submit` so the campaign engine's
+        pipelined scoring (:meth:`~repro.dse.engine.CampaignContext.
+        score_async`) runs unchanged on the serial path.
+        """
+        return ResolvedBatch(self.evaluate(plans))
+
 
 class ServicePlanEvaluator:
     """Service-backed :class:`PlanEvaluator` drop-in for parallel campaigns.
@@ -233,3 +262,20 @@ class ServicePlanEvaluator:
         accuracies = self.service.evaluate_plans(self.model_index, plans)
         self.evaluations += len(plans)
         return accuracies
+
+    def submit(self, plans: Sequence[ExecutionPlan]):
+        """Dispatch ``plans`` to the service without blocking on results.
+
+        Returns the service's :class:`~repro.runtime.service.
+        EvaluationBatch`: the chunks run on the pool while the caller keeps
+        working (e.g. breeding the rest of an NSGA-II generation), and
+        ``results()`` blocks only when the accuracies are actually needed.
+        The evaluation count is charged at submission — the work is in
+        flight from that point on.
+        """
+        plans = list(plans)
+        if not plans:
+            return ResolvedBatch([])
+        batch = self.service.submit([(self.model_index, plan) for plan in plans])
+        self.evaluations += len(plans)
+        return batch

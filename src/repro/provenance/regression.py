@@ -19,10 +19,16 @@ timing-derived values keyed by index are still floors, not exact matches:
 ``floor``
     Higher-is-better throughput metrics — ``*speedup*``, ``*_pps``,
     ``*_ips``, ``payload_reduction``.  Fail when
-    ``fresh < golden * (1 - tolerance)``; improvements never fail.  Floors
-    are not enforced when the golden value is already below 1.0 (a
-    sub-unity parallel "speedup" recorded on a starved box is an
-    environment artifact, not a baseline worth defending).
+    ``fresh < golden * (1 - tolerance)``; improvements never fail.  The
+    *relative* floor is not enforced when the golden value is already
+    below 1.0 (a sub-unity parallel "speedup" recorded on a starved box is
+    an environment artifact, not a baseline worth defending) — but
+    ``speedup_vs_serial`` values additionally carry an *absolute* floor of
+    1.0 (minus :data:`SPEEDUP_NOISE_TOLERANCE` noise margin), regardless
+    of the golden: with cost-balanced scheduling and the
+    degrade-to-serial worker clamp, parallel execution must never lose to
+    serial on any host, so a fresh sub-0.9x "speedup" is a scheduling
+    regression even if the golden once recorded one.
 ``band``
     Size-like metrics (``*bytes*``): fail when
     ``|fresh - golden| > tolerance * max(|golden|, 1)``.
@@ -52,7 +58,26 @@ from repro.provenance.manifest import canonical_json
 #: ``REPRO_REGRESSION_TOL``.
 DEFAULT_TOLERANCE = 0.5
 
-_IGNORED_KEYS = {"wall_clock_s", "cpu_count", "workers_vs_wallclock", "backends", "reason"}
+#: Noise margin of the absolute ``speedup_vs_serial`` floor: the serial
+#: degradation path still re-measures serial and "parallel" wall-clocks in
+#: one process, and single-run jitter on a busy box can push the ratio a
+#: few percent under 1.0 without any scheduling change.
+SPEEDUP_NOISE_TOLERANCE = 0.1
+
+#: Absolute floors by path substring: ``{marker: target}``.  Applied on
+#: top of (and independently of) the golden-relative floor — these encode
+#: invariants of the system itself, not of a recorded baseline.
+_ABSOLUTE_FLOORS = {"speedup_vs_serial": 1.0}
+
+_IGNORED_KEYS = {
+    "wall_clock_s",
+    "cpu_count",
+    "affinity_cpus",
+    "effective_workers",
+    "workers_vs_wallclock",
+    "backends",
+    "reason",
+}
 _FLOOR_KEYS = {"payload_reduction"}
 _BARE_INDEX = re.compile(r"\d+")
 
@@ -137,11 +162,34 @@ def _compare_leaf(
 ) -> list[Finding]:
     if policy in ("floor", "band") and _is_number(golden) and _is_number(fresh):
         if policy == "floor":
+            findings: list[Finding] = []
+            for marker, target in _ABSOLUTE_FLOORS.items():
+                if marker not in path:
+                    continue
+                minimum = target * (1.0 - SPEEDUP_NOISE_TOLERANCE)
+                if fresh < minimum:
+                    findings.append(
+                        Finding(
+                            section,
+                            path,
+                            "floor",
+                            "fail",
+                            f"parallel execution lost to serial: {fresh:.6g} < "
+                            f"{target:g} × (1 − {SPEEDUP_NOISE_TOLERANCE:g}) = "
+                            f"{minimum:.6g} (absolute floor — the scheduler "
+                            f"must degrade to serial rather than lose to it)",
+                            golden,
+                            fresh,
+                        )
+                    )
+                break
             if golden < 1.0:
-                return []  # sub-unity baseline: environment artifact, no floor
+                # Sub-unity golden: environment artifact, no relative floor
+                # (the absolute floors above still applied).
+                return findings
             floor = golden * (1.0 - tolerance)
             if fresh < floor:
-                return [
+                findings.append(
                     Finding(
                         section,
                         path,
@@ -152,8 +200,8 @@ def _compare_leaf(
                         golden,
                         fresh,
                     )
-                ]
-            return []
+                )
+            return findings
         band = tolerance * max(abs(float(golden)), 1.0)
         if abs(float(fresh) - float(golden)) > band:
             return [
@@ -348,6 +396,7 @@ def compare_bench_ledgers(
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "SPEEDUP_NOISE_TOLERANCE",
     "classify_key",
     "Finding",
     "RegressionReport",

@@ -14,17 +14,29 @@ owns that ordering:
   :class:`~repro.runtime.service.EvaluationService` uses for *arbitrary*
   submitted cell lists (any mix of models and plans), returning a
   permutation of cell indices;
-* :func:`contiguous_chunks` — the worker-chunking contract: equal ceil-div
-  slices of the schedule, so each worker receives one contiguous block and
-  the adjacency arranged by the sort survives distribution.
+* :func:`contiguous_chunks` — the count-balanced worker-chunking contract:
+  ``min(len(schedule), max_chunks)`` contiguous slices whose sizes differ
+  by at most one, so each worker receives one contiguous block and the
+  adjacency arranged by the sort survives distribution;
+* :func:`cost_balanced_chunks` — the cost-model-driven generalization: the
+  schedule is partitioned by *predicted cell cost*
+  (:class:`~repro.runtime.cost_model.CellCostModel`) instead of cell
+  count, with cuts nudged toward prefix-divergence boundaries
+  (:func:`shared_prefix_depths`) so splitting loses as little checkpoint
+  reuse as possible.  This is what stops one LUT-heavy chunk from
+  straggling a whole batch.
 
-Sorting is stable everywhere: cells with identical fingerprints keep their
-input order, which the scheduler edge-case tests pin.
+Every chunking function preserves the prefix-adjacency contract: chunks
+are contiguous slices of the schedule, concatenating them reproduces the
+schedule exactly, and chunking never changes *what* is evaluated — only
+where it runs.  Sorting is stable everywhere: cells with identical
+fingerprints keep their input order, which the scheduler edge-case tests
+pin.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence, TypeVar
+from typing import TYPE_CHECKING, Mapping, Sequence, TypeVar
 
 from repro.simulation.inference import ExecutionPlan, plan_fingerprint_sort_key
 
@@ -87,20 +99,130 @@ def order_plan_cells(
 
 
 def contiguous_chunks(schedule: Sequence[T], max_chunks: int) -> list[list[T]]:
-    """Split ``schedule`` into at most ``max_chunks`` contiguous slices.
+    """Split ``schedule`` into count-balanced contiguous slices.
 
-    Equal ceil-div chunk sizes (the last chunk may be shorter) so the
-    chunks cover the schedule exactly, in order — each worker receives one
-    contiguous block and prefix-sharing neighbors stay on the same worker.
+    Exactly ``min(len(schedule), max_chunks)`` non-empty chunks whose sizes
+    differ by at most one, covering the schedule exactly, in order — each
+    worker receives one contiguous block and prefix-sharing neighbors stay
+    on the same worker.
+
+    (The historical ceil-div split could leave workers idle: 9 cells on 8
+    workers produced 5 chunks of 2 with 3 workers unemployed; the balanced
+    split produces 8 chunks — one of 2, seven of 1.)
     """
     if not schedule:
         return []
     if max_chunks < 1:
         raise ValueError("max_chunks must be a positive integer")
-    chunksize = -(-len(schedule) // max_chunks)  # ceil-div
-    return [
-        list(schedule[i : i + chunksize]) for i in range(0, len(schedule), chunksize)
+    num_chunks = min(len(schedule), int(max_chunks))
+    base, extra = divmod(len(schedule), num_chunks)
+    chunks: list[list[T]] = []
+    start = 0
+    for index in range(num_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(schedule[start : start + size]))
+        start += size
+    return chunks
+
+
+def shared_prefix_depths(
+    schedule: Sequence[tuple[int, ExecutionPlan]],
+    mac_names_by_model: Mapping[int, Sequence[str]],
+) -> list[int]:
+    """Fingerprint-agreement depth between consecutive scheduled cells.
+
+    ``depths[i]`` is the number of leading MAC layers on which
+    ``schedule[i]`` and ``schedule[i + 1]`` compute bit-identical
+    activations (0 when the cells belong to different models).  A cut at a
+    zero-depth boundary costs no checkpoint reuse at all; a cut at depth
+    ``d`` re-runs a ``d``-layer prefix once — which is what
+    :func:`cost_balanced_chunks` minimizes when placing cuts.
+    """
+    depths: list[int] = []
+    fingerprints = [
+        plan.fingerprints(mac_names_by_model[model_index])
+        for model_index, plan in schedule
     ]
+    for index in range(len(schedule) - 1):
+        if schedule[index][0] != schedule[index + 1][0]:
+            depths.append(0)
+            continue
+        left, right = fingerprints[index], fingerprints[index + 1]
+        depth = 0
+        for a, b in zip(left, right):
+            if a != b:
+                break
+            depth += 1
+        depths.append(depth)
+    return depths
+
+
+def cost_balanced_chunks(
+    schedule: Sequence[T],
+    costs: Sequence[float],
+    max_chunks: int,
+    split_depths: Sequence[int] | None = None,
+) -> list[list[T]]:
+    """Split ``schedule`` into contiguous chunks of near-equal predicted cost.
+
+    Exactly ``min(len(schedule), max_chunks)`` non-empty contiguous slices
+    covering the schedule in order (the same adjacency contract as
+    :func:`contiguous_chunks`), but balanced by the per-cell ``costs``
+    instead of cell count: the ``j``-th cut lands where the cumulative
+    cost is closest to ``total * j / k``, so a schedule with one expensive
+    (LUT-heavy) tail yields one small expensive chunk and several larger
+    cheap ones — the shape work stealing needs.
+
+    ``split_depths`` (from :func:`shared_prefix_depths`) optionally biases
+    each cut toward prefix-divergence boundaries: cutting where
+    consecutive cells share a deep fingerprint prefix re-runs that prefix
+    once, so such positions pay a penalty proportional to their depth
+    (in units of the mean cell cost) when competing for the cut.
+
+    Degenerates to :func:`contiguous_chunks` when the costs carry no
+    information (all zero/non-positive total).
+    """
+    if not schedule:
+        return []
+    if max_chunks < 1:
+        raise ValueError("max_chunks must be a positive integer")
+    if len(costs) != len(schedule):
+        raise ValueError(
+            f"need one cost per cell: {len(costs)} costs for "
+            f"{len(schedule)} cells"
+        )
+    n = len(schedule)
+    k = min(n, int(max_chunks))
+    total = float(sum(max(0.0, float(cost)) for cost in costs))
+    if k <= 1:
+        return [list(schedule)]
+    if total <= 0.0:
+        return contiguous_chunks(schedule, k)
+    cumulative = [0.0]
+    for cost in costs:
+        cumulative.append(cumulative[-1] + max(0.0, float(cost)))
+    mean_cost = total / n
+    max_depth = max(split_depths, default=0) if split_depths else 0
+    cuts = [0]
+    for j in range(1, k):
+        ideal = total * j / k
+        # Leave at least one cell for every chunk still to come.
+        lo = cuts[-1] + 1
+        hi = n - (k - j)
+        best_pos = lo
+        best_penalty = float("inf")
+        for pos in range(lo, hi + 1):
+            penalty = abs(cumulative[pos] - ideal)
+            if split_depths and max_depth > 0:
+                # Cutting between pos-1 and pos re-runs a shared prefix of
+                # this depth once; price that against the balance gain.
+                penalty += (split_depths[pos - 1] / max_depth) * mean_cost
+            if penalty < best_penalty:
+                best_penalty = penalty
+                best_pos = pos
+        cuts.append(best_pos)
+    cuts.append(n)
+    return [list(schedule[cuts[i] : cuts[i + 1]]) for i in range(k)]
 
 
 __all__ = [
@@ -108,4 +230,6 @@ __all__ = [
     "schedule_cells",
     "order_plan_cells",
     "contiguous_chunks",
+    "shared_prefix_depths",
+    "cost_balanced_chunks",
 ]

@@ -14,6 +14,14 @@ service is the one execution path behind all of them:
   fingerprint schedule of :mod:`repro.runtime.scheduling` and distributed
   as contiguous chunks, so plans sharing a layer prefix land adjacently on
   one worker and resume from checkpoints instead of re-running the prefix;
+* **cost-balanced work stealing** — on the pool path the schedule is split
+  into *more chunks than workers* (``chunks_per_worker`` per worker),
+  balanced by the predicted cell cost of a
+  :class:`~repro.runtime.cost_model.CellCostModel` with cuts biased toward
+  prefix-divergence boundaries; idle workers drain the excess chunks from
+  the pool's queue, so one LUT-heavy straggler chunk no longer serializes
+  the batch.  Measured chunk wall-clocks feed back into the cost model
+  (online refinement), sharpening the balance across a session;
 * **bit-exact** — every accuracy the service returns is identical to
   evaluating the same plan on a fresh in-process executor with reuse
   disabled (pinned by the parity suite).
@@ -39,7 +47,6 @@ path: callers never branch on worker count.
 from __future__ import annotations
 
 import multiprocessing
-import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -50,10 +57,18 @@ from repro.runtime.publishing import (
     publish_datasets,
     publish_trained_models,
 )
-from repro.runtime.scheduling import contiguous_chunks, model_mac_names, schedule_cells
+from repro.runtime.cost_model import CellCostModel
+from repro.runtime.scheduling import (
+    contiguous_chunks,
+    cost_balanced_chunks,
+    model_mac_names,
+    schedule_cells,
+    shared_prefix_depths,
+)
+from repro.runtime.sizing import auto_worker_count
 from repro.runtime.worker import (
-    _eval_cell_chunk_task,
     _init_pool_worker,
+    _timed_eval_cell_chunk_task,
     eval_cell_chunk,
     init_worker_state,
 )
@@ -70,7 +85,11 @@ class EvaluationBatch:
     chunks run asynchronously — :meth:`results` blocks until every chunk is
     done, cancelling the rest of the batch on the first failure (including
     :class:`KeyboardInterrupt`) so the service drains instead of churning
-    through doomed work.
+    through doomed work.  The first failure is cached: every later
+    :meth:`results` call re-raises *it*, not the ``CancelledError`` of the
+    chunks the cleanup cancelled.  Pool chunks return ``(accuracies,
+    wall_clock)`` pairs; each measured wall-clock is folded into the
+    service's cost model as the chunk completes.
     """
 
     def __init__(
@@ -79,27 +98,42 @@ class EvaluationBatch:
         chunk_results: list[list[float]] | None,
         futures: "list[Future] | None",
         num_cells: int,
+        cost_model: CellCostModel | None = None,
+        chunk_units: list[dict[str, float]] | None = None,
     ):
         self._order = order
         self._chunk_results = chunk_results
         self._futures = futures
         self._num_cells = num_cells
+        self._cost_model = cost_model
+        self._chunk_units = chunk_units
+        self._failure: BaseException | None = None
 
     def __len__(self) -> int:
         return self._num_cells
 
     def results(self) -> list[float]:
         """Accuracies in the *submission* order of the batch's cells."""
+        if self._failure is not None:
+            raise self._failure
         if self._chunk_results is None:
             collected: list[list[float]] = []
             try:
-                for future in self._futures:
-                    collected.append(future.result())
-            except BaseException:
+                for index, future in enumerate(self._futures):
+                    outcome = future.result()
+                    accuracies, elapsed = outcome
+                    collected.append(accuracies)
+                    if self._cost_model is not None and self._chunk_units:
+                        self._cost_model.observe(self._chunk_units[index], elapsed)
+            except BaseException as exc:
                 # First failure (worker exception, KeyboardInterrupt, ...):
-                # stop feeding the pool — queued chunks are dead weight.
+                # stop feeding the pool — queued chunks are dead weight —
+                # and remember the cause so repeated results() calls see it
+                # instead of the CancelledError of the chunks we cancel.
                 for future in self._futures:
                     future.cancel()
+                self._failure = exc
+                self._futures = None
                 raise
             self._chunk_results = collected
             self._futures = None
@@ -125,8 +159,19 @@ class EvaluationService:
         (calibration reads the train split's head, evaluation the test
         split).
     max_workers:
-        Worker process count; ``None`` uses ``os.cpu_count()``; ``1`` runs
-        fully in-process.  Must be a positive integer.
+        Worker process count; ``None`` auto-sizes from the schedulable-CPU
+        count (CPU affinity / cgroup cpusets, not the machine's core
+        count) discounted by host load
+        (:func:`repro.runtime.sizing.auto_worker_count`); ``1`` runs fully
+        in-process.  An explicit count is honored verbatim — the
+        degrade-to-serial clamp of
+        :func:`~repro.runtime.sizing.resolve_worker_count` applies at the
+        campaign/sweep/CLI entry points, not here.
+    chunks_per_worker:
+        Pool-path oversubscription factor: each batch is split into up to
+        ``max_workers * chunks_per_worker`` cost-balanced chunks, so idle
+        workers steal queued chunks instead of waiting on a straggler.
+        ``1`` restores one-chunk-per-worker static partitioning.
     max_eval_images / calibration_images / engine_backend / reuse_prefix:
         As in :func:`repro.simulation.campaign.plan_sweep` — they select
         the (bit-exact) measurement setup every worker reproduces.
@@ -146,6 +191,7 @@ class EvaluationService:
         datasets: dict[str, Dataset],
         *,
         max_workers: int | None = None,
+        chunks_per_worker: int = 4,
         max_eval_images: int | None = None,
         calibration_images: int = 128,
         engine_backend: str | None = None,
@@ -163,14 +209,21 @@ class EvaluationService:
         if missing:
             raise ValueError(f"no dataset published for: {missing}")
         if max_workers is None:
-            max_workers = os.cpu_count() or 1
+            # Affinity/load-aware, not os.cpu_count(): a cgroup-limited
+            # container reports the machine's cores, not the schedulable ones.
+            max_workers = auto_worker_count()
         if int(max_workers) < 1:
             raise ValueError(
                 f"max_workers must be a positive integer, got {max_workers}"
             )
+        if int(chunks_per_worker) < 1:
+            raise ValueError(
+                f"chunks_per_worker must be a positive integer, got {chunks_per_worker}"
+            )
         if int(batch_size) < 1:
             raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
         self.max_workers = int(max_workers)
+        self.chunks_per_worker = int(chunks_per_worker)
         self.max_eval_images = max_eval_images
         self.calibration_images = int(calibration_images)
         self.engine_backend = engine_backend
@@ -183,6 +236,7 @@ class EvaluationService:
             for index, trained in enumerate(self.models)
         }
         self._pool: ProcessPoolExecutor | None = None
+        self._cost_model: CellCostModel | None = None
         self._serial_state: dict | None = None
         self._model_store: SharedTrainedModels | None = None
         self._dataset_store: SharedDatasets | None = None
@@ -325,6 +379,22 @@ class EvaluationService:
             if store is not None
         )
 
+    def cost_model(self) -> CellCostModel:
+        """The session's cell cost model (built lazily, one per service).
+
+        Layer work is extracted once per hosted model (a one-image dummy
+        forward); the per-technique throughput factors start at the
+        bench-calibrated defaults and are refined online from the measured
+        chunk wall-clocks of every pool batch.
+        """
+        if self._cost_model is None:
+            shapes = [
+                tuple(self.datasets[trained.dataset_name].test_images.shape[1:])
+                for trained in self.models
+            ]
+            self._cost_model = CellCostModel.from_models(self.models, shapes)
+        return self._cost_model
+
     def session_context(self) -> dict:
         """The measurement setup of this session, for run manifests.
 
@@ -335,6 +405,7 @@ class EvaluationService:
         """
         return {
             "workers": self.max_workers,
+            "chunks_per_worker": self.chunks_per_worker,
             "serial": self.serial,
             "models": [
                 {"name": trained.name, "dataset": trained.dataset_name}
@@ -354,12 +425,16 @@ class EvaluationService:
         """Counters of the session so far."""
         stats = {
             "workers": self.max_workers,
+            "chunks_per_worker": self.chunks_per_worker,
             "models": len(self.models),
             "datasets": len(self.datasets),
             "batches_submitted": self.batches_submitted,
             "cells_submitted": self.cells_submitted,
             "nbytes_shared": self.nbytes_shared(),
         }
+        if self._cost_model is not None:
+            stats["cost_model_observations"] = self._cost_model.observations
+            stats["cost_model_seconds_per_unit"] = self._cost_model.seconds_per_unit
         if self._serial_state is not None:
             stats["executor_builds"] = self._serial_state.get("executor_builds", 0)
             stats["cells_evaluated"] = self._serial_state.get("cells_evaluated", 0)
@@ -387,11 +462,18 @@ class EvaluationService:
     def submit(self, cells: Sequence[tuple[int, ExecutionPlan]]) -> EvaluationBatch:
         """Schedule a batch of ``(model_index, plan)`` cells; returns a handle.
 
-        Cells are ordered with the prefix-aware fingerprint schedule,
-        split into contiguous chunks (at most one per worker), and — on the
-        pool path — dispatched asynchronously.  ``batch.results()``
-        resolves to accuracies in the cells' *submission* order.  The
-        service auto-starts on first submission.
+        Cells are ordered with the prefix-aware fingerprint schedule.  The
+        serial path evaluates them in-process as one contiguous block; the
+        pool path splits the schedule into up to ``max_workers *
+        chunks_per_worker`` cost-balanced contiguous chunks (cuts biased
+        toward prefix-divergence boundaries) and dispatches them
+        asynchronously — the excess chunks sit in the pool's queue and are
+        *stolen* by whichever worker goes idle first, so a mispredicted
+        straggler delays one chunk, not the whole batch.  Chunking never
+        changes what is evaluated: every cell runs the same measurement
+        regardless of worker count (the bit-exactness contract).
+        ``batch.results()`` resolves to accuracies in the cells'
+        *submission* order.  The service auto-starts on first submission.
         """
         if self._closed:
             raise RuntimeError("EvaluationService is closed")
@@ -404,14 +486,38 @@ class EvaluationService:
             return EvaluationBatch([], [], None, 0)
         order = schedule_cells(cells, self._mac_names)
         schedule = [cells[index] for index in order]
-        chunks = contiguous_chunks(schedule, self.max_workers)
         if self.serial:
+            chunks = contiguous_chunks(schedule, self.max_workers)
             chunk_results = [
                 eval_cell_chunk(self._serial_state, chunk) for chunk in chunks
             ]
             return EvaluationBatch(order, chunk_results, None, len(cells))
-        futures = [self._pool.submit(_eval_cell_chunk_task, chunk) for chunk in chunks]
-        return EvaluationBatch(order, None, futures, len(cells))
+        cost_model = self.cost_model()
+        costs = [
+            cost_model.cell_cost(model_index, plan, self._mac_names[model_index])
+            for model_index, plan in schedule
+        ]
+        depths = shared_prefix_depths(schedule, self._mac_names)
+        max_chunks = self.max_workers * self.chunks_per_worker
+        chunks = cost_balanced_chunks(
+            schedule, costs, max_chunks, split_depths=depths
+        )
+        chunk_units = [
+            cost_model.chunk_units_by_kind(chunk, self._mac_names)
+            for chunk in chunks
+        ]
+        futures = [
+            self._pool.submit(_timed_eval_cell_chunk_task, chunk)
+            for chunk in chunks
+        ]
+        return EvaluationBatch(
+            order,
+            None,
+            futures,
+            len(cells),
+            cost_model=cost_model,
+            chunk_units=chunk_units,
+        )
 
     def evaluate_cells(self, cells: Sequence[tuple[int, ExecutionPlan]]) -> list[float]:
         """Blocking convenience: ``submit(cells).results()``."""

@@ -25,6 +25,7 @@ private state dict, so two live services in one process never collide.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -167,6 +168,21 @@ def eval_cell_chunk(
 def _eval_cell_chunk_task(chunk: Sequence[tuple[int, ExecutionPlan]]) -> list[float]:
     """Pool task: evaluate one chunk against the process-global state."""
     return eval_cell_chunk(_WORKER_STATE, chunk)
+
+
+def _timed_eval_cell_chunk_task(
+    chunk: Sequence[tuple[int, ExecutionPlan]],
+) -> tuple[list[float], float]:
+    """Pool task returning ``(accuracies, wall_clock_seconds)``.
+
+    The wall-clock is measured inside the worker — compute time only, no
+    queueing or pickling — which is what the service feeds back into its
+    :class:`~repro.runtime.cost_model.CellCostModel` for online refinement
+    of the per-technique throughput factors.
+    """
+    start = time.perf_counter()
+    results = eval_cell_chunk(_WORKER_STATE, chunk)
+    return results, time.perf_counter() - start
 
 
 __all__ = [

@@ -64,6 +64,7 @@ from repro.runtime.publishing import (  # noqa: F401  (re-exported)
 )
 from repro.runtime.scheduling import order_plan_cells  # noqa: F401  (re-exported)
 from repro.runtime.service import EvaluationService
+from repro.runtime.sizing import resolve_worker_count
 from repro.simulation.inference import (
     AccurateProduct,
     ExecutionPlan,
@@ -367,10 +368,11 @@ def _sweep_service(
     reuse_prefix: bool,
 ) -> EvaluationService:
     """One ephemeral :class:`EvaluationService` sized for a sweep's cells."""
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    # Never spawn more workers than there are cells to score.
-    max_workers = max(1, min(int(max_workers), num_cells))
+    # Affinity/load-aware sizing and the degrade-to-serial clamp: a request
+    # beyond the schedulable CPUs (cgroup cpusets, taskset) can only lose to
+    # the serial path, so it is clamped rather than oversubscribed.  Never
+    # spawn more workers than there are cells to score, either.
+    max_workers = resolve_worker_count(max_workers, num_cells=num_cells)
     return EvaluationService(
         models,
         datasets,
@@ -529,7 +531,11 @@ def parallel_sweep(
     trained_models, datasets, perforations, max_eval_images, calibration_images:
         As in :func:`accuracy_sweep`.
     max_workers:
-        Worker process count; defaults to ``os.cpu_count()``.
+        Worker process count; ``None`` auto-sizes from the schedulable-CPU
+        count and host load, and explicit requests are clamped to the
+        schedulable CPUs (:func:`repro.runtime.sizing.resolve_worker_count`
+        — ``--workers 4`` on a 1-CPU box runs the serial path at 1.0x
+        serial instead of 4 contending processes).
     engine_backend:
         Engine backend name compiled kernels should use in every worker
         (see :mod:`repro.core.backends`); ``None`` uses the default.

@@ -346,7 +346,12 @@ class TestDseCommand:
         parallel = json.loads(capsys.readouterr().out)
         assert parallel["front"] == serial["front"]
         assert parallel["baseline_accuracy"] == serial["baseline_accuracy"]
-        assert parallel["stats"]["workers"] == 2
+        # The request survives verbatim in the stats; the effective pool
+        # size is clamped to the schedulable CPUs (degrade-to-serial).
+        from repro.runtime.sizing import resolve_worker_count
+
+        assert parallel["stats"]["requested_workers"] == 2
+        assert parallel["stats"]["workers"] == resolve_worker_count(2)
 
     def test_dse_multi_model_shared_service(self, capsys, tmp_path):
         """--models runs one campaign per model on one shared service."""

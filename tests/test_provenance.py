@@ -242,22 +242,38 @@ class TestComparatorPolicy:
 
     def test_speedup_vs_serial_children_are_floors_not_exact(self):
         # The committed golden's shape: timing-derived speedups keyed by
-        # worker count.  A rerun jitters these values; they must be held
-        # to the floor policy (with its sub-unity exemption), never to
-        # exact match.
+        # worker count.  A rerun jitters these values; they are held to the
+        # floor policy, never to exact match — and ``speedup_vs_serial``
+        # additionally carries an *absolute* floor of 1.0 (minus the 10 %
+        # noise margin): parallel must degrade to serial rather than lose
+        # to it, regardless of what a historical golden recorded.
         golden = {
             "dse_parallel_campaign": {
                 "evaluations": 60,
                 "speedup_vs_serial": {"1": 1.0, "4": 0.5177858712557567},
             }
         }
-        fresh_jitter = {
+        fresh_near_serial = {
+            "dse_parallel_campaign": {
+                "evaluations": 60,
+                "speedup_vs_serial": {"1": 1.0, "4": 0.95},
+            }
+        }
+        # Sub-unity golden: exempt from the relative floor, and 0.95 clears
+        # the absolute floor's noise margin — a degraded-to-serial rerun of
+        # a box that once recorded 0.52x passes.
+        assert compare_bench_ledgers(golden, fresh_near_serial, 0.5).ok
+        # A fresh run that truly loses to serial fails the absolute floor
+        # even though it *improves* on the (historically broken) golden.
+        fresh_lost = {
             "dse_parallel_campaign": {
                 "evaluations": 60,
                 "speedup_vs_serial": {"1": 1.0, "4": 0.61},
             }
         }
-        assert compare_bench_ledgers(golden, fresh_jitter, 0.5).ok
+        report = compare_bench_ledgers(golden, fresh_lost, 0.5)
+        assert [f.kind for f in report.failures] == ["floor"]
+        assert "lost to serial" in report.failures[0].message
         # A >=1.0 golden child still enforces its floor...
         golden["dse_parallel_campaign"]["speedup_vs_serial"]["4"] = 2.0
         fresh_regressed = {
@@ -278,6 +294,18 @@ class TestComparatorPolicy:
         }
         report = compare_bench_ledgers(golden, fresh_perturbed, 0.5)
         assert [f.kind for f in report.failures] == ["exact"]
+
+    def test_speedup_absolute_floor_boundary(self):
+        # The absolute floor's noise margin must admit exactly the x0.9
+        # jitter the self-consistency test applies to a 1.0 golden...
+        golden = {"s": {"speedup_vs_serial": {"1": 1.0}}}
+        fresh = {"s": {"speedup_vs_serial": {"1": 0.9}}}
+        assert compare_bench_ledgers(golden, fresh, DEFAULT_TOLERANCE).ok
+        # ... and reject anything below it.
+        fresh = {"s": {"speedup_vs_serial": {"1": 0.89}}}
+        report = compare_bench_ledgers(golden, fresh, DEFAULT_TOLERANCE)
+        assert not report.ok
+        assert "lost to serial" in report.failures[0].message
 
     def test_committed_golden_ledger_passes_against_itself_jittered(self):
         # End-to-end guard on the real committed baseline: replaying it

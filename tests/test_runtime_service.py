@@ -27,8 +27,19 @@ import numpy as np
 import pytest
 
 from repro.core.shared_store import SharedArrayStore
-from repro.dse import CampaignLedger, PlanEvaluator, ServicePlanEvaluator, run_campaign
-from repro.runtime import EvaluationService, contiguous_chunks, schedule_cells
+from repro.dse import (
+    CampaignLedger,
+    PlanEvaluator,
+    ServicePlanEvaluator,
+    get_strategy,
+    run_campaign,
+)
+from repro.runtime import (
+    EvaluationService,
+    contiguous_chunks,
+    resolve_worker_count,
+    schedule_cells,
+)
 from repro.simulation.campaign import TrainedModel, plan_sweep
 from repro.simulation.inference import (
     AccurateProduct,
@@ -173,6 +184,32 @@ class TestServiceParity:
         expected = PlanEvaluator(trained, tiny_dataset, **kwargs).evaluate(plans)
         assert accuracies == expected + expected  # both hosted models agree
 
+    def test_work_stealing_chunks_stay_bit_exact_and_input_ordered(
+        self, trained, tiny_dataset
+    ):
+        """Oversubscribed cost-balanced chunking (chunks_per_worker=3, the
+        work-stealing shape) changes only *where* cells run: accuracies are
+        bit-exact with the in-process evaluator and returned in submission
+        order, and the measured chunk wall-clocks feed the cost model."""
+        plans = _random_plans(trained, count=9, seed=29)
+        kwargs = dict(max_eval_images=24, calibration_images=32)
+        with EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=2,
+            chunks_per_worker=3,
+            use_shared_memory=True,
+            **kwargs,
+        ) as service:
+            assert service.stats()["chunks_per_worker"] == 3
+            stolen = service.evaluate_plans(0, plans)
+            stats = service.stats()
+        serial = PlanEvaluator(trained, tiny_dataset, **kwargs).evaluate(plans)
+        assert stolen == serial  # bit-exact AND input-ordered
+        # Every finished chunk reported a wall-clock into the cost model.
+        assert stats["cost_model_observations"] > 0
+        assert stats["cost_model_seconds_per_unit"] > 0.0
+
     def test_empty_and_single_cell_batches(self, trained, tiny_dataset):
         with EvaluationService(
             [trained],
@@ -261,6 +298,34 @@ class TestServiceLifecycle:
         ) as fresh:
             assert fresh.evaluate_plans(0, [healthy])
 
+    def test_failed_batch_reraises_original_error_not_cancellation(
+        self, trained, tiny_dataset
+    ):
+        """Collecting a failed batch twice re-raises the *original* failure.
+
+        The first ``results()`` cancels the batch's remaining futures; a
+        second call used to surface their ``CancelledError`` and mask the
+        root cause.  The batch now caches the first failure and re-raises
+        that exact exception on every later collection.
+        """
+        poison = ExecutionPlan.uniform(AccurateProduct()).with_layer(
+            trained.model.conv_dense_nodes()[0].name, ExplodingProduct()
+        )
+        healthy = ExecutionPlan.uniform(PerforatedProduct(2))
+        with EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=2,
+            max_eval_images=8,
+            calibration_images=16,
+        ) as service:
+            batch = service.submit([(0, plan) for plan in (healthy, poison)])
+            with pytest.raises(RuntimeError, match="forced worker failure") as first:
+                batch.results()
+            with pytest.raises(RuntimeError, match="forced worker failure") as again:
+                batch.results()
+            assert again.value is first.value  # cached, not a CancelledError
+
     def test_keyboard_interrupt_in_sweep_unlinks_stores(
         self, trained, tiny_dataset, monkeypatch
     ):
@@ -329,7 +394,11 @@ class TestParallelCampaign:
         assert parallel.front.points() == serial.front.points()
         assert parallel.baseline_accuracy == serial.baseline_accuracy
         assert parallel.stats["evaluations"] == serial.stats["evaluations"]
-        assert parallel.stats["workers"] == 2
+        # The request is visible verbatim; the effective pool size is the
+        # request clamped to the schedulable CPUs (degrade-to-serial: on a
+        # 1-CPU host the "parallel" campaign runs the serial path).
+        assert parallel.stats["requested_workers"] == 2
+        assert parallel.stats["workers"] == resolve_worker_count(2)
         # Ledger compatibility: a serial resume over the parallel run's
         # ledger replays every parallel record — the context keys of both
         # evaluators are identical.
@@ -374,6 +443,49 @@ class TestParallelCampaign:
         assert service.closed
         # Identical model + dataset: the campaigns must agree bit-exactly.
         assert first.front.points() == bis.front.points()
+
+    def test_nsga2_pipelined_breeding_front_identical_to_serial(
+        self, trained, tiny_dataset
+    ):
+        """NSGA-II with pipelined breeding (sub-batches scored while the
+        next ones breed) lands on the identical front at any worker count:
+        the candidate stream and every accuracy are bit-exact vs serial."""
+        kwargs = dict(
+            max_loss=0.5,
+            budget_evals=24,
+            max_eval_images=24,
+            calibration_images=32,
+            array_size=64,
+        )
+        serial = run_campaign(
+            trained,
+            tiny_dataset,
+            strategy=get_strategy("nsga2", population=6, generations=2),
+            rng=np.random.default_rng(5),
+            workers=1,
+            **kwargs,
+        )
+        # An explicit external service exercises the true pool path even on
+        # a 1-CPU host (the degrade-to-serial clamp applies to workers=N
+        # requests, not to a caller-managed service).
+        with EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=2,
+            max_eval_images=24,
+            calibration_images=32,
+        ) as service:
+            pooled = run_campaign(
+                trained,
+                tiny_dataset,
+                strategy=get_strategy("nsga2", population=6, generations=2),
+                rng=np.random.default_rng(5),
+                service=service,
+                **kwargs,
+            )
+        assert pooled.front.points() == serial.front.points()
+        assert pooled.stats["evaluations"] == serial.stats["evaluations"]
+        assert pooled.baseline_accuracy == serial.baseline_accuracy
 
     def test_invalid_workers_rejected(self, trained, tiny_dataset):
         with pytest.raises(ValueError, match="positive integer"):
