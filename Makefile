@@ -15,11 +15,11 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest -W error::pytest.PytestUnknownMarkWarning
 
-.PHONY: check tier1 engine dse dse-smoke runtime-smoke scheduler-unit verify-results bench-refresh
+.PHONY: check tier1 engine dse dse-smoke runtime-smoke scheduler-unit serve-smoke verify-results bench-refresh
 
-# verify-results runs LAST so it judges the bench ledger the engine/dse
-# targets just rewrote, not a stale one.
-check: tier1 engine dse runtime-smoke dse-smoke verify-results
+# verify-results runs LAST so it judges the bench ledger the engine/dse/
+# serve targets just rewrote, not a stale one.
+check: tier1 engine dse runtime-smoke dse-smoke serve-smoke verify-results
 
 tier1:
 	$(PYTEST) -x -q
@@ -52,6 +52,18 @@ dse-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro dse --strategy greedy --classes 10 \
 	  --epochs 1 --max-loss 0.5 --budget-evals 60 --max-eval-images 64 \
 	  --seed 0 --cache-dir $(DSE_SMOKE_DIR) --ledger $(DSE_SMOKE_DIR)/ledger
+
+# HTTP job-daemon suite + end-to-end serve smoke.  The pytest leg runs the
+# endpoint-contract/served-parity/admission tests plus the serve-throughput
+# bench (jobs/sec + cache-hit ratio merged into results/BENCH_engine.json);
+# the script leg boots the real `repro serve --golden-workload` CLI on an
+# ephemeral port, POSTs the golden sweep over HTTP, verifies it byte-exactly
+# against results/golden/accuracy_table.json, asserts a duplicate submission
+# is served from the result cache, and SIGTERMs into a clean shutdown with
+# no leaked /dev/shm blocks.
+serve-smoke:
+	$(PYTEST) -q -m serve tests benchmarks/bench_serve_throughput.py
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 
 # Provenance regression gate: replay the deterministic golden workload and
 # compare fresh results against results/golden/.  Honors SKIP_REGRESSION=1

@@ -1,0 +1,187 @@
+"""End-to-end smoke test of the ``repro serve`` daemon (``make serve-smoke``).
+
+Boots the real CLI entry point as a subprocess — not an in-process
+:class:`~repro.runtime.server.JobServer` — so the whole stack is on the
+hook: argument parsing, golden-workload hosting, the ephemeral-port
+handshake line, HTTP transport, signal handling and shared-memory teardown.
+
+The script asserts, in order:
+
+1. **handshake** — the daemon prints ``serving on http://...`` and answers
+   ``/healthz`` with its hosted-model count;
+2. **golden parity** — a Table-III sweep submitted over HTTP (the golden
+   workload's perforations) reproduces ``results/golden/accuracy_table.json``
+   byte-exactly: served jobs run the same engine as the in-process gate;
+3. **cross-submission caching** — resubmitting the identical sweep is
+   served entirely from the daemon's result cache, and ``/stats`` records
+   the hits;
+4. **clean shutdown** — SIGTERM drains the daemon (exit code 0, the
+   ``shut down cleanly`` line) and leaves no leaked ``/dev/shm`` blocks.
+
+Exit status 0 on success, 1 with a one-line diagnosis on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+GOLDEN_TABLE = os.path.join(REPO_ROOT, "results", "golden", "accuracy_table.json")
+HANDSHAKE = re.compile(r"serving on (http://\S+)")
+SHM_DIR = "/dev/shm"
+BOOT_TIMEOUT_S = 300.0
+SHUTDOWN_TIMEOUT_S = 60.0
+
+
+def fail(message: str) -> "int":
+    print(f"serve-smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def _shm_entries() -> set[str]:
+    if not os.path.isdir(SHM_DIR):
+        return set()
+    return set(os.listdir(SHM_DIR))
+
+
+def _wait_for_handshake(daemon: subprocess.Popen) -> str:
+    """Read daemon stdout until the ``serving on <url>`` line appears."""
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = daemon.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"daemon exited before the handshake (code {daemon.poll()})"
+            )
+        sys.stdout.write(f"  [daemon] {line}")
+        match = HANDSHAKE.search(line)
+        if match:
+            return match.group(1)
+    raise RuntimeError(f"no handshake within {BOOT_TIMEOUT_S:.0f}s")
+
+
+def _served_accuracy_table(client, perforations) -> dict:
+    """The golden ``accuracy_table.json`` payload, rebuilt from served jobs."""
+    from repro.runtime.jobs import sweep_over_jobs
+
+    sweep, totals = sweep_over_jobs(
+        client, perforations=perforations, session="smoke"
+    )
+    (model_name, dataset_name), baseline = next(iter(sweep.baselines.items()))
+    table = {
+        "model": model_name,
+        "dataset": dataset_name,
+        "baseline_accuracy": baseline,
+        "rows": [
+            {
+                "m": record.m,
+                "with_control_variate": record.with_control_variate,
+                "accuracy": record.approximate_accuracy,
+                "accuracy_loss": record.accuracy_loss,
+            }
+            for record in sweep.records
+        ],
+    }
+    return table, totals
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.provenance.workload import PERFORATIONS
+    from repro.runtime.jobs import HttpJobClient
+
+    if not os.path.exists(GOLDEN_TABLE):
+        return fail(f"{GOLDEN_TABLE} missing — run `make bench-refresh` first")
+    with open(GOLDEN_TABLE, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    shm_before = _shm_entries()
+    print("serve-smoke: booting `repro serve --golden-workload --port 0` ...")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--golden-workload", "--port", "0"],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        url = _wait_for_handshake(daemon)
+        client = HttpJobClient(url, poll_interval=0.05)
+
+        health = client.healthz()
+        if health.get("status") != "ok" or health.get("models") != 1:
+            return fail(f"unexpected /healthz payload: {health}")
+        print(f"serve-smoke: daemon healthy at {url}")
+
+        # 1st sweep over HTTP: byte-exact against the committed golden.
+        table, totals = _served_accuracy_table(client, PERFORATIONS)
+        if table != golden:
+            return fail(
+                "served sweep diverged from results/golden/accuracy_table.json: "
+                f"served {json.dumps(table, sort_keys=True)} != golden "
+                f"{json.dumps(golden, sort_keys=True)}"
+            )
+        print(
+            f"serve-smoke: served sweep matches the golden accuracy table "
+            f"({totals['cells']} cells, {totals['cache_misses']} evaluated)"
+        )
+
+        # 2nd identical sweep: every cell must come from the result cache.
+        table_again, totals_again = _served_accuracy_table(client, PERFORATIONS)
+        if table_again != golden:
+            return fail("cached resubmission diverged from the golden table")
+        if totals_again["cache_hits"] != totals_again["cells"]:
+            return fail(
+                "duplicate sweep was not fully served from cache: "
+                f"{totals_again['cache_hits']}/{totals_again['cells']} hits"
+            )
+        stats = client.stats()
+        recorded_hits = stats["cache"]["hits"]
+        if recorded_hits < totals_again["cells"]:
+            return fail(
+                f"/stats records {recorded_hits} cache hits, expected at "
+                f"least {totals_again['cells']}"
+            )
+        print(
+            f"serve-smoke: duplicate submission fully cached "
+            f"({totals_again['cache_hits']}/{totals_again['cells']} hits, "
+            f"/stats hit ratio {stats['cache']['hit_ratio']:.2f})"
+        )
+
+        # Graceful shutdown: SIGTERM, exit 0, the clean-shutdown line, and
+        # no shared-memory blocks left behind.
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=SHUTDOWN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            return fail(f"daemon ignored SIGTERM for {SHUTDOWN_TIMEOUT_S:.0f}s")
+        tail = daemon.stdout.read() or ""
+        for line in tail.splitlines():
+            print(f"  [daemon] {line}")
+        if daemon.returncode != 0:
+            return fail(f"daemon exited with code {daemon.returncode}")
+        if "shut down cleanly" not in tail:
+            return fail("daemon exited 0 but never printed the clean-shutdown line")
+        leaked = _shm_entries() - shm_before
+        if leaked:
+            return fail(f"leaked shared-memory blocks: {sorted(leaked)}")
+        print("serve-smoke: PASS — clean shutdown, no leaked shared memory")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""``python -m repro.cli`` — same entry point as ``python -m repro``."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""``repro verify-results`` — the golden-baseline regression gate."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.cli.common import cli_error
+
+
+def cmd_verify_results(args: argparse.Namespace) -> int:
+    """Golden-baseline verification (the `make check` regression gate).
+
+    Without ``--refresh``: re-run the deterministic golden workload
+    (unless ``--skip-workload``), compare it and the fresh bench ledger
+    against ``results/golden/``, and exit 1 on any failure.  With
+    ``--refresh``: rewrite the goldens from the current code and results —
+    the deliberate re-baselining escape hatch behind ``make bench-refresh``.
+    ``SKIP_REGRESSION=1`` skips the gate entirely (known-divergent
+    environments).
+    """
+    from repro.analysis.reporting import regression_report_table
+    from repro.provenance import (
+        compare_bench_ledgers,
+        load_json,
+        record_run,
+        write_json_atomic,
+    )
+    from repro.provenance.regression import (
+        DEFAULT_TOLERANCE,
+        Finding,
+        RegressionReport,
+    )
+    from repro.provenance.workload import (
+        run_golden_workload,
+        verify_goldens,
+        write_goldens,
+    )
+
+    if os.environ.get("SKIP_REGRESSION"):
+        print("verify-results: skipped (SKIP_REGRESSION is set)")
+        return 0
+    tolerance = args.tolerance
+    if tolerance is None:
+        env_tolerance = os.environ.get("REPRO_REGRESSION_TOL")
+        tolerance = float(env_tolerance) if env_tolerance else DEFAULT_TOLERANCE
+    if tolerance < 0:
+        return cli_error(f"--tolerance must be non-negative, got {tolerance}")
+    fresh_ledger_path = os.path.join(args.results, "BENCH_engine.json")
+    golden_ledger_path = os.path.join(args.golden, "BENCH_engine.json")
+
+    if args.refresh:
+        written = []
+        if not args.skip_workload:
+            written += write_goldens(run_golden_workload(), args.golden)
+        if os.path.exists(fresh_ledger_path):
+            # Canonicalized rewrite (sorted keys, atomic), so refreshing
+            # twice from the same results is byte-identical.
+            write_json_atomic(golden_ledger_path, load_json(fresh_ledger_path))
+            written.append(golden_ledger_path)
+        for path in written:
+            print(f"refreshed {path}")
+        if not written:
+            print("nothing to refresh (no fresh results found)")
+        return 0
+
+    if not os.path.isdir(args.golden):
+        return cli_error(
+            f"golden directory {args.golden!r} does not exist — "
+            "run `make bench-refresh` to create the baselines"
+        )
+    with record_run("verify-results") as manifest:
+        manifest.inputs.update(
+            {
+                "golden_dir": args.golden,
+                "results_dir": args.results,
+                "tolerance": tolerance,
+                "skip_workload": bool(args.skip_workload),
+            }
+        )
+        report = RegressionReport(tolerance=tolerance)
+        if os.path.exists(golden_ledger_path):
+            if os.path.exists(fresh_ledger_path):
+                report.extend(
+                    compare_bench_ledgers(
+                        load_json(golden_ledger_path),
+                        load_json(fresh_ledger_path),
+                        tolerance,
+                    ).findings
+                )
+            else:
+                report.findings.append(
+                    Finding(
+                        "BENCH_engine",
+                        "",
+                        "missing",
+                        "fail",
+                        f"fresh bench ledger {fresh_ledger_path} not found — "
+                        "run the benches (`make engine dse`) first",
+                    )
+                )
+        if not args.skip_workload:
+            report.extend(verify_goldens(run_golden_workload(), args.golden, tolerance))
+        manifest.outputs.update(report.to_payload())
+        manifest.status = "ok" if report.ok else "error"
+
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2))
+        return 0 if report.ok else 1
+    if report.findings:
+        print(regression_report_table(report.findings).render())
+        print()
+    verdict = "PASS" if report.ok else "FAIL"
+    print(
+        f"verify-results: {verdict} — {len(report.failures)} failure(s), "
+        f"{len(report.warnings)} warning(s) against {args.golden} "
+        f"(tolerance {tolerance:g})"
+    )
+    if not report.ok:
+        print("re-baseline deliberately with `make bench-refresh`", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def register(sub) -> None:
+    verify = sub.add_parser(
+        "verify-results",
+        help="compare fresh results against the committed golden baselines "
+        "in results/golden/ (exact for accuracy tables and Pareto fronts, "
+        "tolerance bands for throughput); non-zero exit on regression",
+    )
+    verify.add_argument(
+        "--results",
+        default="results",
+        help="directory holding the fresh results tree (default: results)",
+    )
+    verify.add_argument(
+        "--golden",
+        default=os.path.join("results", "golden"),
+        help="directory holding the committed golden baselines "
+        "(default: results/golden)",
+    )
+    verify.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative tolerance for throughput/speedup floors and size "
+        "bands (default: $REPRO_REGRESSION_TOL or 0.5; exact-match "
+        "sections ignore it)",
+    )
+    verify.add_argument(
+        "--refresh",
+        action="store_true",
+        help="rewrite the golden baselines from the current code and "
+        "results instead of comparing (the `make bench-refresh` escape "
+        "hatch)",
+    )
+    verify.add_argument(
+        "--skip-workload",
+        action="store_true",
+        help="skip re-running the deterministic golden workload (compare "
+        "the bench ledger only)",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="emit the report as machine-readable JSON"
+    )
+    verify.set_defaults(func=cmd_verify_results)

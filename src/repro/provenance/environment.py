@@ -84,13 +84,38 @@ def _seed_defaults() -> dict:
     }
 
 
+def _runtime_defaults() -> dict:
+    """The runtime layer's stats schema and admission defaults.
+
+    ``repro info`` surfaces the same schema identifier every live
+    ``stats()`` payload carries (:data:`repro.runtime.stats.STATS_SCHEMA`),
+    plus the worker sizing this host would resolve an auto request to and
+    the job layer's admission-control defaults — so a manifest records how
+    the runtime *would* be configured even for runs that never start a
+    service.
+    """
+    from repro.runtime.jobs.queue import JobQueue
+    from repro.runtime.sizing import resolve_worker_count
+    from repro.runtime.stats import STATS_SCHEMA
+
+    return {
+        "stats_schema": STATS_SCHEMA,
+        # A `workers=None` auto request resolved on this host (affinity/
+        # load-aware) — the effective pool an unconstrained run would get.
+        "auto_workers": resolve_worker_count(None),
+        "default_queue_depth": JobQueue().max_depth,
+        "default_session_inflight": JobQueue().max_inflight_per_session,
+    }
+
+
 def provenance_environment() -> dict:
     """The environment block embedded in every manifest.
 
     Keys: ``package`` (this distribution), ``python`` / ``platform`` /
     ``machine`` / ``cpu_count`` (host facts), ``packages`` (probe results
     incl. import-failure reasons), ``engine_backends`` (registry
-    availability with reasons), ``seed_defaults``.
+    availability with reasons), ``seed_defaults``, ``runtime`` (stats
+    schema + admission defaults).
     """
     return {
         "package": {"name": "repro-dac21", "version": __version__},
@@ -102,6 +127,7 @@ def provenance_environment() -> dict:
         "packages": {name: probe_package(name) for name in PROBED_PACKAGES},
         "engine_backends": _engine_backend_rows(),
         "seed_defaults": _seed_defaults(),
+        "runtime": _runtime_defaults(),
     }
 
 

@@ -1,0 +1,81 @@
+"""Service-level result cache: content-addressed accuracies, shared by all clients.
+
+The :class:`~repro.dse.ledger.CampaignLedger` dedups evaluations *within*
+one campaign; this cache promotes the same content-addressed recipe to the
+whole service: every completed cell is stored under its
+:func:`~repro.dse.ledger.plan_key` (sha256 of the evaluation-context
+digest — model bytes, eval/calibration bytes, batch size — plus the plan's
+per-layer fingerprint sequence), so a duplicate cell submitted by *any*
+client, in any job, in any session, is a cache hit that costs zero
+evaluations.
+
+Bounded LRU with hit/miss/eviction counters (surfaced through
+``stats()``); thread-safe — the dispatcher thread populates it while HTTP
+handler threads read stats concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU of ``cell key -> accuracy``.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; inserting beyond it evicts the least-recently-used
+        entry.  ``None`` means unbounded (the in-process default — one
+        accuracy is a float, so even large campaigns stay tiny).
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self._entries: "OrderedDict[str, float]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> float | None:
+        """The cached accuracy under ``key``, or ``None`` (counted as a miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, accuracy: float) -> None:
+        """Store ``accuracy`` under ``key``, evicting LRU entries over capacity."""
+        with self._lock:
+            self._entries[key] = float(accuracy)
+            self._entries.move_to_end(key)
+            while self.max_entries is not None and len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        """Counters of the cache so far (one consistent snapshot)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_ratio": (self.hits / total) if total else 0.0,
+            }
+
+
+__all__ = ["ResultCache"]

@@ -57,7 +57,6 @@ from repro.runtime.publishing import (
     publish_datasets,
     publish_trained_models,
 )
-from repro.runtime.cost_model import CellCostModel
 from repro.runtime.scheduling import (
     contiguous_chunks,
     cost_balanced_chunks,
@@ -75,6 +74,7 @@ from repro.runtime.worker import (
 from repro.simulation.inference import ExecutionPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.runtime.cost_model import CellCostModel
     from repro.simulation.campaign import TrainedModel
 
 
@@ -167,6 +167,12 @@ class EvaluationService:
         degrade-to-serial clamp of
         :func:`~repro.runtime.sizing.resolve_worker_count` applies at the
         campaign/sweep/CLI entry points, not here.
+    requested_workers:
+        What the caller originally asked for, *before* any clamping at the
+        entry point (``None`` for auto-sizing), reported next to the
+        effective ``workers`` in :meth:`stats` so a degraded-to-serial run
+        is visible as ``requested_workers=4, workers=1``.  Defaults to
+        ``max_workers``.
     chunks_per_worker:
         Pool-path oversubscription factor: each batch is split into up to
         ``max_workers * chunks_per_worker`` cost-balanced chunks, so idle
@@ -191,6 +197,7 @@ class EvaluationService:
         datasets: dict[str, Dataset],
         *,
         max_workers: int | None = None,
+        requested_workers: int | None = None,
         chunks_per_worker: int = 4,
         max_eval_images: int | None = None,
         calibration_images: int = 128,
@@ -223,6 +230,9 @@ class EvaluationService:
         if int(batch_size) < 1:
             raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
         self.max_workers = int(max_workers)
+        self.requested_workers = (
+            self.max_workers if requested_workers is None else int(requested_workers)
+        )
         self.chunks_per_worker = int(chunks_per_worker)
         self.max_eval_images = max_eval_images
         self.calibration_images = int(calibration_images)
@@ -387,6 +397,11 @@ class EvaluationService:
         bench-calibrated defaults and are refined online from the measured
         chunk wall-clocks of every pool batch.
         """
+        # Imported lazily: cost_model imports the simulation package, whose
+        # campaign module imports this module back — a top-level import here
+        # breaks a cold `import repro.runtime`.
+        from repro.runtime.cost_model import CellCostModel
+
         if self._cost_model is None:
             shapes = [
                 tuple(self.datasets[trained.dataset_name].test_images.shape[1:])
@@ -422,8 +437,17 @@ class EvaluationService:
         }
 
     def stats(self) -> dict:
-        """Counters of the session so far."""
-        stats = {
+        """Counters of the session so far (``repro-runtime-stats/v1`` schema).
+
+        The payload nests everything engine-level under ``"engine"``, with
+        ``requested_workers`` (what the caller asked for) next to the
+        effective ``workers`` — the schema the jobs layer extends with its
+        ``jobs``/``cache``/``sessions`` sections.
+        """
+        from repro.runtime.stats import runtime_stats
+
+        engine = {
+            "requested_workers": self.requested_workers,
             "workers": self.max_workers,
             "chunks_per_worker": self.chunks_per_worker,
             "models": len(self.models),
@@ -433,12 +457,12 @@ class EvaluationService:
             "nbytes_shared": self.nbytes_shared(),
         }
         if self._cost_model is not None:
-            stats["cost_model_observations"] = self._cost_model.observations
-            stats["cost_model_seconds_per_unit"] = self._cost_model.seconds_per_unit
+            engine["cost_model_observations"] = self._cost_model.observations
+            engine["cost_model_seconds_per_unit"] = self._cost_model.seconds_per_unit
         if self._serial_state is not None:
-            stats["executor_builds"] = self._serial_state.get("executor_builds", 0)
-            stats["cells_evaluated"] = self._serial_state.get("cells_evaluated", 0)
-        return stats
+            engine["executor_builds"] = self._serial_state.get("executor_builds", 0)
+            engine["cells_evaluated"] = self._serial_state.get("cells_evaluated", 0)
+        return runtime_stats(engine)
 
     # ------------------------------------------------------------------
     # Scoring

@@ -1,0 +1,365 @@
+"""Tests of the jobs layer (:mod:`repro.runtime.jobs`).
+
+The acceptance criteria of the job-oriented re-architecture live here:
+
+* **job-vs-direct parity** — plan sets submitted as jobs (and the Table III
+  sweep rebuilt on the job API) are bit-exact with the engine's direct
+  ``evaluate_plans`` and with :func:`~repro.simulation.campaign.
+  parallel_sweep`;
+* **service-level result cache** — duplicate cells across jobs from *any*
+  client are cache hits: two concurrent clients submitting overlapping
+  plan sets get bit-identical results, the overlap served from cache, with
+  hit/miss/eviction counters in ``stats()``;
+* **admission control** — a bounded queue rejects with reason
+  ``queue_full``, the per-session in-flight cap with ``session_busy``, and
+  rejections never corrupt counters;
+* **sessions** — per-client seed streams are distinct and stable, and
+  per-session ledgers land in disjoint namespaces;
+* **graceful close** — ``close()`` with jobs still queued cancels them
+  (state ``cancelled``), drains the dispatcher, and unlinks every
+  shared-memory block: no leaked ``/dev/shm`` segments;
+* **wire codec** — plans round-trip through JSON with identical
+  fingerprints (perforation, control-variate flag, LUT bytes), so
+  content-addressed cell keys survive transport.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.dse.ledger import CampaignLedger
+from repro.multipliers.library import MultiplierLibrary
+from repro.runtime.jobs import (
+    AdmissionError,
+    JobManager,
+    JobQueue,
+    JobState,
+    LocalJobClient,
+    PlanCodecError,
+    ResultCache,
+    SessionError,
+    decode_plan,
+    decode_plans,
+    encode_plan,
+    encode_plans,
+    sweep_over_jobs,
+)
+from repro.runtime.jobs.sessions import SessionRegistry
+from repro.core.seeding import SeedBank
+from repro.simulation.campaign import TrainedModel, parallel_sweep
+from repro.simulation.inference import (
+    AccurateProduct,
+    ExecutionPlan,
+    LUTProduct,
+    PerforatedProduct,
+)
+
+pytestmark = pytest.mark.runtime
+
+
+@pytest.fixture(scope="module")
+def trained(trained_tiny_model, tiny_dataset):
+    return TrainedModel(
+        name="vgg13",
+        dataset_name=tiny_dataset.name,
+        model=trained_tiny_model,
+        float_accuracy=0.0,
+    )
+
+
+@pytest.fixture()
+def manager(trained, tiny_dataset):
+    mgr = JobManager([trained], {tiny_dataset.name: tiny_dataset})
+    yield mgr
+    mgr.close()
+
+
+def _plans(trained, count: int, seed: int) -> list[ExecutionPlan]:
+    rng = np.random.default_rng(seed)
+    mac_names = [node.name for node in trained.model.conv_dense_nodes()]
+    menu = [None, PerforatedProduct(1), PerforatedProduct(2), PerforatedProduct(3)]
+    plans = [ExecutionPlan.uniform(AccurateProduct())]
+    while len(plans) < count:
+        plan = ExecutionPlan.uniform(AccurateProduct())
+        for name in mac_names:
+            choice = menu[int(rng.integers(0, len(menu)))]
+            if choice is not None:
+                plan = plan.with_layer(name, choice)
+        plans.append(plan)
+    return plans
+
+
+class TestCodec:
+    def test_plan_round_trip_preserves_fingerprints(self, trained):
+        mac_names = tuple(
+            node.name for node in trained.model.conv_dense_nodes()
+        )
+        lut = next(iter(MultiplierLibrary.synthetic_evoapprox())).multiplier
+        plan = (
+            ExecutionPlan.uniform(PerforatedProduct(2))
+            .with_layer(mac_names[0], AccurateProduct())
+            .with_layer(mac_names[1], PerforatedProduct(1, use_control_variate=False))
+            .with_layer(mac_names[2], LUTProduct(lut))
+        )
+        decoded = decode_plan(encode_plan(plan))
+        assert decoded.fingerprints(mac_names) == plan.fingerprints(mac_names)
+
+    def test_perforated_m0_is_not_mistaken_for_accurate(self):
+        plan = ExecutionPlan.uniform(PerforatedProduct(0))
+        decoded = decode_plan(encode_plan(plan))
+        assert decoded.fingerprints(("x",)) == plan.fingerprints(("x",))
+
+    def test_plans_round_trip(self, trained):
+        plans = _plans(trained, 4, seed=3)
+        names = tuple(node.name for node in trained.model.conv_dense_nodes())
+        for original, decoded in zip(plans, decode_plans(encode_plans(plans))):
+            assert decoded.fingerprints(names) == original.fingerprints(names)
+
+    def test_bad_payloads_raise_codec_errors(self):
+        with pytest.raises(PlanCodecError):
+            decode_plan({"default": {"kind": "warp-drive"}, "per_layer": {}})
+        with pytest.raises(PlanCodecError):
+            decode_plan([1, 2, 3])
+        with pytest.raises(PlanCodecError):
+            decode_plans({"not": "a list"})
+
+
+class TestResultCache:
+    def test_hit_miss_and_eviction_counters(self):
+        cache = ResultCache(max_entries=2)
+        assert cache.get("a") is None
+        cache.put("a", 0.5)
+        cache.put("b", 0.6)
+        assert cache.get("a") == 0.5
+        cache.put("c", 0.7)  # evicts "b" (LRU; "a" was refreshed)
+        assert cache.get("b") is None
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+
+
+class TestSessions:
+    def test_seed_streams_are_distinct_and_stable(self):
+        registry = SessionRegistry(SeedBank(7))
+        alice = registry.get_or_create("alice")
+        bob = registry.get_or_create("bob")
+        assert alice is registry.get_or_create("alice")
+        assert alice.seeds.seed_for("jobs") != bob.seeds.seed_for("jobs")
+        # Recreating the registry with the same root reproduces the streams.
+        again = SessionRegistry(SeedBank(7)).get_or_create("alice")
+        assert again.seeds.seed_for("jobs") == alice.seeds.seed_for("jobs")
+
+    def test_ledger_namespaces_are_disjoint(self, tmp_path):
+        registry = SessionRegistry(SeedBank(0), ledger_dir=str(tmp_path))
+        alice = registry.get_or_create("alice")
+        bob = registry.get_or_create("bob")
+        alice.ledger.put("k", {"kind": "job-cell", "accuracy": 1.0})
+        bob.ledger.put("k", {"kind": "job-cell", "accuracy": 0.0})
+        fresh = CampaignLedger(path=str(tmp_path / "alice"))
+        assert fresh.get("k")["accuracy"] == 1.0
+        fresh = CampaignLedger(path=str(tmp_path / "bob"))
+        assert fresh.get("k")["accuracy"] == 0.0
+
+    def test_bad_session_ids_are_rejected(self):
+        registry = SessionRegistry(SeedBank(0))
+        with pytest.raises(SessionError):
+            registry.get_or_create("../escape")
+        with pytest.raises(SessionError):
+            registry.get_or_create("")
+
+
+class TestJobParity:
+    def test_job_results_match_direct_evaluation(self, manager, trained):
+        plans = _plans(trained, 5, seed=21)
+        direct = manager.service.evaluate_plans(0, plans)
+        with LocalJobClient(manager, own_manager=False) as client:
+            job_id = client.submit_job(0, plans)
+            view = client.wait(job_id, timeout=120)
+        assert view["state"] == "done"
+        assert view["accuracies"] == direct
+
+    def test_sweep_over_jobs_matches_parallel_sweep(self, trained, tiny_dataset):
+        perforations = (1, 2)
+        reference = parallel_sweep(
+            [trained], {tiny_dataset.name: tiny_dataset},
+            perforations=perforations, max_workers=1,
+        )
+        manager = JobManager([trained], {tiny_dataset.name: tiny_dataset})
+        with LocalJobClient(manager) as client:
+            sweep, totals = sweep_over_jobs(client, perforations=perforations)
+        assert sweep.baselines == reference.baselines
+        for record, expected in zip(sweep.records, reference.records):
+            assert record == expected
+        assert totals["cells"] == 1 + 2 * len(perforations)
+        assert totals["cache_misses"] == totals["cells"]
+        assert totals["cache_hits"] == 0
+
+    def test_within_job_duplicates_are_deduplicated(self, manager, trained):
+        plan = ExecutionPlan.uniform(PerforatedProduct(2))
+        accuracies = LocalJobClient(manager, own_manager=False)
+        job_id = accuracies.submit_job(0, [plan, plan, plan])
+        view = accuracies.wait(job_id, timeout=120)
+        assert view["cache_misses"] == 1
+        assert view["cache_hits"] == 2
+        assert len(set(view["accuracies"])) == 1
+
+
+class TestResultCacheAcrossClients:
+    def test_concurrent_overlapping_clients_share_the_cache(
+        self, trained, tiny_dataset
+    ):
+        """Two threads, overlapping plan sets: bit-identical accuracies and
+        the overlap of whichever lands second served from cache."""
+        manager = JobManager([trained], {tiny_dataset.name: tiny_dataset})
+        shared = _plans(trained, 4, seed=5)
+        views: dict[str, dict] = {}
+
+        def submit(session: str) -> None:
+            client = LocalJobClient(manager, own_manager=False)
+            job_id = client.submit_job(0, shared, session=session)
+            views[session] = client.wait(job_id, timeout=240)
+
+        try:
+            threads = [
+                threading.Thread(target=submit, args=(name,))
+                for name in ("alice", "bob")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert views["alice"]["accuracies"] == views["bob"]["accuracies"]
+            stats = manager.stats()
+            # The dispatcher serializes the two jobs, so exactly one of them
+            # evaluated the 4 unique cells; the other took 4 cache hits.
+            assert stats["cache"]["misses"] == len(shared)
+            assert stats["cache"]["hits"] == len(shared)
+            assert stats["jobs"]["completed"] == 2
+            assert stats["sessions"]["alice"]["jobs_completed"] == 1
+            assert stats["sessions"]["bob"]["jobs_completed"] == 1
+        finally:
+            manager.close()
+
+    def test_duplicate_sweep_is_all_cache_hits(self, trained, tiny_dataset):
+        manager = JobManager([trained], {tiny_dataset.name: tiny_dataset})
+        with LocalJobClient(manager) as client:
+            first, totals_first = sweep_over_jobs(client, perforations=(1, 2))
+            second, totals_second = sweep_over_jobs(client, perforations=(1, 2))
+        assert totals_first["cache_hits"] == 0
+        assert totals_second["cache_hits"] == totals_second["cells"]
+        assert second.baselines == first.baselines
+        assert second.records == first.records
+
+
+class TestAdmissionControl:
+    def test_queue_full_and_session_busy_rejections(self, trained, tiny_dataset):
+        # auto_start=False: no dispatcher, so queued jobs stay queued and
+        # the admission bounds are exercised deterministically.
+        manager = JobManager(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_queue_depth=2,
+            max_inflight_per_session=1,
+            auto_start=False,
+        )
+        plan = [ExecutionPlan.uniform(AccurateProduct())]
+        try:
+            manager.submit(0, plan, session="alice")
+            with pytest.raises(AdmissionError) as busy:
+                manager.submit(0, plan, session="alice")
+            assert busy.value.reason == "session_busy"
+            manager.submit(0, plan, session="bob")
+            with pytest.raises(AdmissionError) as full:
+                manager.submit(0, plan, session="carol")
+            assert full.value.reason == "queue_full"
+            stats = manager.stats()
+            assert stats["jobs"]["rejected"] == 2
+            assert stats["jobs"]["submitted"] == 2
+        finally:
+            manager.close()
+
+    def test_queue_rejects_after_close(self):
+        queue = JobQueue(max_depth=4)
+        queue.close()
+        session = SessionRegistry(SeedBank(0)).get_or_create()
+        with pytest.raises(AdmissionError) as rejected:
+            queue.push(object(), session)
+        assert rejected.value.reason == "closed"
+
+
+class TestGracefulClose:
+    def test_close_cancels_queued_jobs_and_unlinks_stores(
+        self, trained, tiny_dataset
+    ):
+        manager = JobManager(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            use_shared_memory=True,
+            auto_start=False,
+        )
+        plan = [ExecutionPlan.uniform(AccurateProduct())]
+        # One direct evaluation forces the publish-once path (the store
+        # handles exist only once the engine has published), then jobs
+        # pile up unserved because the dispatcher never started.
+        manager.service.evaluate_plans(0, plan)
+        queued = [manager.submit(0, plan, session=f"s{i}") for i in range(3)]
+        handles = manager.service.shared_store_handles()
+        assert handles, "service published no shared blocks"
+        manager.close()
+        for job in queued:
+            assert job.state is JobState.CANCELLED
+            assert manager.job(job.id).view()["state"] == "cancelled"
+        for kind, name in handles:
+            if kind == "shm":
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+            else:
+                assert not os.path.exists(name)
+        stats = manager.stats()
+        assert stats["jobs"]["cancelled"] == 3
+
+    def test_close_is_idempotent_and_submit_after_close_rejects(self, manager):
+        manager.close()
+        manager.close()
+        with pytest.raises(AdmissionError) as rejected:
+            manager.submit(0, [ExecutionPlan.uniform(AccurateProduct())])
+        assert rejected.value.reason == "closed"
+
+
+class TestStatsSchema:
+    def test_manager_stats_schema(self, manager):
+        stats = manager.stats()
+        assert stats["schema"] == "repro-runtime-stats/v1"
+        assert {"requested_workers", "workers"} <= set(stats["engine"])
+        assert {"submitted", "completed", "rejected", "depth"} <= set(stats["jobs"])
+        assert {"hits", "misses", "evictions", "hit_ratio"} <= set(stats["cache"])
+        assert isinstance(stats["sessions"], dict)
+
+    def test_session_ledger_records_job_cells(self, trained, tiny_dataset, tmp_path):
+        manager = JobManager(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            ledger_dir=str(tmp_path),
+        )
+        try:
+            with LocalJobClient(manager, own_manager=False) as client:
+                job_id = client.submit_job(
+                    0, [ExecutionPlan.uniform(PerforatedProduct(1))], session="alice"
+                )
+                client.wait(job_id, timeout=120)
+        finally:
+            manager.close()
+        # One <plan_key>.json record in the session's own namespace.
+        records = list((tmp_path / "alice").glob("*.json"))
+        assert len(records) == 1
+        payload = json.loads(records[0].read_text())
+        assert payload["kind"] == "job-cell"
+        assert isinstance(payload["accuracy"], float)

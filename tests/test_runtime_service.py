@@ -201,14 +201,15 @@ class TestServiceParity:
             use_shared_memory=True,
             **kwargs,
         ) as service:
-            assert service.stats()["chunks_per_worker"] == 3
+            assert service.stats()["engine"]["chunks_per_worker"] == 3
             stolen = service.evaluate_plans(0, plans)
             stats = service.stats()
         serial = PlanEvaluator(trained, tiny_dataset, **kwargs).evaluate(plans)
         assert stolen == serial  # bit-exact AND input-ordered
         # Every finished chunk reported a wall-clock into the cost model.
-        assert stats["cost_model_observations"] > 0
-        assert stats["cost_model_seconds_per_unit"] > 0.0
+        assert stats["schema"] == "repro-runtime-stats/v1"
+        assert stats["engine"]["cost_model_observations"] > 0
+        assert stats["engine"]["cost_model_seconds_per_unit"] > 0.0
 
     def test_empty_and_single_cell_batches(self, trained, tiny_dataset):
         with EvaluationService(

@@ -1,0 +1,249 @@
+"""Tests of the HTTP transport layer (:mod:`repro.runtime.server`).
+
+The daemon contract lives here:
+
+* **endpoint contract** — ``/healthz``, ``/stats``, ``/models``,
+  ``POST /jobs`` + ``GET /jobs/<id>`` speak the documented JSON shapes,
+  and error paths return the documented statuses (404 unknown model/job,
+  400 malformed plans, 429 admission rejections with a machine-readable
+  reason);
+* **served-vs-local parity** — jobs submitted over HTTP through
+  :class:`~repro.runtime.jobs.client.HttpJobClient` return accuracies
+  bit-identical to the in-process engine, and a DSE campaign driven by a
+  :class:`~repro.runtime.jobs.client.RemotePlanEvaluator` produces the
+  exact front of a local campaign with the same measurement setup;
+* **cross-client caching over the wire** — a duplicate HTTP submission is
+  served from the daemon's result cache, visible in ``/stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dse import run_campaign
+from repro.runtime.jobs import (
+    AdmissionError,
+    HttpJobClient,
+    JobClientError,
+    JobManager,
+    LocalJobClient,
+    RemotePlanEvaluator,
+    sweep_over_jobs,
+)
+from repro.runtime.server import JobServer
+from repro.simulation.campaign import TrainedModel, parallel_sweep
+from repro.simulation.inference import AccurateProduct, ExecutionPlan, PerforatedProduct
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def trained(trained_tiny_model, tiny_dataset):
+    return TrainedModel(
+        name="vgg13",
+        dataset_name=tiny_dataset.name,
+        model=trained_tiny_model,
+        float_accuracy=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def server(trained, tiny_dataset):
+    manager = JobManager([trained], {tiny_dataset.name: tiny_dataset})
+    srv = JobServer(manager)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown_and_close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(server):
+    return HttpJobClient(server.url, poll_interval=0.01)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["models"] == 1
+        assert payload["uptime_s"] >= 0
+
+    def test_models_descriptors(self, client, trained, tiny_dataset):
+        infos = client.models()
+        assert len(infos) == 1
+        info = infos[0]
+        assert info["name"] == trained.name
+        assert info["dataset"] == tiny_dataset.name
+        assert info["mac_layer_names"]
+        assert len(info["context_key"]) == 64
+
+    def test_stats_schema_over_the_wire(self, client):
+        stats = client.stats()
+        assert stats["schema"] == "repro-runtime-stats/v1"
+        assert {"engine", "jobs", "cache", "sessions"} <= set(stats)
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(JobClientError) as error:
+            client.job("job-999999")
+        assert error.value.status == 404
+
+    def test_unknown_model_is_404(self, client):
+        with pytest.raises(JobClientError) as error:
+            client.submit_job("lenet9000", [ExecutionPlan.uniform(AccurateProduct())])
+        assert error.value.status == 404
+
+    def test_bad_plan_payload_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/jobs",
+            data=json.dumps(
+                {"model_index": 0, "plans": [{"default": {"kind": "warp-drive"}}]}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(request)
+        assert error.value.code == 400
+
+    def test_empty_plans_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/jobs",
+            data=json.dumps({"model_index": 0, "plans": []}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(request)
+        assert error.value.code == 400
+
+    def test_non_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/jobs",
+            data=b"perforate all the layers",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(request)
+        assert error.value.code == 400
+
+    def test_unknown_endpoint_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(f"{server.url}/teapot")
+        assert error.value.code == 404
+
+
+@pytest.mark.runtime
+class TestServedParity:
+    def test_http_job_matches_in_process_engine(
+        self, server, client, trained
+    ):
+        plans = [
+            ExecutionPlan.uniform(AccurateProduct()),
+            ExecutionPlan.uniform(PerforatedProduct(1)),
+            ExecutionPlan.uniform(PerforatedProduct(2, use_control_variate=False)),
+        ]
+        direct = server.manager.service.evaluate_plans(0, plans)
+        job_id = client.submit_job(0, plans, session="parity")
+        view = client.wait(job_id, timeout=240)
+        assert view["accuracies"] == direct
+
+    def test_served_sweep_matches_parallel_sweep(
+        self, client, trained, tiny_dataset
+    ):
+        reference = parallel_sweep(
+            [trained], {tiny_dataset.name: tiny_dataset},
+            perforations=(1, 2), max_workers=1,
+        )
+        sweep, _totals = sweep_over_jobs(
+            client, perforations=(1, 2), session="sweep-http"
+        )
+        assert sweep.baselines == reference.baselines
+        assert sweep.records == reference.records
+
+    def test_duplicate_http_submission_hits_the_cache(self, client):
+        plans = [ExecutionPlan.uniform(PerforatedProduct(3))]
+        first = client.wait(client.submit_job(0, plans, session="dup"), timeout=240)
+        second = client.wait(client.submit_job(0, plans, session="dup"), timeout=240)
+        assert second["accuracies"] == first["accuracies"]
+        assert second["cache_hits"] == 1
+        assert second["cache_misses"] == 0
+
+    def test_remote_campaign_front_equals_local(
+        self, client, trained, tiny_dataset
+    ):
+        kwargs = dict(
+            strategy="greedy",
+            max_loss=5.0,
+            budget_evals=4,
+            array_size=64,
+            perforations=(1, 2),
+        )
+        local = run_campaign(trained, tiny_dataset, **kwargs)
+        evaluator = RemotePlanEvaluator(client, trained.name, session="dse-http")
+        remote = run_campaign(trained, tiny_dataset, evaluator=evaluator, **kwargs)
+        assert remote.baseline_accuracy == local.baseline_accuracy
+        local_points = [
+            (p.label, p.energy_nj, p.accuracy) for p in local.front.points()
+        ]
+        remote_points = [
+            (p.label, p.energy_nj, p.accuracy) for p in remote.front.points()
+        ]
+        assert remote_points == local_points
+        # The remote campaign's ledger keys live under the server-reported
+        # context digest — identical to the local measurement setup.
+        assert remote.stats["context_key"] == local.stats["context_key"]
+
+
+class TestAdmissionOverTheWire:
+    def test_429_maps_back_to_admission_error(self, trained, tiny_dataset):
+        manager = JobManager(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_queue_depth=2,
+            max_inflight_per_session=1,
+            auto_start=False,
+        )
+        srv = JobServer(manager)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = HttpJobClient(srv.url)
+            plans = [ExecutionPlan.uniform(AccurateProduct())]
+            client.submit_job(0, plans, session="alice")
+            with pytest.raises(AdmissionError) as busy:
+                client.submit_job(0, plans, session="alice")
+            assert busy.value.reason == "session_busy"
+            client.submit_job(0, plans, session="bob")
+            with pytest.raises(AdmissionError) as full:
+                client.submit_job(0, plans, session="carol")
+            assert full.value.reason == "queue_full"
+        finally:
+            srv.shutdown_and_close()
+            thread.join(timeout=10)
+
+    def test_cancelled_job_reported_over_http(self, trained, tiny_dataset):
+        manager = JobManager(
+            [trained], {tiny_dataset.name: tiny_dataset}, auto_start=False
+        )
+        srv = JobServer(manager)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = HttpJobClient(srv.url, poll_interval=0.01)
+            job_id = client.submit_job(
+                0, [ExecutionPlan.uniform(AccurateProduct())], session="alice"
+            )
+            manager.close()
+            view = client.job(job_id)
+            assert view["state"] == "cancelled"
+        finally:
+            srv.shutdown_and_close()
+            thread.join(timeout=10)
