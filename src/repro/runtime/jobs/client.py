@@ -48,10 +48,13 @@ class JobFailedError(RuntimeError):
 
 
 class JobClientError(RuntimeError):
-    """A transport-level error from the HTTP binding (non-2xx, bad payload)."""
+    """A transport-level error from the HTTP binding (non-2xx, bad payload,
+    unreachable or unresponsive daemon).  ``status`` is ``None`` when no
+    HTTP response was received at all (connection refused, timeout)."""
 
-    def __init__(self, status: int, message: str):
-        super().__init__(f"HTTP {status}: {message}")
+    def __init__(self, status: "int | None", message: str):
+        prefix = f"HTTP {status}" if status is not None else "transport error"
+        super().__init__(f"{prefix}: {message}")
         self.status = status
 
 
@@ -120,11 +123,22 @@ class HttpJobClient:
     (:mod:`repro.runtime.jobs.codec`), so content-addressed cell keys —
     and therefore cache hits and ledger records — are identical to
     submitting the same plans in-process.
+
+    ``request_timeout`` bounds every single HTTP round trip, so a hung
+    daemon surfaces as :class:`JobClientError` instead of blocking forever
+    — in particular :meth:`wait`'s deadline keeps ticking because no one
+    poll can stall past the request timeout.
     """
 
-    def __init__(self, base_url: str, poll_interval: float = 0.05):
+    def __init__(
+        self,
+        base_url: str,
+        poll_interval: float = 0.05,
+        request_timeout: float = 60.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.poll_interval = float(poll_interval)
+        self.request_timeout = float(request_timeout)
         self._model_cache: list[dict] | None = None
 
     # ------------------------------------------------------------------
@@ -138,7 +152,9 @@ class HttpJobClient:
             f"{self.base_url}{path}", data=data, headers=headers, method=method
         )
         try:
-            with urllib.request.urlopen(request) as response:
+            with urllib.request.urlopen(
+                request, timeout=self.request_timeout
+            ) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
             body = error.read().decode("utf-8", errors="replace")
@@ -152,6 +168,13 @@ class HttpJobClient:
                     parsed.get("reason", "rejected"), message
                 ) from None
             raise JobClientError(error.code, message) from None
+        except (urllib.error.URLError, TimeoutError) as error:
+            # Connection refused / DNS failure / socket timeout: no HTTP
+            # response at all, so there is no status to report.
+            reason = getattr(error, "reason", error)
+            raise JobClientError(
+                None, f"cannot reach {self.base_url}{path}: {reason}"
+            ) from None
 
     # ------------------------------------------------------------------
     def healthz(self) -> dict:

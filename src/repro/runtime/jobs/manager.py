@@ -137,7 +137,11 @@ class JobManager:
         self.record_manifests = bool(record_manifests)
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
+        #: Monotonic ID mint.  Never decremented — a rejected submission
+        #: burns its ID, so a concurrent accepted job can never be
+        #: overwritten by an ID reuse.  ``_submitted`` counts accepted jobs.
         self._seq = 0
+        self._submitted = 0
         self._context_keys: dict[int, str] = {}
         self._dispatcher: threading.Thread | None = None
         self._closed = False
@@ -256,7 +260,7 @@ class JobManager:
     def stats(self) -> dict:
         """One consistent schema over engine, jobs, cache and sessions."""
         with self._lock:
-            jobs_submitted = self._seq
+            jobs_submitted = self._submitted
             states: dict[str, int] = {}
             for job in self._jobs.values():
                 state = job.state.value
@@ -315,12 +319,15 @@ class JobManager:
         try:
             self.queue.push(job, sess)
         except AdmissionError:
+            # Forget the job but keep `_seq` where it is: rolling the mint
+            # back would race a concurrent submit into reusing a live ID.
             with self._lock:
                 del self._jobs[job.id]
-                self._seq -= 1
             raise
-        sess.jobs_submitted += 1
-        sess.cells_submitted += len(plans)
+        with self._lock:
+            self._submitted += 1
+            sess.jobs_submitted += 1
+            sess.cells_submitted += len(plans)
         return job
 
     # ------------------------------------------------------------------
@@ -417,8 +424,10 @@ class JobManager:
 
     def _finalize(self, job: Job) -> None:
         session = self.sessions.get_or_create(job.session_id)
+        # The in-flight slot is owned by the queue lock (same lock push()
+        # increments under); everything else here is manager-lock state.
+        self.queue.release(session)
         with self._lock:
-            session.inflight = max(0, session.inflight - 1)
             if job.state is JobState.DONE:
                 self.jobs_completed += 1
                 session.jobs_completed += 1

@@ -43,10 +43,12 @@ class JobQueue:
     max_depth:
         Admission bound on queued (not yet running) jobs.
     max_inflight_per_session:
-        Admission bound on one session's queued-or-running jobs; the
+        Admission bound on one session's queued-or-running jobs.  The
         session's ``inflight`` counter is incremented under the queue lock
-        at admission and must be decremented by the consumer when the job
-        reaches a terminal state.
+        at admission (:meth:`push`) and must be decremented via
+        :meth:`release` when the job reaches a terminal state — both
+        mutations go through the queue lock, so a concurrent push can
+        never lose a finalizer's decrement.
     """
 
     def __init__(self, max_depth: int = 64, max_inflight_per_session: int = 8):
@@ -98,6 +100,13 @@ class JobQueue:
             session.inflight += 1
             self._jobs.append(job)
             self._not_empty.notify()
+
+    def release(self, session: Session) -> None:
+        """Drop one of ``session``'s in-flight slots (job reached a terminal
+        state).  Uses the same lock as :meth:`push`, which is what keeps the
+        read-modify-write on ``session.inflight`` race-free."""
+        with self._lock:
+            session.inflight = max(0, session.inflight - 1)
 
     def pop(self, timeout: float | None = None) -> Job | None:
         """Next job in FIFO order; ``None`` on timeout or when closed+empty."""

@@ -155,8 +155,11 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
         # Resolve the model reference: explicit index or name (+ dataset).
         if "model_index" in payload:
             model_index = payload["model_index"]
-            if not isinstance(model_index, int) or not (
-                0 <= model_index < len(manager.service.models)
+            # bool subclasses int: `true` must not sneak in as index 1.
+            if (
+                not isinstance(model_index, int)
+                or isinstance(model_index, bool)
+                or not 0 <= model_index < len(manager.service.models)
             ):
                 self._send_error_json(404, f"unknown model index {model_index!r}")
                 return

@@ -286,6 +286,46 @@ class TestAdmissionControl:
         finally:
             manager.close()
 
+    def test_rejected_submission_never_reuses_a_live_job_id(
+        self, trained, tiny_dataset
+    ):
+        # A rejected submit must burn its minted ID: rolling the sequence
+        # back would let the next accepted job overwrite a live one under
+        # concurrent submits.
+        manager = JobManager(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_inflight_per_session=1,
+            auto_start=False,
+        )
+        plan = [ExecutionPlan.uniform(AccurateProduct())]
+        try:
+            first = manager.submit(0, plan, session="alice")
+            with pytest.raises(AdmissionError):
+                manager.submit(0, plan, session="alice")
+            second = manager.submit(0, plan, session="bob")
+            assert second.id != first.id
+            assert second.id == "job-000003"  # ID 2 burned by the rejection
+            assert manager.job(first.id) is first
+            # `submitted` counts accepted jobs only, not minted IDs.
+            assert manager.stats()["jobs"]["submitted"] == 2
+        finally:
+            manager.close()
+
+    def test_queue_release_returns_the_inflight_slot(self):
+        queue = JobQueue(max_depth=4, max_inflight_per_session=1)
+        session = SessionRegistry(SeedBank(0)).get_or_create()
+        queue.push(object(), session)
+        assert session.inflight == 1
+        with pytest.raises(AdmissionError):
+            queue.push(object(), session)
+        queue.release(session)
+        assert session.inflight == 0
+        queue.push(object(), session)  # slot is usable again
+        queue.release(session)
+        queue.release(session)  # over-release clamps at zero
+        assert session.inflight == 0
+
     def test_queue_rejects_after_close(self):
         queue = JobQueue(max_depth=4)
         queue.close()

@@ -99,6 +99,30 @@ class TestEndpoints:
             client.submit_job("lenet9000", [ExecutionPlan.uniform(AccurateProduct())])
         assert error.value.status == 404
 
+    def test_boolean_model_index_is_rejected(self, server):
+        # bool subclasses int: `true` must not be accepted as index 1 (or,
+        # with one hosted model, silently rejected for the wrong reason).
+        request = urllib.request.Request(
+            f"{server.url}/jobs",
+            data=json.dumps({"model_index": True, "plans": []}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(request)
+        assert error.value.code == 404
+        body = json.loads(error.value.read().decode())
+        assert "model index" in body["error"]
+
+    def test_unreachable_daemon_is_a_client_error(self):
+        # Connection refused (no HTTP response at all) must surface as
+        # JobClientError with status None, not leak a raw URLError.
+        client = HttpJobClient("http://127.0.0.1:9", request_timeout=2.0)
+        with pytest.raises(JobClientError) as error:
+            client.healthz()
+        assert error.value.status is None
+        assert "cannot reach" in str(error.value)
+
     def test_bad_plan_payload_is_400(self, server):
         request = urllib.request.Request(
             f"{server.url}/jobs",
