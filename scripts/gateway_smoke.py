@@ -1,0 +1,379 @@
+"""End-to-end smoke test of the ``repro gateway`` fleet (``make gateway-smoke``).
+
+Boots a two-shard fleet through the real CLI entry points — one adopted
+daemon (``repro serve`` started here, handed over via ``--backend``) and
+one shard the gateway spawns itself (``--spawn "--golden-workload
+--cache-persist ..."``) — so both shard-acquisition paths, the routing
+table, argument parsing, handshakes, HTTP transport, signal handling and
+shared-memory teardown are all on the hook.
+
+The script asserts, in order:
+
+1. **handshake** — the gateway prints ``gateway on http://...`` and
+   answers ``/healthz`` for both shards;
+2. **golden parity through the gateway** — a Table-III sweep of the
+   golden-workload model, routed through the gateway to its shard,
+   reproduces ``results/golden/accuracy_table.json`` byte-exactly;
+3. **CLI clients work unchanged** — ``repro sweep --remote <gateway>``
+   and ``repro table3 --remote <gateway>`` exit 0 against the fleet
+   (their jobs fan across both shards);
+4. **fleet-wide caching** — resubmitting the golden sweep is served
+   entirely from the owning shard's result cache;
+5. **degradation** — killing the adopted shard turns requests for its
+   models into a *fast* machine-readable 503 (``reason: "shard_down"``),
+   ``/healthz`` reports ``degraded``, and the surviving shard keeps
+   serving byte-exact results;
+6. **clean shutdown** — SIGTERM drains the gateway (exit code 0, the
+   ``shut down cleanly`` line), the spawned shard dies with it, and no
+   ``/dev/shm`` blocks are leaked;
+7. **warm restart** — a fresh daemon pointed at the same
+   ``--cache-persist`` directory serves the whole golden sweep from the
+   reloaded cache (hit ratio 1.0 in ``/stats``), still byte-exact.
+
+Exit status 0 on success, 1 with a one-line diagnosis on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+GOLDEN_TABLE = os.path.join(REPO_ROOT, "results", "golden", "accuracy_table.json")
+SMOKE_DIR = os.path.join(REPO_ROOT, ".gateway-smoke")
+SERVE_HANDSHAKE = re.compile(r"serving on (http://\S+)")
+GATEWAY_HANDSHAKE = re.compile(r"gateway on (http://\S+)")
+SHM_DIR = "/dev/shm"
+BOOT_TIMEOUT_S = 420.0
+SHUTDOWN_TIMEOUT_S = 60.0
+
+
+def fail(message: str) -> int:
+    print(f"gateway-smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def _shm_entries() -> set[str]:
+    if not os.path.isdir(SHM_DIR):
+        return set()
+    return set(os.listdir(SHM_DIR))
+
+
+def _spawn(argv: list[str], env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        argv,
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait_for_handshake(
+    process: subprocess.Popen, pattern: re.Pattern, tag: str
+) -> str:
+    """Read ``process`` stdout until the handshake line appears."""
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"{tag} exited before the handshake (code {process.poll()})"
+            )
+        sys.stdout.write(f"  [{tag}] {line}")
+        match = pattern.search(line)
+        if match:
+            return match.group(1)
+    raise RuntimeError(f"no {tag} handshake within {BOOT_TIMEOUT_S:.0f}s")
+
+
+def _terminate(process: subprocess.Popen, tag: str) -> int | None:
+    """SIGTERM ``process``, echo its tail, return its exit code (None=hung)."""
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=SHUTDOWN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            return None
+    tail = process.stdout.read() or ""
+    for line in tail.splitlines():
+        print(f"  [{tag}] {line}")
+    process.stdout.close()
+    return process.returncode
+
+
+def _golden_sweep(client, golden_index: int, session: str):
+    """The golden accuracy table, rebuilt from jobs routed via the gateway."""
+    from repro.provenance.workload import PERFORATIONS
+    from repro.runtime.jobs import sweep_over_jobs
+
+    sweep, totals = sweep_over_jobs(
+        client, perforations=PERFORATIONS, models=[golden_index], session=session
+    )
+    (model_name, dataset_name), baseline = next(iter(sweep.baselines.items()))
+    table = {
+        "model": model_name,
+        "dataset": dataset_name,
+        "baseline_accuracy": baseline,
+        "rows": [
+            {
+                "m": record.m,
+                "with_control_variate": record.with_control_variate,
+                "accuracy": record.approximate_accuracy,
+                "accuracy_loss": record.accuracy_loss,
+            }
+            for record in sweep.records
+        ],
+    }
+    return table, totals
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    import urllib.error
+    import urllib.request
+
+    from repro.runtime.jobs import HttpJobClient
+
+    if not os.path.exists(GOLDEN_TABLE):
+        return fail(f"{GOLDEN_TABLE} missing — run `make bench-refresh` first")
+    with open(GOLDEN_TABLE, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+
+    shutil.rmtree(SMOKE_DIR, ignore_errors=True)
+    os.makedirs(SMOKE_DIR, exist_ok=True)
+    persist_dir = os.path.join(SMOKE_DIR, "result-cache")
+    model_cache = os.path.join(SMOKE_DIR, "models")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    shm_before = _shm_entries()
+
+    # Shard 0 is *adopted*: a daemon this script owns, hosting the same
+    # architecture as the golden shard but on a reseeded dataset
+    # (synthetic-cifar10-seed0) — model sets stay disjoint by dataset.
+    print("gateway-smoke: booting the adopted shard (`repro serve --seed 0`) ...")
+    adopted = _spawn(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--models", "vgg13", "--classes", "10", "--seed", "0",
+            "--epochs", "1", "--max-eval-images", "64",
+            "--cache-dir", model_cache, "--port", "0",
+        ],
+        env,
+    )
+    gateway = None
+    warm = None
+    try:
+        adopted_url = _wait_for_handshake(adopted, SERVE_HANDSHAKE, "adopted")
+
+        # The gateway adopts shard 0 and spawns the golden shard itself —
+        # both acquisition paths in one topology.  The spawned shard
+        # persists its result cache for the warm-restart leg.
+        print("gateway-smoke: booting `repro gateway` (adopt + spawn) ...")
+        gateway = _spawn(
+            [
+                sys.executable, "-m", "repro", "gateway",
+                "--backend", adopted_url,
+                "--spawn", f"--golden-workload --cache-persist {persist_dir}",
+                "--retries", "1", "--backoff", "0.01", "--port", "0",
+            ],
+            env,
+        )
+        gateway_url = _wait_for_handshake(gateway, GATEWAY_HANDSHAKE, "gateway")
+        client = HttpJobClient(gateway_url, poll_interval=0.05)
+
+        health = client.healthz()
+        if health.get("status") != "ok" or health.get("models") != 2:
+            return fail(f"unexpected /healthz payload: {health}")
+        infos = client.models()
+        # `--seed 0` reseeds the synthetic dataset through the daemon's
+        # SeedBank stream, which suffixes the dataset name (-seed<derived>)
+        # so routing keys never collide with the golden shard's.
+        golden_infos = [i for i in infos if i["dataset"] == "synthetic-cifar10"]
+        adopted_infos = [i for i in infos if "-seed" in i["dataset"]]
+        if len(golden_infos) != 1 or len(adopted_infos) != 1:
+            return fail(f"unexpected fleet model set: {infos}")
+        golden_index = golden_infos[0]["index"]
+        golden_shard = golden_infos[0]["shard"]
+        adopted_shard = adopted_infos[0]["shard"]
+        print(
+            f"gateway-smoke: fleet healthy at {gateway_url} "
+            f"(golden model on {golden_shard}, adopted on {adopted_shard})"
+        )
+
+        # 1st golden sweep *through the gateway*: byte-exact vs the
+        # committed golden table.
+        table, totals = _golden_sweep(client, golden_index, session="smoke")
+        if table != golden:
+            return fail(
+                "gateway-routed sweep diverged from results/golden/"
+                f"accuracy_table.json: served {json.dumps(table, sort_keys=True)} "
+                f"!= golden {json.dumps(golden, sort_keys=True)}"
+            )
+        print(
+            f"gateway-smoke: gateway-routed sweep matches the golden table "
+            f"({totals['cells']} cells, {totals['cache_misses']} evaluated)"
+        )
+
+        # The stock CLI clients against the gateway URL — jobs fan out
+        # across both shards (vgg13 is hosted on both, on disjoint
+        # datasets).
+        for verb in ("sweep", "table3"):
+            print(f"gateway-smoke: `repro {verb} --remote {gateway_url}` ...")
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", verb,
+                    "--remote", gateway_url, "--models", "vgg13",
+                ],
+                cwd=REPO_ROOT,
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                timeout=BOOT_TIMEOUT_S,
+            )
+            if result.returncode != 0:
+                tail = "\n".join(result.stdout.splitlines()[-15:])
+                return fail(
+                    f"`repro {verb} --remote` exited "
+                    f"{result.returncode}:\n{tail}"
+                )
+        print("gateway-smoke: sweep and table3 --remote clients pass (2 shards)")
+
+        # Duplicate golden sweep: every cell served from the shard cache.
+        table_again, totals_again = _golden_sweep(client, golden_index, session="smoke")
+        if table_again != golden:
+            return fail("cached gateway resubmission diverged from the golden table")
+        if totals_again["cache_hits"] != totals_again["cells"]:
+            return fail(
+                "duplicate sweep was not fully served from cache: "
+                f"{totals_again['cache_hits']}/{totals_again['cells']} hits"
+            )
+        stats = client.stats()
+        if stats.get("gateway", {}).get("shards") != 2:
+            return fail(f"aggregated /stats lacks the gateway section: {stats}")
+        print(
+            f"gateway-smoke: duplicate submission fully cached "
+            f"({totals_again['cache_hits']}/{totals_again['cells']} hits)"
+        )
+
+        # Kill the adopted shard: its models must fast-fail with a
+        # machine-readable 503, not hang — and the golden shard must keep
+        # serving.
+        print("gateway-smoke: killing the adopted shard ...")
+        adopted.kill()
+        adopted.wait(timeout=30)
+        payload = json.dumps(
+            {
+                "model_index": adopted_infos[0]["index"],
+                "plans": [{"default": {"kind": "accurate"}, "per_layer": {}}],
+            }
+        ).encode()
+        request = urllib.request.Request(
+            f"{gateway_url}/jobs",
+            data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        started = time.monotonic()
+        try:
+            urllib.request.urlopen(request, timeout=60)
+            return fail("submission to a dead shard did not fail")
+        except urllib.error.HTTPError as error:
+            elapsed = time.monotonic() - started
+            if error.code != 503:
+                return fail(f"dead shard returned {error.code}, expected 503")
+            body = json.loads(error.read().decode())
+            if body.get("reason") != "shard_down" or body.get("shard") != adopted_shard:
+                return fail(f"503 body is not machine-readable: {body}")
+            if elapsed > 30:
+                return fail(f"shard_down 503 took {elapsed:.1f}s — that is a hang")
+        health = client.healthz()
+        if health.get("status") != "degraded":
+            return fail(f"/healthz did not degrade after the shard died: {health}")
+        table_degraded, _ = _golden_sweep(client, golden_index, session="smoke")
+        if table_degraded != golden:
+            return fail("surviving shard diverged from golden while degraded")
+        print(
+            "gateway-smoke: dead shard fast-fails 503 shard_down, "
+            "fleet degraded, golden shard still byte-exact"
+        )
+
+        # Graceful shutdown: SIGTERM, exit 0, the clean-shutdown line, the
+        # spawned shard gone, and no shared-memory blocks left behind.
+        code = _terminate(gateway, "gateway")
+        if code is None:
+            return fail(f"gateway ignored SIGTERM for {SHUTDOWN_TIMEOUT_S:.0f}s")
+        if code != 0:
+            return fail(f"gateway exited with code {code}")
+        gateway = None
+        leaked = _shm_entries() - shm_before
+        if leaked:
+            return fail(f"leaked shared-memory blocks: {sorted(leaked)}")
+        print("gateway-smoke: clean gateway shutdown, no leaked shared memory")
+
+        # Warm restart: a fresh daemon on the same persist directory must
+        # serve the whole golden sweep from the reloaded cache.
+        print("gateway-smoke: warm-restarting the golden shard ...")
+        warm = _spawn(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--golden-workload", "--cache-persist", persist_dir, "--port", "0",
+            ],
+            env,
+        )
+        warm_url = _wait_for_handshake(warm, SERVE_HANDSHAKE, "warm")
+        warm_client = HttpJobClient(warm_url, poll_interval=0.05)
+        warm_stats = warm_client.stats()
+        if warm_stats["cache"].get("loaded", 0) <= 0:
+            return fail(
+                f"restarted daemon loaded nothing from {persist_dir}: "
+                f"{warm_stats['cache']}"
+            )
+        table_warm, totals_warm = _golden_sweep(warm_client, 0, session="warm")
+        if table_warm != golden:
+            return fail("warm-restarted sweep diverged from the golden table")
+        if totals_warm["cache_misses"] != 0:
+            return fail(
+                "warm restart re-evaluated "
+                f"{totals_warm['cache_misses']} cells — the persisted cache "
+                "did not carry them"
+            )
+        warm_stats = warm_client.stats()
+        if warm_stats["cache"]["hit_ratio"] != 1.0:
+            return fail(
+                f"warm-restart hit ratio {warm_stats['cache']['hit_ratio']} != 1.0"
+            )
+        code = _terminate(warm, "warm")
+        if code is None:
+            return fail("warm daemon ignored SIGTERM")
+        if code != 0:
+            return fail(f"warm daemon exited with code {code}")
+        warm = None
+        leaked = _shm_entries() - shm_before
+        if leaked:
+            return fail(f"leaked shared-memory blocks after warm leg: {sorted(leaked)}")
+        print(
+            f"gateway-smoke: PASS — warm restart served "
+            f"{totals_warm['cache_hits']}/{totals_warm['cells']} cells from the "
+            f"persisted cache (hit ratio 1.0)"
+        )
+        return 0
+    finally:
+        for process in (gateway, warm, adopted):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""``repro gateway`` — front a fleet of ``repro serve`` shards with one URL.
+
+The gateway speaks the exact job API a single daemon does, so every
+``--remote`` client works unchanged against it; behind it, models are
+sharded across N backend daemons (disjoint per shard — see
+:mod:`repro.runtime.fleet`).  Shards come from two sources, freely mixed:
+
+* ``--backend URL`` *adopts* an already-running daemon (its lifecycle
+  stays with whoever started it);
+* ``--spawn "SERVE ARGS"`` *spawns* a local shard — the quoted string is
+  passed to ``repro serve`` verbatim (e.g. ``--spawn "--golden-workload
+  --workers 2"``) and the child is terminated with the gateway.
+
+The startup handshake is one line on stdout::
+
+    gateway on http://127.0.0.1:45123 (2 shard(s), 3 model(s))
+
+``--port 0`` (the default) binds an ephemeral port, so scripted users —
+the ``make gateway-smoke`` gate among them — parse the URL from that
+line.  SIGTERM/SIGINT shut down gracefully: the health monitor stops,
+spawned shards get SIGTERM (their clean path: unlink every shared-memory
+block) and the final line is ``gateway: shut down cleanly``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shlex
+import signal
+import threading
+
+from repro.cli.common import cli_error
+
+
+def cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.runtime.fleet import (
+        Backend,
+        BackendPool,
+        DaemonSupervisor,
+        FleetError,
+        GatewayServer,
+    )
+    from repro.runtime.jobs.client import JobClientError
+
+    if not args.backend and not args.spawn:
+        return cli_error(
+            "a gateway needs at least one shard: pass --backend URL "
+            "(adopt a running daemon) and/or --spawn \"SERVE ARGS\""
+        )
+
+    supervisor = DaemonSupervisor()
+    try:
+        # Adopted shards first, then spawned ones: shard names (and with
+        # them the global model order) are deterministic for a fixed
+        # command line.
+        shards: list[tuple[str, str]] = []
+        for url in args.backend:
+            shards.append((f"shard{len(shards)}", url))
+        for spec in args.spawn:
+            name = f"shard{len(shards)}"
+            daemon = supervisor.spawn(shlex.split(spec), name=name)
+            shards.append((name, daemon.url))
+        pool = BackendPool(
+            [
+                Backend(
+                    name,
+                    url,
+                    request_timeout=args.request_timeout,
+                    retries=args.retries,
+                    backoff=args.backoff,
+                    fail_threshold=args.fail_threshold,
+                )
+                for name, url in shards
+            ]
+        )
+        server = GatewayServer(pool, host=args.host, port=args.port)
+    except (FleetError, JobClientError, ValueError, OSError) as error:
+        supervisor.terminate_all()
+        return cli_error(f"gateway startup failed: {error}")
+
+    pool.start_monitor(args.health_interval)
+
+    def _shutdown(signum, frame) -> None:
+        # shutdown() blocks until serve_forever() returns; a helper thread
+        # delivers it so the signal handler cannot deadlock the server.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+
+    print(
+        f"gateway on {server.url} ({len(shards)} shard(s), "
+        f"{len(server.table)} model(s))",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+        pool.close()
+        supervisor.terminate_all()
+    print("gateway: shut down cleanly", flush=True)
+    return 0
+
+
+def register(sub) -> None:
+    gateway = sub.add_parser(
+        "gateway",
+        help="front N sharded `repro serve` daemons with one job-API URL "
+        "(`repro sweep|table3|dse --remote URL` work unchanged against it)",
+    )
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listening port; 0 (the default) binds an ephemeral port, "
+        "printed in the one-line startup handshake",
+    )
+    gateway.add_argument(
+        "--backend",
+        action="append",
+        default=[],
+        metavar="URL",
+        help="adopt an already-running daemon at URL (repeatable); its "
+        "lifecycle stays with whoever started it",
+    )
+    gateway.add_argument(
+        "--spawn",
+        action="append",
+        default=[],
+        metavar="SERVE_ARGS",
+        help="spawn a local shard: the quoted string is passed to "
+        "`repro serve` verbatim (repeatable); spawned shards are "
+        "terminated with the gateway",
+    )
+    gateway.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="per-shard retry budget for idempotent GETs (status polls) "
+        "on transport failures, with capped exponential backoff",
+    )
+    gateway.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="initial retry backoff in seconds (doubles per attempt, capped)",
+    )
+    gateway.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        help="per-round-trip timeout towards a shard, seconds",
+    )
+    gateway.add_argument(
+        "--fail-threshold",
+        type=int,
+        default=1,
+        help="consecutive transport failures before a shard is marked down "
+        "(requests to it fast-fail 503 until a health probe readmits it)",
+    )
+    gateway.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="seconds between background health probes (healthy shards are "
+        "pinged; evicted shards re-verify their model set before rejoining)",
+    )
+    gateway.set_defaults(func=cmd_gateway)

@@ -169,6 +169,32 @@ class CampaignLedger:
                 pass
             raise
 
+    def iter_disk_records(self):
+        """Yield every ``(key, record)`` pair stored in the ledger directory.
+
+        Scans the directory (not :attr:`_memory`), skipping temp files and
+        anything unparsable, and leaves the hit/miss counters untouched —
+        this is the bulk-load path a warm-starting
+        :class:`~repro.runtime.jobs.cache.ResultCache` uses, not a lookup.
+        Keys are yielded in sorted filename order so a capped consumer
+        loads deterministically.
+        """
+        if self.path is None or not os.path.isdir(self.path):
+            return
+        for filename in sorted(os.listdir(self.path)):
+            if not filename.endswith(".json"):
+                continue
+            key = filename[: -len(".json")]
+            try:
+                with open(
+                    os.path.join(self.path, filename), "r", encoding="utf-8"
+                ) as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict):
+                yield key, record
+
     def stats(self) -> dict[str, int]:
         """Hit/miss counters plus the records this instance touched."""
         return {"hits": self.hits, "misses": self.misses, "records": len(self)}

@@ -1,0 +1,50 @@
+"""The fleet layer: scale the job runtime past one process (layer 4 of 4).
+
+The runtime stack with a fleet on top::
+
+    layer 4  fleet       repro gateway: routing table over N daemons,
+                         health-checked backend pool, aggregated stats
+    layer 3  transport   repro serve (HTTP daemon)  /  in-process clients
+    layer 2  jobs        JobManager: priority queue + admission control,
+                         sessions, persistent result cache
+    layer 1  engine      EvaluationService: publish-once shared memory,
+                         prefix-aware scheduling, worker pool
+
+Sharding is by model: each daemon owns a disjoint ``(model, dataset)``
+set, so every cell has exactly one home dispatcher and fleet-wide dedup
+stays deterministic — the property that keeps ``--remote <gateway>``
+runs bit-exact with local ones.
+
+Entry points: :class:`GatewayServer` (the front process),
+:class:`RoutingTable` (who owns what), :class:`Backend` /
+:class:`BackendPool` (per-shard clients + health eviction),
+:class:`DaemonSupervisor` (spawn/adopt local ``repro serve`` children).
+"""
+
+from repro.runtime.fleet.gateway import GatewayServer
+from repro.runtime.fleet.pool import Backend, BackendDownError, BackendPool
+from repro.runtime.fleet.router import (
+    FleetConfigError,
+    FleetError,
+    ModelRoute,
+    RoutingTable,
+)
+from repro.runtime.fleet.supervisor import (
+    DaemonSupervisor,
+    SpawnedDaemon,
+    SpawnError,
+)
+
+__all__ = [
+    "Backend",
+    "BackendDownError",
+    "BackendPool",
+    "DaemonSupervisor",
+    "FleetConfigError",
+    "FleetError",
+    "GatewayServer",
+    "ModelRoute",
+    "RoutingTable",
+    "SpawnError",
+    "SpawnedDaemon",
+]

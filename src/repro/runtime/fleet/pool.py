@@ -1,0 +1,194 @@
+"""The backend pool: per-shard HTTP clients with failure tracking + health checks.
+
+Every shard gets one :class:`Backend` wrapping an
+:class:`~repro.runtime.jobs.client.HttpJobClient` (which already retries
+idempotent GETs with capped exponential backoff).  A request that still
+fails at the transport level after those retries marks the shard and
+raises :class:`BackendDownError` — the gateway maps it to a **fast,
+machine-readable 503** (``reason: "shard_down"``) instead of hanging the
+caller.  HTTP-level errors (4xx/5xx, including admission 429s) are *not*
+failures: the shard answered, and its answer is relayed verbatim.
+
+A background health monitor (:meth:`BackendPool.start_monitor`) probes the
+fleet: healthy shards are pinged on ``/healthz`` so a silently-dead daemon
+is evicted before the next real request trips over it, and an **evicted
+shard only rejoins after re-verifying its identity** — its ``/models``
+descriptors must report exactly the ``(name, dataset, context_key)``
+triples the routing table recorded at startup.  A restarted daemon hosting
+different models, or the same models with a different measurement setup,
+stays out: routing to it would silently break the fleet's bit-exactness.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runtime.fleet.router import FleetError
+from repro.runtime.jobs.client import HttpJobClient, JobClientError
+
+
+class BackendDownError(FleetError):
+    """A shard that did not answer (transport failure after retries)."""
+
+    def __init__(self, shard: str, message: str):
+        super().__init__(f"shard {shard!r} is down: {message}")
+        self.shard = shard
+        self.reason = "shard_down"
+
+
+class Backend:
+    """One shard: a named HTTP client plus its health state."""
+
+    def __init__(
+        self,
+        name: str,
+        url: str,
+        request_timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        fail_threshold: int = 1,
+    ):
+        if int(fail_threshold) < 1:
+            raise ValueError(f"fail_threshold must be positive, got {fail_threshold}")
+        self.name = name
+        self.url = url.rstrip("/")
+        self.client = HttpJobClient(
+            self.url,
+            request_timeout=request_timeout,
+            retries=retries,
+            backoff=backoff,
+        )
+        self.fail_threshold = int(fail_threshold)
+        self._lock = threading.Lock()
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.last_error: str | None = None
+        self.evictions = 0
+        #: (name, dataset, context_key) triples a recovering shard must match.
+        self.expected_triples: "set[tuple[str, str, str]] | None" = None
+
+    # ------------------------------------------------------------------
+    def note_failure(self, message: str) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            self.last_error = message
+            if self.healthy and self.consecutive_failures >= self.fail_threshold:
+                self.healthy = False
+                self.evictions += 1
+
+    def note_success(self) -> None:
+        with self._lock:
+            self.consecutive_failures = 0
+            self.healthy = True
+            self.last_error = None
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """Forward one round trip; transport death becomes :class:`BackendDownError`.
+
+        The client has already retried idempotent GETs by the time a
+        transport-level :class:`JobClientError` (``status is None``)
+        escapes, so one escape is a confirmed outage, not a blip.
+        """
+        try:
+            result = self.client.request(method, path, payload)
+        except JobClientError as error:
+            if error.status is None:
+                self.note_failure(str(error))
+                raise BackendDownError(self.name, str(error)) from None
+            raise  # the shard answered: relay its verdict, don't evict
+        self.note_success()
+        return result
+
+    def probe(self) -> None:
+        """One health-monitor pass over this backend.
+
+        Healthy: ping ``/healthz`` (eviction on transport death).
+        Unhealthy: fetch ``/models`` and only readmit when the shard
+        reports exactly the recorded identity triples.
+        """
+        if self.healthy:
+            try:
+                self.request("GET", "/healthz")
+            except BackendDownError:
+                pass
+            return
+        try:
+            infos = self.client.request("GET", "/models")["models"]
+        except (JobClientError, KeyError, TypeError):
+            return  # still down (or answering garbage): stay evicted
+        if self.expected_triples is not None:
+            reported = {
+                (str(info["name"]), str(info["dataset"]), str(info["context_key"]))
+                for info in infos
+            }
+            if reported != self.expected_triples:
+                with self._lock:
+                    self.last_error = (
+                        "shard answered with a different model set than the "
+                        "routing table recorded; refusing to re-admit it"
+                    )
+                return
+        self.note_success()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "url": self.url,
+                "healthy": self.healthy,
+                "consecutive_failures": self.consecutive_failures,
+                "evictions": self.evictions,
+                "last_error": self.last_error,
+            }
+
+
+class BackendPool:
+    """The fleet's shard set plus its background health monitor."""
+
+    def __init__(self, backends: "list[Backend]"):
+        if not backends:
+            raise ValueError("a fleet needs at least one backend")
+        names = [backend.name for backend in backends]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names: {names}")
+        self.backends = {backend.name: backend for backend in backends}
+        self._monitor: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def __iter__(self):
+        return iter(self.backends.values())
+
+    def __getitem__(self, shard: str) -> Backend:
+        return self.backends[shard]
+
+    # ------------------------------------------------------------------
+    def start_monitor(self, interval: float = 1.0) -> None:
+        """Start the periodic health prober (idempotent)."""
+        if self._monitor is not None:
+            return
+        interval = float(interval)
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                for backend in list(self.backends.values()):
+                    if self._stop.is_set():
+                        return
+                    backend.probe()
+
+        self._monitor = threading.Thread(
+            target=loop, name="repro-fleet-health", daemon=True
+        )
+        self._monitor.start()
+
+    def close(self) -> None:
+        """Stop the health monitor (idempotent; backends hold no sockets)."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+            self._monitor = None
+
+    def stats(self) -> dict:
+        return {name: backend.stats() for name, backend in self.backends.items()}
+
+
+__all__ = ["Backend", "BackendPool", "BackendDownError"]

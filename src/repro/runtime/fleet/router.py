@@ -1,0 +1,140 @@
+"""The fleet routing table: which shard hosts which model.
+
+Sharding is **by model**: every backend daemon owns a *disjoint* set of
+``(model name, dataset)`` pairs, so each cell's evaluation — and therefore
+its content-addressed cache entry and ledger record — has exactly one home
+shard with exactly one dispatcher.  That is what keeps fleet-wide dedup
+deterministic: the first submission of a cell evaluates it *on its shard*,
+every later submission from any client through any path is that shard's
+cache hit, and no two shards can ever race to evaluate the same cell.
+
+The table is built once, from each shard's ``/models`` descriptors, at
+gateway startup; overlapping model sets are a configuration error
+(:class:`FleetConfigError`), not something to silently tolerate — an
+overlap would split one cell's traffic across two dispatchers and break
+the determinism story above.
+"""
+
+from __future__ import annotations
+
+
+class FleetError(RuntimeError):
+    """Base class of fleet-layer failures."""
+
+
+class FleetConfigError(FleetError):
+    """An invalid fleet topology (e.g. two shards hosting the same model)."""
+
+
+class ModelRoute:
+    """One hosted model as the gateway sees it: shard + local index + info."""
+
+    def __init__(self, shard: str, local_index: int, info: dict):
+        self.shard = shard
+        self.local_index = int(local_index)
+        self.info = dict(info)
+
+    @property
+    def name(self) -> str:
+        return str(self.info["name"])
+
+    @property
+    def dataset(self) -> str:
+        return str(self.info["dataset"])
+
+    @property
+    def context_key(self) -> str:
+        return str(self.info["context_key"])
+
+
+class RoutingTable:
+    """Global model index over disjoint per-shard model sets.
+
+    Built from ``{shard name: [/models descriptors]}``; global indices are
+    assigned in shard order, then local-index order — deterministic for a
+    fixed topology, so ``repro sweep --remote <gateway>`` enumerates models
+    in the same order on every run.
+    """
+
+    def __init__(self, shard_models: "dict[str, list[dict]]"):
+        self.routes: list[ModelRoute] = []
+        self._by_key: dict[tuple[str, str], ModelRoute] = {}
+        for shard, infos in shard_models.items():
+            for info in sorted(infos, key=lambda entry: int(entry["index"])):
+                route = ModelRoute(shard, int(info["index"]), info)
+                key = (route.name, route.dataset)
+                taken = self._by_key.get(key)
+                if taken is not None:
+                    raise FleetConfigError(
+                        f"model {route.name!r} on dataset {route.dataset!r} is "
+                        f"hosted by both shard {taken.shard!r} and shard "
+                        f"{route.shard!r}; shards must own disjoint model sets "
+                        "(deterministic per-shard dedup depends on it)"
+                    )
+                self._by_key[key] = route
+                self.routes.append(route)
+        if not self.routes:
+            raise FleetConfigError("fleet hosts no models at all")
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    # ------------------------------------------------------------------
+    def by_index(self, global_index: int) -> ModelRoute:
+        """Route of one global model index (:class:`IndexError` if unknown)."""
+        if (
+            isinstance(global_index, bool)
+            or not isinstance(global_index, int)
+            or not 0 <= global_index < len(self.routes)
+        ):
+            raise IndexError(f"unknown model index {global_index!r}")
+        return self.routes[global_index]
+
+    def by_name(self, name: str, dataset: str | None = None) -> ModelRoute:
+        """Route of one model by name (+ dataset when the name is ambiguous).
+
+        Mirrors the single-daemon ``EvaluationService.model_index`` contract:
+        :class:`KeyError` for unknown models and for ambiguous names.
+        """
+        matches = [
+            route
+            for route in self.routes
+            if route.name == name and (dataset is None or route.dataset == dataset)
+        ]
+        if not matches:
+            raise KeyError(f"fleet hosts no model {name!r} (dataset={dataset!r})")
+        if len(matches) > 1:
+            raise KeyError(
+                f"model {name!r} is hosted for several datasets; pass dataset"
+            )
+        return matches[0]
+
+    def shard_of(self, shard: str) -> list[ModelRoute]:
+        """Every route living on ``shard``."""
+        return [route for route in self.routes if route.shard == shard]
+
+    def models(self) -> list[dict]:
+        """The gateway's ``/models`` payload: per-shard descriptors renumbered
+        into one global index space (each entry keeps its ``shard`` and the
+        shard-local index under ``shard_index``)."""
+        payload = []
+        for global_index, route in enumerate(self.routes):
+            info = dict(route.info)
+            info["index"] = global_index
+            info["shard"] = route.shard
+            info["shard_index"] = route.local_index
+            payload.append(info)
+        return payload
+
+    def expected_triples(self, shard: str) -> set[tuple[str, str, str]]:
+        """The ``(name, dataset, context_key)`` set a healthy ``shard`` must
+        report — re-verified when a shard comes back from the dead, so a
+        restarted daemon hosting *different* models (or the same models with
+        a different measurement setup) is not silently routed to."""
+        return {
+            (route.name, route.dataset, route.context_key)
+            for route in self.shard_of(shard)
+        }
+
+
+__all__ = ["RoutingTable", "ModelRoute", "FleetError", "FleetConfigError"]

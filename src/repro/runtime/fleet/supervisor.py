@@ -1,0 +1,136 @@
+"""The daemon supervisor: spawn (or adopt) local ``repro serve`` shards.
+
+``repro gateway`` can front daemons started by anyone (``--backend URL``
+— *adopted*, their lifecycle is not ours), but for one-command fleets it
+also **spawns** shards itself (``--spawn "<serve args>"``): each spec
+becomes a ``python -m repro serve ...`` child whose startup handshake
+line (``serving on http://...``) is parsed for the shard's URL.  Spawned
+shards are terminated with the gateway — SIGTERM first (the daemon's
+graceful path: cancel queued jobs, close the engine, unlink every shared
+block), SIGKILL only if the grace period runs out.
+
+Child stdout/stderr is drained on a background thread and re-emitted
+line-by-line under a ``[shard-name]`` prefix, so a fleet's logs are one
+interleaved, attributable stream instead of N silent pipes.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import threading
+
+from repro.runtime.fleet.router import FleetError
+
+#: The daemon's startup handshake (see ``repro serve``).
+HANDSHAKE = re.compile(r"serving on (http://\S+)")
+
+
+class SpawnError(FleetError):
+    """A shard child that failed to start (or to hand us its URL in time)."""
+
+
+class SpawnedDaemon:
+    """One child ``repro serve`` process the supervisor owns."""
+
+    def __init__(self, name: str, process: subprocess.Popen, url: str):
+        self.name = name
+        self.process = process
+        self.url = url
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+class DaemonSupervisor:
+    """Spawns ``repro serve`` children and guarantees their teardown."""
+
+    def __init__(self, echo=print):
+        self.daemons: list[SpawnedDaemon] = []
+        self._echo = echo
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        serve_args: "list[str]",
+        name: str,
+        handshake_timeout: float = 600.0,
+    ) -> SpawnedDaemon:
+        """Start ``python -m repro serve <serve_args>`` and wait for its URL.
+
+        The handshake wait is generous by default: a shard may train its
+        hosted models at startup.  On failure the child is killed and
+        :class:`SpawnError` carries everything it printed.
+        """
+        command = [sys.executable, "-m", "repro", "serve", *serve_args]
+        process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            bufsize=1,
+        )
+        lines: list[str] = []
+        url: str | None = None
+        timer = threading.Timer(handshake_timeout, process.kill)
+        timer.start()
+        try:
+            assert process.stdout is not None
+            for line in process.stdout:
+                lines.append(line.rstrip("\n"))
+                self._echo(f"[{name}] {lines[-1]}")
+                match = HANDSHAKE.search(line)
+                if match:
+                    url = match.group(1)
+                    break
+        finally:
+            timer.cancel()
+        if url is None:
+            process.kill()
+            process.wait()
+            output = "\n".join(lines) or "(no output)"
+            raise SpawnError(
+                f"shard {name!r} never printed its startup handshake "
+                f"(command: {' '.join(command)}):\n{output}"
+            )
+        daemon = SpawnedDaemon(name, process, url)
+        self.daemons.append(daemon)
+        threading.Thread(
+            target=self._drain, args=(daemon,), name=f"repro-shard-{name}", daemon=True
+        ).start()
+        return daemon
+
+    def _drain(self, daemon: SpawnedDaemon) -> None:
+        assert daemon.process.stdout is not None
+        for line in daemon.process.stdout:
+            self._echo(f"[{daemon.name}] {line.rstrip()}")
+
+    # ------------------------------------------------------------------
+    def terminate_all(self, grace_s: float = 30.0) -> None:
+        """SIGTERM every spawned shard, escalating to SIGKILL after ``grace_s``.
+
+        Graceful first: SIGTERM is the daemon's clean-shutdown path (the
+        one that unlinks shared-memory blocks).  Idempotent.
+        """
+        for daemon in self.daemons:
+            if daemon.alive:
+                daemon.process.send_signal(signal.SIGTERM)
+        for daemon in self.daemons:
+            try:
+                daemon.process.wait(timeout=grace_s)
+            except subprocess.TimeoutExpired:
+                daemon.process.kill()
+                daemon.process.wait()
+        self.daemons.clear()
+
+    def __enter__(self) -> "DaemonSupervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.terminate_all()
+
+
+__all__ = ["DaemonSupervisor", "SpawnedDaemon", "SpawnError", "HANDSHAKE"]

@@ -24,6 +24,7 @@ behind ``repro serve``:
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -80,10 +81,19 @@ class LocalJobClient:
         session: str = "default",
         label: str = "",
         dataset: str | None = None,
+        priority: int | None = None,
+        deadline_s: float | None = None,
     ) -> str:
         if isinstance(model, str):
             model = self.manager.resolve_model(model, dataset)
-        return self.manager.submit(model, plans, session=session, label=label).id
+        return self.manager.submit(
+            model,
+            plans,
+            session=session,
+            label=label,
+            priority=priority,
+            deadline_s=deadline_s,
+        ).id
 
     def job(self, job_id: str) -> dict:
         return self.manager.job(job_id).view()
@@ -128,6 +138,15 @@ class HttpJobClient:
     daemon surfaces as :class:`JobClientError` instead of blocking forever
     — in particular :meth:`wait`'s deadline keeps ticking because no one
     poll can stall past the request timeout.
+
+    Transport-level failures (connection refused/reset, timeout — i.e. no
+    HTTP response at all) are **retried for GETs only**, up to ``retries``
+    times with capped exponential backoff: status polls and stats reads
+    are idempotent, so one blip mid-campaign should not fail hours of
+    work.  ``POST /jobs`` is *never* retried — a submission that died
+    after reaching the daemon may already hold an in-flight slot, and a
+    blind resend would double-submit.  HTTP error responses (4xx/5xx) are
+    never retried either: the daemon answered; retrying cannot change it.
     """
 
     def __init__(
@@ -135,14 +154,22 @@ class HttpJobClient:
         base_url: str,
         poll_interval: float = 0.05,
         request_timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
     ):
+        if int(retries) < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.poll_interval = float(poll_interval)
         self.request_timeout = float(request_timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
         self._model_cache: list[dict] | None = None
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -168,13 +195,37 @@ class HttpJobClient:
                     parsed.get("reason", "rejected"), message
                 ) from None
             raise JobClientError(error.code, message) from None
-        except (urllib.error.URLError, TimeoutError) as error:
-            # Connection refused / DNS failure / socket timeout: no HTTP
-            # response at all, so there is no status to report.
+        except (
+            urllib.error.URLError,
+            TimeoutError,
+            ConnectionError,
+            http.client.HTTPException,
+        ) as error:
+            # Connection refused/reset, DNS failure, socket timeout, or a
+            # connection that died mid-response (RemoteDisconnected,
+            # IncompleteRead): no usable HTTP response, so no status.
             reason = getattr(error, "reason", error)
             raise JobClientError(
                 None, f"cannot reach {self.base_url}{path}: {reason}"
             ) from None
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        # Only idempotent GETs retry; see the class docstring.
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        delay = self.backoff
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except JobClientError as error:
+                if error.status is not None or attempt + 1 == attempts:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, self.max_backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One raw JSON round trip (the gateway's forwarding primitive)."""
+        return self._request(method, path, payload)
 
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
@@ -192,12 +243,18 @@ class HttpJobClient:
         session: str = "default",
         label: str = "",
         dataset: str | None = None,
+        priority: int | None = None,
+        deadline_s: float | None = None,
     ) -> str:
         payload: dict = {
             "plans": encode_plans(list(plans)),
             "session": session,
             "label": label,
         }
+        if priority is not None:
+            payload["priority"] = priority
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
         if isinstance(model, int):
             payload["model_index"] = model
         else:

@@ -15,7 +15,8 @@ API (all JSON)::
     GET  /models         {"models": [{index, name, dataset,
                                       mac_layer_names, context_key}, ...]}
     POST /jobs           {"model": name | "model_index": i, "plans": [...],
-                          "session": ..., "label": ...}
+                          "session": ..., "label": ...,
+                          "priority": int?, "deadline_s": seconds?}
                          -> 202 {"job": {...}}   (409-free: poll the job)
                          -> 400 bad model/plan payloads
                          -> 404 unknown model
@@ -182,12 +183,28 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
         if not plans:
             self._send_error_json(400, "a job needs at least one plan")
             return
+        priority = payload.get("priority")
+        if priority is not None and (
+            isinstance(priority, bool) or not isinstance(priority, int)
+        ):
+            self._send_error_json(400, f"priority must be an integer, got {priority!r}")
+            return
+        deadline_s = payload.get("deadline_s")
+        if deadline_s is not None and (
+            isinstance(deadline_s, bool) or not isinstance(deadline_s, (int, float))
+        ):
+            self._send_error_json(
+                400, f"deadline_s must be a number, got {deadline_s!r}"
+            )
+            return
         try:
             job = manager.submit(
                 model_index,
                 plans,
                 session=str(payload.get("session", "default")),
                 label=str(payload.get("label", "")),
+                priority=priority,
+                deadline_s=deadline_s,
             )
         except AdmissionError as error:
             self._send_error_json(429, error.message, reason=error.reason)

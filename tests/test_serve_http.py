@@ -33,6 +33,7 @@ from repro.runtime.jobs import (
     JobManager,
     LocalJobClient,
     RemotePlanEvaluator,
+    encode_plans,
     sweep_over_jobs,
 )
 from repro.runtime.server import JobServer
@@ -162,6 +163,37 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as error:
             urllib.request.urlopen(f"{server.url}/teapot")
         assert error.value.code == 404
+
+    def test_priority_and_deadline_round_trip(self, client):
+        job_id = client.submit_job(
+            0,
+            [ExecutionPlan.uniform(AccurateProduct())],
+            session="prio",
+            priority=2,
+            deadline_s=120.0,
+        )
+        view = client.wait(job_id, timeout=240)
+        assert view["priority"] == 2
+        assert view["deadline_s"] == 120.0
+        assert view["reason"] is None
+
+    def test_bad_priority_and_deadline_are_400(self, server):
+        plans = encode_plans([ExecutionPlan.uniform(AccurateProduct())])
+        for payload in (
+            {"model_index": 0, "plans": plans, "priority": "high"},
+            {"model_index": 0, "plans": plans, "priority": True},
+            {"model_index": 0, "plans": plans, "deadline_s": "soon"},
+            {"model_index": 0, "plans": plans, "deadline_s": -1},
+        ):
+            request = urllib.request.Request(
+                f"{server.url}/jobs",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as error:
+                urllib.request.urlopen(request)
+            assert error.value.code == 400, payload
 
 
 @pytest.mark.runtime
