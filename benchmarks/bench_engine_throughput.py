@@ -9,9 +9,14 @@ Three measurements back the compiled-engine acceptance criteria:
 * **Per-backend throughput** on the same layer: every *available* engine
   backend (numpy, numba, lowmem, ...) compiles the accurate, perforated+V
   and LUT product models and reports patches/s; unavailable backends are
-  listed with their reason.  All backend outputs are asserted bit-exact
-  against the legacy reference; the numpy backend must meet the legacy
-  speedup floor above.
+  listed with their reason *and* the precise import failure (exception
+  type + message from a fresh probe), so a results file claiming
+  ``"available": false`` is self-describing.  All backend outputs are
+  asserted bit-exact against the legacy reference; the numpy backend must
+  meet the legacy speedup floor above.  Backends advertising the
+  ``fused_multi_plan`` capability additionally run one batched
+  ``compile_multi`` launch over a mixed plan stack and report fused
+  plan-patches/s next to the per-plan loop, bit-exact against it.
 * **End-to-end sweep wall-clock** on the Table III configuration (accurate
   baseline plus m = 1..3 with and without the control variate): the
   compiled executor must be at least 2x faster than the legacy executor,
@@ -107,8 +112,13 @@ def run_backend_throughput() -> list[dict]:
     """Per-backend patches/s of the three compiled product models.
 
     Every available backend must be bit-exact against the legacy reference;
-    unavailable backends are reported (with their reason), not hidden.
+    unavailable backends are reported with their reason *and* a fresh
+    import probe (exception type + message), not hidden.  Backends with the
+    ``fused_multi_plan`` capability also time one batched ``compile_multi``
+    launch over a mixed plan stack, bit-exact against the per-plan loop.
     """
+    from repro.provenance.environment import PROBED_PACKAGES, probe_package
+
     rng = np.random.default_rng(0)
     acts = rng.integers(0, 256, size=(PATCHES, TAPS), dtype=np.uint8)
     weights = rng.integers(0, 256, size=(TAPS, FILTERS), dtype=np.uint8)
@@ -130,14 +140,36 @@ def run_backend_throughput() -> list[dict]:
             lut_product_sums(acts, weights, lut),
         ),
     ]
+    # A DSE-shaped plan stack for the fused launch: repeated techniques on
+    # purpose, so kernel/E-matrix dedupe inside the fused path is exercised.
+    multi_models = [
+        AccurateProduct(),
+        PerforatedProduct(1, True),
+        PerforatedProduct(2, True),
+        PerforatedProduct(2, False),
+        LUTProduct(LUTMultiplier(lut, name="bench")),
+        PerforatedProduct(2, True),
+        LUTProduct(LUTMultiplier(lut, name="bench")),
+        AccurateProduct(),
+    ]
     rows: list[dict] = []
     for name in backend_names():
         backend = get_backend(name)
         available, reason = backend.availability()
         if not available:
-            rows.append({"backend": name, "available": False, "reason": reason})
+            row = {"backend": name, "available": False, "reason": reason}
+            if name in PROBED_PACKAGES:
+                # The precise import failure, freshly probed — e.g.
+                # "ModuleNotFoundError: No module named 'numba'".
+                row["import_error"] = probe_package(name)["reason"]
+            rows.append(row)
             continue
-        row: dict = {"backend": name, "available": True, "cases": {}}
+        row = {
+            "backend": name,
+            "available": True,
+            "fused_multi_plan": bool(backend.fused_multi_plan),
+            "cases": {},
+        }
         for case_name, model, expected in cases:
             kernel = backend.compile(model, weights, cv)
             out = kernel(acts)  # warm-up + correctness in one
@@ -146,8 +178,35 @@ def run_backend_throughput() -> list[dict]:
             )
             elapsed = _best_of(lambda: kernel(acts))
             row["cases"][case_name] = PATCHES / elapsed
+        if backend.fused_multi_plan:
+            row["fused"] = _run_fused_backend_case(backend, multi_models, weights, cv, acts)
         rows.append(row)
     return rows
+
+
+def _run_fused_backend_case(backend, models, weights, cv, acts) -> dict:
+    """One shared-input ``compile_multi`` launch vs. the per-plan kernel loop."""
+    plan_kernels = [backend.compile(model, weights, cv) for model in models]
+    expected = np.concatenate([kernel(acts) for kernel in plan_kernels], axis=0)
+    multi = backend.compile_multi(models, weights, cv)
+    out = multi.product_sums_multi(acts, shared=True)  # warm-up + correctness
+    assert np.array_equal(out, expected), (
+        f"backend {backend.name!r} fused launch not bit-exact vs per-plan loop"
+    )
+
+    def per_plan():
+        for kernel in plan_kernels:
+            kernel(acts)
+
+    fused_time = _best_of(lambda: multi.product_sums_multi(acts, shared=True))
+    per_plan_time = _best_of(per_plan)
+    plan_patches = len(models) * PATCHES
+    return {
+        "plans": len(models),
+        "fused_pps": plan_patches / fused_time,
+        "per_plan_pps": plan_patches / per_plan_time,
+        "speedup": per_plan_time / fused_time,
+    }
 
 
 def _table3_setup():
@@ -214,12 +273,23 @@ def _render(lut: dict, backends: list[dict], sweep: dict) -> str:
     ]
     for row in backends:
         if not row["available"]:
-            lines.append(f"  {row['backend']:<8} unavailable ({row['reason']})")
+            detail = row["reason"]
+            if row.get("import_error"):
+                detail = f"{detail}; probe: {row['import_error']}"
+            lines.append(f"  {row['backend']:<8} unavailable ({detail})")
             continue
         cases = "  ".join(
             f"{case}: {pps:10.0f}" for case, pps in row["cases"].items()
         )
         lines.append(f"  {row['backend']:<8} {cases}")
+        fused = row.get("fused")
+        if fused:
+            lines.append(
+                f"  {'':<8} fused x{fused['plans']}: "
+                f"{fused['fused_pps']:10.0f} plan-patches/s "
+                f"(per-plan loop {fused['per_plan_pps']:10.0f}, "
+                f"{fused['speedup']:.2f}x)"
+            )
     lines += [
         "",
         "Table III sweep (vgg13, accurate + m=1..3 x {with, without} V):",

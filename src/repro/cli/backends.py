@@ -20,6 +20,7 @@ def cmd_backends(args: argparse.Namespace) -> int:
                     "name": name,
                     "available": available,
                     "default": name == DEFAULT_BACKEND,
+                    "fused_multi_plan": bool(backend.fused_multi_plan),
                     "description": backend.describe(),
                     "unavailable_reason": None if available else reason,
                 }
@@ -28,7 +29,7 @@ def cmd_backends(args: argparse.Namespace) -> int:
         return 0
     table = Table(
         title="Registered engine backends",
-        columns=["name", "available", "default", "notes"],
+        columns=["name", "available", "default", "fused", "notes"],
     )
     for name in backend_names():
         backend = get_backend(name)
@@ -37,6 +38,7 @@ def cmd_backends(args: argparse.Namespace) -> int:
             name,
             "yes" if available else "no",
             "*" if name == DEFAULT_BACKEND else "",
+            "yes" if backend.fused_multi_plan else "no",
             reason if not available else backend.describe(),
         )
     print(table.render())

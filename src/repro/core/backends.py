@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.product_kernels import (
     ChunkedKernel,
     KernelOptions,
+    MultiPlanKernel,
     ProductKernel,
 )
 from repro.multipliers.base import OPERAND_LEVELS
@@ -75,6 +76,12 @@ class EngineBackend(abc.ABC):
     #: Registry key; subclasses override.
     name: str = "abstract"
 
+    #: Capability flag: True when :meth:`compile_multi` produces a fused
+    #: multi-plan kernel.  Callers branch on this flag — never on
+    #: ``hasattr`` — so backends without the capability (e.g. ``lowmem``)
+    #: degrade cleanly to the per-plan path.
+    fused_multi_plan: bool = False
+
     @abc.abstractmethod
     def availability(self) -> tuple[bool, str]:
         """``(available, reason)`` — ``reason`` explains unavailability."""
@@ -87,6 +94,30 @@ class EngineBackend(abc.ABC):
         self, product_model, weight_codes: np.ndarray, control_variate
     ) -> ProductKernel:
         """Compile ``product_model`` against one layer's quantized weights."""
+
+    def compile_multi(
+        self,
+        product_models,
+        weight_codes: np.ndarray,
+        control_variate,
+        kernels=None,
+    ):
+        """Fuse P per-plan product models into one batched multi-plan kernel.
+
+        Backends advertising :attr:`fused_multi_plan` override this and
+        return an object with the :class:`~repro.core.product_kernels.
+        MultiPlanKernel` interface (``plans``, ``product_sums_multi(act,
+        shared=...)``).  ``kernels``, when given, carries the already
+        compiled per-plan kernels for the same ``(models, weights, cv)``
+        triple so precompiled state (LUT error matrices) is reused instead
+        of rebuilt.  The base implementation refuses: callers must check
+        the capability flag first.
+        """
+        raise BackendUnavailableError(
+            f"engine backend {self.name!r} has no fused multi-plan compiler "
+            f"(fused_multi_plan is false); check the capability flag and use "
+            f"per-plan compile() instead"
+        )
 
     def describe(self) -> str:
         """One-line human-readable description used by the CLI listing."""
@@ -105,6 +136,7 @@ class NumpyBackend(EngineBackend):
     """Default numpy/BLAS kernels (exact float32/float64 matmuls)."""
 
     name = "numpy"
+    fused_multi_plan = True
 
     def __init__(self, options: KernelOptions | None = None):
         self.options = options if options is not None else KernelOptions()
@@ -117,6 +149,22 @@ class NumpyBackend(EngineBackend):
     ) -> ProductKernel:
         return product_model.compile(
             weight_codes, control_variate, options=self.options
+        )
+
+    def compile_multi(
+        self,
+        product_models,
+        weight_codes: np.ndarray,
+        control_variate,
+        kernels=None,
+    ) -> MultiPlanKernel:
+        if kernels is None:
+            kernels = [
+                self.compile(model, weight_codes, control_variate)
+                for model in product_models
+            ]
+        return MultiPlanKernel(
+            kernels, max_error_matrix_bytes=self.options.max_error_matrix_bytes
         )
 
 
@@ -210,6 +258,54 @@ def _kernel_lut_sums(act, w, lut):  # pragma: no cover - numba-compiled
     return out
 
 
+# Fused multi-plan bodies: one JIT launch evaluates every plan's block of a
+# ``(plans, patches, taps)`` activation stack, so the sweep's per-plan
+# dispatch overhead collapses into the outer ``q`` loop *inside* the kernel.
+
+
+def _kernel_multi_masked_matmul(act, w, masks):  # pragma: no cover - numba-compiled
+    plans, patches, taps = act.shape
+    filters = w.shape[1]
+    out = np.zeros((plans, patches, filters), dtype=np.int64)
+    for q in range(plans):
+        mask = masks[q]
+        for p in range(patches):
+            for j in range(taps):
+                a = np.int64(act[q, p, j])
+                a = a - (a & mask)
+                if a == 0:
+                    continue
+                for f in range(filters):
+                    out[q, p, f] += a * w[j, f]
+    return out
+
+
+def _kernel_multi_masked_sums(act, masks):  # pragma: no cover - numba-compiled
+    plans, patches, taps = act.shape
+    out = np.zeros((plans, patches), dtype=np.int64)
+    for q in range(plans):
+        mask = masks[q]
+        for p in range(patches):
+            total = np.int64(0)
+            for j in range(taps):
+                total += np.int64(act[q, p, j]) & mask
+            out[q, p] = total
+    return out
+
+
+def _kernel_multi_lut_sums(act, w, luts):  # pragma: no cover - numba-compiled
+    plans, patches, taps = act.shape
+    filters = w.shape[1]
+    out = np.zeros((plans, patches, filters), dtype=np.int64)
+    for q in range(plans):
+        for p in range(patches):
+            for j in range(taps):
+                row = luts[q][:, act[q, p, j]]
+                for f in range(filters):
+                    out[q, p, f] += row[w[j, f]]
+    return out
+
+
 class _NumbaPerforatedKernel(ProductKernel):
     """JIT perforated (or, with ``m=0``, accurate) product sums."""
 
@@ -266,10 +362,146 @@ class _NumbaLUTKernel(ProductKernel):
         return self._fns["lut_sums"](act, self._w, self._lut)
 
 
+class _NumbaMultiPlanKernel:
+    """Fused multi-plan launches through the JIT kernel bodies.
+
+    Mirrors the :class:`~repro.core.product_kernels.MultiPlanKernel`
+    interface: the perforated/accurate blocks of a plan stack are evaluated
+    by one ``_kernel_multi_masked_matmul`` launch (one ``(plans,)`` mask
+    vector), the LUT blocks by one ``_kernel_multi_lut_sums`` launch (one
+    ``(plans, 256, 256)`` table stack), and anything else falls back to its
+    own per-plan kernel — bit-exact with the per-plan numba kernels by
+    construction (identical integer arithmetic, per-plan loop moved inside
+    the JIT body).
+    """
+
+    def __init__(self, fns, product_models, weight_codes, control_variate):
+        # Resolved lazily by NumbaBackend.compile_multi to avoid the import
+        # cycle with repro.simulation.inference.
+        from repro.simulation.inference import (
+            AccurateProduct,
+            LUTProduct,
+            PerforatedProduct,
+        )
+
+        w = np.ascontiguousarray(np.asarray(weight_codes), dtype=np.int64)
+        if w.ndim != 2:
+            raise ValueError(f"weight_codes must be 2-D (taps, filters), got {w.shape}")
+        self.taps, self.filters = w.shape
+        self._fns = fns
+        self._w = w
+        self._kinds: list[str] = []
+        self._masks: list[int] = []
+        self._cvs: list = []
+        self._luts: list[np.ndarray] = []
+        self._fallbacks: list = []
+        for model in product_models:
+            if isinstance(model, AccurateProduct):
+                self._kinds.append("perf")
+                self._masks.append(0)
+                self._cvs.append(None)
+            elif isinstance(model, PerforatedProduct):
+                cv = control_variate if model.use_control_variate else None
+                if cv is not None and cv.n_filters != self.filters:
+                    raise ValueError(
+                        f"control variate has {cv.n_filters} filters, "
+                        f"weights have {self.filters}"
+                    )
+                self._kinds.append("perf")
+                self._masks.append((1 << int(model.m)) - 1)
+                self._cvs.append(cv)
+            elif isinstance(model, LUTProduct):
+                lut = np.ascontiguousarray(np.asarray(model.lut, dtype=np.int64))
+                if lut.shape != (OPERAND_LEVELS, OPERAND_LEVELS):
+                    raise ValueError(
+                        f"lut must have shape (256, 256), got {lut.shape}"
+                    )
+                if w.size and (w.min() < 0 or w.max() >= OPERAND_LEVELS):
+                    raise ValueError(
+                        f"weight codes out of range [0, {OPERAND_LEVELS - 1}]"
+                    )
+                self._kinds.append("lut")
+                self._masks.append(0)
+                self._cvs.append(None)
+                self._luts.append(lut)
+            else:
+                self._kinds.append("fallback")
+                self._masks.append(0)
+                self._cvs.append(None)
+                self._fallbacks.append(
+                    model.compile(weight_codes, control_variate)
+                )
+        self._lut_stack = (
+            np.ascontiguousarray(np.stack(self._luts)) if self._luts else None
+        )
+
+    @property
+    def plans(self) -> int:
+        return len(self._kinds)
+
+    def product_sums_multi(
+        self, act_codes: np.ndarray, shared: bool = False
+    ) -> np.ndarray:
+        act = np.asarray(act_codes)
+        if act.ndim != 2 or act.shape[1] != self.taps:
+            raise ValueError(
+                f"activations must have shape (patches, {self.taps}), got {act.shape}"
+            )
+        if shared:
+            n = act.shape[0]
+        else:
+            if act.shape[0] % self.plans:
+                raise ValueError(
+                    f"stacked activations ({act.shape[0]} rows) do not divide "
+                    f"into {self.plans} equal plan blocks"
+                )
+            n = act.shape[0] // self.plans
+
+        def block(p: int) -> np.ndarray:
+            return act if shared else act[p * n : (p + 1) * n]
+
+        out = np.empty((self.plans * n, self.filters), dtype=np.float64)
+        perf = [p for p, k in enumerate(self._kinds) if k == "perf"]
+        if perf:
+            stack = np.empty((len(perf), n, self.taps), dtype=np.int64)
+            for row, p in enumerate(perf):
+                stack[row] = block(p)
+            masks = np.asarray([self._masks[p] for p in perf], dtype=np.int64)
+            sums = self._fns["multi_masked_matmul"](stack, self._w, masks)
+            corrections = self._fns["multi_masked_sums"](stack, masks)
+            for row, p in enumerate(perf):
+                dst = out[p * n : (p + 1) * n]
+                cv = self._cvs[p]
+                if cv is None:
+                    dst[...] = sums[row]
+                    continue
+                correction = cv.correction(corrections[row])
+                if cv.quantized:
+                    correction = correction.astype(np.int64)
+                np.add(sums[row], correction, out=dst, casting="unsafe")
+        luts = [p for p, k in enumerate(self._kinds) if k == "lut"]
+        if luts:
+            stack = np.empty((len(luts), n, self.taps), dtype=np.int64)
+            for row, p in enumerate(luts):
+                stack[row] = block(p)
+            sums = self._fns["multi_lut_sums"](stack, self._w, self._lut_stack)
+            for row, p in enumerate(luts):
+                out[p * n : (p + 1) * n] = sums[row]
+        fallback_iter = iter(self._fallbacks)
+        for p, kind in enumerate(self._kinds):
+            if kind == "fallback":
+                out[p * n : (p + 1) * n] = next(fallback_iter)(block(p))
+        return out
+
+    def __call__(self, act_codes: np.ndarray, shared: bool = False) -> np.ndarray:
+        return self.product_sums_multi(act_codes, shared=shared)
+
+
 class NumbaBackend(EngineBackend):
     """JIT-compiled per-tap loops via numba (optional dependency)."""
 
     name = "numba"
+    fused_multi_plan = True
 
     def __init__(self):
         self._fns: dict | None = None
@@ -290,6 +522,15 @@ class NumbaBackend(EngineBackend):
                 "masked_matmul": njit(cache=False, nogil=True)(_kernel_masked_matmul),
                 "masked_sums": njit(cache=False, nogil=True)(_kernel_masked_sums),
                 "lut_sums": njit(cache=False, nogil=True)(_kernel_lut_sums),
+                "multi_masked_matmul": njit(cache=False, nogil=True)(
+                    _kernel_multi_masked_matmul
+                ),
+                "multi_masked_sums": njit(cache=False, nogil=True)(
+                    _kernel_multi_masked_sums
+                ),
+                "multi_lut_sums": njit(cache=False, nogil=True)(
+                    _kernel_multi_lut_sums
+                ),
             }
         return self._fns
 
@@ -330,6 +571,31 @@ class NumbaBackend(EngineBackend):
         # Models without a specialized numba kernel use their own compiled
         # form — still bit-exact, just not JIT-ed.
         return product_model.compile(weight_codes, control_variate)
+
+    def compile_multi(
+        self,
+        product_models,
+        weight_codes: np.ndarray,
+        control_variate,
+        kernels=None,
+    ):
+        self._require_available()
+        try:
+            fns = self._compiled_fns()
+        except Exception as exc:
+            self._probe_error = f"numba JIT compilation failed: {exc}"
+            warnings.warn(
+                f"engine backend 'numba' disabled after a compile failure; "
+                f"falling back to numpy multi-plan kernels ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return NumpyBackend().compile_multi(
+                product_models, weight_codes, control_variate
+            )
+        return _NumbaMultiPlanKernel(
+            fns, product_models, weight_codes, control_variate
+        )
 
 
 # ----------------------------------------------------------------------

@@ -366,6 +366,275 @@ class CallbackKernel(ProductKernel):
         )
 
 
+class MultiPlanKernel:
+    """P per-plan kernels of one layer, fused into one batched launch.
+
+    The sweep's outer plan loop evaluates the same layer under P product
+    models, one :class:`ProductKernel` launch each.  This kernel collapses
+    those P launches into one: the per-plan ``exact - err`` decompositions
+    are *stacked along the patch axis*, so the dense parts become a single
+    ``(P*N, taps)``-shaped BLAS product against the shared weight operand
+    and the LUT error parts become one block-stacked one-hot sparse product
+    (block p's one-hot columns are offset into its own copy of the error
+    matrix).  Two input conventions are supported:
+
+    * ``shared=False`` — ``act_codes`` is the ``(P*N, taps)`` stack of P
+      per-plan activation blocks (plans already diverged upstream);
+    * ``shared=True`` — ``act_codes`` is one ``(N, taps)`` block shared by
+      every plan (the divergence layer itself).  The shared accurate term
+      is computed **once** and broadcast, and perforated blocks are deduped
+      by mask so e.g. the ±V variants of one ``m`` share a single masked
+      matmul.
+
+    Output is always the ``(P*N, filters)`` product sums in float64 — the
+    dtype :meth:`QuantizedLinearOp.output_real` converts to anyway — with
+    block p bit-identical (as a value) to ``kernels[p](act_block_p)``.
+    Kernel types the fusion does not understand (chunked, callback,
+    streaming low-memory LUTs) are evaluated per block through their own
+    kernel, so fusion never changes results, only launch count.
+
+    All kernels must be compiled against the same weight codes; the shared
+    weight operand is borrowed from the first fusable kernel.
+    """
+
+    def __init__(
+        self,
+        kernels,
+        max_error_matrix_bytes: int = DEFAULT_MAX_ERROR_MATRIX_BYTES,
+    ):
+        kernels = list(kernels)
+        if not kernels:
+            raise ValueError("MultiPlanKernel needs at least one kernel")
+        self.taps = kernels[0].taps
+        self.filters = kernels[0].filters
+        for kernel in kernels:
+            if (kernel.taps, kernel.filters) != (self.taps, self.filters):
+                raise ValueError(
+                    "all fused kernels must share one layer shape; got "
+                    f"({kernel.taps}, {kernel.filters}) vs ({self.taps}, {self.filters})"
+                )
+        self.kernels = kernels
+        self._kinds: list[str] = []
+        self._w_op: _WeightOperand | None = None
+        for kernel in kernels:
+            if isinstance(kernel, AccurateKernel):
+                kind = "exact"
+            elif isinstance(kernel, LUTKernel) and kernel.is_exact:
+                kind = "exact"
+            elif isinstance(kernel, LUTKernel) and kernel._error_matrix is not None:
+                kind = "lut"
+            elif isinstance(kernel, PerforatedKernel):
+                kind = "perf"
+            else:
+                kind = "fallback"
+            if kind != "fallback" and self._w_op is None:
+                self._w_op = kernel._w_op
+            self._kinds.append(kind)
+        self._lut_blocks = [i for i, k in enumerate(self._kinds) if k == "lut"]
+        # One stacked error matrix over the *distinct* per-block matrices
+        # (blocks may share a kernel instance, e.g. suffix layers where only
+        # the prefix diverged); block p's one-hot columns land at
+        # slot(p) * taps * 256.  Falls back to per-block products when the
+        # stack would exceed the byte cap.
+        self._stacked_error: np.ndarray | None = None
+        self._block_slots: dict[int, int] = {}
+        if self._lut_blocks:
+            distinct: list[np.ndarray] = []
+            ids: dict[int, int] = {}
+            for i in self._lut_blocks:
+                matrix = self.kernels[i]._error_matrix
+                slot = ids.setdefault(id(matrix), len(distinct))
+                if slot == len(distinct):
+                    distinct.append(matrix)
+                self._block_slots[i] = slot
+            total_bytes = sum(m.nbytes for m in distinct)
+            if total_bytes <= max_error_matrix_bytes and _sparse is not None:
+                self._stacked_error = (
+                    distinct[0] if len(distinct) == 1 else np.vstack(distinct)
+                )
+        self._tap_offsets = np.arange(self.taps, dtype=np.int64) * OPERAND_LEVELS
+        self._ones = np.empty(0, dtype=np.int8)
+
+    @property
+    def plans(self) -> int:
+        """Number of fused per-plan blocks."""
+        return len(self.kernels)
+
+    def product_sums_multi(
+        self, act_codes: np.ndarray, shared: bool = False
+    ) -> np.ndarray:
+        """Stacked ``(plans * N, filters)`` float64 product sums.
+
+        ``act_codes`` is ``(N, taps)`` when ``shared`` (one activation block
+        evaluated under every plan) or ``(plans * N, taps)`` otherwise
+        (block p = rows ``[p*N, (p+1)*N)``).
+        """
+        act = np.asarray(act_codes)
+        if act.ndim != 2 or act.shape[1] != self.taps:
+            raise ValueError(
+                f"activations must have shape (patches, {self.taps}), got {act.shape}"
+            )
+        if not np.issubdtype(act.dtype, np.integer):
+            act = act.astype(np.int64)
+        if shared:
+            return self._sums_shared(act)
+        if act.shape[0] % self.plans:
+            raise ValueError(
+                f"stacked activations ({act.shape[0]} rows) do not divide "
+                f"into {self.plans} equal plan blocks"
+            )
+        return self._sums_stacked(act)
+
+    def __call__(self, act_codes: np.ndarray, shared: bool = False) -> np.ndarray:
+        return self.product_sums_multi(act_codes, shared=shared)
+
+    # ------------------------------------------------------------------
+    def _sums_stacked(self, act: np.ndarray) -> np.ndarray:
+        n = act.shape[0] // self.plans
+        out = np.empty((self.plans * n, self.filters), dtype=np.float64)
+        blocks = [act[p * n : (p + 1) * n] for p in range(self.plans)]
+        dense_blocks = [p for p, k in enumerate(self._kinds) if k != "fallback"]
+        if dense_blocks:
+            # One (D*N, taps) dense product: perforated blocks contribute
+            # their masked activations, exact/LUT blocks contribute as-is.
+            # The stack keeps uint8 inputs uint8, so the weight operand's
+            # float32 fast path applies exactly as it does per plan.
+            needs_copy = any(
+                self._kinds[p] == "perf" and self.kernels[p]._mask for p in dense_blocks
+            )
+            masked_sums: dict[int, np.ndarray] = {}
+            if len(dense_blocks) == self.plans and not needs_copy:
+                lhs = act
+            else:
+                lhs = np.empty((len(dense_blocks) * n, self.taps), dtype=act.dtype)
+                for row, p in enumerate(dense_blocks):
+                    dst = lhs[row * n : (row + 1) * n]
+                    if self._kinds[p] == "perf" and self.kernels[p]._mask:
+                        block = blocks[p]
+                        x = block & self.kernels[p]._mask
+                        if self.kernels[p].control_variate is not None:
+                            masked_sums[p] = x.sum(axis=1, dtype=np.int64)
+                        np.subtract(block, x, out=dst)
+                    else:
+                        dst[...] = blocks[p]
+            dense = self._w_op.matmul(lhs)
+            for row, p in enumerate(dense_blocks):
+                sums = dense[row * n : (row + 1) * n]
+                self._finish_block(
+                    out, p, n, blocks[p], sums, masked_sums=masked_sums.get(p)
+                )
+        if self._lut_blocks:
+            self._subtract_errors(out, n, blocks)
+        for p, kind in enumerate(self._kinds):
+            if kind == "fallback":
+                out[p * n : (p + 1) * n] = self.kernels[p](blocks[p])
+        return out
+
+    def _sums_shared(self, act: np.ndarray) -> np.ndarray:
+        n = act.shape[0]
+        out = np.empty((self.plans * n, self.filters), dtype=np.float64)
+        # Exact sums feed every accurate/LUT block and every m = 0
+        # perforated block — computed once, broadcast into each.
+        exact: np.ndarray | None = None
+        masked: dict[int, np.ndarray] = {}
+        masked_x_sums: dict[int, np.ndarray] = {}
+        distinct_masks = sorted(
+            {
+                self.kernels[p]._mask
+                for p, k in enumerate(self._kinds)
+                if k == "perf" and self.kernels[p]._mask
+            }
+        )
+        if distinct_masks:
+            # One (D*N, taps) product over the distinct masked variants.
+            lhs = np.empty((len(distinct_masks) * n, self.taps), dtype=act.dtype)
+            for row, mask in enumerate(distinct_masks):
+                x = act & mask
+                masked_x_sums[mask] = x.sum(axis=1, dtype=np.int64)
+                np.subtract(act, x, out=lhs[row * n : (row + 1) * n])
+            dense = self._w_op.matmul(lhs)
+            masked = {
+                mask: dense[row * n : (row + 1) * n]
+                for row, mask in enumerate(distinct_masks)
+            }
+        for p, kind in enumerate(self._kinds):
+            if kind == "fallback":
+                out[p * n : (p + 1) * n] = self.kernels[p](act)
+                continue
+            if kind == "perf" and self.kernels[p]._mask:
+                sums = masked[self.kernels[p]._mask]
+            else:
+                if exact is None:
+                    exact = self._w_op.matmul(act)
+                sums = exact
+            self._finish_block(
+                out, p, n, act, sums,
+                masked_sums=masked_x_sums.get(self.kernels[p]._mask)
+                if kind == "perf"
+                else None,
+            )
+        if self._lut_blocks:
+            self._subtract_errors(out, n, [act] * self.plans)
+        return out
+
+    def _finish_block(
+        self,
+        out: np.ndarray,
+        p: int,
+        n: int,
+        act_block: np.ndarray,
+        sums: np.ndarray,
+        masked_sums: np.ndarray | None = None,
+    ) -> None:
+        """Write block ``p``'s dense sums (+ CV correction) into ``out``.
+
+        ``masked_sums`` optionally carries the per-row sums of
+        ``act_block & mask`` already computed while assembling the dense
+        product, saving the second full pass over the activations.  LUT
+        error terms are subtracted afterwards by ``_subtract_errors``.
+        """
+        dst = out[p * n : (p + 1) * n]
+        kernel = self.kernels[p]
+        if self._kinds[p] == "perf" and kernel.control_variate is not None:
+            if masked_sums is None:
+                x = act_block & kernel._mask
+                masked_sums = x.sum(axis=1, dtype=np.int64)
+            correction = kernel.control_variate.correction(masked_sums)
+            if kernel.control_variate.quantized:
+                correction = correction.astype(np.int64)
+            np.add(sums, correction, out=dst, casting="unsafe")
+        else:
+            dst[...] = sums
+
+    def _subtract_errors(self, out: np.ndarray, n: int, blocks) -> None:
+        """Subtract every LUT block's error sums, fused when possible."""
+        if self._stacked_error is None:
+            for p in self._lut_blocks:
+                kernel = self.kernels[p]
+                out[p * n : (p + 1) * n] -= kernel._error_sums_compiled(blocks[p])
+            return
+        # Block-stacked one-hot product: row r of LUT block p selects
+        # columns act[r, j] + j*256 + slot(p)*taps*256 of the stacked error
+        # matrix — one CSR matmul for all LUT blocks at once.
+        rows = len(self._lut_blocks) * n
+        width = self.taps * OPERAND_LEVELS
+        indices = np.empty((len(self._lut_blocks), n, self.taps), dtype=np.int64)
+        for row, p in enumerate(self._lut_blocks):
+            offset = self._block_slots[p] * width
+            np.add(blocks[p], self._tap_offsets[None, :] + offset, out=indices[row])
+        flat = indices.reshape(rows * self.taps)
+        if self._ones.shape[0] < flat.shape[0]:
+            self._ones = np.ones(flat.shape[0], dtype=np.int8)
+        indptr = np.arange(rows + 1, dtype=np.int64) * self.taps
+        onehot = _sparse.csr_matrix(
+            (self._ones[: flat.shape[0]], flat, indptr),
+            shape=(rows, self._stacked_error.shape[0]),
+        )
+        errors = np.asarray(onehot @ self._stacked_error)
+        for row, p in enumerate(self._lut_blocks):
+            out[p * n : (p + 1) * n] -= errors[row * n : (row + 1) * n]
+
+
 __all__ = [
     "DEFAULT_MAX_ERROR_MATRIX_BYTES",
     "KernelOptions",
@@ -375,5 +644,6 @@ __all__ = [
     "LUTKernel",
     "ChunkedKernel",
     "CallbackKernel",
+    "MultiPlanKernel",
     "exact_int_matmul",
 ]

@@ -62,6 +62,10 @@ def _engine_backend_rows() -> list[dict]:
                 "name": name,
                 "available": available,
                 "default": name == DEFAULT_BACKEND,
+                # Capability flag, not hasattr: backends without a fused
+                # multi-plan compiler (e.g. lowmem) report False and the
+                # executor degrades to the per-plan loop.
+                "fused_multi_plan": bool(backend.fused_multi_plan),
                 "reason": None if available else reason,
             }
         )
@@ -98,6 +102,9 @@ def _runtime_defaults() -> dict:
     from repro.runtime.sizing import resolve_worker_count
     from repro.runtime.stats import STATS_SCHEMA
 
+    from repro.core.backends import backend_names, get_backend
+    from repro.runtime.scheduling import DEFAULT_PLAN_GROUP_SIZE
+
     return {
         "stats_schema": STATS_SCHEMA,
         # A `workers=None` auto request resolved on this host (affinity/
@@ -105,6 +112,16 @@ def _runtime_defaults() -> dict:
         "auto_workers": resolve_worker_count(None),
         "default_queue_depth": JobQueue().max_depth,
         "default_session_inflight": JobQueue().max_inflight_per_session,
+        # Fused multi-plan path: on by default, with the launch counters
+        # (`fused_launches`, `plans_per_launch_avg`, prefix-checkpoint
+        # hits) reported by every stats() payload under the schema above.
+        "default_fuse_plans": True,
+        "default_plan_group_size": DEFAULT_PLAN_GROUP_SIZE,
+        "fused_backends": [
+            name
+            for name in backend_names()
+            if get_backend(name).fused_multi_plan
+        ],
     }
 
 

@@ -64,10 +64,22 @@ DEFAULT_TOLERANCE = 0.5
 #: few percent under 1.0 without any scheduling change.
 SPEEDUP_NOISE_TOLERANCE = 0.1
 
-#: Absolute floors by path substring: ``{marker: target}``.  Applied on
-#: top of (and independently of) the golden-relative floor — these encode
-#: invariants of the system itself, not of a recorded baseline.
-_ABSOLUTE_FLOORS = {"speedup_vs_serial": 1.0}
+#: Absolute floors by path substring: ``{marker: (target, reason)}``.
+#: Applied on top of (and independently of) the golden-relative floor —
+#: these encode invariants of the system itself, not of a recorded
+#: baseline.  ``reason`` opens the failure message.
+_ABSOLUTE_FLOORS = {
+    "speedup_vs_serial": (
+        1.0,
+        "parallel execution lost to serial (the scheduler must degrade to "
+        "serial rather than lose to it)",
+    ),
+    "speedup_vs_unfused": (
+        1.3,
+        "fused multi-plan sweep lost its launch-collapse margin over the "
+        "per-plan path",
+    ),
+}
 
 _IGNORED_KEYS = {
     "wall_clock_s",
@@ -163,7 +175,7 @@ def _compare_leaf(
     if policy in ("floor", "band") and _is_number(golden) and _is_number(fresh):
         if policy == "floor":
             findings: list[Finding] = []
-            for marker, target in _ABSOLUTE_FLOORS.items():
+            for marker, (target, reason) in _ABSOLUTE_FLOORS.items():
                 if marker not in path:
                     continue
                 minimum = target * (1.0 - SPEEDUP_NOISE_TOLERANCE)
@@ -174,10 +186,9 @@ def _compare_leaf(
                             path,
                             "floor",
                             "fail",
-                            f"parallel execution lost to serial: {fresh:.6g} < "
+                            f"{reason}: {fresh:.6g} < "
                             f"{target:g} × (1 − {SPEEDUP_NOISE_TOLERANCE:g}) = "
-                            f"{minimum:.6g} (absolute floor — the scheduler "
-                            f"must degrade to serial rather than lose to it)",
+                            f"{minimum:.6g} (absolute floor)",
                             golden,
                             fresh,
                         )

@@ -110,6 +110,52 @@ class QuantizedLinearOp:
         scale = self.weight_params.scale * act_params.scale
         return scale * corrected + self.bias[None, :]
 
+    def output_real_stacked(
+        self,
+        act_codes: np.ndarray,
+        act_params: QuantParams,
+        product_sums: np.ndarray,
+        plans: int,
+    ) -> np.ndarray:
+        """Dequantized outputs of ``plans`` product-sum blocks sharing one
+        activation block (block ``p`` = rows ``[p*N, (p+1)*N)``).
+
+        Bit-exact with tiling ``act_codes`` ``plans`` times and calling
+        :meth:`output_real` once — every correction is elementwise with the
+        same operands in the same order — but the act-dependent terms
+        (the int64 widening + per-patch sums of the shared codes) are
+        computed once instead of once per block.
+        """
+        act = self._check_activations(act_codes)
+        product_sums = np.array(product_sums, dtype=np.float64)
+        n = act.shape[0]
+        expected = (plans * n, self.filters)
+        if product_sums.shape != expected:
+            raise ValueError(
+                f"product_sums must have shape {expected}, got {product_sums.shape}"
+            )
+        # int64-accumulated reduce: identical sums to astype(int64).sum()
+        # (integer arithmetic) without materializing the 8x-wider act
+        # temporary on the stacked hot path.
+        act_sums = act.sum(axis=1, keepdims=True, dtype=np.int64).astype(np.float64)
+        z_w = float(self.weight_params.zero_point)
+        z_a = float(act_params.zero_point)
+        # The elementwise operations and their order match output_real
+        # exactly (bit-exact results); they are applied in place on the
+        # owned float64 copy, sparing one (plans*n, filters) temporary per
+        # step of the correction chain.
+        out = product_sums.reshape(plans, n, self.filters)
+        np.subtract(out, (z_w * act_sums)[None], out=out)
+        np.subtract(
+            out, (z_a * self._weight_code_sums.astype(np.float64))[None, None, :],
+            out=out,
+        )
+        np.add(out, float(self.taps) * z_w * z_a, out=out)
+        scale = self.weight_params.scale * act_params.scale
+        np.multiply(out, scale, out=out)
+        np.add(out, self.bias[None, None, :], out=out)
+        return out.reshape(expected)
+
     # ------------------------------------------------------------------
     def _check_activations(self, act_codes: np.ndarray) -> np.ndarray:
         act = np.asarray(act_codes)

@@ -153,6 +153,42 @@ class CellCostModel:
             )
         return total
 
+    def group_cost(
+        self,
+        model_index: int,
+        plans: Sequence[ExecutionPlan],
+        mac_names: Sequence[str],
+    ) -> float:
+        """Predicted cost of one *fused* plan group, in accurate-MAC units.
+
+        A plan group rides one fused multi-plan launch per MAC layer
+        (:meth:`~repro.simulation.inference.ApproximateExecutor.forward_many`):
+        at depth ``d`` the stacked launch evaluates one block per *distinct*
+        fingerprint prefix of length ``d + 1`` — the shared prefix runs
+        once, and plans that already diverged but assign the same model to
+        deeper layers still share nothing further.  The group therefore
+        prices as the sum over depths of (distinct prefixes at that depth)
+        x (layer work) x (technique factor of the block's model), which is
+        what makes a group of prefix-sharing plans cheaper than the sum of
+        its per-plan :meth:`cell_cost` — the dedupe the scheduler should
+        balance on.
+        """
+        work = self._layer_work.get(int(model_index), {})
+        sequences = {plan.fingerprints(mac_names) for plan in plans}
+        total = 0.0
+        for depth, name in enumerate(mac_names):
+            layer_work = work.get(name, 1.0)
+            seen: set[tuple] = set()
+            for sequence in sequences:
+                prefix = sequence[: depth + 1]
+                if prefix in seen:
+                    continue
+                seen.add(prefix)
+                total += layer_work * self.technique_factor(
+                    fingerprint_kind(sequence[depth])
+                )
+        return total
+
     def chunk_units_by_kind(
         self,
         chunk: Sequence[tuple[int, ExecutionPlan]],

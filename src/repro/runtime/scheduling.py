@@ -45,6 +45,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 
 T = TypeVar("T")
 
+#: Default cap on how many plans one fused multi-plan launch stacks.  The
+#: fused path's memory scales with the stacked block count at the deepest
+#: divergence (every live activation is repeated per diverging plan), so
+#: groups are bounded; 8 keeps the stacked activations of the reference
+#: networks within the footprint of a few per-plan batches while already
+#: amortizing nearly all of the per-launch dispatch overhead.
+DEFAULT_PLAN_GROUP_SIZE = 8
+
 
 def model_mac_names(trained: "TrainedModel") -> tuple[str, ...]:
     """MAC (conv/dense) layer names of one trained model, in execution order.
@@ -96,6 +104,66 @@ def order_plan_cells(
         ordered = sorted(range(len(plans)), key=sort_keys.__getitem__)
         cells.extend((model_index, plan_index) for plan_index in ordered)
     return cells
+
+
+def plan_group_slices(
+    schedule: Sequence[tuple[int, ExecutionPlan]],
+    max_group_plans: int = DEFAULT_PLAN_GROUP_SIZE,
+    split_depths: Sequence[int] | None = None,
+) -> list[tuple[int, int]]:
+    """Plan-group boundaries of a prefix-sorted schedule, as ``(start, stop)``.
+
+    A *plan group* is a maximal run of consecutive same-model cells, capped
+    at ``max_group_plans`` — the unit one fused multi-plan launch evaluates
+    (:meth:`repro.simulation.inference.ApproximateExecutor.forward_many`)
+    and the granularity :func:`cost_balanced_chunks` should cut at so a
+    group is never split across workers.  On a fingerprint-sorted schedule
+    the cells of a group share the deepest prefixes the plan set offers, so
+    the fused walk dedupes maximal work.  Concatenating the slices covers
+    ``schedule`` exactly, in order.
+
+    ``split_depths`` (from :func:`shared_prefix_depths`, one entry per
+    consecutive-cell boundary) additionally aligns groups with *divergence
+    families*: a group also ends where the next boundary's agreement depth
+    drops below the shallowest depth already inside the group.  On a
+    fingerprint-sorted schedule a per-layer sensitivity screen produces
+    runs of plans that all diverge at one layer (constant boundary depth)
+    separated by depth drops; cutting at the drops keeps each family —
+    whose members share their divergence layer's input, the sharing the
+    fused launch actually exploits — in one launch instead of splitting it
+    at an arbitrary count boundary.
+    """
+    if int(max_group_plans) < 1:
+        raise ValueError(
+            f"max_group_plans must be a positive integer, got {max_group_plans}"
+        )
+    if split_depths is not None and len(split_depths) < len(schedule) - 1:
+        raise ValueError(
+            f"need one depth per cell boundary: {len(split_depths)} depths "
+            f"for {len(schedule)} cells"
+        )
+    slices: list[tuple[int, int]] = []
+    start = 0
+    while start < len(schedule):
+        stop = start
+        model_index = schedule[start][0]
+        group_depth: int | None = None
+        while (
+            stop < len(schedule)
+            and schedule[stop][0] == model_index
+            and stop - start < int(max_group_plans)
+        ):
+            if split_depths is not None and stop > start:
+                boundary = int(split_depths[stop - 1])
+                if group_depth is not None and boundary < group_depth:
+                    break
+                group_depth = (
+                    boundary if group_depth is None else min(group_depth, boundary)
+                )
+            stop += 1
+        slices.append((start, stop))
+        start = stop
+    return slices
 
 
 def contiguous_chunks(schedule: Sequence[T], max_chunks: int) -> list[list[T]]:
@@ -226,9 +294,11 @@ def cost_balanced_chunks(
 
 
 __all__ = [
+    "DEFAULT_PLAN_GROUP_SIZE",
     "model_mac_names",
     "schedule_cells",
     "order_plan_cells",
+    "plan_group_slices",
     "contiguous_chunks",
     "shared_prefix_depths",
     "cost_balanced_chunks",

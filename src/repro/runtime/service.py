@@ -47,8 +47,9 @@ path: callers never branch on worker count.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.datasets.synthetic import Dataset
 from repro.runtime.publishing import (
@@ -58,14 +59,17 @@ from repro.runtime.publishing import (
     publish_trained_models,
 )
 from repro.runtime.scheduling import (
+    DEFAULT_PLAN_GROUP_SIZE,
     contiguous_chunks,
     cost_balanced_chunks,
     model_mac_names,
+    plan_group_slices,
     schedule_cells,
     shared_prefix_depths,
 )
 from repro.runtime.sizing import auto_worker_count
 from repro.runtime.worker import (
+    STAT_COUNTERS,
     _init_pool_worker,
     _timed_eval_cell_chunk_task,
     eval_cell_chunk,
@@ -88,8 +92,9 @@ class EvaluationBatch:
     through doomed work.  The first failure is cached: every later
     :meth:`results` call re-raises *it*, not the ``CancelledError`` of the
     chunks the cleanup cancelled.  Pool chunks return ``(accuracies,
-    wall_clock)`` pairs; each measured wall-clock is folded into the
-    service's cost model as the chunk completes.
+    wall_clock, counters)`` triples; each measured wall-clock is folded
+    into the service's cost model — and each counter delta into the
+    service's aggregated worker counters — as the chunk completes.
     """
 
     def __init__(
@@ -100,6 +105,7 @@ class EvaluationBatch:
         num_cells: int,
         cost_model: CellCostModel | None = None,
         chunk_units: list[dict[str, float]] | None = None,
+        counters_sink: "Callable[[dict[str, int]], None] | None" = None,
     ):
         self._order = order
         self._chunk_results = chunk_results
@@ -107,6 +113,7 @@ class EvaluationBatch:
         self._num_cells = num_cells
         self._cost_model = cost_model
         self._chunk_units = chunk_units
+        self._counters_sink = counters_sink
         self._failure: BaseException | None = None
 
     def __len__(self) -> int:
@@ -121,10 +128,12 @@ class EvaluationBatch:
             try:
                 for index, future in enumerate(self._futures):
                     outcome = future.result()
-                    accuracies, elapsed = outcome
+                    accuracies, elapsed, counters = outcome
                     collected.append(accuracies)
                     if self._cost_model is not None and self._chunk_units:
                         self._cost_model.observe(self._chunk_units[index], elapsed)
+                    if self._counters_sink is not None:
+                        self._counters_sink(counters)
             except BaseException as exc:
                 # First failure (worker exception, KeyboardInterrupt, ...):
                 # stop feeding the pool — queued chunks are dead weight —
@@ -181,6 +190,21 @@ class EvaluationService:
     max_eval_images / calibration_images / engine_backend / reuse_prefix:
         As in :func:`repro.simulation.campaign.plan_sweep` — they select
         the (bit-exact) measurement setup every worker reproduces.
+    fuse_plans:
+        Ride the fused multi-plan path: workers evaluate each plan group
+        (consecutive same-model cells of the prefix-sorted schedule, up to
+        ``plan_group_size`` plans) through one batched backend launch per
+        layer (:meth:`~repro.simulation.inference
+        .ApproximateExecutor.forward_many`) instead of looping plans in
+        Python, the scheduler prices and cuts chunks at group granularity,
+        and :meth:`stats` reports ``fused_launches`` /
+        ``plans_per_launch_avg``.  Bit-exact either way; backends without
+        the ``fused_multi_plan`` capability (e.g. ``lowmem``) fall back to
+        the per-plan loop automatically.
+    plan_group_size:
+        Cap on plans per fused group (default
+        :data:`~repro.runtime.scheduling.DEFAULT_PLAN_GROUP_SIZE`); bounds
+        the fused path's stacked-activation memory.
     use_shared_memory:
         ``None`` (default) publishes models and datasets exactly when
         worker processes are used; ``True`` forces the publish/attach
@@ -205,6 +229,8 @@ class EvaluationService:
         reuse_prefix: bool = True,
         use_shared_memory: bool | None = None,
         batch_size: int = 256,
+        fuse_plans: bool = True,
+        plan_group_size: int = DEFAULT_PLAN_GROUP_SIZE,
     ):
         self.models = list(trained_models)
         if not self.models:
@@ -229,6 +255,10 @@ class EvaluationService:
             )
         if int(batch_size) < 1:
             raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
+        if int(plan_group_size) < 1:
+            raise ValueError(
+                f"plan_group_size must be a positive integer, got {plan_group_size}"
+            )
         self.max_workers = int(max_workers)
         self.requested_workers = (
             self.max_workers if requested_workers is None else int(requested_workers)
@@ -240,7 +270,11 @@ class EvaluationService:
         self.reuse_prefix = bool(reuse_prefix)
         self.use_shared_memory = use_shared_memory
         self.batch_size = int(batch_size)
+        self.fuse_plans = bool(fuse_plans)
+        self.plan_group_size = int(plan_group_size)
 
+        self._worker_counters = {counter: 0 for counter in STAT_COUNTERS}
+        self._counters_lock = threading.Lock()
         self._mac_names = {
             index: model_mac_names(trained)
             for index, trained in enumerate(self.models)
@@ -298,6 +332,8 @@ class EvaluationService:
                 self.engine_backend,
                 self.reuse_prefix,
                 self.batch_size,
+                self.fuse_plans,
+                self.plan_group_size,
             )
             if self.serial:
                 self._serial_state = {}
@@ -436,13 +472,24 @@ class EvaluationService:
             "nbytes_shared": self.nbytes_shared(),
         }
 
+    def _absorb_worker_counters(self, counters: dict[str, int]) -> None:
+        """Fold one chunk's executor-counter delta into the session totals."""
+        with self._counters_lock:
+            for key, value in counters.items():
+                if key in self._worker_counters:
+                    self._worker_counters[key] += int(value)
+
     def stats(self) -> dict:
-        """Counters of the session so far (``repro-runtime-stats/v1`` schema).
+        """Counters of the session so far (``repro-runtime-stats/v1.1`` schema).
 
         The payload nests everything engine-level under ``"engine"``, with
         ``requested_workers`` (what the caller asked for) next to the
         effective ``workers`` — the schema the jobs layer extends with its
-        ``jobs``/``cache``/``sessions`` sections.
+        ``jobs``/``cache``/``sessions`` sections.  v1.1 adds (additively)
+        the fused multi-plan observability counters: ``fused_launches``,
+        ``fused_plans_total``, ``plans_per_launch_avg`` (``None`` until the
+        first fused launch) and the prefix-checkpoint / activation-code
+        cache hit counters, aggregated across every worker.
         """
         from repro.runtime.stats import runtime_stats
 
@@ -455,7 +502,19 @@ class EvaluationService:
             "batches_submitted": self.batches_submitted,
             "cells_submitted": self.cells_submitted,
             "nbytes_shared": self.nbytes_shared(),
+            "fuse_plans": self.fuse_plans,
+            "plan_group_size": self.plan_group_size,
         }
+        with self._counters_lock:
+            counters = dict(self._worker_counters)
+        if self._serial_state is not None:
+            for counter in STAT_COUNTERS:
+                counters[counter] += int(self._serial_state.get(counter, 0))
+        engine.update(counters)
+        launches = counters["fused_launches"]
+        engine["plans_per_launch_avg"] = (
+            counters["fused_plans_total"] / launches if launches else None
+        )
         if self._cost_model is not None:
             engine["cost_model_observations"] = self._cost_model.observations
             engine["cost_model_seconds_per_unit"] = self._cost_model.seconds_per_unit
@@ -493,11 +552,16 @@ class EvaluationService:
         toward prefix-divergence boundaries) and dispatches them
         asynchronously — the excess chunks sit in the pool's queue and are
         *stolen* by whichever worker goes idle first, so a mispredicted
-        straggler delays one chunk, not the whole batch.  Chunking never
-        changes what is evaluated: every cell runs the same measurement
-        regardless of worker count (the bit-exactness contract).
-        ``batch.results()`` resolves to accuracies in the cells'
-        *submission* order.  The service auto-starts on first submission.
+        straggler delays one chunk, not the whole batch.  With
+        ``fuse_plans`` on, the chunking unit is the *plan group* (up to
+        ``plan_group_size`` consecutive same-model cells), priced as one
+        fused launch tree (:meth:`CellCostModel.group_cost`) and never
+        split across chunks — so the groups a worker fuses are exactly the
+        groups the scheduler balanced.  Chunking never changes what is
+        evaluated: every cell runs the same measurement regardless of
+        worker count (the bit-exactness contract).  ``batch.results()``
+        resolves to accuracies in the cells' *submission* order.  The
+        service auto-starts on first submission.
         """
         if self._closed:
             raise RuntimeError("EvaluationService is closed")
@@ -517,15 +581,42 @@ class EvaluationService:
             ]
             return EvaluationBatch(order, chunk_results, None, len(cells))
         cost_model = self.cost_model()
-        costs = [
-            cost_model.cell_cost(model_index, plan, self._mac_names[model_index])
-            for model_index, plan in schedule
-        ]
         depths = shared_prefix_depths(schedule, self._mac_names)
         max_chunks = self.max_workers * self.chunks_per_worker
-        chunks = cost_balanced_chunks(
-            schedule, costs, max_chunks, split_depths=depths
-        )
+        if self.fuse_plans:
+            # Chunk at plan-group granularity: each group is one fused
+            # launch tree on its worker, so a cut through a group would
+            # shrink the very batch the fusion amortizes.
+            slices = plan_group_slices(
+                schedule, self.plan_group_size, split_depths=depths
+            )
+            groups = [schedule[start:stop] for start, stop in slices]
+            group_costs = [
+                cost_model.group_cost(
+                    group[0][0],
+                    [plan for _, plan in group],
+                    self._mac_names[group[0][0]],
+                )
+                for group in groups
+            ]
+            # Depth between the last cell of one group and the first of the
+            # next — the prefix a cut between those groups would re-run.
+            group_depths = [depths[stop - 1] for _, stop in slices[:-1]]
+            group_chunks = cost_balanced_chunks(
+                groups, group_costs, max_chunks, split_depths=group_depths
+            )
+            chunks = [
+                [cell for group in chunk for cell in group]
+                for chunk in group_chunks
+            ]
+        else:
+            costs = [
+                cost_model.cell_cost(model_index, plan, self._mac_names[model_index])
+                for model_index, plan in schedule
+            ]
+            chunks = cost_balanced_chunks(
+                schedule, costs, max_chunks, split_depths=depths
+            )
         chunk_units = [
             cost_model.chunk_units_by_kind(chunk, self._mac_names)
             for chunk in chunks
@@ -541,6 +632,7 @@ class EvaluationService:
             len(cells),
             cost_model=cost_model,
             chunk_units=chunk_units,
+            counters_sink=self._absorb_worker_counters,
         )
 
     def evaluate_cells(self, cells: Sequence[tuple[int, ExecutionPlan]]) -> list[float]:

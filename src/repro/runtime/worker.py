@@ -31,12 +31,30 @@ from typing import Sequence
 import numpy as np
 
 from repro.runtime.publishing import SharedDatasets, SharedTrainedModels
+from repro.runtime.scheduling import (
+    DEFAULT_PLAN_GROUP_SIZE,
+    model_mac_names,
+    plan_group_slices,
+    shared_prefix_depths,
+)
 from repro.simulation.inference import ApproximateExecutor, ExecutionPlan
 from repro.simulation.metrics import accuracy
 
 #: Pool-worker process state (set by :func:`_init_pool_worker`).  The serial
 #: path never touches it — each in-process service owns a private dict.
 _WORKER_STATE: dict = {}
+
+#: Executor counters mirrored into the worker state (and reported per chunk
+#: to the service).  Accumulated as *deltas* around each model segment, so
+#: the single-slot executor cache dropping an executor never loses counts.
+STAT_COUNTERS = (
+    "fused_launches",
+    "fused_plans_total",
+    "prefix_cache_hits",
+    "prefix_cache_misses",
+    "act_cache_hits",
+    "act_cache_misses",
+)
 
 
 def init_worker_state(
@@ -48,6 +66,8 @@ def init_worker_state(
     engine_backend: str | None = None,
     reuse_prefix: bool = True,
     batch_size: int = 256,
+    fuse_plans: bool = True,
+    plan_group_size: int = DEFAULT_PLAN_GROUP_SIZE,
 ) -> None:
     """(Re)initialize one worker's state dict, attaching shared blocks."""
     if isinstance(trained_models, SharedTrainedModels):
@@ -67,10 +87,13 @@ def init_worker_state(
         engine_backend=engine_backend,
         reuse_prefix=bool(reuse_prefix),
         batch_size=int(batch_size),
+        fuse_plans=bool(fuse_plans),
+        plan_group_size=int(plan_group_size),
         executors={},
         executor_builds=0,
         cells_evaluated=0,
     )
+    state.update({counter: 0 for counter in STAT_COUNTERS})
 
 
 def _init_pool_worker(*initargs) -> None:
@@ -134,17 +157,31 @@ def eval_plan_cell(state: dict, model_index: int, plan: ExecutionPlan) -> float:
     return accuracy(predictions, test_labels)
 
 
+def _executor_counters(executor: ApproximateExecutor) -> dict[str, int]:
+    """Snapshot of the executor's reuse + fused counters, one flat dict."""
+    counters = dict(executor.reuse_stats())
+    counters.update(executor.fused_stats())
+    return counters
+
+
 def eval_cell_chunk(
     state: dict, chunk: Sequence[tuple[int, ExecutionPlan]]
 ) -> list[float]:
     """Accuracies of one contiguous schedule chunk, in chunk order.
 
     Consecutive cells of the same model are grouped: the group's plan set
-    is armed as the executor's plan context once, then each plan is
-    evaluated in schedule order — so the prefix adjacency arranged by the
-    scheduler turns into checkpoint hits here.
+    is armed as the executor's plan context once, then each *plan group*
+    (up to ``plan_group_size`` consecutive plans — the same granularity the
+    service's scheduler cuts chunks at) rides one fused multi-plan launch
+    per layer via :meth:`~repro.simulation.inference
+    .ApproximateExecutor.predict_many` when ``fuse_plans`` is on and the
+    backend advertises the capability; otherwise plans run the classic
+    per-plan loop.  Both paths are bit-exact, and the prefix adjacency
+    arranged by the scheduler turns into checkpoint hits either way.
     """
     results: list[float] = []
+    fuse = bool(state.get("fuse_plans", True))
+    group_size = int(state.get("plan_group_size", DEFAULT_PLAN_GROUP_SIZE))
     start = 0
     while start < len(chunk):
         stop = start
@@ -152,15 +189,32 @@ def eval_cell_chunk(
         while stop < len(chunk) and chunk[stop][0] == model_index:
             stop += 1
         trained = state["models"][model_index]
-        plans = [plan for _, plan in chunk[start:stop]]
+        segment = chunk[start:stop]
+        plans = [plan for _, plan in segment]
         executor = executor_for(state, model_index, plans=plans)
         test_images, test_labels = eval_arrays(state, trained)
-        for plan in plans:
-            predictions = executor.predict(
-                test_images, plan, batch_size=state["batch_size"]
-            )
-            results.append(accuracy(predictions, test_labels))
-            state["cells_evaluated"] += 1
+        before = _executor_counters(executor)
+        fused = fuse and executor.fused_multi_plan
+        depths = shared_prefix_depths(segment, {model_index: model_mac_names(trained)})
+        for group_start, group_stop in plan_group_slices(
+            segment, group_size, split_depths=depths
+        ):
+            group = plans[group_start:group_stop]
+            if fused and len(group) > 1:
+                predictions_per_plan = executor.predict_many(
+                    test_images, group, batch_size=state["batch_size"]
+                )
+            else:
+                predictions_per_plan = [
+                    executor.predict(test_images, plan, batch_size=state["batch_size"])
+                    for plan in group
+                ]
+            for predictions in predictions_per_plan:
+                results.append(accuracy(predictions, test_labels))
+                state["cells_evaluated"] += 1
+        after = _executor_counters(executor)
+        for counter in STAT_COUNTERS:
+            state[counter] = state.get(counter, 0) + after[counter] - before[counter]
         start = stop
     return results
 
@@ -172,20 +226,31 @@ def _eval_cell_chunk_task(chunk: Sequence[tuple[int, ExecutionPlan]]) -> list[fl
 
 def _timed_eval_cell_chunk_task(
     chunk: Sequence[tuple[int, ExecutionPlan]],
-) -> tuple[list[float], float]:
-    """Pool task returning ``(accuracies, wall_clock_seconds)``.
+) -> tuple[list[float], float, dict[str, int]]:
+    """Pool task returning ``(accuracies, wall_clock_seconds, counters)``.
 
     The wall-clock is measured inside the worker — compute time only, no
     queueing or pickling — which is what the service feeds back into its
     :class:`~repro.runtime.cost_model.CellCostModel` for online refinement
-    of the per-technique throughput factors.
+    of the per-technique throughput factors.  ``counters`` is this chunk's
+    *delta* of the :data:`STAT_COUNTERS` (fused launches, prefix/act cache
+    hits), which the service aggregates for :meth:`EvaluationService.stats`.
     """
+    before = {
+        counter: _WORKER_STATE.get(counter, 0) for counter in STAT_COUNTERS
+    }
     start = time.perf_counter()
     results = eval_cell_chunk(_WORKER_STATE, chunk)
-    return results, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    delta = {
+        counter: _WORKER_STATE.get(counter, 0) - before[counter]
+        for counter in STAT_COUNTERS
+    }
+    return results, elapsed, delta
 
 
 __all__ = [
+    "STAT_COUNTERS",
     "init_worker_state",
     "executor_for",
     "eval_arrays",

@@ -366,6 +366,7 @@ def _sweep_service(
     engine_backend: str | None,
     use_shared_memory: bool | None,
     reuse_prefix: bool,
+    fuse_plans: bool = True,
 ) -> EvaluationService:
     """One ephemeral :class:`EvaluationService` sized for a sweep's cells."""
     # Affinity/load-aware sizing and the degrade-to-serial clamp: a request
@@ -382,6 +383,7 @@ def _sweep_service(
         engine_backend=engine_backend,
         reuse_prefix=reuse_prefix,
         use_shared_memory=use_shared_memory,
+        fuse_plans=fuse_plans,
     )
 
 
@@ -395,6 +397,7 @@ def plan_sweep(
     engine_backend: str | None = None,
     use_shared_memory: bool | None = None,
     reuse_prefix: bool = True,
+    fuse_plans: bool = True,
 ) -> list[PlanAccuracyRecord]:
     """Evaluate every trained model under every labeled execution plan.
 
@@ -418,6 +421,11 @@ def plan_sweep(
         layer prefix) in every worker executor.  Disable to force full
         re-execution per cell — the escape hatch the CLI exposes as
         ``--no-prefix-reuse``.
+    fuse_plans:
+        Evaluate plan groups through the fused multi-plan backend path
+        (one batched launch per layer instead of a Python loop over
+        plans); see :class:`~repro.runtime.service.EvaluationService`.
+        Bit-exact either way.
     """
     models = list(trained_models)
     plans = list(plans)
@@ -438,6 +446,7 @@ def plan_sweep(
         engine_backend,
         use_shared_memory,
         reuse_prefix,
+        fuse_plans=fuse_plans,
     )
     with service:
         accuracies = service.evaluate_cells(cells)
@@ -514,6 +523,7 @@ def parallel_sweep(
     engine_backend: str | None = None,
     use_shared_memory: bool | None = None,
     reuse_prefix: bool = True,
+    fuse_plans: bool = True,
 ) -> SweepResult:
     """:func:`accuracy_sweep` fanned across the evaluation runtime's workers.
 
@@ -551,6 +561,10 @@ def parallel_sweep(
         Arm the worker executors' cross-plan reuse (plan-invariant
         activation codes and layer prefix).  Disable (the CLI's
         ``--no-prefix-reuse``) to force full re-execution per cell.
+    fuse_plans:
+        Ride the fused multi-plan backend path for plan groups (see
+        :class:`~repro.runtime.service.EvaluationService`); bit-exact
+        either way.
     """
     models = list(trained_models)
     specs = _sweep_cell_specs(models, perforations)
@@ -567,6 +581,7 @@ def parallel_sweep(
         engine_backend,
         use_shared_memory,
         reuse_prefix,
+        fuse_plans=fuse_plans,
     )
     with service:
         accuracies = service.evaluate_cells(cells)

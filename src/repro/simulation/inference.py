@@ -378,6 +378,13 @@ class _PlanContext:
     checkpoint_macs: dict[str, int]
 
 
+#: Row budget of one stacked suffix launch (images per chunk scale as
+#: target // lines).  Tuned empirically: far below it the chunked walk
+#: degenerates into the per-plan loop's call counts; far above it the
+#: stacked activations (and every astype/matmul temp behind them) fall out
+#: of cache into allocation churn.
+_STACKED_ROWS_TARGET = 256
+
 class ApproximateExecutor:
     """Runs a trained model with quantized, possibly approximate, MAC layers.
 
@@ -480,6 +487,12 @@ class ApproximateExecutor:
         self._suppress_prefix_stores = False
         self.prefix_cache_hits = 0
         self.prefix_cache_misses = 0
+        # Fused multi-plan launches: compiled MultiPlanKernels keyed by
+        # (layer, group, per-block fingerprints), plus the observability
+        # counters surfaced through EvaluationService.stats().
+        self._multi_kernel_cache: dict[tuple, object] = {}
+        self.fused_launches = 0
+        self.fused_plans_total = 0
         self._calibrate(calibration_images, activation_percentile)
 
     @classmethod
@@ -560,6 +573,7 @@ class ApproximateExecutor:
             overrides.append(codes)
         node.weight_overrides = overrides
         self._kernel_cache = weakref.WeakKeyDictionary()
+        self._multi_kernel_cache = {}
         # Prefix checkpoints embed the (old) weights of prefix MAC layers.
         self._prefix_cache = {}
 
@@ -568,6 +582,7 @@ class ApproximateExecutor:
         for node in self._nodes.values():
             node.weight_overrides = [None] * len(node.ops)
         self._kernel_cache = weakref.WeakKeyDictionary()
+        self._multi_kernel_cache = {}
         self._prefix_cache = {}
 
     # ------------------------------------------------------------------
@@ -696,6 +711,23 @@ class ApproximateExecutor:
             "prefix_cache_hits": self.prefix_cache_hits,
             "prefix_cache_misses": self.prefix_cache_misses,
         }
+
+    def fused_stats(self) -> dict[str, int]:
+        """Fused multi-plan launch counters (cumulative)."""
+        return {
+            "fused_launches": self.fused_launches,
+            "fused_plans_total": self.fused_plans_total,
+        }
+
+    @property
+    def fused_multi_plan(self) -> bool:
+        """Whether :meth:`forward_many` can take the fused multi-plan path.
+
+        Requires the compiled engine and a backend advertising the
+        ``fused_multi_plan`` capability flag; otherwise ``forward_many``
+        degrades to the bit-exact per-plan loop.
+        """
+        return self.use_compiled and self.engine_backend.fused_multi_plan
 
     # ------------------------------------------------------------------
     def forward(self, images: np.ndarray, plan: ExecutionPlan) -> np.ndarray:
@@ -829,6 +861,403 @@ class ApproximateExecutor:
     def predict(self, images: np.ndarray, plan: ExecutionPlan, batch_size: int = 256) -> np.ndarray:
         """Predicted class labels."""
         return self.logits(images, plan, batch_size=batch_size).argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    # Fused multi-plan evaluation
+    def forward_many(
+        self, images: np.ndarray, plans: Sequence[ExecutionPlan]
+    ) -> list[np.ndarray]:
+        """Run quantized inference under every plan of ``plans`` at once.
+
+        Bit-exact with ``[self.forward(images, p) for p in plans]``, but the
+        shared plan-invariant prefix is walked once (resuming from PR 3
+        checkpoints when the plan context is armed) and, from each divergence
+        depth on, all diverging plans ride a single stacked backend launch
+        per MAC layer (:meth:`EngineBackend.compile_multi`) instead of one
+        launch per plan.  Falls back to the per-plan loop when the backend
+        lacks the ``fused_multi_plan`` capability, the legacy (non-compiled)
+        engine is selected, or only one distinct plan is present.
+        """
+        plans = list(plans)
+        if not plans:
+            return []
+        if len(plans) == 1 or not self.fused_multi_plan:
+            return [self.forward(images, plan) for plan in plans]
+        mac_names = tuple(self.mac_layer_names())
+        fp_seqs = [plan.fingerprints(mac_names) for plan in plans]
+        # Dedupe plans by their full fingerprint sequence: identical plans
+        # (even distinct objects) share one evaluation line.
+        line_of: dict[tuple, int] = {}
+        reps: list[ExecutionPlan] = []
+        seqs: list[tuple] = []
+        for plan, seq in zip(plans, fp_seqs):
+            if seq not in line_of:
+                line_of[seq] = len(reps)
+                reps.append(plan)
+                seqs.append(seq)
+        if len(reps) == 1 or not mac_names:
+            out = self.forward(images, reps[0])
+            return [out] * len(plans)
+        # Sort lines so prefix-sharing plans are adjacent: splits then form
+        # contiguous runs and every divergence is a cut between neighbours.
+        order = sorted(range(len(reps)), key=lambda i: plan_fingerprint_sort_key(seqs[i]))
+        lines = [seqs[i] for i in order]
+        line_plans = [reps[i] for i in order]
+        position = {seq: pos for pos, seq in enumerate(lines)}
+        stacked = self._forward_many_lines(images, lines, line_plans)
+        batch = images.shape[0]
+        return [
+            stacked[position[seq] * batch : (position[seq] + 1) * batch]
+            for seq in fp_seqs
+        ]
+
+    def _forward_many_lines(
+        self,
+        images: np.ndarray,
+        lines: list[tuple],
+        line_plans: list[ExecutionPlan],
+    ) -> np.ndarray:
+        """Stacked walk over deduped, sorted plan "lines"; returns the
+        ``(lines * batch, ...)`` output stack in line order."""
+        num_lines = len(lines)
+        batch = images.shape[0]
+        mac_names = tuple(self.mac_layer_names())
+        mac_depth = {name: d for d, name in enumerate(mac_names)}
+        depth_count = len(mac_names)
+        # Adjacent LCPs of the sorted lines; splits[d] holds the boundary
+        # positions (between line i and i+1) that open at MAC depth d.
+        splits: dict[int, list[int]] = {}
+        first_split = depth_count
+        for i in range(num_lines - 1):
+            left, right = lines[i], lines[i + 1]
+            lcp = 0
+            while lcp < depth_count and left[lcp] == right[lcp]:
+                lcp += 1
+            splits.setdefault(lcp, []).append(i)
+            first_split = min(first_split, lcp)
+        token = _array_identity_token(images)
+        fps = lines[0]
+        ctx = self._plan_context
+        activations: dict[str, np.ndarray] | None = None
+        start_index = 0
+        resumed_depth = 0
+        pending: list[tuple[int, int, tuple, tuple]] = []
+        if ctx is not None and self.reuse_plan_invariant_prefix and ctx.depths:
+            # Resume from the deepest checkpoint within the single-block
+            # region (depth <= first_split: beyond it the walk is stacked
+            # and checkpoint boundaries would no longer be per-plan arrays).
+            for depth in reversed(ctx.depths):
+                if depth > first_split:
+                    continue
+                entries = self._prefix_cache.get(depth)
+                if not entries:
+                    continue
+                fp_prefix = fps[:depth]
+                for index, (cached_token, cached_fp, boundary) in enumerate(entries):
+                    if cached_fp == fp_prefix and _tokens_match(cached_token, token):
+                        if index:
+                            entries.insert(0, entries.pop(index))
+                        activations = dict(boundary)
+                        start_index = ctx.boundary_index[depth]
+                        resumed_depth = depth
+                        break
+                if activations is not None:
+                    break
+            if activations is None:
+                self.prefix_cache_misses += 1
+            else:
+                self.prefix_cache_hits += 1
+            pending = sorted(
+                (ctx.boundary_index[depth], depth, fps[:depth], ctx.needed[depth])
+                for depth in ctx.depths
+                if resumed_depth < depth <= first_split
+                and fps[:depth] in ctx.shared[depth]
+            )
+        if activations is None:
+            activations = {"input": images}
+        nodes = self.model.nodes
+        # The walk is two-phase.  Phase 1 runs the single-block shared
+        # prefix at the FULL image batch — exactly like the per-plan path,
+        # so checkpoint/activation-cache tokens line up with it and reuse
+        # carries across groups.  Phase 2 (from the first splitting MAC on)
+        # is the stacked walk, chunked over images so each launch carries
+        # ~batch rows: feeding it lines * batch rows at once would blow the
+        # arrays (and every astype/matmul behind them) past cache into
+        # allocation churn — measurably slower than the loop it replaces.
+        split_index = len(nodes)
+        for index, node in enumerate(nodes):
+            depth = mac_depth.get(node.name)
+            if depth is not None and depth in splits:
+                split_index = index
+                break
+        for index in range(start_index, split_index):
+            node = nodes[index]
+            while pending and pending[0][0] == index:
+                self._store_checkpoint(activations, pending.pop(0), token)
+            depth = mac_depth.get(node.name)
+            if depth is not None:
+                activations[node.name] = self._run_mac_node(
+                    node.name,
+                    node.layer,
+                    activations[node.inputs[0]],
+                    line_plans[0].model_for(node.name),
+                )
+            else:
+                inputs = [activations[name] for name in node.inputs]
+                activations[node.name] = node.layer.forward(*inputs, training=False)
+        while pending:  # boundaries at or before the first splitting MAC
+            self._store_checkpoint(activations, pending.pop(0), token)
+        if split_index >= len(nodes):  # pragma: no cover - lines must differ
+            out = activations[self.model.output_name]
+            return np.concatenate([out] * num_lines, axis=0)
+        needed = self._names_needed_from(split_index)
+        live = {name: arr for name, arr in activations.items() if name in needed}
+        chunk_rows = max(16, _STACKED_ROWS_TARGET // num_lines)
+        if chunk_rows >= batch:
+            return self._stacked_suffix(
+                live, batch, split_index, line_plans, splits, mac_depth
+            )
+        num_chunks = -(-batch // chunk_rows)
+        bounds = [(i * batch) // num_chunks for i in range(num_chunks + 1)]
+        chunks: list[np.ndarray] = []
+        sizes: list[int] = []
+        for start, stop in zip(bounds, bounds[1:]):
+            sliced = {name: arr[start:stop] for name, arr in live.items()}
+            chunks.append(
+                self._stacked_suffix(
+                    sliced, stop - start, split_index, line_plans, splits, mac_depth
+                )
+            )
+            sizes.append(stop - start)
+        return np.concatenate(
+            [
+                chunk[line * size : (line + 1) * size]
+                for line in range(num_lines)
+                for chunk, size in zip(chunks, sizes)
+            ],
+            axis=0,
+        )
+
+    def _stacked_suffix(
+        self,
+        activations: dict[str, np.ndarray],
+        batch: int,
+        start_index: int,
+        line_plans: list[ExecutionPlan],
+        splits: dict[int, list[int]],
+        mac_depth: dict[str, int],
+    ) -> np.ndarray:
+        """Stacked walk from the first splitting MAC to the output.
+
+        ``activations`` holds single-block arrays of ``batch`` rows;
+        returns the ``(lines * batch, ...)`` line-major output stack."""
+        num_lines = len(line_plans)
+        runs: list[tuple[int, int]] = [(0, num_lines)]
+        nodes = self.model.nodes
+        for index in range(start_index, len(nodes)):
+            node = nodes[index]
+            depth = mac_depth.get(node.name)
+            shared_split = False
+            if depth is not None and depth in splits:
+                cuts = splits[depth]
+                new_runs: list[tuple[int, int]] = []
+                counts: list[int] = []
+                for s, e in runs:
+                    inner = [i for i in cuts if s <= i < e - 1]
+                    bounds = [s] + [i + 1 for i in inner] + [e]
+                    counts.append(len(bounds) - 1)
+                    new_runs.extend(zip(bounds, bounds[1:]))
+                shared_split = len(runs) == 1 and counts[0] > 1
+                mac_input = node.inputs[0]
+                raw_input = activations[mac_input]
+                needed = self._names_needed_from(index)
+                needed_after = self._names_needed_from(index + 1)
+                expanded: dict[str, np.ndarray] = {}
+                for name, arr in activations.items():
+                    if name not in needed:
+                        continue
+                    if shared_split and name == mac_input and name not in needed_after:
+                        # Consumed only by the fused shared-input launch;
+                        # skip the blockwise copy entirely.
+                        continue
+                    expanded[name] = _expand_line_blocks(arr, batch, counts)
+                activations = expanded
+                runs = new_runs
+                x = raw_input if shared_split else activations[node.inputs[0]]
+            elif depth is not None:
+                x = activations[node.inputs[0]]
+            if depth is not None:
+                models = [line_plans[s].model_for(node.name) for s, _ in runs]
+                if len(runs) == 1 or len({m.fingerprint() for m in models}) == 1:
+                    activations[node.name] = self._run_mac_node(
+                        node.name, node.layer, x, models[0]
+                    )
+                else:
+                    activations[node.name] = self._run_mac_node_multi(
+                        node.name, node.layer, x, models, shared_split
+                    )
+            else:
+                inputs = [activations[name] for name in node.inputs]
+                activations[node.name] = node.layer.forward(*inputs, training=False)
+        return activations[self.model.output_name]
+
+    def _names_needed_from(self, index: int) -> set[str]:
+        """Activation names any node from ``index`` on still consumes."""
+        needed = {self.model.output_name}
+        for node in self.model.nodes[index:]:
+            needed.update(node.inputs)
+        return needed
+
+    def logits_many(
+        self,
+        images: np.ndarray,
+        plans: Sequence[ExecutionPlan],
+        batch_size: int = 256,
+    ) -> list[np.ndarray]:
+        """Batched :meth:`forward_many`; one concatenated logits array per plan.
+
+        Applies the same checkpoint-store suppression policy as
+        :meth:`logits` from batch ``prefix_cache_batches`` onward.
+        """
+        plans = list(plans)
+        if not plans:
+            return []
+        outputs: list[list[np.ndarray]] = [[] for _ in plans]
+        previous = self._suppress_prefix_stores
+        try:
+            for batch_index, start in enumerate(range(0, images.shape[0], batch_size)):
+                self._suppress_prefix_stores = (
+                    previous or batch_index >= self.prefix_cache_batches
+                )
+                batch_out = self.forward_many(images[start : start + batch_size], plans)
+                for chunks, out in zip(outputs, batch_out):
+                    chunks.append(out)
+        finally:
+            self._suppress_prefix_stores = previous
+        return [np.concatenate(chunks, axis=0) for chunks in outputs]
+
+    def predict_many(
+        self,
+        images: np.ndarray,
+        plans: Sequence[ExecutionPlan],
+        batch_size: int = 256,
+    ) -> list[np.ndarray]:
+        """Predicted class labels per plan, via the fused multi-plan path."""
+        return [
+            logits.argmax(axis=1)
+            for logits in self.logits_many(images, plans, batch_size=batch_size)
+        ]
+
+    def _run_mac_node_multi(
+        self,
+        name: str,
+        layer: Conv2D | Dense,
+        x: np.ndarray,
+        models: list[ProductModel],
+        shared: bool,
+    ) -> np.ndarray:
+        """One fused launch evaluating ``len(models)`` plan blocks of a MAC.
+
+        ``shared=False``: ``x`` is the block-stacked input (``blocks *
+        batch`` leading rows).  ``shared=True``: ``x`` is a single shared
+        block and the output fans out to ``len(models)`` stacked blocks.
+        """
+        qnode = self._nodes[name]
+        if isinstance(layer, Conv2D):
+            return self._run_conv_multi(layer, qnode, x, models, shared)
+        return self._run_dense_multi(qnode, x, models, shared)
+
+    def _run_conv_multi(
+        self,
+        layer: Conv2D,
+        qnode: _QuantizedMacNode,
+        x: np.ndarray,
+        models: list[ProductModel],
+        shared: bool,
+    ) -> np.ndarray:
+        out_images = x.shape[0] * (len(models) if shared else 1)
+        cin_per_group = layer.in_channels // layer.groups
+        cout_per_group = layer.out_channels // layer.groups
+        codes = self._quantize_acts(qnode, -1, x)
+        pad_code = int(np.clip(qnode.act_params.zero_point, 0, 255))
+        outputs = []
+        for g in range(layer.groups):
+            codes_g = codes[..., g * cin_per_group : (g + 1) * cin_per_group]
+            act_codes, out_h, out_w = im2col(
+                codes_g,
+                layer.kernel_size,
+                layer.kernel_size,
+                layer.stride,
+                layer.pad,
+                pad_value=pad_code,
+            )
+            out_flat = self._run_group_multi(qnode, g, act_codes, models, shared)
+            outputs.append(out_flat.reshape(out_images, out_h, out_w, cout_per_group))
+        return np.concatenate(outputs, axis=-1) if layer.groups > 1 else outputs[0]
+
+    def _run_dense_multi(
+        self,
+        qnode: _QuantizedMacNode,
+        x: np.ndarray,
+        models: list[ProductModel],
+        shared: bool,
+    ) -> np.ndarray:
+        act_codes = self._quantize_acts(qnode, 0, x)
+        return self._run_group_multi(qnode, 0, act_codes, models, shared)
+
+    _MULTI_KERNEL_CACHE_CAP = 256
+
+    def _multi_kernel_for(
+        self, qnode: _QuantizedMacNode, group: int, models: list[ProductModel]
+    ):
+        """Compiled fused kernel for one per-block model assignment."""
+        fps = tuple(model.fingerprint() for model in models)
+        key = (qnode.node_name, group, fps)
+        kernel = self._multi_kernel_cache.get(key)
+        if kernel is None:
+            # Per-block kernels deduped by fingerprint: blocks repeating a
+            # model reuse one compiled kernel (and its LUT error matrix).
+            by_fp: dict[tuple, ProductKernel] = {}
+            kernels = []
+            for model, fp in zip(models, fps):
+                block_kernel = by_fp.get(fp)
+                if block_kernel is None:
+                    block_kernel = self._kernel_for(qnode, group, model)
+                    by_fp[fp] = block_kernel
+                kernels.append(block_kernel)
+            override = qnode.weight_overrides[group]
+            weight_codes = (
+                override if override is not None else qnode.ops[group].weight_codes
+            )
+            kernel = self.engine_backend.compile_multi(
+                models, weight_codes, qnode.control_variates[group], kernels=kernels
+            )
+            if len(self._multi_kernel_cache) >= self._MULTI_KERNEL_CACHE_CAP:
+                self._multi_kernel_cache.pop(next(iter(self._multi_kernel_cache)))
+            self._multi_kernel_cache[key] = kernel
+        return kernel
+
+    def _run_group_multi(
+        self,
+        qnode: _QuantizedMacNode,
+        group: int,
+        act_codes: np.ndarray,
+        models: list[ProductModel],
+        shared: bool,
+    ) -> np.ndarray:
+        op = qnode.ops[group]
+        kernel = self._multi_kernel_for(qnode, group, models)
+        sums = kernel.product_sums_multi(act_codes, shared=shared)
+        self.fused_launches += 1
+        self.fused_plans_total += len(models)
+        if shared:
+            # Every correction is per-patch, so the stacked variant (act
+            # terms computed once, broadcast across blocks) reproduces the
+            # per-block output_real calls bit-exactly without tiling.
+            return op.output_real_stacked(
+                act_codes, qnode.act_params, sums, len(models)
+            )
+        return op.output_real(act_codes, qnode.act_params, product_sum=sums)
 
     # ------------------------------------------------------------------
     def _run_mac_node(
@@ -1000,6 +1429,22 @@ class ApproximateExecutor:
                 act_codes, weight_codes, qnode.control_variates[group]
             )
         return op.output_real(act_codes, qnode.act_params, product_sum=sums)
+
+
+def _expand_line_blocks(arr: np.ndarray, rows: int, counts: Sequence[int]) -> np.ndarray:
+    """Repeat each ``rows``-sized leading block of ``arr`` blockwise.
+
+    Block ``i`` (rows ``i*rows:(i+1)*rows``) appears ``counts[i]`` times in
+    the result, in order — the layout change a run split applies to every
+    live activation of the stacked multi-plan walk.
+    """
+    if all(count == 1 for count in counts):
+        return arr
+    blocks: list[np.ndarray] = []
+    for i, count in enumerate(counts):
+        block = arr[i * rows : (i + 1) * rows]
+        blocks.extend([block] * count)
+    return np.concatenate(blocks, axis=0)
 
 
 def _array_identity_token(arr: np.ndarray) -> tuple:

@@ -135,9 +135,14 @@ class TestBackendsJson:
                 "default",
                 "description",
                 "unavailable_reason",
+                "fused_multi_plan",
             }
             if not entry["available"]:
                 assert entry["unavailable_reason"]
+        fused = {entry["name"]: entry["fused_multi_plan"] for entry in payload}
+        assert fused["numpy"] is True
+        assert fused["numba"] is True
+        assert fused["lowmem"] is False
 
 
 class TestCliErrorPaths:

@@ -1,0 +1,602 @@
+"""Fused multi-plan path: kernels, backends, executor, scheduler, service.
+
+The acceptance criterion of the fused sweep is *bit-exactness*: collapsing
+the outer plan loop into one batched backend launch must never change a
+number, at any layer of the stack.  This suite pins that end to end:
+
+* :class:`~repro.core.product_kernels.MultiPlanKernel` — stacked and
+  shared launches equal the per-plan kernels on randomized mixed stacks
+  (accurate / perforated ± control variate / LUT / fallback);
+* ``QuantizedLinearOp.output_real_stacked`` — equals the tiled per-plan
+  :meth:`output_real` bit for bit;
+* ``EngineBackend.compile_multi`` — the capability-flag contract, the
+  numba kernel bodies under a stub JIT, and the broken-JIT fallback;
+* ``ApproximateExecutor.forward_many`` — randomized property tests against
+  the per-plan ``forward`` loop, including duplicate plans, single-plan
+  and zero-shared-prefix sets, plus the fused-launch counters;
+* :func:`~repro.runtime.scheduling.plan_group_slices` — depth-aware group
+  cuts land on divergence-family boundaries;
+* the service / ``plan_sweep`` — fused and unfused sweeps agree at every
+  worker count, and the fused sweep reproduces the committed golden
+  accuracy table byte-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    BackendUnavailableError,
+    EngineBackend,
+    NumpyBackend,
+    get_backend,
+)
+from repro.core.control_variate import ControlVariate
+from repro.core.product_kernels import (
+    AccurateKernel,
+    CallbackKernel,
+    LUTKernel,
+    MultiPlanKernel,
+    PerforatedKernel,
+)
+from repro.quantization.qlayers import QuantizedLinearOp
+from repro.quantization.schemes import QuantParams
+from repro.runtime.scheduling import (
+    model_mac_names,
+    plan_group_slices,
+    shared_prefix_depths,
+)
+from repro.simulation.campaign import TrainedModel, plan_sweep
+from repro.simulation.inference import (
+    AccurateProduct,
+    ApproximateExecutor,
+    ExecutionPlan,
+    LUTProduct,
+    PerforatedProduct,
+)
+
+pytestmark = pytest.mark.engine
+
+
+def _random_lut(rng, exact: bool = False) -> np.ndarray:
+    lut = np.arange(256, dtype=np.int64)[:, None] * np.arange(256, dtype=np.int64)
+    if exact:
+        return lut
+    return lut + rng.integers(-200, 200, size=(256, 256))
+
+
+def _mixed_kernels(weights: np.ndarray, rng) -> list:
+    """One of every fusable kind plus a fallback, against shared weights."""
+    cv = ControlVariate.from_weight_matrix(weights)
+    from repro.baselines.weight_oriented import WeightOrientedProduct
+
+    fallback_model = WeightOrientedProduct(1, 3, threshold=128)
+    return [
+        AccurateKernel(weights),
+        PerforatedKernel(weights, 2, cv),
+        PerforatedKernel(weights, 2, None),
+        PerforatedKernel(weights, 3, cv),
+        PerforatedKernel(weights, 0, cv),
+        LUTKernel(weights, _random_lut(rng, exact=True)),
+        LUTKernel(weights, _random_lut(rng)),
+        CallbackKernel(fallback_model, weights, cv),
+    ]
+
+
+class TestMultiPlanKernel:
+    def test_stacked_and_shared_parity_randomized(self, rng):
+        for trial in range(5):
+            taps = int(rng.integers(3, 20))
+            filters = int(rng.integers(1, 8))
+            n = int(rng.integers(1, 12))
+            weights = rng.integers(0, 256, size=(taps, filters), dtype=np.uint8)
+            kernels = _mixed_kernels(weights, rng)
+            multi = MultiPlanKernel(kernels)
+            assert multi.plans == len(kernels)
+
+            shared_act = rng.integers(0, 256, size=(n, taps), dtype=np.uint8)
+            expected = np.concatenate(
+                [np.asarray(k(shared_act), dtype=np.float64) for k in kernels]
+            )
+            np.testing.assert_array_equal(
+                multi.product_sums_multi(shared_act, shared=True), expected
+            )
+
+            stacked_act = rng.integers(
+                0, 256, size=(len(kernels) * n, taps), dtype=np.uint8
+            )
+            expected = np.concatenate(
+                [
+                    np.asarray(k(stacked_act[p * n : (p + 1) * n]), dtype=np.float64)
+                    for p, k in enumerate(kernels)
+                ]
+            )
+            np.testing.assert_array_equal(
+                multi.product_sums_multi(stacked_act), expected
+            )
+
+    def test_error_matrix_cap_falls_back_per_block_bit_exact(self, rng):
+        weights = rng.integers(0, 256, size=(6, 4), dtype=np.uint8)
+        kernels = [LUTKernel(weights, _random_lut(rng)) for _ in range(3)]
+        capped = MultiPlanKernel(kernels, max_error_matrix_bytes=0)
+        assert capped._stacked_error is None
+        uncapped = MultiPlanKernel(kernels)
+        assert uncapped._stacked_error is not None
+        act = rng.integers(0, 256, size=(9, 6), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            capped.product_sums_multi(act, shared=True),
+            uncapped.product_sums_multi(act, shared=True),
+        )
+
+    def test_shared_kernel_instances_share_one_error_matrix_slot(self, rng):
+        """Suffix layers reuse one kernel object across blocks; the stacked
+        error matrix must not duplicate it per block."""
+        weights = rng.integers(0, 256, size=(5, 3), dtype=np.uint8)
+        kernel = LUTKernel(weights, _random_lut(rng))
+        multi = MultiPlanKernel([kernel, kernel, kernel])
+        assert multi._stacked_error is not None
+        assert multi._stacked_error.shape[0] == kernel._error_matrix.shape[0]
+        act = rng.integers(0, 256, size=(7, 5), dtype=np.uint8)
+        expected = np.asarray(kernel(act), dtype=np.float64)
+        out = multi.product_sums_multi(act, shared=True)
+        for p in range(3):
+            np.testing.assert_array_equal(out[p * 7 : (p + 1) * 7], expected)
+
+    def test_validation(self, rng):
+        weights = rng.integers(0, 256, size=(4, 2), dtype=np.uint8)
+        with pytest.raises(ValueError, match="at least one"):
+            MultiPlanKernel([])
+        other = rng.integers(0, 256, size=(5, 2), dtype=np.uint8)
+        with pytest.raises(ValueError, match="layer shape"):
+            MultiPlanKernel([AccurateKernel(weights), AccurateKernel(other)])
+        multi = MultiPlanKernel([AccurateKernel(weights), AccurateKernel(weights)])
+        with pytest.raises(ValueError, match="equal plan blocks"):
+            multi.product_sums_multi(
+                rng.integers(0, 256, size=(5, 4), dtype=np.uint8)
+            )
+        with pytest.raises(ValueError, match="shape"):
+            multi.product_sums_multi(
+                rng.integers(0, 256, size=(4, 7), dtype=np.uint8), shared=True
+            )
+
+
+class TestOutputRealStacked:
+    def _op_and_params(self, rng, taps: int, filters: int):
+        weights = rng.integers(0, 256, size=(taps, filters), dtype=np.uint8)
+        op = QuantizedLinearOp(
+            weights,
+            QuantParams(scale=0.013, zero_point=int(rng.integers(0, 256))),
+            bias=rng.normal(size=filters),
+        )
+        act_params = QuantParams(scale=0.07, zero_point=int(rng.integers(0, 256)))
+        return op, act_params
+
+    def test_bit_exact_with_tiled_output_real(self, rng):
+        for _ in range(5):
+            taps = int(rng.integers(2, 16))
+            filters = int(rng.integers(1, 6))
+            n = int(rng.integers(1, 10))
+            plans = int(rng.integers(1, 5))
+            op, act_params = self._op_and_params(rng, taps, filters)
+            act = rng.integers(0, 256, size=(n, taps), dtype=np.uint8)
+            sums = rng.integers(0, 1 << 20, size=(plans * n, filters)).astype(
+                np.float64
+            )
+            expected = np.concatenate(
+                [
+                    op.output_real(act, act_params, sums[p * n : (p + 1) * n])
+                    for p in range(plans)
+                ]
+            )
+            result = op.output_real_stacked(act, act_params, sums, plans)
+            np.testing.assert_array_equal(result, expected)
+
+    def test_does_not_mutate_product_sums(self, rng):
+        op, act_params = self._op_and_params(rng, 5, 3)
+        act = rng.integers(0, 256, size=(4, 5), dtype=np.uint8)
+        sums = rng.integers(0, 1000, size=(8, 3)).astype(np.float64)
+        before = sums.copy()
+        op.output_real_stacked(act, act_params, sums, 2)
+        np.testing.assert_array_equal(sums, before)
+
+    def test_shape_validation(self, rng):
+        op, act_params = self._op_and_params(rng, 5, 3)
+        act = rng.integers(0, 256, size=(4, 5), dtype=np.uint8)
+        with pytest.raises(ValueError, match="product_sums"):
+            op.output_real_stacked(
+                act, act_params, np.zeros((7, 3), dtype=np.float64), 2
+            )
+
+
+class TestCompileMultiContract:
+    def test_capability_flags(self):
+        assert get_backend("numpy").fused_multi_plan
+        assert get_backend("numba").fused_multi_plan
+        assert not get_backend("lowmem").fused_multi_plan
+
+    def test_base_compile_multi_refuses_without_capability(self, rng):
+        class NoFusion(EngineBackend):
+            name = "stub-no-fusion"
+
+            def availability(self):
+                return True, ""
+
+            def compile(self, product_model, weight_codes, control_variate):
+                raise AssertionError("not exercised")
+
+        weights = rng.integers(0, 256, size=(4, 2), dtype=np.uint8)
+        with pytest.raises(BackendUnavailableError, match="fused_multi_plan"):
+            NoFusion().compile_multi([AccurateProduct()], weights, None)
+
+    def test_numpy_compile_multi_reuses_precompiled_kernels(self, rng):
+        weights = rng.integers(0, 256, size=(4, 2), dtype=np.uint8)
+        backend = NumpyBackend()
+        kernels = [backend.compile(AccurateProduct(), weights, None)]
+        multi = backend.compile_multi([AccurateProduct()], weights, None, kernels)
+        assert multi.kernels[0] is kernels[0]
+
+
+class TestCompileMultiStubJit:
+    """The numba multi-plan kernel bodies, run as plain python loops.
+
+    Same approach as ``TestNumbaBackendWithStubJit`` in
+    ``test_engine_backends.py``: an identity ``njit`` executes exactly the
+    code the JIT would compile, pinning the fused algorithm bit-exact on a
+    numba-less machine.
+    """
+
+    @pytest.fixture
+    def stub_backend(self, monkeypatch):
+        import repro.core.backends as backends_mod
+
+        class _StubNumba:
+            @staticmethod
+            def njit(*args, **kwargs):
+                return lambda fn: fn
+
+        monkeypatch.setattr(backends_mod, "_numba", _StubNumba())
+        backend = backends_mod.NumbaBackend()
+        assert backend.availability() == (True, "")
+        return backend
+
+    @pytest.fixture
+    def model_stack(self, rng):
+        from repro.baselines.weight_oriented import WeightOrientedProduct
+        from repro.multipliers.lut import LUTMultiplier
+
+        return [
+            AccurateProduct(),
+            PerforatedProduct(2, use_control_variate=True),
+            PerforatedProduct(2, use_control_variate=False),
+            PerforatedProduct(3, use_control_variate=True),
+            LUTProduct(LUTMultiplier(_random_lut(rng), name="stub")),
+            WeightOrientedProduct(1, 3, threshold=128),
+        ]
+
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_fused_bit_exact_vs_numpy_multi(
+        self, stub_backend, model_stack, rng, shared
+    ):
+        weights = rng.integers(0, 256, size=(6, 4), dtype=np.uint8)
+        cv = ControlVariate.from_weight_matrix(weights)
+        multi = stub_backend.compile_multi(model_stack, weights, cv)
+        assert multi.plans == len(model_stack)
+        reference = NumpyBackend().compile_multi(model_stack, weights, cv)
+        n = 5
+        rows = n if shared else len(model_stack) * n
+        act = rng.integers(0, 256, size=(rows, 6), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            multi.product_sums_multi(act, shared=shared),
+            reference.product_sums_multi(act, shared=shared),
+        )
+
+    def test_validation_errors_propagate(self, stub_backend, rng):
+        weights = rng.integers(0, 256, size=(6, 4), dtype=np.uint8)
+        bad_cv = ControlVariate(np.zeros(weights.shape[1] + 1))
+        with pytest.raises(ValueError, match="filters"):
+            stub_backend.compile_multi(
+                [PerforatedProduct(1, True)], weights, bad_cv
+            )
+        multi = stub_backend.compile_multi([AccurateProduct()], weights, None)
+        with pytest.raises(ValueError, match="shape"):
+            multi.product_sums_multi(
+                rng.integers(0, 256, size=(3, 9), dtype=np.uint8)
+            )
+        with pytest.raises(ValueError, match="equal plan blocks"):
+            stub_backend.compile_multi(
+                [AccurateProduct(), AccurateProduct()], weights, None
+            ).product_sums_multi(rng.integers(0, 256, size=(3, 6), dtype=np.uint8))
+
+    def test_broken_jit_falls_back_to_numpy_fusion(self, monkeypatch, rng):
+        import repro.core.backends as backends_mod
+
+        class _BrokenNumba:
+            @staticmethod
+            def njit(*args, **kwargs):
+                raise RuntimeError("llvmlite ABI mismatch")
+
+        monkeypatch.setattr(backends_mod, "_numba", _BrokenNumba())
+        backend = backends_mod.NumbaBackend()
+        weights = rng.integers(0, 256, size=(5, 3), dtype=np.uint8)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            multi = backend.compile_multi([AccurateProduct()], weights, None)
+        assert isinstance(multi, MultiPlanKernel)
+        act = rng.integers(0, 256, size=(4, 5), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            multi.product_sums_multi(act, shared=True),
+            AccurateKernel(weights)(act).astype(np.float64),
+        )
+
+
+@pytest.fixture(scope="module")
+def trained(trained_tiny_model, tiny_dataset):
+    return TrainedModel(
+        name="vgg13",
+        dataset_name=tiny_dataset.name,
+        model=trained_tiny_model,
+        float_accuracy=0.0,
+    )
+
+
+def _random_plans(trained, count: int, seed: int) -> list[ExecutionPlan]:
+    """Randomized per-layer plan set (the shapes a sensitivity screen or a
+    DSE batch produces), always including the accurate baseline."""
+    rng = np.random.default_rng(seed)
+    mac_names = [node.name for node in trained.model.conv_dense_nodes()]
+    menu = [
+        None,
+        PerforatedProduct(1),
+        PerforatedProduct(2),
+        PerforatedProduct(2, use_control_variate=False),
+        PerforatedProduct(3),
+    ]
+    plans = [ExecutionPlan.uniform(AccurateProduct())]
+    while len(plans) < count:
+        plan = ExecutionPlan.uniform(AccurateProduct())
+        for name in mac_names:
+            choice = menu[int(rng.integers(0, len(menu)))]
+            if choice is not None:
+                plan = plan.with_layer(name, choice)
+        plans.append(plan)
+    return plans
+
+
+class TestExecutorForwardMany:
+    @pytest.fixture(scope="class")
+    def executor(self, trained, tiny_dataset):
+        return ApproximateExecutor(
+            trained.model, tiny_dataset.train_images[:32]
+        )
+
+    def test_randomized_parity_with_per_plan_forward(
+        self, executor, trained, tiny_dataset
+    ):
+        assert executor.fused_multi_plan
+        images = tiny_dataset.test_images[:12]
+        for seed in (3, 17):
+            plans = _random_plans(trained, count=5, seed=seed)
+            # Duplicate plan objects and a distinct-but-identical plan must
+            # share one evaluation line without disturbing output order.
+            plans.append(plans[1])
+            plans.append(ExecutionPlan(plans[2].default, dict(plans[2].per_layer)))
+            fused = executor.forward_many(images, plans)
+            assert len(fused) == len(plans)
+            for plan, logits in zip(plans, fused):
+                np.testing.assert_array_equal(logits, executor.forward(images, plan))
+
+    def test_zero_shared_prefix_plans(self, executor, trained, tiny_dataset):
+        """Plans diverging at the very first MAC layer still fuse bit-exactly."""
+        images = tiny_dataset.test_images[:8]
+        first = model_mac_names(trained)[0]
+        base = ExecutionPlan.uniform(AccurateProduct())
+        plans = [
+            base,
+            base.with_layer(first, PerforatedProduct(2)),
+            base.with_layer(first, PerforatedProduct(3)),
+        ]
+        fused = executor.forward_many(images, plans)
+        for plan, logits in zip(plans, fused):
+            np.testing.assert_array_equal(logits, executor.forward(images, plan))
+
+    def test_single_and_empty_plan_sets(self, executor, tiny_dataset):
+        images = tiny_dataset.test_images[:4]
+        plan = ExecutionPlan.uniform(PerforatedProduct(2))
+        (only,) = executor.forward_many(images, [plan])
+        np.testing.assert_array_equal(only, executor.forward(images, plan))
+        assert executor.forward_many(images, []) == []
+
+    def test_fused_counters_advance(self, trained, tiny_dataset):
+        executor = ApproximateExecutor(
+            trained.model, tiny_dataset.train_images[:32]
+        )
+        assert executor.fused_stats() == {
+            "fused_launches": 0,
+            "fused_plans_total": 0,
+        }
+        plans = _random_plans(trained, count=4, seed=5)
+        executor.forward_many(tiny_dataset.test_images[:6], plans)
+        stats = executor.fused_stats()
+        assert stats["fused_launches"] > 0
+        assert stats["fused_plans_total"] >= stats["fused_launches"] * 2
+
+    def test_lowmem_backend_degrades_to_per_plan_loop(self, trained, tiny_dataset):
+        executor = ApproximateExecutor(
+            trained.model,
+            tiny_dataset.train_images[:32],
+            engine_backend="lowmem",
+        )
+        assert not executor.fused_multi_plan
+        images = tiny_dataset.test_images[:6]
+        plans = _random_plans(trained, count=3, seed=9)
+        fused = executor.forward_many(images, plans)
+        for plan, logits in zip(plans, fused):
+            np.testing.assert_array_equal(logits, executor.forward(images, plan))
+        assert executor.fused_stats()["fused_launches"] == 0
+
+
+class TestPlanGroupSlices:
+    def _schedule(self, count: int, model: int = 0):
+        plan = ExecutionPlan.uniform(AccurateProduct())
+        return [(model, plan)] * count
+
+    def test_cover_and_cap_without_depths(self):
+        schedule = self._schedule(10)
+        slices = plan_group_slices(schedule, 4)
+        assert slices == [(0, 4), (4, 8), (8, 10)]
+
+    def test_model_change_always_cuts(self):
+        schedule = self._schedule(3) + self._schedule(2, model=1)
+        assert plan_group_slices(schedule, 8) == [(0, 3), (3, 5)]
+
+    def test_depth_drop_cuts_groups_at_family_boundaries(self):
+        # Two families of three plans each: constant agreement depth inside
+        # a family (5), a drop (2) at the family boundary.  The blind cap
+        # (4) would cut mid-family; the depths align the cut with the drop.
+        schedule = self._schedule(6)
+        depths = [5, 5, 2, 5, 5]
+        assert plan_group_slices(schedule, 4, split_depths=depths) == [
+            (0, 3),
+            (3, 6),
+        ]
+
+    def test_group_cap_still_enforced_with_depths(self):
+        schedule = self._schedule(6)
+        depths = [5, 5, 5, 5, 5]
+        assert plan_group_slices(schedule, 2, split_depths=depths) == [
+            (0, 2),
+            (2, 4),
+            (4, 6),
+        ]
+
+    def test_rising_depths_do_not_cut(self):
+        # Depth may only rise inside a group (deeper agreement is never a
+        # reason to split); only drops below the running minimum cut.
+        schedule = self._schedule(4)
+        depths = [2, 3, 4]
+        assert plan_group_slices(schedule, 8, split_depths=depths) == [(0, 4)]
+
+    def test_depths_validation(self):
+        schedule = self._schedule(4)
+        with pytest.raises(ValueError, match="boundary"):
+            plan_group_slices(schedule, 4, split_depths=[1, 2])
+        with pytest.raises(ValueError, match="positive"):
+            plan_group_slices(schedule, 0)
+
+    def test_depth_aware_groups_align_with_sensitivity_families(self, trained):
+        """A per-layer sensitivity screen on the real model: groups must
+        land on the divergence-family boundaries of the sorted schedule."""
+        mac_names = model_mac_names(trained)
+        plans = [ExecutionPlan.uniform(AccurateProduct())]
+        for name in mac_names[2:5]:
+            for m in (1, 2, 3):
+                for cv in (True, False):
+                    plans.append(
+                        ExecutionPlan.uniform(AccurateProduct()).with_layer(
+                            name, PerforatedProduct(m, use_control_variate=cv)
+                        )
+                    )
+        from repro.runtime.scheduling import schedule_cells
+
+        cells = [(0, plan) for plan in plans]
+        names_by_model = {0: mac_names}
+        order = schedule_cells(cells, names_by_model)
+        schedule = [cells[i] for i in order]
+        depths = shared_prefix_depths(schedule, names_by_model)
+        slices = plan_group_slices(schedule, 8, split_depths=depths)
+        # Slices must cover the schedule contiguously...
+        assert slices[0][0] == 0 and slices[-1][1] == len(schedule)
+        assert all(a[1] == b[0] for a, b in zip(slices, slices[1:]))
+        # ... and every cut must sit at a boundary whose agreement depth is
+        # no deeper than the depths inside the adjacent groups (i.e. cuts
+        # happen at divergence-family boundaries, not inside a family).
+        for _, stop in slices[:-1]:
+            boundary = depths[stop - 1]
+            assert boundary <= min(depths[max(0, stop - 2) : stop + 1])
+
+
+@pytest.mark.runtime
+class TestServiceFusedParity:
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_plan_sweep_fused_equals_unfused(
+        self, trained, tiny_dataset, max_workers
+    ):
+        plans = _random_plans(trained, count=6, seed=23)
+        labeled = [(f"p{i}", plan) for i, plan in enumerate(plans)]
+        datasets = {tiny_dataset.name: tiny_dataset}
+        kwargs = dict(
+            max_eval_images=16,
+            calibration_images=32,
+            max_workers=max_workers,
+        )
+        fused = plan_sweep([trained], datasets, labeled, fuse_plans=True, **kwargs)
+        unfused = plan_sweep(
+            [trained], datasets, labeled, fuse_plans=False, **kwargs
+        )
+        assert [r.accuracy for r in fused] == [r.accuracy for r in unfused]
+        assert [r.plan_label for r in fused] == [r.plan_label for r in unfused]
+
+    def test_service_stats_report_fused_launches(self, trained, tiny_dataset):
+        from repro.runtime import EvaluationService
+
+        plans = _random_plans(trained, count=5, seed=31)
+        with EvaluationService(
+            [trained],
+            {tiny_dataset.name: tiny_dataset},
+            max_workers=1,
+            max_eval_images=16,
+            calibration_images=32,
+        ) as service:
+            service.evaluate_plans(0, plans)
+            stats = service.stats()
+        engine = stats["engine"]
+        assert engine["fuse_plans"] is True
+        assert engine["fused_launches"] > 0
+        assert engine["plans_per_launch_avg"] > 1.0
+
+
+@pytest.mark.runtime
+class TestGoldenAccuracyParity:
+    def test_fused_sweep_reproduces_committed_golden_table(self):
+        """The fused path must reproduce the committed golden accuracy
+        table byte-exactly — the same invariant ``repro verify-results``
+        gates, pinned here directly against the fused/unfused toggle."""
+        import os
+
+        from repro.provenance.manifest import load_json
+        from repro.provenance.workload import (
+            CALIBRATION_IMAGES,
+            PERFORATIONS,
+            _train_workload_model,
+        )
+        from repro.simulation.campaign import parallel_sweep
+
+        golden_path = os.path.join("results", "golden", "accuracy_table.json")
+        if not os.path.exists(golden_path):
+            pytest.skip("no committed golden accuracy table")
+        golden = load_json(golden_path)
+        trained, dataset = _train_workload_model()
+        rows_by_mode = {}
+        for fuse in (True, False):
+            sweep = parallel_sweep(
+                [trained],
+                {dataset.name: dataset},
+                perforations=PERFORATIONS,
+                calibration_images=CALIBRATION_IMAGES,
+                max_workers=1,
+                fuse_plans=fuse,
+            )
+            rows_by_mode[fuse] = [
+                {
+                    "m": record.m,
+                    "with_control_variate": record.with_control_variate,
+                    "accuracy": record.approximate_accuracy,
+                    "accuracy_loss": record.accuracy_loss,
+                }
+                for record in sweep.records
+            ]
+            assert (
+                sweep.baselines[(trained.name, dataset.name)]
+                == golden["baseline_accuracy"]
+            )
+        assert rows_by_mode[True] == rows_by_mode[False] == golden["rows"]
